@@ -1,0 +1,144 @@
+"""Table 2: post-layout power savings on four functional blocks.
+
+Paper:
+
+    Block1 (instruction alignment)  41%
+    Block2 (execution bypass)       22%
+    Block3 (execution bypass)       19%
+    Block4 (instruction fetch)       7%
+
+The blocks were proprietary; we compose synthetic blocks whose macro content
+brackets the description — Block1 domino-mux heavy (alignment shifters are
+mux trees), Blocks 2-3 bypass-mux dominated with less macro share, Block4
+mostly random fetch control with a small macro population — and verify the
+induced ordering 41 > 22 ~ 19 > 7 plus the bands' spread.
+"""
+
+import pytest
+
+from conftest import pct, render_table
+from repro.blocks import MacroInstanceSpec, build_block, reduce_block_power
+from repro.macros import MacroSpec
+
+
+def _block_menus():
+    return {
+        "Block1 (instruction alignment)": (
+            [
+                MacroInstanceSpec(
+                    "mux/unsplit_domino", MacroSpec("mux", 8, output_load=30.0), 4
+                ),
+                MacroInstanceSpec(
+                    "mux/partitioned_domino", MacroSpec("mux", 16, output_load=30.0), 2
+                ),
+                MacroInstanceSpec(
+                    "decoder/domino", MacroSpec("decoder", 3, output_load=20.0), 2
+                ),
+            ],
+            0.60,
+        ),
+        "Block2 (execution bypass)": (
+            [
+                MacroInstanceSpec(
+                    "mux/unsplit_domino", MacroSpec("mux", 8, output_load=30.0), 2
+                ),
+                MacroInstanceSpec(
+                    "mux/strong_mutex_passgate", MacroSpec("mux", 6, output_load=40.0), 3
+                ),
+                MacroInstanceSpec(
+                    "zero_detect/domino", MacroSpec("zero_detect", 16), 1
+                ),
+            ],
+            0.40,
+        ),
+        "Block3 (execution bypass)": (
+            [
+                MacroInstanceSpec(
+                    "mux/strong_mutex_passgate", MacroSpec("mux", 8, output_load=30.0), 3
+                ),
+                MacroInstanceSpec(
+                    "mux/tristate", MacroSpec("mux", 6, output_load=80.0), 2
+                ),
+                MacroInstanceSpec(
+                    "zero_detect/split_domino", MacroSpec("zero_detect", 16), 1
+                ),
+            ],
+            0.38,
+        ),
+        "Block4 (instruction fetch)": (
+            [
+                MacroInstanceSpec(
+                    "mux/strong_mutex_passgate", MacroSpec("mux", 4, output_load=30.0), 2
+                ),
+                MacroInstanceSpec(
+                    "incrementor/prefix", MacroSpec("incrementor", 16, output_load=20.0), 1
+                ),
+            ],
+            0.14,
+        ),
+    }
+
+
+@pytest.fixture(scope="module")
+def reductions(library):
+    out = {}
+    for seed, (name, (menu, fraction)) in enumerate(_block_menus().items(), start=11):
+        block = build_block(
+            name, menu, macro_width_fraction=fraction, library=library, seed=seed
+        )
+        out[name] = (block, reduce_block_power(block))
+    return out
+
+
+def test_table2(reductions):
+    rows = [
+        (
+            name,
+            f"{block.transistor_count()}",
+            pct(block.macro_width_fraction),
+            pct(block.macro_power_fraction()),
+            pct(result.power_saving),
+        )
+        for name, (block, result) in reductions.items()
+    ]
+    render_table(
+        "Table 2: block-level power savings with SMART",
+        ("block", "transistors", "macro width", "macro power", "power saving"),
+        rows,
+    )
+
+
+def test_ordering_matches_paper(reductions):
+    """41 > 22 >= 19 > 7: alignment >> bypass blocks > fetch."""
+    savings = {name: r.power_saving for name, (_b, r) in reductions.items()}
+    s1 = savings["Block1 (instruction alignment)"]
+    s2 = savings["Block2 (execution bypass)"]
+    s3 = savings["Block3 (execution bypass)"]
+    s4 = savings["Block4 (instruction fetch)"]
+    assert s1 > s2 > s4
+    assert s1 > s3 > s4
+    assert s1 > 2.0 * s4
+
+    # Bands: the top block saves tens of percent, the fetch block single digits.
+    assert s1 > 0.15
+    assert s4 < 0.12
+
+
+def test_no_performance_penalty_anywhere(reductions):
+    for name, (_block, result) in reductions.items():
+        assert result.no_performance_penalty, name
+
+
+def test_bench_block_reduction(benchmark, library):
+    menu = [
+        MacroInstanceSpec(
+            "mux/unsplit_domino", MacroSpec("mux", 8, output_load=30.0), 2
+        ),
+    ]
+
+    def kernel():
+        block = build_block("bench", menu, 0.4, library=library, seed=3)
+        return reduce_block_power(block)
+
+    result = benchmark.pedantic(kernel, rounds=1, iterations=1)
+    assert result.power_saving > 0

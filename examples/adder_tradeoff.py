@@ -1,0 +1,67 @@
+#!/usr/bin/env python
+"""Regenerate the Figure-6 experiment: the 64-bit dual-rail domino CLA
+adder's area-delay trade-off curve, with an ASCII rendering.
+
+Run:  python examples/adder_tradeoff.py  [--width 32]
+"""
+
+import argparse
+
+from repro import DesignConstraints, MacroSpec, SmartAdvisor, area_delay_curve
+from repro.sizing.engine import nominal_delay
+
+TOPOLOGY = "adder/dual_rail_domino_cla"
+SCALES = (0.96, 1.0, 1.074, 1.17, 1.27)
+
+
+def ascii_plot(points, width=52, height=12) -> str:
+    xs = [p.spec_delay for p in points]
+    ys = [p.area for p in points]
+    x0, x1 = min(xs), max(xs)
+    y0, y1 = min(ys), max(ys)
+    grid = [[" "] * width for _ in range(height)]
+    for x, y in zip(xs, ys):
+        col = int((x - x0) / (x1 - x0 + 1e-12) * (width - 1))
+        row = int((y - y0) / (y1 - y0 + 1e-12) * (height - 1))
+        grid[height - 1 - row][col] = "*"
+    lines = ["area"]
+    lines += ["|" + "".join(row) for row in grid]
+    lines.append("+" + "-" * width + "> delay")
+    return "\n".join(lines)
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--width", type=int, default=64,
+                        help="adder width (multiple of 16)")
+    args = parser.parse_args()
+
+    advisor = SmartAdvisor()
+    spec = MacroSpec("adder", args.width, output_load=20.0)
+    circuit = advisor.database.generate(TOPOLOGY, spec, advisor.tech)
+    anchor = 0.40 * nominal_delay(circuit, advisor.library)
+    base = DesignConstraints(delay=anchor)
+
+    print(f"{args.width}-bit dual-rail domino CLA "
+          f"({circuit.transistor_count()} transistors, "
+          f"{len(circuit.size_table.free_names())} size labels)")
+    print(f"sweeping delay budgets around {anchor:.0f} ps ...\n")
+
+    curve = area_delay_curve(advisor, TOPOLOGY, spec, base, scales=SCALES)
+    normalized = curve.normalized(reference_scale=max(SCALES))
+
+    print(f"{'budget (ps)':>12} {'norm delay':>11} {'norm area':>10} {'ok':>4}")
+    for p, n in zip(
+        sorted(curve.points, key=lambda p: -p.spec_delay),
+        sorted(normalized.points, key=lambda p: -p.spec_delay),
+    ):
+        print(f"{p.spec_delay:>12.0f} {n.spec_delay:>11.3f} "
+              f"{n.area:>10.3f} {'yes' if p.converged else 'NO':>4}")
+
+    converged = [p for p in curve.points if p.converged]
+    if len(converged) >= 2:
+        print("\n" + ascii_plot(converged))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,98 @@
+#!/usr/bin/env python
+"""Designer-side workflows: extending the database and editing a macro.
+
+Two things the paper insists a macro methodology must support (Sections 2
+and 4):
+
+1. *expandability* — "whenever a designer comes up with an implementation
+   not available in the database, it can be incorporated";
+2. *editing* — "a few structural changes to the schematic (e.g., merging in
+   of a few gates of condition logic) may have to be performed to match
+   RTL", plus designer control of individual transistor sizes.
+
+Here a designer adds a buffered strongly-mutexed mux (extra output stage for
+long wires), registers it, then edits an instance: a select input becomes
+the NAND of two control signals, and the output driver PMOS is pinned up for
+a noisy neighborhood.
+
+Run:  python examples/custom_macro_and_editing.py
+"""
+
+from repro import DesignConstraints, MacroSpec, SmartAdvisor
+from repro.core.editing import merge_condition_gate, pin_sizes
+from repro.macros import MacroSpec as Spec
+from repro.macros.mux import StrongMutexPassgateMux
+from repro.models import Technology
+from repro.netlist import validate_circuit
+
+
+class BufferedStrongMutexMux(StrongMutexPassgateMux):
+    """Figure 2(a) plus a second output inverter for long-wire instances."""
+
+    name = "mux/strong_mutex_buffered"
+    description = "strongly mutexed pass-gate mux with buffered output"
+
+    def build(self, spec, tech: Technology):
+        circuit = super().build(spec, tech)
+        # Re-plumb: the original outdrv now feeds a second stage.
+        out = circuit.net("out")
+        mid = circuit.add_net("outpre")
+        outdrv = circuit.stage("outdrv")
+        outdrv.output = mid
+        circuit._drivers.pop("out")
+        circuit._all_drivers.pop("out")
+        circuit._drivers["outpre"] = outdrv
+        circuit._all_drivers["outpre"] = [outdrv]
+        circuit._fanout.setdefault("outpre", [])
+        circuit.size_table.declare("P5")
+        circuit.size_table.declare("N5")
+        from repro.netlist import Pin, Stage, StageKind
+
+        circuit.add_stage(
+            Stage(
+                name="outbuf",
+                kind=StageKind.INV,
+                inputs=[Pin("a", mid)],
+                output=out,
+                size_vars={"pull_up": "P5", "pull_down": "N5"},
+            )
+        )
+        return circuit
+
+
+def main() -> None:
+    advisor = SmartAdvisor()
+    advisor.database.register(BufferedStrongMutexMux())
+
+    spec = MacroSpec("mux", 4, output_load=180.0)  # long-wire instance
+    constraints = DesignConstraints(delay=520.0, cost="area")
+
+    report = advisor.advise(
+        spec,
+        constraints,
+        topologies=["mux/strong_mutex_passgate", "mux/strong_mutex_buffered"],
+    )
+    print(report.render())
+
+    # --- editing an instance ------------------------------------------------
+    circuit = advisor.database.generate(
+        "mux/strong_mutex_buffered", spec, advisor.tech
+    )
+    # RTL says input 0 is selected only when (sel0 AND enable).
+    merge_condition_gate(circuit, "s0", "nand", ["sel0_n", "enable_n"], "PC", "NC")
+    # Noisy neighborhood: the designer wants at least 60 um of output PMOS.
+    pin_sizes(circuit, {"P5": 60.0})
+    validate_circuit(circuit).raise_if_failed()
+
+    from repro.sizing import SmartSizer
+
+    result = SmartSizer(circuit, advisor.library).size(constraints.to_delay_spec())
+    print("\nedited instance after sizing:")
+    print(f"  converged        : {result.converged}")
+    print(f"  total width      : {result.area:.1f} um")
+    print(f"  pinned P5        : {result.resolved['P5']:.1f} um (designer)")
+    print(f"  condition gate PC: {result.resolved['PC']:.2f} um (sizer)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,47 @@
+#!/usr/bin/env python
+"""Quickstart: ask SMART for an 8:1 mux meeting a delay budget.
+
+The Figure-1 flow in five lines: spec -> topology choices -> automated
+sizing -> comparison -> the designer picks (or takes the recommendation).
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import DesignConstraints, MacroSpec, SmartAdvisor
+from repro.netlist import export_circuit
+
+
+def main() -> None:
+    advisor = SmartAdvisor()
+
+    # The macro instance and its local constraints, as a designer would
+    # state them: an 8-input mux driving 40 fF, worst pin-to-out 420 ps,
+    # minimize total transistor width.
+    spec = MacroSpec("mux", width=8, output_load=40.0)
+    constraints = DesignConstraints(delay=420.0, cost="area")
+
+    report = advisor.advise(spec, constraints)
+    print(report.render())
+
+    best = report.best
+    if best is None:
+        raise SystemExit("no topology meets the constraints - loosen the budget")
+
+    # Re-size the winner (the advisor already did; this shows the API) and
+    # export a SPICE deck for the downstream layout/verification flow.
+    circuit, sizing = advisor.size_topology(best.topology, spec, constraints)
+    print(f"\nchosen topology : {best.topology}")
+    print(f"total width     : {sizing.area:.1f} um")
+    print(f"clock load      : {sizing.clock_load:.1f} um")
+    print(f"sizer iterations: {sizing.iterations}")
+    print("\nlabel widths (um):")
+    for label in sorted(sizing.resolved):
+        print(f"  {label:<8} {sizing.resolved[label]:7.2f}")
+
+    deck = export_circuit(circuit, sizing.resolved)
+    print("\nSPICE deck (first 12 lines):")
+    print("\n".join(deck.splitlines()[:12]))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,7 @@
+"""Legacy shim: the sandbox's setuptools has no `wheel`, so PEP-660 editable
+installs fail; `python setup.py develop` / `pip install -e .` via this file
+works offline."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,60 @@
+"""SMART — Smart Macro Design Advisor.
+
+A from-scratch reproduction of *"Macro-Driven Circuit Design Methodology for
+High-Performance Datapaths"* (M. Nemani, V. Tiwari, DAC 2000): a macro
+topology database, a posynomial/geometric-programming transistor sizer with
+path pruning, and the advisory flow that explores topologies against designer
+constraints — plus the simulation substrates (static timing, switch-level
+transient, power estimation) the original relied on commercial tools for.
+
+Quickstart::
+
+    from repro import SmartAdvisor, MacroSpec, DesignConstraints
+
+    advisor = SmartAdvisor()
+    report = advisor.advise(
+        MacroSpec("mux", width=8, output_load=30.0),
+        DesignConstraints(delay=120.0, cost="area"),
+    )
+    print(report.render())
+"""
+
+from .core import (
+    AdvisorReport,
+    CandidateResult,
+    DesignConstraints,
+    SmartAdvisor,
+    TradeoffCurve,
+    TradeoffPoint,
+    area_delay_curve,
+    explore_topologies,
+)
+from .macros import MacroDatabase, MacroGenerator, MacroSpec, default_database
+from .models import GENERIC_130, GENERIC_180, ModelLibrary, Technology
+from .sizing import DelaySpec, SizingError, SizingResult, SmartSizer
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "SmartAdvisor",
+    "AdvisorReport",
+    "CandidateResult",
+    "DesignConstraints",
+    "TradeoffCurve",
+    "TradeoffPoint",
+    "area_delay_curve",
+    "explore_topologies",
+    "MacroSpec",
+    "MacroGenerator",
+    "MacroDatabase",
+    "default_database",
+    "Technology",
+    "GENERIC_180",
+    "GENERIC_130",
+    "ModelLibrary",
+    "SmartSizer",
+    "SizingResult",
+    "SizingError",
+    "DelaySpec",
+    "__version__",
+]

@@ -1,0 +1,6 @@
+"""Baseline ("manual designer") sizing used as the comparison anchor for the
+Figure-5 / Table-1 / Table-2 savings experiments."""
+
+from .overdesign import BaselineResult, OverdesignSizer
+
+__all__ = ["OverdesignSizer", "BaselineResult"]

@@ -1,0 +1,20 @@
+"""Synthetic functional-block substrate for the Section 6.4 / Table 2
+block-level experiments."""
+
+from .generator import (
+    BlockDesign,
+    MacroInstanceSpec,
+    SizedMacro,
+    build_block,
+)
+from .power_reduction import BlockPowerResult, MacroReduction, reduce_block_power
+
+__all__ = [
+    "BlockDesign",
+    "MacroInstanceSpec",
+    "SizedMacro",
+    "build_block",
+    "reduce_block_power",
+    "BlockPowerResult",
+    "MacroReduction",
+]

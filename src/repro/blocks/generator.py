@@ -1,0 +1,287 @@
+"""Synthetic datapath functional blocks (Section 6.4 / Table 2 substrate).
+
+The paper applies SMART to whole functional blocks of a production
+microprocessor: an instruction-alignment block, two execution-unit bypass
+blocks and an instruction-fetch block.  Those netlists are proprietary; the
+published facts about them are *compositional* — e.g. "over 13,800
+transistors ... datapath macros accounted for 22% of the total transistor
+width, and 36% of the total power".
+
+A :class:`BlockDesign` reproduces that composition: a set of macro instances
+(drawn from the SMART database, baseline-sized by the over-design heuristic)
+plus a body of random control logic whose size is chosen to hit a target
+macro width fraction.  The random logic is built as real gates (chains and
+trees with designer-fixed sizes and no regularity), so transistor counts and
+power come from the same estimators as everything else.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..baseline.overdesign import BaselineResult, OverdesignSizer
+from ..macros.base import MacroDatabase, MacroSpec
+from ..macros.registry import default_database
+from ..models.gates import ModelLibrary
+from ..netlist.circuit import Circuit
+from ..netlist.stages import StageKind
+from ..sim.power import PowerEstimator
+
+
+@dataclass
+class MacroInstanceSpec:
+    """One macro instantiation request inside a block."""
+
+    topology: str
+    spec: MacroSpec
+    count: int = 1
+    #: Baseline sizing target: delay budget handed to the over-design sizer,
+    #: ps.  None -> a depth-scaled default.
+    target_delay: Optional[float] = None
+
+
+@dataclass
+class SizedMacro:
+    """A macro instance with its baseline ("original") sizing."""
+
+    name: str
+    topology: str
+    spec: MacroSpec
+    circuit: Circuit
+    baseline: BaselineResult
+    count: int
+
+    @property
+    def width(self) -> float:
+        return self.baseline.area * self.count
+
+    def power(self, library: ModelLibrary) -> float:
+        report = PowerEstimator(self.circuit, library).estimate(
+            self.baseline.resolved
+        )
+        return report.total * self.count
+
+
+@dataclass
+class BlockDesign:
+    """A composed functional block."""
+
+    name: str
+    macros: List[SizedMacro]
+    random_logic: Circuit
+    random_widths: Dict[str, float]
+    library: ModelLibrary
+
+    # -- composition stats ----------------------------------------------------
+
+    @property
+    def macro_width(self) -> float:
+        return sum(m.width for m in self.macros)
+
+    @property
+    def random_width(self) -> float:
+        return self.random_logic.total_width(self.random_widths)
+
+    @property
+    def total_width(self) -> float:
+        return self.macro_width + self.random_width
+
+    @property
+    def macro_width_fraction(self) -> float:
+        total = self.total_width
+        return self.macro_width / total if total else 0.0
+
+    def macro_power(self) -> float:
+        return sum(m.power(self.library) for m in self.macros)
+
+    def random_power(self) -> float:
+        return (
+            PowerEstimator(self.random_logic, self.library)
+            .estimate(self.random_widths)
+            .total
+        )
+
+    def total_power(self) -> float:
+        return self.macro_power() + self.random_power()
+
+    def macro_power_fraction(self) -> float:
+        total = self.total_power()
+        return self.macro_power() / total if total else 0.0
+
+    def transistor_count(self) -> int:
+        return (
+            sum(m.circuit.transistor_count() * m.count for m in self.macros)
+            + self.random_logic.transistor_count()
+        )
+
+    # -- single-netlist view ----------------------------------------------------
+
+    def merged_circuit(self) -> Circuit:
+        """The whole block as one :class:`Circuit`.
+
+        Every macro instance (including replicas) and the random control
+        logic are instantiated under their own prefixes; macro I/O becomes
+        block I/O and all domino macros share one block clock.  This is the
+        literal "13,800-transistor block" netlist of Section 6.4 — it can be
+        validated, timed, power-estimated, and exported as a single SPICE
+        deck.
+        """
+        from ..netlist.nets import NetKind
+
+        block = Circuit(f"{self.name}_flat")
+        block.add_net("clk", NetKind.CLOCK)
+        for macro in self.macros:
+            for copy in range(macro.count):
+                prefix = (
+                    f"{macro.topology.split('/')[-1]}_"
+                    f"{macro.name.split('/')[-1]}_{copy}"
+                )
+                sub = macro.circuit
+                # Clock nets bind to the shared block clock by pre-creating
+                # the name mapping target; everything else gets prefixed.
+                mapping_clk = sub.clock_nets()
+                for clk_name in mapping_clk:
+                    if clk_name != "clk":
+                        block.add_net(clk_name, NetKind.CLOCK)
+                mapping = block.merge(sub, prefix=prefix)
+                for net_name in sub.primary_inputs:
+                    block.mark_input(mapping[net_name])
+                for net_name in sub.primary_outputs:
+                    block.mark_output(mapping[net_name])
+        mapping = block.merge(self.random_logic, prefix="ctrl")
+        for net_name in self.random_logic.primary_inputs:
+            block.mark_input(mapping[net_name])
+        for net_name in self.random_logic.primary_outputs:
+            block.mark_output(mapping[net_name])
+        return block
+
+    def merged_widths(self) -> Dict[str, float]:
+        """Label widths for :meth:`merged_circuit` (baseline sizing)."""
+        widths: Dict[str, float] = {}
+        for macro in self.macros:
+            for copy in range(macro.count):
+                prefix = (
+                    f"{macro.topology.split('/')[-1]}_"
+                    f"{macro.name.split('/')[-1]}_{copy}"
+                )
+                for label, value in macro.baseline.widths.items():
+                    widths[f"{prefix}/{label}"] = value
+        for label, value in self.random_widths.items():
+            widths[f"ctrl/{label}"] = value
+        return widths
+
+
+def _random_logic(
+    name: str,
+    target_width: float,
+    rng: random.Random,
+    library: ModelLibrary,
+) -> Tuple[Circuit, Dict[str, float]]:
+    """Random static control logic totalling roughly ``target_width`` µm.
+
+    Chains of INV/NAND2/NOR2/NAND3 with hand-picked (pinned-style) widths and
+    one unique label per stage — exactly the irregular logic SMART does *not*
+    optimize.
+    """
+    circuit = Circuit(f"{name}_ctrl")
+    table = circuit.size_table
+    tech = library.tech
+    from ..netlist.nets import NetKind, Pin, PinClass
+    from ..netlist.stages import Stage
+
+    inputs = [circuit.add_net(f"ctl_in{i}") for i in range(8)]
+    for net in inputs:
+        circuit.mark_input(net.name)
+
+    widths: Dict[str, float] = {}
+    live = list(inputs)
+    total = 0.0
+    index = 0
+    while total < target_width:
+        kind = rng.choice(
+            [StageKind.INV, StageKind.NAND, StageKind.NAND, StageKind.NOR]
+        )
+        n_in = 1 if kind is StageKind.INV else rng.choice([2, 2, 3])
+        srcs = [rng.choice(live) for _ in range(n_in)]
+        out = circuit.add_net(f"ctl_n{index}")
+        wp = rng.uniform(1.0, 6.0)
+        wn = rng.uniform(0.8, 4.0)
+        pu = f"CP{index}"
+        pd = f"CN{index}"
+        table.declare(pu, tech.min_width, tech.max_width)
+        table.declare(pd, tech.min_width, tech.max_width)
+        widths[pu] = wp
+        widths[pd] = wn
+        stage = Stage(
+            name=f"ctl{index}",
+            kind=kind,
+            inputs=[
+                Pin(f"in{i}", net, PinClass.DATA) for i, net in enumerate(srcs)
+            ],
+            output=out,
+            size_vars={"pull_up": pu, "pull_down": pd},
+        )
+        circuit.add_stage(stage)
+        total += (wp + wn) * (n_in if kind is not StageKind.INV else 1)
+        live.append(out)
+        if len(live) > 24:
+            live = live[-24:]
+        index += 1
+    # Terminate dangling nets as block outputs.
+    driven = {s.output.name for s in circuit.stages}
+    loaded = {pin.net.name for s in circuit.stages for pin in s.inputs}
+    for net_name in sorted(driven - loaded):
+        circuit.mark_output(net_name, external_load=5.0)
+    return circuit, widths
+
+
+def build_block(
+    name: str,
+    macro_menu: Sequence[MacroInstanceSpec],
+    macro_width_fraction: float,
+    library: Optional[ModelLibrary] = None,
+    database: Optional[MacroDatabase] = None,
+    margin: float = 1.5,
+    seed: int = 1,
+) -> BlockDesign:
+    """Compose a block: baseline-size the macros, then add enough random
+    logic that macros are ``macro_width_fraction`` of the total width."""
+    if not 0 < macro_width_fraction < 1:
+        raise ValueError("macro_width_fraction must be in (0, 1)")
+    library = library or ModelLibrary()
+    database = database or default_database()
+    rng = random.Random(seed)
+
+    macros: List[SizedMacro] = []
+    for m_index, inst in enumerate(macro_menu):
+        circuit = database.generate(inst.topology, inst.spec, library.tech)
+        sizer = OverdesignSizer(circuit, library, margin=margin)
+        target = inst.target_delay
+        if target is None:
+            from ..sizing.paths import longest_path_length
+
+            target = 25.0 * max(1, longest_path_length(circuit))
+        baseline = sizer.size(target)
+        macros.append(
+            SizedMacro(
+                name=f"{name}/m{m_index}",
+                topology=inst.topology,
+                spec=inst.spec,
+                circuit=circuit,
+                baseline=baseline,
+                count=inst.count,
+            )
+        )
+
+    macro_width = sum(m.width for m in macros)
+    random_target = macro_width * (1.0 / macro_width_fraction - 1.0)
+    random_logic, random_widths = _random_logic(name, random_target, rng, library)
+    return BlockDesign(
+        name=name,
+        macros=macros,
+        random_logic=random_logic,
+        random_widths=random_widths,
+        library=library,
+    )

@@ -1,0 +1,163 @@
+"""SMART-on-a-block power reduction flow (Section 6.4 / Table 2).
+
+Protocol, exactly as the paper describes its block experiments:
+
+1. every macro in the block starts at its "original" (over-designed) sizing;
+2. SMART re-sizes each macro *at the delay the original achieves* (so "a
+   timing analysis on the new design showed no performance penalty"),
+   minimizing power;
+3. block-level savings are the macro power recovered over the whole block's
+   power (the random control logic is untouched — SMART is a macro tool).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..sim.power import PowerEstimator
+from ..sizing.constraints import DelaySpec
+from ..sizing.engine import (
+    SizingError,
+    SmartSizer,
+    measure_class_delays,
+    measure_slopes,
+    spec_from_measurement,
+)
+from .generator import BlockDesign, SizedMacro
+
+
+@dataclass
+class MacroReduction:
+    """Before/after for one macro instance group."""
+
+    name: str
+    topology: str
+    count: int
+    width_before: float
+    width_after: float
+    power_before: float
+    power_after: float
+    delay_before: float
+    delay_after: float
+    converged: bool
+
+    @property
+    def power_saving(self) -> float:
+        if self.power_before <= 0:
+            return 0.0
+        return 1.0 - self.power_after / self.power_before
+
+    @property
+    def width_saving(self) -> float:
+        if self.width_before <= 0:
+            return 0.0
+        return 1.0 - self.width_after / self.width_before
+
+
+@dataclass
+class BlockPowerResult:
+    """Block-level outcome of the power-reduction pass."""
+
+    block_name: str
+    macros: List[MacroReduction]
+    random_power: float
+    random_width: float
+
+    @property
+    def power_before(self) -> float:
+        return self.random_power + sum(m.power_before for m in self.macros)
+
+    @property
+    def power_after(self) -> float:
+        return self.random_power + sum(m.power_after for m in self.macros)
+
+    @property
+    def power_saving(self) -> float:
+        before = self.power_before
+        return (before - self.power_after) / before if before else 0.0
+
+    @property
+    def width_before(self) -> float:
+        return self.random_width + sum(m.width_before for m in self.macros)
+
+    @property
+    def width_after(self) -> float:
+        return self.random_width + sum(m.width_after for m in self.macros)
+
+    @property
+    def width_saving(self) -> float:
+        before = self.width_before
+        return (before - self.width_after) / before if before else 0.0
+
+    @property
+    def no_performance_penalty(self) -> bool:
+        """True when every re-sized macro still meets its original delay
+        (within the sizer's convergence tolerance)."""
+        return all(m.converged for m in self.macros)
+
+
+def reduce_block_power(
+    block: BlockDesign,
+    objective: str = "power",
+    tolerance: float = 2.0,
+    slack_fraction: float = 0.0,
+) -> BlockPowerResult:
+    """Run the Section-6.4 flow over a block.
+
+    ``slack_fraction`` optionally loosens each macro's delay target by that
+    fraction of the original delay (the paper's re-sizings hold timing, so
+    the default is 0).
+    """
+    library = block.library
+    reductions: List[MacroReduction] = []
+    for macro in block.macros:
+        baseline = macro.baseline
+        target = baseline.realized_delay * (1.0 + slack_fraction)
+        power_before = macro.power(library)
+        reduction = MacroReduction(
+            name=macro.name,
+            topology=macro.topology,
+            count=macro.count,
+            width_before=macro.width,
+            width_after=macro.width,
+            power_before=power_before,
+            power_after=power_before,
+            delay_before=baseline.realized_delay,
+            delay_after=baseline.realized_delay,
+            converged=False,
+        )
+        classes = measure_class_delays(macro.circuit, library, baseline.widths)
+        out_slope, int_slope = measure_slopes(
+            macro.circuit, library, baseline.widths
+        )
+        spec = spec_from_measurement(
+            classes,
+            slack=1.0 + slack_fraction,
+            max_output_slope=max(150.0, out_slope * 1.05),
+            max_internal_slope=max(350.0, int_slope * 1.05),
+        )
+        sizer = SmartSizer(macro.circuit, library, objective=objective)
+        try:
+            result = sizer.size(spec, tolerance=tolerance)
+        except SizingError:
+            reductions.append(reduction)  # keep the original sizing
+            continue
+        power_after = (
+            PowerEstimator(macro.circuit, library).estimate(result.resolved).total
+            * macro.count
+        )
+        # Only accept the re-sizing when it converged AND actually helps —
+        # the designer keeps the original otherwise.
+        if result.converged and power_after < power_before:
+            reduction.width_after = result.area * macro.count
+            reduction.power_after = power_after
+            reduction.delay_after = max(result.realized.values(), default=target)
+            reduction.converged = True
+        reductions.append(reduction)
+    return BlockPowerResult(
+        block_name=block.name,
+        macros=reductions,
+        random_power=block.random_power(),
+        random_width=block.random_width,
+    )

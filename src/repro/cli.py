@@ -1,0 +1,209 @@
+"""``smart-advisor`` command line interface.
+
+Subcommands:
+
+* ``advise``  — run the Figure-1 flow for one macro spec and print the
+  comparison table;
+* ``size``    — size one named topology and print the label widths;
+* ``list``    — list the registered topologies;
+* ``export``  — generate a macro, size it, and print the SPICE deck;
+* ``savings`` — run the Section-6.1 original-vs-SMART protocol on a topology;
+* ``curve``   — print a Figure-6 style area-delay sweep for a topology.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .core.advisor import SmartAdvisor
+from .core.constraints import DesignConstraints
+from .macros.base import MacroSpec
+from .netlist.spice import export_circuit
+
+
+def _spec_from_args(args: argparse.Namespace) -> MacroSpec:
+    return MacroSpec(args.macro, args.width, output_load=args.load)
+
+
+def _constraints_from_args(args: argparse.Namespace) -> DesignConstraints:
+    return DesignConstraints(
+        delay=args.delay,
+        cost=args.cost,
+        input_slope=args.input_slope,
+    )
+
+
+def _add_common(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("macro", help="macro type (mux, decoder, adder, ...)")
+    parser.add_argument("width", type=int, help="bit width / input count")
+    parser.add_argument("--delay", type=float, default=150.0, help="delay budget, ps")
+    parser.add_argument("--load", type=float, default=20.0, help="output load, fF")
+    parser.add_argument(
+        "--cost", default="area", choices=["area", "power", "clock", "area+clock"]
+    )
+    parser.add_argument("--input-slope", type=float, default=30.0)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="smart-advisor",
+        description="SMART macro design advisor (DAC 2000 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    advise = sub.add_parser("advise", help="explore all topologies for a spec")
+    _add_common(advise)
+
+    size = sub.add_parser("size", help="size one topology")
+    _add_common(size)
+    size.add_argument("--topology", required=True)
+    size.add_argument(
+        "--report", action="store_true",
+        help="print the full timing/slope report for the solution",
+    )
+    size.add_argument(
+        "--save", metavar="PATH",
+        help="write the sized design as a JSON artifact",
+    )
+
+    sub.add_parser("list", help="list registered topologies")
+
+    export = sub.add_parser("export", help="size a topology and print SPICE")
+    _add_common(export)
+    export.add_argument("--topology", required=True)
+
+    savings = sub.add_parser(
+        "savings", help="Section-6.1 protocol: over-design baseline vs SMART"
+    )
+    _add_common(savings)
+    savings.add_argument("--topology", required=True)
+    savings.add_argument(
+        "--margin", type=float, default=1.5,
+        help="over-design margin of the baseline designer",
+    )
+
+    curve = sub.add_parser("curve", help="area-delay sweep for a topology")
+    _add_common(curve)
+    curve.add_argument("--topology", required=True)
+    curve.add_argument(
+        "--scales", default="0.9,1.0,1.15,1.3",
+        help="comma-separated delay multipliers",
+    )
+
+    pareto = sub.add_parser(
+        "pareto", help="area-vs-clock frontier across topologies"
+    )
+    _add_common(pareto)
+    pareto.add_argument(
+        "--weights", default="0,1,4",
+        help="comma-separated clock-load weights for the objective sweep",
+    )
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    advisor = SmartAdvisor()
+
+    if args.command == "list":
+        for generator in advisor.database.topologies():
+            print(f"{generator.name:<34} {generator.description}")
+        return 0
+
+    spec = _spec_from_args(args)
+    constraints = _constraints_from_args(args)
+
+    if args.command == "advise":
+        report = advisor.advise(spec, constraints)
+        print(report.render())
+        return 0 if report.best is not None else 1
+
+    if args.command == "savings":
+        from .core.savings import macro_savings
+
+        result = macro_savings(
+            advisor.database, args.topology, spec, advisor.library,
+            margin=args.margin,
+        )
+        print(f"topology        : {args.topology}")
+        print(f"baseline area   : {result.baseline.area:.1f} um "
+              f"(margin {args.margin})")
+        print(f"SMART area      : {result.smart.area:.1f} um")
+        print(f"width saving    : {result.width_saving:.1%}")
+        if result.baseline.clock_load > 0:
+            print(f"clock saving    : {result.clock_saving:.1%}")
+        print(f"timing met      : {'yes' if result.timing_met else 'NO'}")
+        return 0 if result.timing_met else 1
+
+    if args.command == "pareto":
+        from .core.explore import pareto_frontier
+
+        weights = tuple(float(w) for w in args.weights.split(","))
+        frontier = pareto_frontier(
+            advisor, spec, constraints, clock_weights=weights
+        )
+        if not frontier:
+            print("no feasible points")
+            return 1
+        print(f"{'topology':<34} {'w_clk':>6} {'area um':>9} {'clock um':>9}")
+        for point in frontier:
+            print(
+                f"{point.topology:<34} {point.clock_weight:>6.1f} "
+                f"{point.area:>9.1f} {point.clock_load:>9.1f}"
+            )
+        return 0
+
+    if args.command == "curve":
+        from .core.explore import area_delay_curve
+
+        scales = tuple(float(s) for s in args.scales.split(","))
+        curve = area_delay_curve(
+            advisor, args.topology, spec, constraints, scales=scales
+        )
+        print(f"{'scale':>7} {'budget ps':>10} {'area um':>10} {'clock um':>9} ok")
+        for point in sorted(curve.points, key=lambda p: -p.spec_delay):
+            print(
+                f"{point.delay_scale:>7.2f} {point.spec_delay:>10.1f} "
+                f"{point.area:>10.1f} {point.clock_load:>9.1f} "
+                f"{'yes' if point.converged else 'NO'}"
+            )
+        return 0 if any(p.converged for p in curve.points) else 1
+
+    circuit, result = advisor.size_topology(args.topology, spec, constraints)
+    if args.command == "size":
+        print(f"{circuit.name}: converged={result.converged} "
+              f"iterations={result.iterations}")
+        print(f"area (total width): {result.area:.1f} um")
+        if result.clock_load:
+            print(f"clock load: {result.clock_load:.1f} um")
+        for label in sorted(result.resolved):
+            print(f"  {label:<16} {result.resolved[label]:8.2f} um")
+        if args.report:
+            from .sim import format_timing_report
+
+            print()
+            print(
+                format_timing_report(
+                    circuit, advisor.library, result.resolved,
+                    spec=constraints.to_delay_spec(),
+                )
+            )
+        if args.save:
+            from .core.artifacts import save_sizing
+
+            save_sizing(
+                args.save, circuit, result, constraints.to_delay_spec()
+            )
+            print(f"\nsaved sizing artifact: {args.save}")
+        return 0 if result.converged else 1
+
+    # export
+    print(export_circuit(circuit, result.resolved))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,39 @@
+"""The paper's primary contribution: the SMART macro design advisor flow."""
+
+from .advisor import PRUNE_FACTOR, SmartAdvisor
+from .constraints import DesignConstraints
+from .cost import CostBreakdown, evaluate_cost
+from .editing import merge_condition_gate, pin_sizes, retarget_load, unpin_sizes
+from .explore import (
+    ParetoPoint,
+    TradeoffCurve,
+    TradeoffPoint,
+    area_delay_curve,
+    explore_topologies,
+    pareto_frontier,
+)
+from .savings import SavingsResult, macro_savings, measure_and_resize
+from .report import AdvisorReport, CandidateResult
+
+__all__ = [
+    "SmartAdvisor",
+    "PRUNE_FACTOR",
+    "DesignConstraints",
+    "CostBreakdown",
+    "evaluate_cost",
+    "AdvisorReport",
+    "CandidateResult",
+    "TradeoffCurve",
+    "TradeoffPoint",
+    "ParetoPoint",
+    "area_delay_curve",
+    "explore_topologies",
+    "pareto_frontier",
+    "SavingsResult",
+    "macro_savings",
+    "measure_and_resize",
+    "merge_condition_gate",
+    "pin_sizes",
+    "unpin_sizes",
+    "retarget_load",
+]

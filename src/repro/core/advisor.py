@@ -1,0 +1,161 @@
+"""The SMART advisor — the Figure-1 flow end to end.
+
+Given a macro instance (spec) and its local design constraints, the advisor:
+
+1. pulls the topology choices from the design database;
+2. applies *simple pruning of the design space*: a cheap feasibility screen
+   (quick STA at nominal sizes) drops topologies that cannot come near the
+   delay target at any size;
+3. generates each surviving topology's netlist;
+4. runs the automated sizer on each (objective = the designer's cost metric);
+5. compares the sized solutions and reports — "it can automatically pick the
+   best solution based on a specified cost function (area, power) or let the
+   designer make his/her own choice".
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+from ..macros.base import MacroDatabase, MacroGenerator, MacroSpec
+from ..macros.registry import default_database
+from ..models.gates import ModelLibrary
+from ..models.technology import Technology
+from ..sim.timing import StaticTimingAnalyzer
+from ..sizing.engine import SizingError, SmartSizer
+from .constraints import DesignConstraints
+from .cost import evaluate_cost
+from .report import AdvisorReport, CandidateResult
+
+#: A topology whose nominal-size delay exceeds the budget by this factor is
+#: pruned without sizing (the Figure-1 "Simple Pruning of Design Space" box).
+PRUNE_FACTOR = 4.0
+
+
+class SmartAdvisor:
+    """Top-level designer-facing entry point."""
+
+    def __init__(
+        self,
+        database: Optional[MacroDatabase] = None,
+        tech: Optional[Technology] = None,
+        library: Optional[ModelLibrary] = None,
+    ):
+        self.database = database or default_database()
+        self.library = library or ModelLibrary(tech or Technology())
+        self.tech = self.library.tech
+
+    # -- design-space pruning ---------------------------------------------------
+
+    def quick_delay_estimate(self, circuit, constraints: DesignConstraints) -> float:
+        """Worst output arrival at nominal (geometric-mid) sizes — a cheap
+        upper-bound screen, not a promise."""
+        analyzer = StaticTimingAnalyzer(circuit, self.library)
+        report = analyzer.analyze(
+            circuit.size_table.default_env(), input_slope=constraints.input_slope
+        )
+        return report.worst(circuit.primary_outputs)
+
+    # -- the flow ------------------------------------------------------------------
+
+    def advise(
+        self,
+        spec: MacroSpec,
+        constraints: DesignConstraints,
+        topologies: Optional[Iterable[str]] = None,
+        sizing_tolerance: float = 2.0,
+    ) -> AdvisorReport:
+        """Run the full Figure-1 flow; returns the comparison report."""
+        if topologies is None:
+            generators = self.database.applicable(spec)
+        else:
+            generators = [self.database.generator(name) for name in topologies]
+        report = AdvisorReport(
+            macro=f"{spec.macro_type}[{spec.width}]", metric=constraints.cost
+        )
+        for generator in generators:
+            report.candidates.append(
+                self._try_topology(generator, spec, constraints, sizing_tolerance)
+            )
+        return report
+
+    def size_topology(
+        self,
+        topology: str,
+        spec: MacroSpec,
+        constraints: DesignConstraints,
+        tolerance: float = 2.0,
+    ):
+        """Size one named topology; returns ``(circuit, SizingResult)``."""
+        generator = self.database.generator(topology)
+        circuit = generator.generate(spec, self.tech)
+        self._apply_pins(circuit, constraints)
+        sizer = SmartSizer(
+            circuit,
+            self.library,
+            objective=constraints.cost,
+            otb_borrow=constraints.otb_borrow,
+        )
+        result = sizer.size(constraints.to_delay_spec(), tolerance=tolerance)
+        return circuit, result
+
+    # -- internals --------------------------------------------------------------------
+
+    def _apply_pins(self, circuit, constraints: DesignConstraints) -> None:
+        for label, width in (constraints.pinned_sizes or {}).items():
+            if label in circuit.size_table:
+                circuit.size_table.pin(label, width)
+
+    def _try_topology(
+        self,
+        generator: MacroGenerator,
+        spec: MacroSpec,
+        constraints: DesignConstraints,
+        tolerance: float,
+    ) -> CandidateResult:
+        try:
+            circuit = generator.generate(spec, self.tech)
+        except ValueError as exc:
+            return CandidateResult(
+                topology=generator.name,
+                description=generator.description,
+                feasible=False,
+                reason=f"generation failed: {exc}",
+            )
+        self._apply_pins(circuit, constraints)
+
+        estimate = self.quick_delay_estimate(circuit, constraints)
+        if estimate > PRUNE_FACTOR * constraints.delay:
+            return CandidateResult(
+                topology=generator.name,
+                description=generator.description,
+                feasible=False,
+                reason=(
+                    f"pruned: nominal-size delay {estimate:.0f} ps >> "
+                    f"budget {constraints.delay:.0f} ps"
+                ),
+            )
+
+        sizer = SmartSizer(
+            circuit,
+            self.library,
+            objective=constraints.cost,
+            otb_borrow=constraints.otb_borrow,
+        )
+        try:
+            sizing = sizer.size(constraints.to_delay_spec(), tolerance=tolerance)
+        except SizingError as exc:
+            return CandidateResult(
+                topology=generator.name,
+                description=generator.description,
+                feasible=False,
+                reason=str(exc),
+            )
+        cost = evaluate_cost(circuit, self.library, sizing.resolved, constraints.cost)
+        return CandidateResult(
+            topology=generator.name,
+            description=generator.description,
+            feasible=True,
+            sizing=sizing,
+            cost=cost,
+        )

@@ -1,0 +1,131 @@
+"""Persisting sized designs.
+
+A sizing run's deliverable is the label-to-width assignment plus the
+constraints it was produced under; teams check these in next to the
+schematic.  The JSON schema is deliberately small and stable:
+
+```json
+{
+  "format": "smart-sizing/1",
+  "circuit": "mux8_unsplit_domino",
+  "widths": {"P1": 3.25, "N1": 1.4, ...},
+  "spec": {"data": 280.0, ...},
+  "result": {"converged": true, "area": 96.1, ...}
+}
+```
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Dict, Mapping, Optional, Tuple
+
+from ..netlist.circuit import Circuit
+from ..sizing.constraints import DelaySpec
+from ..sizing.engine import SizingResult
+
+FORMAT = "smart-sizing/1"
+
+
+class ArtifactError(Exception):
+    """Raised for malformed or mismatched sizing artifacts."""
+
+
+def save_sizing(
+    path: str,
+    circuit: Circuit,
+    result: SizingResult,
+    spec: Optional[DelaySpec] = None,
+) -> None:
+    """Write a sized design to ``path`` (JSON)."""
+    payload = {
+        "format": FORMAT,
+        "circuit": circuit.name,
+        "widths": {k: float(v) for k, v in result.resolved.items()},
+        "result": {
+            "converged": result.converged,
+            "iterations": result.iterations,
+            "area": result.area,
+            "clock_load": result.clock_load,
+            "worst_violation": result.worst_violation,
+        },
+    }
+    if spec is not None:
+        payload["spec"] = {
+            "data": spec.data,
+            "control": spec.control,
+            "evaluate": spec.evaluate,
+            "precharge": spec.precharge,
+            "phase_budget": spec.phase_budget,
+            "input_slope": spec.input_slope,
+            "max_output_slope": spec.max_output_slope,
+            "max_internal_slope": spec.max_internal_slope,
+            "charge_sharing_ratio": spec.charge_sharing_ratio,
+        }
+    directory = os.path.dirname(os.path.abspath(path))
+    os.makedirs(directory, exist_ok=True)
+    with open(path, "w") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+
+
+def load_sizing(path: str) -> Dict:
+    """Read a sizing artifact; validates the format marker."""
+    with open(path) as fh:
+        payload = json.load(fh)
+    if payload.get("format") != FORMAT:
+        raise ArtifactError(
+            f"{path}: not a {FORMAT} artifact "
+            f"(found {payload.get('format')!r})"
+        )
+    if "widths" not in payload or not isinstance(payload["widths"], dict):
+        raise ArtifactError(f"{path}: missing widths")
+    return payload
+
+
+def apply_sizing(circuit: Circuit, payload: Mapping) -> Dict[str, float]:
+    """Bind an artifact's widths onto a circuit.
+
+    Checks that every label of the circuit is covered and that no unknown
+    labels sneak in (a changed generator would silently mis-size otherwise).
+    Returns the resolved width mapping.
+    """
+    widths = {k: float(v) for k, v in payload["widths"].items()}
+    circuit_labels = set(circuit.size_table.names())
+    artifact_labels = set(widths)
+    missing = circuit_labels - artifact_labels
+    extra = artifact_labels - circuit_labels
+    if missing:
+        raise ArtifactError(
+            f"artifact does not size labels: {sorted(missing)[:5]}"
+        )
+    if extra:
+        raise ArtifactError(
+            f"artifact has unknown labels: {sorted(extra)[:5]}"
+        )
+    for name, value in widths.items():
+        var = circuit.size_table[name]
+        if not (var.lower - 1e-9 <= value <= var.upper + 1e-9):
+            raise ArtifactError(
+                f"label {name}: width {value} outside bounds "
+                f"[{var.lower}, {var.upper}]"
+            )
+    return widths
+
+
+def spec_from_payload(payload: Mapping) -> Optional[DelaySpec]:
+    """Reconstruct the DelaySpec stored in an artifact (None if absent)."""
+    raw = payload.get("spec")
+    if raw is None:
+        return None
+    return DelaySpec(
+        data=raw["data"],
+        control=raw.get("control"),
+        evaluate=raw.get("evaluate"),
+        precharge=raw.get("precharge"),
+        phase_budget=raw.get("phase_budget"),
+        input_slope=raw.get("input_slope", 30.0),
+        max_output_slope=raw.get("max_output_slope", 150.0),
+        max_internal_slope=raw.get("max_internal_slope", 350.0),
+        charge_sharing_ratio=raw.get("charge_sharing_ratio"),
+    )

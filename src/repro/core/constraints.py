@@ -1,0 +1,90 @@
+"""Designer-facing constraint bundle for one macro instance.
+
+Figure 1: SMART's inputs are a macro instance with "its local constraints
+like delays, slopes and loads", a cost metric, and optional designer
+overrides.  :class:`DesignConstraints` carries all of that and lowers to the
+sizer's :class:`~repro.sizing.constraints.DelaySpec`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, Optional
+
+from ..sizing.constraints import DelaySpec
+
+
+@dataclass(frozen=True)
+class DesignConstraints:
+    """What the designer hands SMART for one macro instance.
+
+    Attributes
+    ----------
+    delay:
+        Worst input-to-output delay budget, ps.
+    control_delay / evaluate_delay / precharge_delay:
+        Optional per-class budgets (select paths, domino evaluate/precharge);
+        default to ``delay``.
+    phase_budget:
+        Per-phase budget for multi-phase domino paths, ps.
+    otb_borrow:
+        Opportunistic-time-borrowing window across domino phase boundaries,
+        ps (0 disables).
+    input_slope:
+        Transition time assumed at the macro's inputs, ps.
+    max_output_slope / max_internal_slope:
+        Reliability slope limits, ps.
+    cost:
+        ``"area"``, ``"power"``, ``"clock"`` or ``"area+clock"`` — the metric
+        the advisor minimizes and ranks topologies by.
+    charge_sharing_ratio:
+        Optional domino noise (charge-sharing) limit — see
+        :class:`~repro.sizing.constraints.DelaySpec`.
+    pinned_sizes:
+        Designer-controlled labels: ``{label: width}`` fixed before sizing
+        (e.g. upsizing a keeper in a noisy region).
+    """
+
+    delay: float
+    control_delay: Optional[float] = None
+    evaluate_delay: Optional[float] = None
+    precharge_delay: Optional[float] = None
+    phase_budget: Optional[float] = None
+    otb_borrow: float = 0.0
+    input_slope: float = 30.0
+    max_output_slope: float = 150.0
+    max_internal_slope: float = 350.0
+    charge_sharing_ratio: Optional[float] = None
+    cost: str = "area"
+    pinned_sizes: Optional[Dict[str, float]] = None
+
+    def __post_init__(self) -> None:
+        if self.delay <= 0:
+            raise ValueError("delay budget must be positive")
+        if self.cost not in ("area", "power", "clock", "area+clock"):
+            raise ValueError(f"unknown cost metric {self.cost!r}")
+
+    def to_delay_spec(self) -> DelaySpec:
+        return DelaySpec(
+            data=self.delay,
+            control=self.control_delay,
+            evaluate=self.evaluate_delay,
+            precharge=self.precharge_delay,
+            phase_budget=self.phase_budget,
+            input_slope=self.input_slope,
+            max_output_slope=self.max_output_slope,
+            max_internal_slope=self.max_internal_slope,
+            charge_sharing_ratio=self.charge_sharing_ratio,
+        )
+
+    def scaled(self, factor: float) -> "DesignConstraints":
+        """All delay budgets scaled by ``factor`` (tradeoff sweeps)."""
+        maybe = lambda v: None if v is None else v * factor
+        return replace(
+            self,
+            delay=self.delay * factor,
+            control_delay=maybe(self.control_delay),
+            evaluate_delay=maybe(self.evaluate_delay),
+            precharge_delay=maybe(self.precharge_delay),
+            phase_budget=maybe(self.phase_budget),
+        )

@@ -1,0 +1,212 @@
+"""Design-space exploration sweeps.
+
+Two published uses:
+
+* **area-delay tradeoff** (Figure 6): re-size one topology across a range of
+  delay targets and record the area at each — "the trade-off curve generated
+  by SMART for this particular topology of the 64-bit adder";
+* **topology exploration** (Figure 7): size every candidate topology at one
+  constraint point and compare — "with SMART, the exploration at a different
+  design constraint is very easy, but to do this manually is an extremely
+  tedious job".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+from ..macros.base import MacroSpec
+from ..sizing.engine import SizingError, SmartSizer
+from .advisor import SmartAdvisor
+from .constraints import DesignConstraints
+from .cost import evaluate_cost
+from .report import AdvisorReport
+
+
+@dataclass
+class TradeoffPoint:
+    """One point of an area-delay curve."""
+
+    delay_scale: float      # multiplier on the base delay budget
+    spec_delay: float       # the actual budget, ps
+    realized_delay: float   # worst realized constrained-path delay, ps
+    area: float             # total transistor width, µm
+    clock_load: float
+    converged: bool
+
+    def normalized(self, base: "TradeoffPoint") -> "TradeoffPoint":
+        return TradeoffPoint(
+            delay_scale=self.delay_scale,
+            spec_delay=self.spec_delay / base.spec_delay,
+            realized_delay=(
+                self.realized_delay / base.realized_delay
+                if base.realized_delay
+                else 0.0
+            ),
+            area=self.area / base.area if base.area else 0.0,
+            clock_load=(
+                self.clock_load / base.clock_load if base.clock_load else 0.0
+            ),
+            converged=self.converged,
+        )
+
+
+@dataclass
+class TradeoffCurve:
+    topology: str
+    points: List[TradeoffPoint] = field(default_factory=list)
+
+    def normalized(self, reference_scale: float = 1.0) -> "TradeoffCurve":
+        """Every point normalized to the point at ``reference_scale`` (the
+        paper normalizes Figure 6 to the loosest-delay solution)."""
+        base = min(
+            (p for p in self.points if p.converged),
+            key=lambda p: abs(p.delay_scale - reference_scale),
+            default=None,
+        )
+        if base is None:
+            return TradeoffCurve(self.topology, list(self.points))
+        return TradeoffCurve(
+            self.topology, [p.normalized(base) for p in self.points]
+        )
+
+    def is_monotone(self) -> bool:
+        """Area should not increase as the delay budget loosens."""
+        converged = [p for p in self.points if p.converged]
+        ordered = sorted(converged, key=lambda p: p.spec_delay)
+        return all(
+            earlier.area >= later.area - 1e-6
+            for earlier, later in zip(ordered, ordered[1:])
+        )
+
+
+def area_delay_curve(
+    advisor: SmartAdvisor,
+    topology: str,
+    spec: MacroSpec,
+    base_constraints: DesignConstraints,
+    scales: Sequence[float] = (0.9, 1.0, 1.1, 1.2, 1.3),
+    tolerance: float = 2.0,
+) -> TradeoffCurve:
+    """Figure-6 sweep: size ``topology`` at each scaled delay budget."""
+    curve = TradeoffCurve(topology=topology)
+    for scale in scales:
+        constraints = base_constraints.scaled(scale)
+        try:
+            circuit, sizing = advisor.size_topology(
+                topology, spec, constraints, tolerance=tolerance
+            )
+        except SizingError:
+            curve.points.append(
+                TradeoffPoint(
+                    delay_scale=scale,
+                    spec_delay=constraints.delay,
+                    realized_delay=0.0,
+                    area=0.0,
+                    clock_load=0.0,
+                    converged=False,
+                )
+            )
+            continue
+        worst = max(sizing.realized.values()) if sizing.realized else 0.0
+        curve.points.append(
+            TradeoffPoint(
+                delay_scale=scale,
+                spec_delay=constraints.delay,
+                realized_delay=worst,
+                area=sizing.area,
+                clock_load=sizing.clock_load,
+                converged=sizing.converged,
+            )
+        )
+    return curve
+
+
+def explore_topologies(
+    advisor: SmartAdvisor,
+    spec: MacroSpec,
+    constraints: DesignConstraints,
+    topologies: Optional[Sequence[str]] = None,
+) -> AdvisorReport:
+    """Figure-7 style exploration: all candidates at one constraint point."""
+    return advisor.advise(spec, constraints, topologies=topologies)
+
+
+@dataclass
+class ParetoPoint:
+    """One solution on an area-vs-clock frontier sweep."""
+
+    topology: str
+    clock_weight: float
+    area: float
+    clock_load: float
+    converged: bool
+
+    def dominates(self, other: "ParetoPoint") -> bool:
+        return (
+            self.area <= other.area
+            and self.clock_load <= other.clock_load
+            and (self.area < other.area or self.clock_load < other.clock_load)
+        )
+
+
+def pareto_frontier(
+    advisor: SmartAdvisor,
+    spec: MacroSpec,
+    constraints: DesignConstraints,
+    topologies: Optional[Sequence[str]] = None,
+    clock_weights: Sequence[float] = (0.0, 0.5, 1.0, 2.0, 5.0),
+) -> List[ParetoPoint]:
+    """Area-vs-clock-load frontier across topologies and objective weights.
+
+    For each topology and each clock weight ``w``, the sizer minimizes
+    ``area + w*clock`` at fixed timing; dominated points are filtered out.
+    This generalizes Figure 7's two-metric comparison into the trade surface
+    a designer would actually pick from.
+    """
+    from ..sizing.engine import SizingError, SmartSizer
+
+    if topologies is None:
+        topologies = [g.name for g in advisor.database.applicable(spec)]
+    points: List[ParetoPoint] = []
+    for topology in topologies:
+        try:
+            circuit = advisor.database.generator(topology).generate(
+                spec, advisor.tech
+            )
+        except ValueError:
+            continue
+        for weight in clock_weights:
+            if weight == 0.0:
+                objective = "area"
+            elif weight == 1.0:
+                objective = "area+clock"
+            else:
+                objective = "area+clock"  # weight folded via clock scaling below
+            sizer = SmartSizer(circuit, advisor.library, objective=objective)
+            if weight not in (0.0, 1.0):
+                # Weighted objective: area + w*clock as an explicit posynomial.
+                area = circuit.area_posynomial()
+                clock = circuit.clock_load_posynomial()
+                combined = area + weight * clock if len(clock) else area
+                sizer.objective_posynomial = lambda combined=combined: combined
+            try:
+                result = sizer.size(constraints.to_delay_spec())
+            except SizingError:
+                continue
+            points.append(
+                ParetoPoint(
+                    topology=topology,
+                    clock_weight=weight,
+                    area=result.area,
+                    clock_load=result.clock_load,
+                    converged=result.converged,
+                )
+            )
+    frontier = [
+        p for p in points
+        if p.converged and not any(q.dominates(p) for q in points if q.converged)
+    ]
+    frontier.sort(key=lambda p: (p.area, p.clock_load))
+    return frontier

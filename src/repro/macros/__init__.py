@@ -1,0 +1,94 @@
+"""The SMART design database: macro specs, topology generators, registry."""
+
+from .adder import ALL_ADDER_GENERATORS, DualRailDominoCLA, StaticRippleAdder
+from .base import MacroBuilder, MacroDatabase, MacroGenerator, MacroSpec
+from .comparator import (
+    ALL_COMPARATOR_GENERATORS,
+    TwoPhaseDominoComparator,
+    Xorsum1Comparator,
+    Xorsum4Comparator,
+)
+from .decoder import (
+    ALL_DECODER_GENERATORS,
+    DominoDecoder,
+    FlatStaticDecoder,
+    PredecodedDecoder,
+)
+from .encoder import ALL_ENCODER_GENERATORS, DominoEncoder, StaticTreeEncoder
+from .incrementor import (
+    ALL_INCREMENTOR_GENERATORS,
+    PrefixDecrementor,
+    PrefixIncrementor,
+    RippleDecrementor,
+    RippleIncrementor,
+)
+from .mux import (
+    ALL_MUX_GENERATORS,
+    EncodedSelectMux2,
+    PartitionedDominoMux,
+    StrongMutexPassgateMux,
+    TristateMux,
+    UnsplitDominoMux,
+    WeakMutexPassgateMux,
+)
+from .register_file import (
+    ALL_REGISTER_FILE_GENERATORS,
+    DominoBitlineReadPort,
+    TristateBitlineReadPort,
+)
+from .registry import default_database
+from .shifter import (
+    ALL_SHIFTER_GENERATORS,
+    PassgateBarrelRotator,
+    TristateBarrelRotator,
+)
+from .zero_detect import (
+    ALL_ZERO_DETECT_GENERATORS,
+    DominoZeroDetect,
+    SplitDominoZeroDetect,
+    StaticTreeZeroDetect,
+)
+
+__all__ = [
+    "MacroSpec",
+    "MacroGenerator",
+    "MacroDatabase",
+    "MacroBuilder",
+    "default_database",
+    "StrongMutexPassgateMux",
+    "WeakMutexPassgateMux",
+    "EncodedSelectMux2",
+    "TristateMux",
+    "UnsplitDominoMux",
+    "PartitionedDominoMux",
+    "RippleIncrementor",
+    "PrefixIncrementor",
+    "RippleDecrementor",
+    "PrefixDecrementor",
+    "StaticTreeZeroDetect",
+    "DominoZeroDetect",
+    "SplitDominoZeroDetect",
+    "FlatStaticDecoder",
+    "PredecodedDecoder",
+    "DominoDecoder",
+    "DualRailDominoCLA",
+    "StaticRippleAdder",
+    "TwoPhaseDominoComparator",
+    "Xorsum1Comparator",
+    "Xorsum4Comparator",
+    "ALL_MUX_GENERATORS",
+    "ALL_INCREMENTOR_GENERATORS",
+    "ALL_ZERO_DETECT_GENERATORS",
+    "ALL_DECODER_GENERATORS",
+    "ALL_ADDER_GENERATORS",
+    "ALL_COMPARATOR_GENERATORS",
+    "ALL_SHIFTER_GENERATORS",
+    "ALL_REGISTER_FILE_GENERATORS",
+    "PassgateBarrelRotator",
+    "TristateBarrelRotator",
+    "DominoBitlineReadPort",
+    "TristateBitlineReadPort",
+    "ALL_ENCODER_GENERATORS",
+    "StaticTreeEncoder",
+    "DominoEncoder",
+]

@@ -1,0 +1,41 @@
+"""Assembly of the default SMART macro database.
+
+``default_database()`` registers every topology shipped with the
+reproduction — the Figure-2 mux family plus the Section-6 experiment corpus.
+Designers extend it exactly the way Section 4 describes: build a
+:class:`~repro.macros.base.MacroGenerator` for the new implementation and
+``register`` it.
+"""
+
+from __future__ import annotations
+
+from .adder import ALL_ADDER_GENERATORS
+from .base import MacroDatabase
+from .comparator import ALL_COMPARATOR_GENERATORS
+from .decoder import ALL_DECODER_GENERATORS
+from .encoder import ALL_ENCODER_GENERATORS
+from .incrementor import ALL_INCREMENTOR_GENERATORS
+from .mux import ALL_MUX_GENERATORS
+from .register_file import ALL_REGISTER_FILE_GENERATORS
+from .shifter import ALL_SHIFTER_GENERATORS
+from .zero_detect import ALL_ZERO_DETECT_GENERATORS
+
+_ALL = (
+    ALL_MUX_GENERATORS
+    + ALL_INCREMENTOR_GENERATORS
+    + ALL_ZERO_DETECT_GENERATORS
+    + ALL_DECODER_GENERATORS
+    + ALL_ADDER_GENERATORS
+    + ALL_COMPARATOR_GENERATORS
+    + ALL_SHIFTER_GENERATORS
+    + ALL_REGISTER_FILE_GENERATORS
+    + ALL_ENCODER_GENERATORS
+)
+
+
+def default_database() -> MacroDatabase:
+    """A fresh database with every built-in topology registered."""
+    database = MacroDatabase()
+    for generator in _ALL:
+        database.register(generator)
+    return database

@@ -1,0 +1,38 @@
+"""Posynomial component model library (equations (1)-(2) of the paper) and
+the technology constants they are parameterized by."""
+
+from .calibrate import (
+    CalibrationSample,
+    fit_technology,
+    measure_samples,
+    model_error,
+    predicted_delay,
+)
+from .gates import (
+    DominoModel,
+    ModelError,
+    ModelLibrary,
+    PassGateModel,
+    StageModel,
+    Transition,
+    TriStateModel,
+)
+from .technology import GENERIC_130, GENERIC_180, Technology
+
+__all__ = [
+    "Technology",
+    "GENERIC_180",
+    "GENERIC_130",
+    "ModelLibrary",
+    "ModelError",
+    "StageModel",
+    "PassGateModel",
+    "TriStateModel",
+    "DominoModel",
+    "Transition",
+    "CalibrationSample",
+    "measure_samples",
+    "predicted_delay",
+    "fit_technology",
+    "model_error",
+]

@@ -1,0 +1,179 @@
+"""Model calibration against the transient simulator.
+
+Figure 3's "Model Building for Sizing" step: before a macro family joins the
+database, its component models are fitted so GP predictions track simulation.
+Here we calibrate the two technology knobs the posynomial templates expose —
+``slope_sensitivity`` (delay added per ps of input slope) and ``stack_derate``
+(series-stack resistance factor) — by measuring inverter/NAND test structures
+with the switch-level simulator and least-squares fitting the template.
+
+"Better model accuracy leads to faster convergence" (Section 5.1): the
+convergence benchmark exercises exactly this by running the sizer with
+calibrated vs. deliberately detuned models.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from ..netlist.devices import Polarity, Transistor
+from .gates import LN2
+from .technology import Technology
+from ..sim.transient import TransientSimulator
+from ..sim.waveforms import step
+
+
+@dataclass
+class CalibrationSample:
+    """One measured data point: an inverter (or stack) driving a load."""
+
+    width_p: float
+    width_n: float
+    load_ff: float
+    input_slope: float
+    stack: int
+    measured_delay: float  # ps, falling output (NMOS path)
+
+
+def _inverter_devices(
+    width_p: float, width_n: float, stack: int, tech: Technology
+) -> List[Transistor]:
+    """An inverter whose pull-down is a ``stack``-high series chain (gates
+    tied together), the standard stack-penalty test structure."""
+    devices = [
+        Transistor(
+            name="mp",
+            polarity=Polarity.PMOS,
+            drain="out",
+            gate="in",
+            source="vdd",
+            bulk="vdd",
+            width=width_p,
+            length=tech.length,
+        )
+    ]
+    node = "out"
+    for i in range(stack):
+        lower = "vss" if i == stack - 1 else f"mid{i}"
+        devices.append(
+            Transistor(
+                name=f"mn{i}",
+                polarity=Polarity.NMOS,
+                drain=node,
+                gate="in",
+                source=lower,
+                bulk="vss",
+                width=width_n,
+                length=tech.length,
+            )
+        )
+        node = lower
+    return devices
+
+
+def measure_samples(
+    tech: Technology,
+    widths: Tuple[float, ...] = (1.0, 2.0, 4.0),
+    loads: Tuple[float, ...] = (5.0, 20.0),
+    slopes: Tuple[float, ...] = (10.0, 60.0),
+    stacks: Tuple[int, ...] = (1, 2, 3),
+) -> List[CalibrationSample]:
+    """Run the transient simulator over the calibration grid."""
+    samples: List[CalibrationSample] = []
+    for w in widths:
+        for load in loads:
+            for slope in slopes:
+                for stack in stacks:
+                    devices = _inverter_devices(2.0 * w, w, stack, tech)
+                    sim = TransientSimulator(
+                        devices, tech, extra_caps={"out": load}
+                    )
+                    stim = {"in": step(tech.vdd, at=100.0, rise=slope)}
+                    horizon = 100.0 + slope + 40.0 * tech.tau * stack
+                    result = sim.run(
+                        stim, duration=horizon, dt=min(1.0, slope / 8.0),
+                        initial={"out": tech.vdd},
+                    )
+                    delay = result.delay("in", "out", in_rising=True, out_rising=False)
+                    if delay is not None and delay > 0:
+                        samples.append(
+                            CalibrationSample(
+                                width_p=2.0 * w,
+                                width_n=w,
+                                load_ff=load,
+                                input_slope=slope,
+                                stack=stack,
+                                measured_delay=delay,
+                            )
+                        )
+    return samples
+
+
+def predicted_delay(sample: CalibrationSample, tech: Technology) -> float:
+    """The posynomial template's prediction for one sample."""
+    stack_r = tech.r_nmos / sample.width_n
+    if sample.stack > 1:
+        stack_r *= sample.stack * tech.stack_derate
+    c_par = tech.c_diff * (sample.width_p + sample.width_n)
+    return LN2 * stack_r * (c_par + sample.load_ff) + (
+        tech.slope_sensitivity * sample.input_slope
+    )
+
+
+def fit_technology(
+    tech: Technology, samples: Optional[List[CalibrationSample]] = None
+) -> Technology:
+    """Least-squares fit of ``slope_sensitivity`` and ``stack_derate``.
+
+    The template is linear in both knobs given the samples, so the fit is a
+    small linear regression — no iterative optimization needed.
+    """
+    if samples is None:
+        samples = measure_samples(tech)
+    if not samples:
+        raise ValueError("no calibration samples measured")
+
+    rows = []
+    rhs = []
+    for s in samples:
+        base = LN2 * (tech.r_nmos / s.width_n) * (
+            tech.c_diff * (s.width_p + s.width_n) + s.load_ff
+        )
+        if s.stack > 1:
+            # delay = base*stack*derate + sens*slope
+            rows.append([base * s.stack, s.input_slope])
+            rhs.append(s.measured_delay)
+        else:
+            # delay = base + sens*slope
+            rows.append([0.0, s.input_slope])
+            rhs.append(s.measured_delay - base)
+    A = np.asarray(rows)
+    y = np.asarray(rhs)
+    has_stack = A[:, 0] != 0
+    if has_stack.any():
+        solution, *_ = np.linalg.lstsq(A, y, rcond=None)
+        derate, sens = float(solution[0]), float(solution[1])
+    else:
+        sens = float(np.dot(A[:, 1], y) / np.dot(A[:, 1], A[:, 1]))
+        derate = tech.stack_derate
+
+    derate = min(1.2, max(0.5, derate))
+    sens = min(1.0, max(0.05, sens))
+    return tech.scaled(stack_derate=derate, slope_sensitivity=sens)
+
+
+def model_error(
+    tech: Technology, samples: List[CalibrationSample]
+) -> float:
+    """RMS relative error of the template over the samples."""
+    if not samples:
+        raise ValueError("no samples")
+    errors = [
+        (predicted_delay(s, tech) - s.measured_delay) / s.measured_delay
+        for s in samples
+    ]
+    return math.sqrt(sum(e * e for e in errors) / len(errors))

@@ -1,0 +1,150 @@
+"""Process technology parameters.
+
+The paper's experiments ran on an Intel 0.18 µm-class process whose device
+models are proprietary; we substitute a generic logical-effort/RC technology
+with plausible late-1990s constants.  Every published result is normalized,
+so what matters is the *ratios* this file fixes (PMOS/NMOS resistance, gate
+vs diffusion capacitance, stack penalties), not the absolute picoseconds.
+
+Unit system (used everywhere in the package):
+
+====================  =========
+width                 µm
+capacitance           fF
+resistance            kΩ
+time                  kΩ·fF = ps
+voltage               V
+energy                fJ
+power                 µW (at ``frequency`` GHz)
+====================  =========
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+
+@dataclass(frozen=True)
+class Technology:
+    """Immutable bundle of process constants.
+
+    Attributes
+    ----------
+    r_nmos, r_pmos:
+        Effective switching resistance per unit width, kΩ·µm.  The 2.4x
+        PMOS/NMOS ratio reflects the hole/electron mobility gap.
+    c_gate, c_diff:
+        Gate and drain/source diffusion capacitance per unit width, fF/µm.
+    vdd:
+        Supply voltage, V.
+    length:
+        Drawn channel length, µm.
+    min_width, max_width:
+        Manufacturable device width range, µm (device size constraints in
+        Figure 4).
+    stack_derate:
+        Extra per-device resistance factor for series stacks (velocity
+        saturation makes an n-stack slightly faster than n·R; 0.9 is typical).
+    slope_gain:
+        Output transition time as a multiple of the 50% switching delay.
+    slope_sensitivity:
+        Added delay per ps of input transition time (the ``tin_slope`` term in
+        equation (1)).
+    skew_speedup:
+        Pull-up resistance multiplier of a high-skew gate (domino output
+        inverters trade noise margin for a fast rising edge).
+    pass_parallel:
+        Resistance factor of a complementary pass gate relative to an NMOS of
+        the same width (the parallel PMOS helps).
+    frequency:
+        Clock frequency in GHz for power numbers.
+    activity:
+        Default signal switching activity (transitions per cycle x 1/2).
+    """
+
+    name: str = "generic180"
+    r_nmos: float = 8.0
+    r_pmos: float = 19.2
+    c_gate: float = 1.9
+    c_diff: float = 0.6
+    vdd: float = 1.8
+    length: float = 0.18
+    min_width: float = 0.4
+    max_width: float = 200.0
+    stack_derate: float = 0.9
+    slope_gain: float = 1.8
+    slope_sensitivity: float = 0.25
+    skew_speedup: float = 0.6
+    pass_parallel: float = 0.65
+    frequency: float = 1.0
+    activity: float = 0.15
+
+    def __post_init__(self) -> None:
+        positives = {
+            "r_nmos": self.r_nmos,
+            "r_pmos": self.r_pmos,
+            "c_gate": self.c_gate,
+            "c_diff": self.c_diff,
+            "vdd": self.vdd,
+            "length": self.length,
+            "min_width": self.min_width,
+            "max_width": self.max_width,
+            "frequency": self.frequency,
+        }
+        for key, value in positives.items():
+            if value <= 0:
+                raise ValueError(f"technology {self.name}: {key} must be positive")
+        if self.min_width > self.max_width:
+            raise ValueError(f"technology {self.name}: min_width > max_width")
+        if not 0 < self.activity <= 1:
+            raise ValueError(f"technology {self.name}: activity must be in (0, 1]")
+
+    # -- derived quantities --------------------------------------------------
+
+    @property
+    def tau(self) -> float:
+        """Characteristic time constant: unit-width NMOS driving a unit-width
+        inverter's gate, ps."""
+        return self.r_nmos * self.c_gate
+
+    @property
+    def beta(self) -> float:
+        """PMOS/NMOS resistance ratio (optimal static P/N width skew)."""
+        return self.r_pmos / self.r_nmos
+
+    def inverter_input_cap(self, w_p: float, w_n: float) -> float:
+        """Gate capacitance of an inverter with the given device widths, fF."""
+        return self.c_gate * (w_p + w_n)
+
+    def switching_energy(self, capacitance: float) -> float:
+        """Energy of one full swing of ``capacitance`` fF, in fJ."""
+        return capacitance * self.vdd ** 2
+
+    def dynamic_power(self, capacitance: float, activity: float = None) -> float:
+        """Average dynamic power of a node, µW (= fJ x GHz)."""
+        if activity is None:
+            activity = self.activity
+        return activity * self.switching_energy(capacitance) * self.frequency
+
+    def scaled(self, **overrides) -> "Technology":
+        """A copy with some constants overridden (used by calibration and by
+        what-if experiments)."""
+        return replace(self, **overrides)
+
+
+#: Default technology used across examples, tests and benchmarks.
+GENERIC_180 = Technology()
+
+#: A faster, lower-voltage node for scaling experiments.
+GENERIC_130 = Technology(
+    name="generic130",
+    r_nmos=6.0,
+    r_pmos=14.4,
+    c_gate=1.5,
+    c_diff=0.8,
+    vdd=1.5,
+    length=0.13,
+    min_width=0.3,
+    max_width=150.0,
+    frequency=1.6,
+)

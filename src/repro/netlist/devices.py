@@ -1,0 +1,63 @@
+"""Flat transistor-level primitives.
+
+Macros are authored as *stage graphs* (see :mod:`repro.netlist.stages`); the
+flat transistor view produced by ``Circuit.expand_transistors`` is what area
+accounting, power estimation, SPICE export and the switch-level transient
+simulator consume.  Each transistor remembers the size *label* it was expanded
+from so flat views stay traceable to the GP variables.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class Polarity(enum.Enum):
+    NMOS = "nmos"
+    PMOS = "pmos"
+
+
+@dataclass(frozen=True)
+class Transistor:
+    """One MOS device in the flat netlist.
+
+    Terminal fields hold *net names* (the flat view is string-keyed).  Width
+    and length are in µm.
+    """
+
+    name: str
+    polarity: Polarity
+    drain: str
+    gate: str
+    source: str
+    bulk: str
+    width: float
+    length: float = 0.18
+    label: str = ""
+    stage: str = ""
+    #: ``width == factor * width(label)`` — lets flat views stay posynomial
+    #: in the size labels (e.g. a tri-state's enable inverter at 0.25x).
+    factor: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.width <= 0:
+            raise ValueError(f"transistor {self.name}: width must be positive")
+        if self.length <= 0:
+            raise ValueError(f"transistor {self.name}: length must be positive")
+
+    @property
+    def is_nmos(self) -> bool:
+        return self.polarity is Polarity.NMOS
+
+    @property
+    def is_pmos(self) -> bool:
+        return self.polarity is Polarity.PMOS
+
+    def spice_card(self) -> str:
+        """One SPICE ``M`` card for this device."""
+        model = "nch" if self.is_nmos else "pch"
+        return (
+            f"M{self.name} {self.drain} {self.gate} {self.source} {self.bulk} "
+            f"{model} W={self.width:.4g}U L={self.length:.4g}U"
+        )

@@ -1,0 +1,116 @@
+"""Nets and pins.
+
+A net is an electrical node.  Pins attach stages to nets and carry the
+classification the SMART constraint generator needs (Section 5.3): whether a
+path enters a stage through a *data*, *select/control* or *clock* pin decides
+which timing constraints the path produces, and the fast/slow *precedence*
+annotation drives the pin-precedence pruning of Section 5.2.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional
+
+
+class NetKind(enum.Enum):
+    """Electrical role of a net."""
+
+    SIGNAL = "signal"
+    CLOCK = "clock"
+    SUPPLY = "supply"   # VDD
+    GROUND = "ground"   # VSS
+
+
+class PinClass(enum.Enum):
+    """Functional role of a stage input pin (Section 5.3)."""
+
+    DATA = "data"
+    SELECT = "select"   # control pin of a pass gate / tri-state / domino select
+    CLOCK = "clock"
+
+
+class PinSpeed(enum.Enum):
+    """Static precedence class for pin-precedence pruning (Section 5.2).
+
+    Pins are partitioned into *fast* and *slow*; when an equivalent slow-pin
+    path exists, fast-pin paths are pruned from the constraint set.
+    """
+
+    FAST = "fast"
+    SLOW = "slow"
+
+
+@dataclass
+class Net:
+    """An electrical node.
+
+    Attributes
+    ----------
+    name:
+        Unique within a circuit.
+    kind:
+        Signal/clock/supply/ground.
+    wire_cap:
+        Fixed interconnect capacitance on this net, fF.
+    external_load:
+        Additional load (fF) when the net is a primary output — the ``Cext``
+        of equation (1).
+    wire_res:
+        Lumped interconnect resistance between the driver and the loads, kΩ
+        (a long-wire net; the timing models add the Elmore wire term).
+    """
+
+    name: str
+    kind: NetKind = NetKind.SIGNAL
+    wire_cap: float = 0.0
+    external_load: float = 0.0
+    wire_res: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.wire_cap < 0 or self.external_load < 0:
+            raise ValueError(f"net {self.name}: capacitances must be nonnegative")
+        if self.wire_res < 0:
+            raise ValueError(f"net {self.name}: wire resistance must be nonnegative")
+
+    @property
+    def fixed_cap(self) -> float:
+        """Total size-independent capacitance hanging on this net, fF."""
+        return self.wire_cap + self.external_load
+
+    def __hash__(self) -> int:
+        return hash(self.name)
+
+    def __repr__(self) -> str:
+        return f"Net({self.name!r}, {self.kind.value})"
+
+
+@dataclass
+class Pin:
+    """An input pin of a stage.
+
+    Attributes
+    ----------
+    name:
+        Pin name unique within its stage (e.g. ``"in0"``, ``"s1"``, ``"clk"``).
+    net:
+        The net this pin connects to.
+    pin_class:
+        Data / select / clock.
+    speed:
+        Fast/slow precedence class (Section 5.2); ``None`` means unannotated
+        (treated as its own class, never pruned against others).
+    inverted:
+        True when the stage logically inverts this pin's sense before the
+        common pull structure (used by the transient stimulus builder).
+    """
+
+    name: str
+    net: Net
+    pin_class: PinClass = PinClass.DATA
+    speed: Optional[PinSpeed] = None
+    inverted: bool = False
+
+    def __repr__(self) -> str:
+        return f"Pin({self.name!r} -> {self.net.name!r}, {self.pin_class.value})"

@@ -1,0 +1,516 @@
+"""Stages: the modeling granularity of the SMART sizer.
+
+Section 5.1: "By components we could mean simple gates like inverters, NANDs,
+NORs, AOIs ... pass-gates and tri-states, or complex designs like domino
+muxes".  A :class:`Stage` is one such component instance: a channel-connected
+block with one output net, classified input pins, a logic family, and size
+*labels* for its device groups.
+
+Supported kinds cover everything the paper's macro database (Figure 2 and
+Section 6) needs:
+
+=============  ======================================================
+kind           device roles (size labels)
+=============  ======================================================
+INV            ``pull_up``, ``pull_down``
+NAND           ``pull_up`` (parallel PMOS), ``pull_down`` (series NMOS)
+NOR            ``pull_up`` (series PMOS), ``pull_down`` (parallel NMOS)
+AOI            ``pull_up``, ``pull_down`` (series/parallel per params)
+XOR            ``pull_up``, ``pull_down`` (2-stack complementary XOR)
+PASSGATE       ``pass`` (both devices), ``sel_inv`` (complement inverter)
+TRISTATE       ``pull_up``, ``pull_down`` (2-stacks incl. enable devices)
+DOMINO         ``precharge`` (PMOS), ``data`` (NMOS legs), ``evaluate``
+               (clock foot, D1 only)
+=============  ======================================================
+
+``params`` carry structural facts the timing models need: input count,
+series-stack height, number of parallel domino legs, D1 vs D2 clocking,
+output-inverter skew, select mutex discipline.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Tuple
+
+from .devices import Polarity, Transistor
+from .nets import Net, NetKind, Pin, PinClass
+
+VDD = "vdd"
+VSS = "vss"
+
+
+class StageKind(enum.Enum):
+    INV = "inv"
+    NAND = "nand"
+    NOR = "nor"
+    AOI = "aoi"
+    XOR = "xor"
+    PASSGATE = "passgate"
+    TRISTATE = "tristate"
+    DOMINO = "domino"
+
+
+class LogicFamily(enum.Enum):
+    """Circuit family, which decides constraint generation (Section 5.3)."""
+
+    STATIC = "static"
+    PASS = "pass"
+    DOMINO = "domino"
+
+
+_KIND_FAMILY = {
+    StageKind.INV: LogicFamily.STATIC,
+    StageKind.NAND: LogicFamily.STATIC,
+    StageKind.NOR: LogicFamily.STATIC,
+    StageKind.AOI: LogicFamily.STATIC,
+    StageKind.XOR: LogicFamily.STATIC,
+    StageKind.PASSGATE: LogicFamily.PASS,
+    StageKind.TRISTATE: LogicFamily.PASS,
+    StageKind.DOMINO: LogicFamily.DOMINO,
+}
+
+#: Device roles every stage kind must label.
+REQUIRED_ROLES: Dict[StageKind, Tuple[str, ...]] = {
+    StageKind.INV: ("pull_up", "pull_down"),
+    StageKind.NAND: ("pull_up", "pull_down"),
+    StageKind.NOR: ("pull_up", "pull_down"),
+    StageKind.AOI: ("pull_up", "pull_down"),
+    StageKind.XOR: ("pull_up", "pull_down"),
+    StageKind.PASSGATE: ("pass", "sel_inv"),
+    StageKind.TRISTATE: ("pull_up", "pull_down"),
+    StageKind.DOMINO: ("precharge", "data"),
+}
+
+
+@dataclass
+class Stage:
+    """One component instance in a circuit's stage graph.
+
+    Attributes
+    ----------
+    name:
+        Instance name, hierarchical with ``/`` separators (e.g.
+        ``"mux4/drv0"``) — the paper stresses that database schematics keep
+        designer hierarchy.
+    kind:
+        Stage kind (above table).
+    inputs:
+        Classified input pins.
+    output:
+        The single output net.
+    size_vars:
+        Role -> size-label mapping; labels resolve through the circuit's
+        :class:`~repro.netlist.sizing_vars.SizeTable`.
+    params:
+        Structural parameters.  Recognized keys:
+
+        ``series_n`` / ``series_p``
+            pull-down / pull-up stack height (static kinds).
+        ``legs``
+            number of parallel pull-down legs (DOMINO).
+        ``leg_series``
+            series NMOS per leg *excluding* the evaluate foot (DOMINO).
+        ``clocked``
+            True for D1 (clocked evaluate foot), False for D2 (DOMINO).
+        ``skew``
+            ``"high"`` for fast-rising skewed inverters (domino output).
+        ``mutex``
+            ``"strong"`` or ``"weak"`` select discipline (PASSGATE muxes).
+        ``keeper``
+            Keeper strength as a fraction of the precharge width (DOMINO;
+            0/absent = no keeper).  The expansion adds a feedback inverter
+            plus a half-latch PMOS; the models charge the evaluate path with
+            the keeper's contention.
+    """
+
+    name: str
+    kind: StageKind
+    inputs: List[Pin]
+    output: Net
+    size_vars: Dict[str, str]
+    params: Dict[str, object] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        missing = [r for r in REQUIRED_ROLES[self.kind] if r not in self.size_vars]
+        if self.kind is StageKind.DOMINO and self.params.get("clocked", True):
+            if "evaluate" not in self.size_vars:
+                missing.append("evaluate")
+        if missing:
+            raise ValueError(f"stage {self.name}: missing size labels for roles {missing}")
+        if not self.inputs:
+            raise ValueError(f"stage {self.name}: needs at least one input pin")
+
+    # -- classification ----------------------------------------------------
+
+    @property
+    def family(self) -> LogicFamily:
+        return _KIND_FAMILY[self.kind]
+
+    @property
+    def is_dynamic(self) -> bool:
+        return self.kind is StageKind.DOMINO
+
+    @property
+    def clocked(self) -> bool:
+        """D1 (clocked evaluate) vs D2 for domino stages; False otherwise."""
+        return bool(self.params.get("clocked", True)) if self.is_dynamic else False
+
+    @property
+    def inverting(self) -> bool:
+        """True when the stage logically inverts data (pass gates don't)."""
+        return self.kind not in (StageKind.PASSGATE,)
+
+    def data_pins(self) -> List[Pin]:
+        return [p for p in self.inputs if p.pin_class is PinClass.DATA]
+
+    def select_pins(self) -> List[Pin]:
+        return [p for p in self.inputs if p.pin_class is PinClass.SELECT]
+
+    def clock_pins(self) -> List[Pin]:
+        return [p for p in self.inputs if p.pin_class is PinClass.CLOCK]
+
+    def pin(self, name: str) -> Pin:
+        for pin in self.inputs:
+            if pin.name == name:
+                return pin
+        raise KeyError(f"stage {self.name}: no pin {name!r}")
+
+    def label(self, role: str) -> str:
+        return self.size_vars[role]
+
+    def labels(self) -> Tuple[str, ...]:
+        """All size labels of this stage, role-ordered deterministically."""
+        return tuple(self.size_vars[r] for r in sorted(self.size_vars))
+
+    @property
+    def leg_sizes(self) -> Tuple[int, ...]:
+        """Series depth of each domino leg.  Uniform legs may be declared via
+        ``leg_series`` alone; ragged legs (carry-lookahead nodes) list every
+        depth in ``leg_sizes``."""
+        if not self.is_dynamic:
+            return ()
+        sizes = self.params.get("leg_sizes")
+        if sizes:
+            return tuple(int(s) for s in sizes)
+        series = int(self.params.get("leg_series", 1))
+        legs = int(self.params.get("legs", max(1, len(self.data_pins()) // max(1, series))))
+        return tuple([series] * legs)
+
+    @property
+    def series_n(self) -> int:
+        if self.is_dynamic:
+            base = max(self.leg_sizes) if self.leg_sizes else 1
+            return base + (1 if self.clocked else 0)
+        defaults = {
+            StageKind.INV: 1,
+            StageKind.NAND: len(self.data_pins()) or 1,
+            StageKind.NOR: 1,
+            StageKind.AOI: 2,
+            StageKind.XOR: 2,
+            StageKind.PASSGATE: 1,
+            StageKind.TRISTATE: 2,
+        }
+        return int(self.params.get("series_n", defaults[self.kind]))
+
+    @property
+    def series_p(self) -> int:
+        defaults = {
+            StageKind.INV: 1,
+            StageKind.NAND: 1,
+            StageKind.NOR: len(self.data_pins()) or 1,
+            StageKind.AOI: 2,
+            StageKind.XOR: 2,
+            StageKind.PASSGATE: 1,
+            StageKind.TRISTATE: 2,
+            StageKind.DOMINO: 1,
+        }
+        return int(self.params.get("series_p", defaults[self.kind]))
+
+    # -- flat expansion ------------------------------------------------------
+
+    def expand(self, widths: Mapping[str, float], length: float = 0.18) -> List[Transistor]:
+        """Flat transistor list for this stage given resolved label widths."""
+        expander = _EXPANDERS[self.kind]
+        return expander(self, widths, length)
+
+    def transistor_count(self) -> int:
+        """Device count of the flat expansion (width-independent)."""
+        dummy = {label: 1.0 for label in self.size_vars.values()}
+        return len(self.expand(dummy))
+
+
+# ---------------------------------------------------------------------------
+# flat expanders, one per stage kind
+# ---------------------------------------------------------------------------
+
+
+def _t(
+    stage: Stage,
+    suffix: str,
+    polarity: Polarity,
+    drain: str,
+    gate: str,
+    source: str,
+    width: float,
+    label: str,
+    length: float,
+    factor: float = 1.0,
+) -> Transistor:
+    bulk = VDD if polarity is Polarity.PMOS else VSS
+    return Transistor(
+        name=f"{stage.name}.{suffix}",
+        polarity=polarity,
+        drain=drain,
+        gate=gate,
+        source=source,
+        bulk=bulk,
+        width=width,
+        label=label,
+        stage=stage.name,
+        length=length,
+        factor=factor,
+    )
+
+
+def _expand_inv(stage: Stage, widths: Mapping[str, float], length: float) -> List[Transistor]:
+    (pin,) = stage.inputs
+    wp, wn = widths[stage.label("pull_up")], widths[stage.label("pull_down")]
+    out = stage.output.name
+    return [
+        _t(stage, "mp", Polarity.PMOS, out, pin.net.name, VDD, wp, stage.label("pull_up"), length),
+        _t(stage, "mn", Polarity.NMOS, out, pin.net.name, VSS, wn, stage.label("pull_down"), length),
+    ]
+
+
+def _expand_nand(stage: Stage, widths: Mapping[str, float], length: float) -> List[Transistor]:
+    pins = stage.inputs
+    wp, wn = widths[stage.label("pull_up")], widths[stage.label("pull_down")]
+    out = stage.output.name
+    devices = []
+    for i, pin in enumerate(pins):
+        devices.append(
+            _t(stage, f"mp{i}", Polarity.PMOS, out, pin.net.name, VDD, wp, stage.label("pull_up"), length)
+        )
+    node = out
+    for i, pin in enumerate(pins):
+        lower = VSS if i == len(pins) - 1 else f"{stage.name}.n{i}"
+        devices.append(
+            _t(stage, f"mn{i}", Polarity.NMOS, node, pin.net.name, lower, wn, stage.label("pull_down"), length)
+        )
+        node = lower
+    return devices
+
+
+def _expand_nor(stage: Stage, widths: Mapping[str, float], length: float) -> List[Transistor]:
+    pins = stage.inputs
+    wp, wn = widths[stage.label("pull_up")], widths[stage.label("pull_down")]
+    out = stage.output.name
+    devices = []
+    node = VDD
+    for i, pin in enumerate(pins):
+        lower = out if i == len(pins) - 1 else f"{stage.name}.p{i}"
+        devices.append(
+            _t(stage, f"mp{i}", Polarity.PMOS, lower, pin.net.name, node, wp, stage.label("pull_up"), length)
+        )
+        node = lower
+    for i, pin in enumerate(pins):
+        devices.append(
+            _t(stage, f"mn{i}", Polarity.NMOS, out, pin.net.name, VSS, wn, stage.label("pull_down"), length)
+        )
+    return devices
+
+
+def _expand_aoi(stage: Stage, widths: Mapping[str, float], length: float) -> List[Transistor]:
+    """AOI as series_p/series_n stacks over all pins (conservative structure
+    for area/power accounting; exact AOI wiring does not change device count
+    or total width)."""
+    pins = stage.inputs
+    wp, wn = widths[stage.label("pull_up")], widths[stage.label("pull_down")]
+    out = stage.output.name
+    devices = []
+    for i, pin in enumerate(pins):
+        devices.append(
+            _t(stage, f"mp{i}", Polarity.PMOS, out, pin.net.name, VDD, wp, stage.label("pull_up"), length)
+        )
+        devices.append(
+            _t(stage, f"mn{i}", Polarity.NMOS, out, pin.net.name, VSS, wn, stage.label("pull_down"), length)
+        )
+    return devices
+
+
+def _expand_xor(stage: Stage, widths: Mapping[str, float], length: float) -> List[Transistor]:
+    """Complementary 2-input XOR: local complement inverters (at half size)
+    plus two 2-stacks per network — 12 devices.
+
+    out = 1 when a != b: pull-up branches gate on (a, b̄) and (ā, b);
+    pull-down branches on (a, b) and (ā, b̄).
+    """
+    pins = stage.inputs
+    if len(pins) != 2:
+        raise ValueError(f"XOR stage {stage.name} needs exactly 2 inputs")
+    wp, wn = widths[stage.label("pull_up")], widths[stage.label("pull_down")]
+    out = stage.output.name
+    a, b = pins[0].net.name, pins[1].net.name
+    up_lbl, dn_lbl = stage.label("pull_up"), stage.label("pull_down")
+    ab = f"{stage.name}.ab"
+    bb = f"{stage.name}.bb"
+    mid = [f"{stage.name}.m{i}" for i in range(4)]
+    devices = [
+        # local complement rails at half drive
+        _t(stage, "iap", Polarity.PMOS, ab, a, VDD, 0.5 * wp, up_lbl, length, factor=0.5),
+        _t(stage, "ian", Polarity.NMOS, ab, a, VSS, 0.5 * wn, dn_lbl, length, factor=0.5),
+        _t(stage, "ibp", Polarity.PMOS, bb, b, VDD, 0.5 * wp, up_lbl, length, factor=0.5),
+        _t(stage, "ibn", Polarity.NMOS, bb, b, VSS, 0.5 * wn, dn_lbl, length, factor=0.5),
+        # pull-up: (a=0 AND b=1) or (a=1 AND b=0)
+        _t(stage, "mp0", Polarity.PMOS, mid[0], a, VDD, wp, up_lbl, length),
+        _t(stage, "mp1", Polarity.PMOS, out, bb, mid[0], wp, up_lbl, length),
+        _t(stage, "mp2", Polarity.PMOS, mid[1], ab, VDD, wp, up_lbl, length),
+        _t(stage, "mp3", Polarity.PMOS, out, b, mid[1], wp, up_lbl, length),
+        # pull-down: (a=1 AND b=1) or (a=0 AND b=0)
+        _t(stage, "mn0", Polarity.NMOS, out, a, mid[2], wn, dn_lbl, length),
+        _t(stage, "mn1", Polarity.NMOS, mid[2], b, VSS, wn, dn_lbl, length),
+        _t(stage, "mn2", Polarity.NMOS, out, ab, mid[3], wn, dn_lbl, length),
+        _t(stage, "mn3", Polarity.NMOS, mid[3], bb, VSS, wn, dn_lbl, length),
+    ]
+    return devices
+
+
+def _expand_passgate(stage: Stage, widths: Mapping[str, float], length: float) -> List[Transistor]:
+    data = stage.data_pins()
+    selects = stage.select_pins()
+    if len(data) != 1 or len(selects) != 1:
+        raise ValueError(f"pass gate {stage.name} needs exactly 1 data and 1 select pin")
+    w_pass = widths[stage.label("pass")]
+    w_inv = widths[stage.label("sel_inv")]
+    out = stage.output.name
+    sel = selects[0].net.name
+    sel_b = f"{stage.name}.selb"
+    d = data[0].net.name
+    return [
+        _t(stage, "mn", Polarity.NMOS, out, sel, d, w_pass, stage.label("pass"), length),
+        _t(stage, "mp", Polarity.PMOS, out, sel_b, d, w_pass, stage.label("pass"), length),
+        _t(stage, "invp", Polarity.PMOS, sel_b, sel, VDD, w_inv, stage.label("sel_inv"), length),
+        _t(stage, "invn", Polarity.NMOS, sel_b, sel, VSS, w_inv, stage.label("sel_inv"), length),
+    ]
+
+
+def _expand_tristate(stage: Stage, widths: Mapping[str, float], length: float) -> List[Transistor]:
+    data = stage.data_pins()
+    selects = stage.select_pins()
+    if len(data) != 1 or len(selects) != 1:
+        raise ValueError(f"tri-state {stage.name} needs exactly 1 data and 1 select pin")
+    wp, wn = widths[stage.label("pull_up")], widths[stage.label("pull_down")]
+    out = stage.output.name
+    d = data[0].net.name
+    en = selects[0].net.name
+    en_b = f"{stage.name}.enb"
+    pm = f"{stage.name}.pm"
+    nm = f"{stage.name}.nm"
+    # Enable inverter is a fixed relation (0.25x) of the drive devices
+    # (Section 4: "the size of the inverter in the tri-state is a fixed
+    # relation of P1 and N1").
+    return [
+        _t(stage, "mp0", Polarity.PMOS, pm, d, VDD, wp, stage.label("pull_up"), length),
+        _t(stage, "mp1", Polarity.PMOS, out, en_b, pm, wp, stage.label("pull_up"), length),
+        _t(stage, "mn1", Polarity.NMOS, out, en, nm, wn, stage.label("pull_down"), length),
+        _t(stage, "mn0", Polarity.NMOS, nm, d, VSS, wn, stage.label("pull_down"), length),
+        _t(stage, "invp", Polarity.PMOS, en_b, en, VDD, 0.25 * wp, stage.label("pull_up"), length, factor=0.25),
+        _t(stage, "invn", Polarity.NMOS, en_b, en, VSS, 0.25 * wn, stage.label("pull_down"), length, factor=0.25),
+    ]
+
+
+def _expand_domino(stage: Stage, widths: Mapping[str, float], length: float) -> List[Transistor]:
+    """Dynamic node: precharge PMOS + parallel NMOS legs (+ clocked foot).
+
+    Each leg is ``leg_series`` NMOS devices in series gated by consecutive
+    data/select pins; the Figure 2(e)/(f) mux legs are select-over-data
+    2-stacks, which generators express with ``leg_series=2`` and pin order
+    ``[s0, in0, s1, in1, ...]``.
+    """
+    clk_pins = stage.clock_pins()
+    if not clk_pins:
+        raise ValueError(f"domino stage {stage.name} needs a clock pin")
+    clk = clk_pins[0].net.name
+    w_pre = widths[stage.label("precharge")]
+    w_data = widths[stage.label("data")]
+    out = stage.output.name
+    leg_series = int(stage.params.get("leg_series", 1))
+    signal_pins = [p for p in stage.inputs if p.pin_class is not PinClass.CLOCK]
+    ragged = sum(stage.leg_sizes) == len(signal_pins)
+    if not ragged and (leg_series <= 0 or len(signal_pins) % leg_series):
+        raise ValueError(
+            f"domino stage {stage.name}: {len(signal_pins)} signal pins do not "
+            f"form whole legs of series {leg_series}"
+        )
+    devices = [
+        _t(stage, "mpre", Polarity.PMOS, out, clk, VDD, w_pre, stage.label("precharge"), length)
+    ]
+    keeper = float(stage.params.get("keeper", 0.0))
+    if keeper > 0.0:
+        fb = f"{stage.name}.fb"
+        w_keep = keeper * w_pre
+        w_fb = 0.25 * w_keep
+        devices.extend(
+            [
+                # feedback inverter sensing the dynamic node...
+                _t(stage, "fbp", Polarity.PMOS, fb, out, VDD, w_fb,
+                   stage.label("precharge"), length, factor=0.25 * keeper),
+                _t(stage, "fbn", Polarity.NMOS, fb, out, VSS, w_fb,
+                   stage.label("precharge"), length, factor=0.25 * keeper),
+                # ...turning the half-latch keeper PMOS on while the node
+                # stays high.
+                _t(stage, "mkeep", Polarity.PMOS, out, fb, VDD, w_keep,
+                   stage.label("precharge"), length, factor=keeper),
+            ]
+        )
+    foot = VSS
+    if stage.clocked:
+        w_eval = widths[stage.label("evaluate")]
+        foot = f"{stage.name}.foot"
+        devices.append(
+            _t(stage, "meval", Polarity.NMOS, foot, clk, VSS, w_eval, stage.label("evaluate"), length)
+        )
+    leg_sizes = stage.leg_sizes
+    if sum(leg_sizes) == len(signal_pins):
+        legs, start = [], 0
+        for size in leg_sizes:
+            legs.append(signal_pins[start:start + size])
+            start += size
+    else:
+        legs = [
+            signal_pins[i:i + leg_series]
+            for i in range(0, len(signal_pins), leg_series)
+        ]
+    for li, leg in enumerate(legs):
+        node = out
+        for si, pin in enumerate(leg):
+            lower = foot if si == len(leg) - 1 else f"{stage.name}.l{li}s{si}"
+            devices.append(
+                _t(
+                    stage,
+                    f"mn{li}_{si}",
+                    Polarity.NMOS,
+                    node,
+                    pin.net.name,
+                    lower,
+                    w_data,
+                    stage.label("data"),
+                    length,
+                )
+            )
+            node = lower
+    return devices
+
+
+_EXPANDERS = {
+    StageKind.INV: _expand_inv,
+    StageKind.NAND: _expand_nand,
+    StageKind.NOR: _expand_nor,
+    StageKind.AOI: _expand_aoi,
+    StageKind.XOR: _expand_xor,
+    StageKind.PASSGATE: _expand_passgate,
+    StageKind.TRISTATE: _expand_tristate,
+    StageKind.DOMINO: _expand_domino,
+}

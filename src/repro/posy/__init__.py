@@ -1,0 +1,26 @@
+"""Posynomial algebra substrate for the SMART geometric-programming sizer."""
+
+from .express import (
+    as_monomial,
+    as_posynomial,
+    const,
+    is_posynomial_in,
+    posy_max_bound,
+    posy_sum,
+    scale_env,
+    var,
+)
+from .terms import Monomial, Posynomial
+
+__all__ = [
+    "Monomial",
+    "Posynomial",
+    "var",
+    "const",
+    "as_monomial",
+    "as_posynomial",
+    "posy_sum",
+    "posy_max_bound",
+    "scale_env",
+    "is_posynomial_in",
+]

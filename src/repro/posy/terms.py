@@ -1,0 +1,393 @@
+"""Posynomial algebra.
+
+The SMART sizer (Section 5 of the paper) models component delay and slope as
+*posynomial* functions of device sizes so that the sizing problem becomes a
+geometric program (GP), which is convex after a log transform.  This module
+implements the two building blocks:
+
+``Monomial``
+    ``c * x1**a1 * x2**a2 * ...`` with ``c > 0`` and real exponents.
+
+``Posynomial``
+    A finite sum of monomials.
+
+Both are immutable value types supporting ``+``, ``-`` (only when the result
+stays posynomial, i.e. subtraction of like terms with a smaller coefficient),
+``*``, ``/`` (division by a monomial or positive scalar) and ``**``.  They can
+be evaluated at a positive assignment of their variables, differentiated, and
+queried for their variables.
+
+Everything downstream of the model library — constraint generation, the GP
+solver, the convergence loop — manipulates these objects, so they are written
+to be cheap: a posynomial is a dict from exponent signatures to coefficients.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, Iterator, Mapping, Tuple, Union
+
+Number = Union[int, float]
+
+#: An exponent signature: sorted tuple of (variable, exponent) pairs with no
+#: zero exponents.  Used as the dict key that merges like monomial terms.
+Signature = Tuple[Tuple[str, float], ...]
+
+_COEFF_EPS = 1e-300
+
+
+def _make_signature(exponents: Mapping[str, float]) -> Signature:
+    """Normalize an exponent mapping into a canonical hashable signature."""
+    return tuple(sorted((v, float(e)) for v, e in exponents.items() if e != 0.0))
+
+
+class Monomial:
+    """A positive-coefficient monomial ``c * prod(x_i ** a_i)``.
+
+    Parameters
+    ----------
+    coefficient:
+        Strictly positive multiplier ``c``.
+    exponents:
+        Mapping from variable name to real exponent.  Zero exponents are
+        dropped.
+    """
+
+    __slots__ = ("coefficient", "_signature")
+
+    def __init__(self, coefficient: Number, exponents: Mapping[str, float] = ()):
+        coefficient = float(coefficient)
+        if not coefficient > 0.0:
+            raise ValueError(f"monomial coefficient must be > 0, got {coefficient}")
+        if not math.isfinite(coefficient):
+            raise ValueError(f"monomial coefficient must be finite, got {coefficient}")
+        self.coefficient = coefficient
+        self._signature = _make_signature(dict(exponents))
+
+    # -- constructors ------------------------------------------------------
+
+    @classmethod
+    def variable(cls, name: str) -> "Monomial":
+        """The monomial consisting of a single variable ``x``."""
+        return cls(1.0, {name: 1.0})
+
+    @classmethod
+    def constant(cls, value: Number) -> "Monomial":
+        """A constant monomial (no variables)."""
+        return cls(value, {})
+
+    @classmethod
+    def _from_signature(cls, coefficient: float, signature: Signature) -> "Monomial":
+        mono = cls.__new__(cls)
+        mono.coefficient = coefficient
+        mono._signature = signature
+        return mono
+
+    # -- introspection -----------------------------------------------------
+
+    @property
+    def exponents(self) -> Dict[str, float]:
+        """Exponent mapping (a fresh dict; the monomial itself is immutable)."""
+        return dict(self._signature)
+
+    @property
+    def signature(self) -> Signature:
+        return self._signature
+
+    def variables(self) -> frozenset:
+        """The set of variable names appearing with nonzero exponent."""
+        return frozenset(v for v, _ in self._signature)
+
+    def is_constant(self) -> bool:
+        return not self._signature
+
+    def degree(self, variable: str) -> float:
+        """Exponent of ``variable`` in this monomial (0 if absent)."""
+        for var, exp in self._signature:
+            if var == variable:
+                return exp
+        return 0.0
+
+    # -- evaluation --------------------------------------------------------
+
+    def evaluate(self, env: Mapping[str, float]) -> float:
+        """Evaluate at a positive assignment ``env`` of all variables."""
+        value = self.coefficient
+        for var, exp in self._signature:
+            x = env[var]
+            if x <= 0.0:
+                raise ValueError(f"variable {var!r} must be positive, got {x}")
+            value *= x ** exp
+        return value
+
+    def partial(self, variable: str) -> "Monomial":
+        """``d(self)/d(variable)`` — only valid when the result is a monomial.
+
+        Requires the exponent of ``variable`` to be positive (so the derivative
+        keeps a positive coefficient).  Raises ``ValueError`` otherwise; for
+        general derivatives evaluate :meth:`grad` numerically instead.
+        """
+        exp = self.degree(variable)
+        if exp <= 0.0:
+            raise ValueError(
+                f"partial w.r.t. {variable!r} of {self!r} is not a monomial"
+            )
+        exponents = self.exponents
+        exponents[variable] = exp - 1.0
+        return Monomial(self.coefficient * exp, exponents)
+
+    def grad(self, env: Mapping[str, float]) -> Dict[str, float]:
+        """Gradient at ``env`` as ``{variable: d/dx}`` (only own variables)."""
+        value = self.evaluate(env)
+        return {var: value * exp / env[var] for var, exp in self._signature}
+
+    # -- arithmetic --------------------------------------------------------
+
+    def __mul__(self, other: Union["Monomial", Number]) -> "Monomial":
+        if isinstance(other, Monomial):
+            exponents = self.exponents
+            for var, exp in other._signature:
+                exponents[var] = exponents.get(var, 0.0) + exp
+            return Monomial(self.coefficient * other.coefficient, exponents)
+        if isinstance(other, (int, float)):
+            return Monomial(self.coefficient * other, self.exponents)
+        return NotImplemented
+
+    __rmul__ = __mul__
+
+    def __truediv__(self, other: Union["Monomial", Number]) -> "Monomial":
+        if isinstance(other, Monomial):
+            return self * other ** -1
+        if isinstance(other, (int, float)):
+            return Monomial(self.coefficient / other, self.exponents)
+        return NotImplemented
+
+    def __rtruediv__(self, other: Number) -> "Monomial":
+        if isinstance(other, (int, float)):
+            return Monomial.constant(other) / self
+        return NotImplemented
+
+    def __pow__(self, power: Number) -> "Monomial":
+        power = float(power)
+        exponents = {var: exp * power for var, exp in self._signature}
+        return Monomial(self.coefficient ** power, exponents)
+
+    def __add__(self, other) -> "Posynomial":
+        return Posynomial.from_terms([self]) + other
+
+    __radd__ = __add__
+
+    def __eq__(self, other) -> bool:
+        if isinstance(other, Monomial):
+            return (
+                self._signature == other._signature
+                and math.isclose(self.coefficient, other.coefficient, rel_tol=1e-12)
+            )
+        if isinstance(other, (int, float)):
+            return self.is_constant() and math.isclose(self.coefficient, other)
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash((round(self.coefficient, 12), self._signature))
+
+    def __repr__(self) -> str:
+        if self.is_constant():
+            return f"{self.coefficient:g}"
+        parts = [f"{self.coefficient:g}"] if self.coefficient != 1.0 else []
+        for var, exp in self._signature:
+            parts.append(var if exp == 1.0 else f"{var}^{exp:g}")
+        return "*".join(parts) if parts else "1"
+
+    def as_posynomial(self) -> "Posynomial":
+        return Posynomial.from_terms([self])
+
+
+class Posynomial:
+    """A sum of :class:`Monomial` terms with like terms merged.
+
+    Construct via :meth:`from_terms`, arithmetic on monomials, or the helpers
+    in :mod:`repro.posy.express`.
+    """
+
+    __slots__ = ("_terms",)
+
+    def __init__(self, terms: Mapping[Signature, float]):
+        # Internal constructor; assumes coefficients positive & merged.
+        self._terms: Dict[Signature, float] = dict(terms)
+
+    @classmethod
+    def from_terms(cls, monomials: Iterable[Union[Monomial, Number]]) -> "Posynomial":
+        terms: Dict[Signature, float] = {}
+        for mono in monomials:
+            if isinstance(mono, (int, float)):
+                if mono == 0:
+                    continue
+                mono = Monomial.constant(mono)
+            terms[mono.signature] = terms.get(mono.signature, 0.0) + mono.coefficient
+        return cls({sig: c for sig, c in terms.items() if c > _COEFF_EPS})
+
+    @classmethod
+    def zero(cls) -> "Posynomial":
+        """The empty sum.  Valid as an additive identity only — a GP constraint
+        body must be nonempty."""
+        return cls({})
+
+    # -- introspection -----------------------------------------------------
+
+    @property
+    def terms(self) -> Tuple[Monomial, ...]:
+        return tuple(
+            Monomial._from_signature(c, sig) for sig, c in sorted(self._terms.items())
+        )
+
+    def __iter__(self) -> Iterator[Monomial]:
+        return iter(self.terms)
+
+    def __len__(self) -> int:
+        return len(self._terms)
+
+    def variables(self) -> frozenset:
+        names = set()
+        for sig in self._terms:
+            names.update(v for v, _ in sig)
+        return frozenset(names)
+
+    def is_monomial(self) -> bool:
+        return len(self._terms) == 1
+
+    def is_constant(self) -> bool:
+        return not self._terms or (len(self._terms) == 1 and () in self._terms)
+
+    def as_monomial(self) -> Monomial:
+        if not self.is_monomial():
+            raise ValueError(f"{self!r} is not a monomial")
+        ((sig, coeff),) = self._terms.items()
+        return Monomial._from_signature(coeff, sig)
+
+    def constant_part(self) -> float:
+        """Coefficient of the constant term (0 if none)."""
+        return self._terms.get((), 0.0)
+
+    # -- evaluation --------------------------------------------------------
+
+    def evaluate(self, env: Mapping[str, float]) -> float:
+        total = 0.0
+        for sig, coeff in self._terms.items():
+            value = coeff
+            for var, exp in sig:
+                value *= env[var] ** exp
+            total += value
+        return total
+
+    def grad(self, env: Mapping[str, float]) -> Dict[str, float]:
+        """Gradient at ``env`` over this posynomial's own variables."""
+        grad: Dict[str, float] = {}
+        for sig, coeff in self._terms.items():
+            value = coeff
+            for var, exp in sig:
+                value *= env[var] ** exp
+            for var, exp in sig:
+                grad[var] = grad.get(var, 0.0) + value * exp / env[var]
+        return grad
+
+    # -- arithmetic --------------------------------------------------------
+
+    def __add__(self, other) -> "Posynomial":
+        if isinstance(other, Posynomial):
+            terms = dict(self._terms)
+            for sig, coeff in other._terms.items():
+                terms[sig] = terms.get(sig, 0.0) + coeff
+            return Posynomial(terms)
+        if isinstance(other, Monomial):
+            terms = dict(self._terms)
+            terms[other.signature] = terms.get(other.signature, 0.0) + other.coefficient
+            return Posynomial(terms)
+        if isinstance(other, (int, float)):
+            if other == 0:
+                return self
+            return self + Monomial.constant(other)
+        return NotImplemented
+
+    __radd__ = __add__
+
+    def __sub__(self, other) -> "Posynomial":
+        """Subtraction is allowed only when every resulting coefficient stays
+        positive (or cancels exactly) — i.e. the result is still posynomial."""
+        if isinstance(other, (int, float)):
+            other = Monomial.constant(other).as_posynomial() if other else Posynomial.zero()
+        elif isinstance(other, Monomial):
+            other = other.as_posynomial()
+        if not isinstance(other, Posynomial):
+            return NotImplemented
+        terms = dict(self._terms)
+        for sig, coeff in other._terms.items():
+            remaining = terms.get(sig, 0.0) - coeff
+            if remaining < -1e-9:
+                raise ValueError(
+                    "subtraction would produce a negative coefficient; "
+                    "result would not be posynomial"
+                )
+            if remaining <= _COEFF_EPS:
+                terms.pop(sig, None)
+            else:
+                terms[sig] = remaining
+        return Posynomial(terms)
+
+    def __mul__(self, other) -> "Posynomial":
+        if isinstance(other, (int, float)):
+            if other == 0:
+                return Posynomial.zero()
+            if other < 0:
+                raise ValueError("cannot scale a posynomial by a negative number")
+            return Posynomial({sig: c * other for sig, c in self._terms.items()})
+        if isinstance(other, Monomial):
+            return Posynomial.from_terms(term * other for term in self.terms)
+        if isinstance(other, Posynomial):
+            product = Posynomial.zero()
+            for term in other.terms:
+                product = product + self * term
+            return product
+        return NotImplemented
+
+    __rmul__ = __mul__
+
+    def __truediv__(self, other) -> "Posynomial":
+        if isinstance(other, (int, float)):
+            return self * (1.0 / other)
+        if isinstance(other, Monomial):
+            return self * other ** -1
+        if isinstance(other, Posynomial) and other.is_monomial():
+            return self / other.as_monomial()
+        return NotImplemented
+
+    def __pow__(self, power: int) -> "Posynomial":
+        if not isinstance(power, int) or power < 0:
+            raise ValueError("posynomial powers must be nonnegative integers")
+        result = Monomial.constant(1.0).as_posynomial()
+        for _ in range(power):
+            result = result * self
+        return result
+
+    def __eq__(self, other) -> bool:
+        if isinstance(other, Posynomial):
+            if set(self._terms) != set(other._terms):
+                return False
+            return all(
+                math.isclose(c, other._terms[sig], rel_tol=1e-9, abs_tol=1e-12)
+                for sig, c in self._terms.items()
+            )
+        if isinstance(other, (Monomial, int, float)):
+            if isinstance(other, (int, float)):
+                if other == 0:
+                    return not self._terms
+                other = Monomial.constant(other)
+            return self.is_monomial() and self.as_monomial() == other
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash(frozenset((sig, round(c, 9)) for sig, c in self._terms.items()))
+
+    def __repr__(self) -> str:
+        if not self._terms:
+            return "0"
+        return " + ".join(repr(t) for t in self.terms)

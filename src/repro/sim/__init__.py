@@ -1,0 +1,36 @@
+"""Simulation substrates: static timing (PathMill substitute), transient
+switch-level RC (SPICE substitute), and power estimation (PowerMill
+substitute)."""
+
+from .power import PowerEstimator, PowerReport
+from .report_fmt import format_timing_report
+from .timing import ArrivalEvent, StaticTimingAnalyzer, TimingReport, stage_arcs
+from .transient import TransientResult, TransientSimulator
+from .waveforms import (
+    PiecewiseLinear,
+    clock,
+    constant,
+    crossing_time,
+    measure_delay,
+    measure_transition,
+    step,
+)
+
+__all__ = [
+    "StaticTimingAnalyzer",
+    "TimingReport",
+    "ArrivalEvent",
+    "stage_arcs",
+    "TransientSimulator",
+    "TransientResult",
+    "PowerEstimator",
+    "PowerReport",
+    "format_timing_report",
+    "PiecewiseLinear",
+    "constant",
+    "step",
+    "clock",
+    "crossing_time",
+    "measure_delay",
+    "measure_transition",
+]

@@ -1,0 +1,121 @@
+"""Dynamic power estimation — the PowerMill substitute.
+
+Section 6 reports power with PowerMill; SMART's own cost metrics are total
+transistor width and clock load.  This estimator computes activity-weighted
+CV²f power over the flat netlist so block-level experiments (Table 2, §6.4)
+can report power the way the paper does: switched capacitance per net times
+activity, plus the clock network, which switches every cycle.
+
+Domino nodes precharge each cycle, so their activity is much higher than a
+static node's — that is why Table 1 shows domino topologies with the largest
+savings and why clock load is a first-class metric.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Mapping, Optional
+
+from ..models.gates import ModelLibrary
+from ..netlist.circuit import Circuit
+from ..netlist.nets import NetKind
+from ..netlist.stages import StageKind, VDD, VSS
+
+#: Activity of a clock net: one rise + one fall per cycle.
+CLOCK_ACTIVITY = 1.0
+#: Activity of a dynamic (domino) node: precharges every cycle; evaluates with
+#: data probability ~0.5 -> about one full swing per cycle on average.
+DOMINO_ACTIVITY = 0.5
+
+
+@dataclass
+class PowerReport:
+    """Breakdown of estimated dynamic power, µW."""
+
+    total: float
+    clock: float
+    by_net: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def signal(self) -> float:
+        return self.total - self.clock
+
+    def fraction_of(self, nets) -> float:
+        """Fraction of total power dissipated on the given nets."""
+        if self.total <= 0:
+            return 0.0
+        return sum(self.by_net.get(n, 0.0) for n in nets) / self.total
+
+
+class PowerEstimator:
+    """Activity-based dynamic power over a circuit at concrete widths."""
+
+    def __init__(self, circuit: Circuit, library: ModelLibrary):
+        self.circuit = circuit
+        self.library = library
+        self.tech = library.tech
+
+    def net_capacitance(self, widths: Mapping[str, float]) -> Dict[str, float]:
+        """Total capacitance per net, fF: fanout gate caps + driver diffusion
+        + wire/external."""
+        resolved = self._resolve(widths)
+        caps: Dict[str, float] = {}
+        for net in self.circuit.nets.values():
+            if net.kind in (NetKind.SUPPLY, NetKind.GROUND):
+                continue
+            caps[net.name] = net.fixed_cap
+        table = self.circuit.size_table
+        for net_name in list(caps):
+            for stage, pin in self.circuit.fanout_of(net_name):
+                caps[net_name] += self.library.input_cap(stage, pin, table).evaluate(
+                    resolved
+                )
+        for stage in self.circuit.stages:
+            out = stage.output.name
+            if out in caps:
+                caps[out] += self.library.output_parasitic(
+                    stage, table
+                ).evaluate(resolved)
+        return caps
+
+    def net_activity(self, net_name: str) -> float:
+        """Switching activity of a net (full swings per cycle)."""
+        net = self.circuit.net(net_name)
+        if net.kind is NetKind.CLOCK:
+            return CLOCK_ACTIVITY
+        driver = self.circuit.driver_of(net_name)
+        if driver is not None and driver.kind is StageKind.DOMINO:
+            return DOMINO_ACTIVITY
+        if driver is not None:
+            # A static gate fed by a domino node follows its activity.
+            for pin in driver.inputs:
+                upstream = self.circuit.driver_of(pin.net.name)
+                if upstream is not None and upstream.kind is StageKind.DOMINO:
+                    return DOMINO_ACTIVITY
+        return self.tech.activity
+
+    def estimate(
+        self,
+        widths: Mapping[str, float],
+        activity_overrides: Optional[Mapping[str, float]] = None,
+    ) -> PowerReport:
+        """Estimate dynamic power at the given sizes, µW."""
+        overrides = dict(activity_overrides or {})
+        caps = self.net_capacitance(widths)
+        by_net: Dict[str, float] = {}
+        clock = 0.0
+        clock_nets = set(self.circuit.clock_nets())
+        for net_name, cap in caps.items():
+            activity = overrides.get(net_name, self.net_activity(net_name))
+            power = self.tech.dynamic_power(cap, activity)
+            by_net[net_name] = power
+            if net_name in clock_nets:
+                clock += power
+        total = sum(by_net.values())
+        return PowerReport(total=total, clock=clock, by_net=by_net)
+
+    def _resolve(self, widths: Mapping[str, float]) -> Dict[str, float]:
+        names = self.circuit.size_table.names()
+        if all(n in widths for n in names):
+            return dict(widths)
+        return self.circuit.size_table.resolve(widths)

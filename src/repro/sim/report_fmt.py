@@ -1,0 +1,88 @@
+"""Human-readable timing/slack reporting.
+
+What a designer reads after a sizing run: per-output arrivals with slack
+against the spec, the critical path hop by hop, and per-net slopes against
+the reliability limits — the PathMill-style text report for our STA.
+"""
+
+from __future__ import annotations
+
+from typing import List, Mapping, Optional, Sequence
+
+from ..models.gates import ModelLibrary, Transition
+from ..netlist.circuit import Circuit
+from ..sizing.constraints import DelaySpec
+from .timing import StaticTimingAnalyzer, TimingReport
+
+
+def format_timing_report(
+    circuit: Circuit,
+    library: ModelLibrary,
+    widths: Mapping[str, float],
+    spec: Optional[DelaySpec] = None,
+    input_slope: float = 30.0,
+) -> str:
+    """Render arrivals, slacks, the critical path and slope checks."""
+    analyzer = StaticTimingAnalyzer(circuit, library)
+    slope = spec.input_slope if spec is not None else input_slope
+    report = analyzer.analyze(widths, input_slope=slope)
+    lines: List[str] = [f"timing report: {circuit.name}"]
+
+    lines.append("")
+    lines.append(f"{'output':<16} {'rise ps':>9} {'fall ps':>9} {'slack ps':>9}")
+    worst_net = None
+    worst_time = -1.0
+    for net in circuit.primary_outputs:
+        rise = report.arrival(net, Transition.RISE)
+        fall = report.arrival(net, Transition.FALL)
+        t = report.net_delay(net)
+        if t > worst_time:
+            worst_time, worst_net = t, net
+        slack = f"{spec.data - t:>9.1f}" if spec is not None else f"{'-':>9}"
+        lines.append(
+            f"{net:<16} "
+            f"{rise.time if rise else 0.0:>9.1f} "
+            f"{fall.time if fall else 0.0:>9.1f} "
+            f"{slack}"
+        )
+
+    if worst_net is not None:
+        lines.append("")
+        lines.append(f"critical path (to {worst_net}):")
+        chain = report.critical_path(worst_net)
+        prev_time = 0.0
+        for event in chain:
+            incr = event.time - prev_time
+            prev_time = event.time
+            via = (
+                f"via {event.from_stage}/{event.from_pin}"
+                if event.from_stage
+                else "launch"
+            )
+            lines.append(
+                f"  {event.net:<20} {event.transition.value:<5} "
+                f"t={event.time:8.1f}  +{incr:7.1f}  slope={event.slope:6.1f}  {via}"
+            )
+
+    if spec is not None:
+        lines.append("")
+        lines.append("slope checks:")
+        outputs = set(circuit.primary_outputs)
+        violations = 0
+        for (net, trans), event in sorted(
+            report.arrivals.items(), key=lambda kv: (kv[0][0], kv[0][1].value)
+        ):
+            if net in circuit.primary_inputs or net in circuit.clock_nets():
+                continue
+            limit = (
+                spec.max_output_slope if net in outputs else spec.max_internal_slope
+            )
+            if event.slope > limit:
+                violations += 1
+                lines.append(
+                    f"  VIOLATION {net} ({trans.value}): "
+                    f"{event.slope:.1f} ps > {limit:.1f} ps"
+                )
+        if violations == 0:
+            lines.append("  all nets within limits")
+    return "\n".join(lines)

@@ -1,0 +1,238 @@
+"""Switch-level RC transient simulator — the SPICE substitute.
+
+The paper verifies every SMART solution with transistor-level simulation; we
+verify with this simulator.  Model:
+
+* every non-supply net is a node with a lumped capacitance (gate caps of
+  devices it gates, diffusion caps of devices it touches, wire/external);
+* every transistor is a voltage-controlled switch in series with its
+  effective resistance ``r / W`` — NMOS conducts when its gate is above
+  ``vdd/2``, PMOS below — with a smooth conductance ramp around threshold to
+  keep integration well behaved;
+* stimuli are piecewise-linear voltage sources bound to input nets;
+* integration is backward Euler on ``C dV/dt = -G(V) V + b``, uncondition-
+  ally stable, with conductances frozen at the previous step's voltages.
+
+This captures what SMART's flow needs from SPICE: realistic RC delays through
+arbitrary pass/dynamic/static topologies, including charge sharing between
+internal nodes — while staying dependency-free and fast enough for tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..models.technology import Technology
+from ..netlist.devices import Polarity, Transistor
+from .waveforms import PiecewiseLinear, measure_delay, measure_transition
+
+_SUPPLIES = ("vdd", "vss")
+#: Width of the smooth switch transition region around vdd/2, as a fraction
+#: of vdd.  Keeps dG/dV finite so backward Euler with lagged conductances
+#: converges.
+_SWITCH_WINDOW = 0.2
+#: Leakage conductance to ground on every node, 1/kΩ.  Prevents singular
+#: systems on temporarily floating (dynamic) nodes and models droop.
+_G_LEAK = 1e-7
+
+
+@dataclass
+class TransientResult:
+    """Sampled waveforms of one run."""
+
+    times: np.ndarray
+    voltages: Dict[str, np.ndarray]
+    vdd: float
+
+    def v(self, net: str) -> np.ndarray:
+        return self.voltages[net]
+
+    def delay(
+        self, in_net: str, out_net: str, in_rising: bool, out_rising: bool,
+        after: float = 0.0,
+    ) -> Optional[float]:
+        return measure_delay(
+            self.times, self.v(in_net), self.v(out_net), self.vdd,
+            in_rising, out_rising, after,
+        )
+
+    def transition(self, net: str, rising: bool, after: float = 0.0) -> Optional[float]:
+        return measure_transition(self.times, self.v(net), self.vdd, rising, after)
+
+    def final(self, net: str) -> float:
+        return float(self.v(net)[-1])
+
+
+class TransientSimulator:
+    """Simulates a flat transistor netlist with PWL sources on input nets."""
+
+    def __init__(
+        self,
+        transistors: Sequence[Transistor],
+        tech: Technology,
+        extra_caps: Optional[Mapping[str, float]] = None,
+    ):
+        self.tech = tech
+        self.devices = list(transistors)
+        self._nodes: List[str] = []
+        self._index: Dict[str, int] = {}
+        self._collect_nodes()
+        self._caps = self._node_capacitance(dict(extra_caps or {}))
+
+    # -- construction ----------------------------------------------------------
+
+    def _collect_nodes(self) -> None:
+        seen = []
+        for device in self.devices:
+            for net in (device.drain, device.gate, device.source):
+                if net not in _SUPPLIES and net not in self._index:
+                    self._index[net] = len(seen)
+                    seen.append(net)
+        self._nodes = seen
+
+    def _node_capacitance(self, extra: Dict[str, float]) -> np.ndarray:
+        caps = np.full(len(self._nodes), 0.05)  # floor keeps C nonsingular
+        for device in self.devices:
+            if device.gate in self._index:
+                caps[self._index[device.gate]] += self.tech.c_gate * device.width
+            for terminal in (device.drain, device.source):
+                if terminal in self._index:
+                    caps[self._index[terminal]] += self.tech.c_diff * device.width
+        for net, cap in extra.items():
+            if net in self._index:
+                caps[self._index[net]] += cap
+        return caps
+
+    @property
+    def nodes(self) -> Tuple[str, ...]:
+        return tuple(self._nodes)
+
+    # -- device conductance ------------------------------------------------------
+
+    def _conductance(self, device: Transistor, v_gate: float) -> float:
+        """Smoothly switched conductance of one device, 1/kΩ."""
+        vdd = self.tech.vdd
+        half = vdd / 2.0
+        window = _SWITCH_WINDOW * vdd
+        if device.polarity is Polarity.NMOS:
+            drive = (v_gate - (half - window / 2.0)) / window
+            r_unit = self.tech.r_nmos
+        else:
+            drive = ((half + window / 2.0) - v_gate) / window
+            r_unit = self.tech.r_pmos
+        drive = min(1.0, max(0.0, drive))
+        g_on = device.width / r_unit
+        return g_on * drive + 1e-9
+
+    # -- simulation ----------------------------------------------------------------
+
+    def run(
+        self,
+        stimuli: Mapping[str, PiecewiseLinear],
+        duration: float,
+        dt: float = 1.0,
+        initial: Optional[Mapping[str, float]] = None,
+    ) -> TransientResult:
+        """Integrate for ``duration`` ps with step ``dt`` ps.
+
+        ``stimuli`` binds input nets to PWL sources (those nodes are forced);
+        ``initial`` optionally sets starting voltages of free nodes (default:
+        sources at t=0, everything else 0 V — callers settling dynamic nodes
+        should precharge explicitly or simulate a precharge phase).
+        """
+        n = len(self._nodes)
+        steps = int(round(duration / dt)) + 1
+        times = np.arange(steps) * dt
+
+        forced = {net: src for net, src in stimuli.items() if net in self._index}
+        forced_idx = np.array(
+            sorted(self._index[net] for net in forced), dtype=int
+        )
+        free_idx = np.array(
+            [i for i in range(n) if i not in set(forced_idx)], dtype=int
+        )
+        pos_of_free = {int(i): k for k, i in enumerate(free_idx)}
+
+        volt = np.zeros(n)
+        for net, src in forced.items():
+            volt[self._index[net]] = src.value(0.0)
+        if initial:
+            for net, value in initial.items():
+                if net in self._index:
+                    volt[self._index[net]] = value
+
+        waveforms = np.zeros((steps, n))
+        waveforms[0] = volt
+        vdd = self.tech.vdd
+
+        for k in range(1, steps):
+            t = times[k]
+            for net, src in forced.items():
+                volt[self._index[net]] = src.value(t)
+            if len(free_idx):
+                A = np.zeros((len(free_idx), len(free_idx)))
+                b = np.zeros(len(free_idx))
+                inv_dt = 1.0 / dt
+                for j, i in enumerate(free_idx):
+                    A[j, j] += self._caps[i] * inv_dt + _G_LEAK
+                    b[j] += self._caps[i] * inv_dt * volt[i]
+                for device in self.devices:
+                    v_gate = self._terminal_voltage(device.gate, volt, vdd)
+                    g = self._conductance(device, v_gate)
+                    self._stamp(device, g, volt, vdd, A, b, pos_of_free)
+                solution = np.linalg.solve(A, b)
+                for j, i in enumerate(free_idx):
+                    volt[i] = min(max(solution[j], -0.2 * vdd), 1.2 * vdd)
+            waveforms[k] = volt
+
+        voltages = {
+            net: waveforms[:, self._index[net]].copy() for net in self._nodes
+        }
+        voltages["vdd"] = np.full(steps, vdd)
+        voltages["vss"] = np.zeros(steps)
+        return TransientResult(times=times, voltages=voltages, vdd=vdd)
+
+    def _terminal_voltage(self, net: str, volt: np.ndarray, vdd: float) -> float:
+        if net == "vdd":
+            return vdd
+        if net == "vss":
+            return 0.0
+        return float(volt[self._index[net]])
+
+    def _stamp(
+        self,
+        device: Transistor,
+        g: float,
+        volt: np.ndarray,
+        vdd: float,
+        A: np.ndarray,
+        b: np.ndarray,
+        pos_of_free: Mapping[int, int],
+    ) -> None:
+        """Stamp the device's channel conductance into the backward-Euler
+        system (standard two-terminal conductance stamp between drain and
+        source, with supply/forced terminals moved to the RHS)."""
+        d, s = device.drain, device.source
+        di = self._index.get(d) if d not in _SUPPLIES else None
+        si = self._index.get(s) if s not in _SUPPLIES else None
+        d_free = di is not None and di in pos_of_free
+        s_free = si is not None and si in pos_of_free
+        v_d = self._terminal_voltage(d, volt, vdd)
+        v_s = self._terminal_voltage(s, volt, vdd)
+        if d_free:
+            j = pos_of_free[di]
+            A[j, j] += g
+            if s_free:
+                A[j, pos_of_free[si]] -= g
+            else:
+                b[j] += g * v_s
+        if s_free:
+            j = pos_of_free[si]
+            A[j, j] += g
+            if d_free:
+                A[j, pos_of_free[di]] -= g
+            else:
+                b[j] += g * v_d

@@ -1,0 +1,137 @@
+"""Stimulus construction and waveform measurement for the transient simulator.
+
+Delay numbers throughout the package follow the usual convention: delay is
+measured between 50% crossings, transition time between 20% and 80% crossings
+scaled by 1/0.6 to a full-swing equivalent.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class PiecewiseLinear:
+    """A piecewise-linear voltage source: sorted ``(time, voltage)`` points,
+    held constant before the first and after the last point."""
+
+    points: Tuple[Tuple[float, float], ...]
+
+    def __post_init__(self) -> None:
+        times = [t for t, _ in self.points]
+        if not times:
+            raise ValueError("piecewise-linear source needs at least one point")
+        if any(b <= a for a, b in zip(times, times[1:])):
+            raise ValueError("piecewise-linear times must be strictly increasing")
+
+    def value(self, t: float) -> float:
+        points = self.points
+        if t <= points[0][0]:
+            return points[0][1]
+        if t >= points[-1][0]:
+            return points[-1][1]
+        times = [p[0] for p in points]
+        i = bisect.bisect_right(times, t)
+        t0, v0 = points[i - 1]
+        t1, v1 = points[i]
+        return v0 + (v1 - v0) * (t - t0) / (t1 - t0)
+
+    def sample(self, times: np.ndarray) -> np.ndarray:
+        return np.array([self.value(float(t)) for t in times])
+
+
+def constant(voltage: float) -> PiecewiseLinear:
+    return PiecewiseLinear(((0.0, voltage),))
+
+
+def step(
+    vdd: float, at: float = 100.0, rise: float = 20.0, falling: bool = False
+) -> PiecewiseLinear:
+    """A 0->vdd (or vdd->0) ramp starting at ``at`` with transition ``rise``."""
+    lo, hi = (vdd, 0.0) if falling else (0.0, vdd)
+    return PiecewiseLinear(((0.0, lo), (at, lo), (at + rise, hi)))
+
+
+def clock(
+    vdd: float,
+    period: float,
+    cycles: int = 2,
+    rise: float = 15.0,
+    start_low: float = 100.0,
+) -> PiecewiseLinear:
+    """A square clock: low until ``start_low``, then ``cycles`` full periods."""
+    points: List[Tuple[float, float]] = [(0.0, 0.0)]
+    t = start_low
+    for _ in range(cycles):
+        points.append((t, 0.0))
+        points.append((t + rise, vdd))
+        points.append((t + period / 2.0, vdd))
+        points.append((t + period / 2.0 + rise, 0.0))
+        t += period
+    return PiecewiseLinear(tuple(points))
+
+
+def crossing_time(
+    times: Sequence[float],
+    values: Sequence[float],
+    threshold: float,
+    rising: bool,
+    after: float = 0.0,
+) -> Optional[float]:
+    """First time ``values`` crosses ``threshold`` in the given direction at or
+    after ``after`` (linear interpolation); None when it never does."""
+    times = np.asarray(times)
+    values = np.asarray(values)
+    for i in range(1, len(times)):
+        if times[i] < after:
+            continue
+        v0, v1 = values[i - 1], values[i]
+        if rising and v0 < threshold <= v1:
+            frac = (threshold - v0) / (v1 - v0)
+            return float(times[i - 1] + frac * (times[i] - times[i - 1]))
+        if not rising and v0 > threshold >= v1:
+            frac = (v0 - threshold) / (v0 - v1)
+            return float(times[i - 1] + frac * (times[i] - times[i - 1]))
+    return None
+
+
+def measure_delay(
+    times: Sequence[float],
+    v_in: Sequence[float],
+    v_out: Sequence[float],
+    vdd: float,
+    in_rising: bool,
+    out_rising: bool,
+    after: float = 0.0,
+) -> Optional[float]:
+    """50%-to-50% delay from an input edge to the next output edge."""
+    t_in = crossing_time(times, v_in, vdd / 2.0, in_rising, after)
+    if t_in is None:
+        return None
+    t_out = crossing_time(times, v_out, vdd / 2.0, out_rising, t_in)
+    if t_out is None:
+        return None
+    return t_out - t_in
+
+
+def measure_transition(
+    times: Sequence[float],
+    values: Sequence[float],
+    vdd: float,
+    rising: bool,
+    after: float = 0.0,
+) -> Optional[float]:
+    """20%-80% transition time scaled to full swing (divide by 0.6)."""
+    lo, hi = 0.2 * vdd, 0.8 * vdd
+    first, second = (lo, hi) if rising else (hi, lo)
+    t0 = crossing_time(times, values, first, rising, after)
+    if t0 is None:
+        return None
+    t1 = crossing_time(times, values, second, rising, t0)
+    if t1 is None:
+        return None
+    return (t1 - t0) / 0.6

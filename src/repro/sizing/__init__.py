@@ -1,0 +1,74 @@
+"""The SMART sizer: GP solver, path extraction/pruning, constraint
+generation, the Figure-4 refinement engine, and OTB analysis."""
+
+from .constraints import (
+    ConstraintGenerator,
+    ConstraintSet,
+    DelaySpec,
+    NoiseConstraint,
+    SlopeConstraint,
+    TimingConstraint,
+)
+from .engine import IterationRecord, SizingError, SizingResult, SmartSizer
+from .gp import (
+    GeometricProgram,
+    GPConstraint,
+    GPError,
+    GPInfeasibleError,
+    GPSolution,
+)
+from .otb import BorrowRecord, OTBReport, analyze_borrowing
+from .tilos import TilosResult, TilosSizer
+from .paths import (
+    PathExplosionError,
+    PathExtractor,
+    PathStep,
+    StructuralPath,
+    longest_path_length,
+)
+from .pruning import (
+    PruneResult,
+    PruneStats,
+    dominant_stages,
+    path_signature,
+    prune_fanout_dominance,
+    prune_paths,
+    prune_pin_precedence,
+    prune_regularity,
+)
+
+__all__ = [
+    "GeometricProgram",
+    "GPConstraint",
+    "GPSolution",
+    "GPError",
+    "GPInfeasibleError",
+    "PathExtractor",
+    "PathStep",
+    "StructuralPath",
+    "PathExplosionError",
+    "longest_path_length",
+    "prune_paths",
+    "prune_pin_precedence",
+    "prune_fanout_dominance",
+    "prune_regularity",
+    "path_signature",
+    "dominant_stages",
+    "PruneResult",
+    "PruneStats",
+    "ConstraintGenerator",
+    "ConstraintSet",
+    "DelaySpec",
+    "TimingConstraint",
+    "SlopeConstraint",
+    "NoiseConstraint",
+    "SmartSizer",
+    "SizingResult",
+    "SizingError",
+    "IterationRecord",
+    "analyze_borrowing",
+    "OTBReport",
+    "BorrowRecord",
+    "TilosSizer",
+    "TilosResult",
+]

@@ -1,0 +1,506 @@
+"""The SMART sizing engine — the full Figure-4 loop.
+
+    unsized schematic -> path extraction -> pruning -> constraint generation
+    -> GP solve -> netlist update -> timing analysis -> (mismatch?) ->
+    new delay specification -> iterate until convergence
+
+The GP works with frozen input slopes and posynomial component models; the
+static timing analyzer then measures the realized netlist with true slope
+propagation.  When a constrained path's realized delay misses its spec, the
+engine creates a "new delay specification" (Figure 4) for the next GP round by
+scaling that constraint's budget by the observed mismatch, and refreshes the
+frozen slope map from the STA.  Convergence is declared when every realized
+path delay is within ``tolerance`` of its spec — the paper reports solutions
+"within a few pico-seconds" of the original design's timing.
+
+Constraint kinds wired into the GP (Figure 4's constraint taxonomy):
+
+* performance constraints — path delay budgets (data/control/evaluate/
+  precharge/segment);
+* reliability constraints — slope limits on internal and output nets;
+* device size constraints — per-label width bounds from the size table;
+* connectivity constraints — implicit in the netlist (loads are posynomials
+  of exactly the fanout the stage graph records).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Tuple
+
+from ..models.gates import ModelLibrary, Transition
+from ..netlist.circuit import Circuit
+from ..posy import Posynomial, posy_sum
+from ..sim.power import PowerEstimator
+from ..sim.timing import StaticTimingAnalyzer
+from .constraints import ConstraintGenerator, ConstraintSet, DelaySpec
+from .gp import GeometricProgram, GPInfeasibleError
+from .paths import PathExtractor
+from .pruning import PruneResult, prune_paths
+
+
+class SizingError(Exception):
+    """Raised when no feasible sizing exists for the given constraints."""
+
+
+def nominal_delay(
+    circuit,
+    library: ModelLibrary,
+    input_slope: float = 30.0,
+    widths: Optional[Mapping[str, float]] = None,
+) -> float:
+    """Worst output arrival at nominal (geometric-mid) label widths, ps.
+
+    Callers use this to pick *feasible* delay budgets for a topology — e.g.
+    ``spec = DelaySpec(data=0.8 * nominal_delay(c, lib))`` asks SMART to beat
+    the nominal sizing by 20%.
+    """
+    analyzer = StaticTimingAnalyzer(circuit, library)
+    env = dict(widths) if widths else circuit.size_table.default_env()
+    report = analyzer.analyze(env, input_slope=input_slope)
+    return report.worst(circuit.primary_outputs)
+
+
+@dataclass
+class IterationRecord:
+    """One trip around the Figure-4 loop."""
+
+    iteration: int
+    gp_status: str
+    gp_objective: float
+    worst_violation: float
+    worst_constraint: str
+
+
+@dataclass
+class SizingResult:
+    """Outcome of :meth:`SmartSizer.size`."""
+
+    circuit_name: str
+    widths: Dict[str, float]          # free-label assignment (GP variables)
+    resolved: Dict[str, float]        # every label's width
+    converged: bool
+    iterations: int
+    area: float                       # total transistor width, µm
+    clock_load: float                 # gate width on clocks, µm
+    worst_violation: float            # ps over spec (<= tolerance if converged)
+    realized: Dict[str, float]        # constraint name -> realized delay, ps
+    specs: Dict[str, float]           # constraint name -> spec, ps
+    history: List[IterationRecord] = field(default_factory=list)
+    prune_stats: Optional[object] = None
+
+    @property
+    def worst_slack(self) -> float:
+        """Most negative slack across constraints, ps."""
+        return -self.worst_violation
+
+    def realized_delay(self, kind_prefix: Optional[str] = None) -> float:
+        values = [
+            v
+            for name, v in self.realized.items()
+            if kind_prefix is None or name.endswith(kind_prefix)
+        ]
+        return max(values) if values else 0.0
+
+
+def measure_class_delays(
+    circuit,
+    library: ModelLibrary,
+    widths: Mapping[str, float],
+    input_slope: float = 30.0,
+) -> Dict[str, float]:
+    """Worst realized delay per constraint class at a given sizing.
+
+    The Section-6.1 protocol needs "the same topology and performance": SMART
+    is handed, per class (data / control / evaluate / precharge / segment),
+    exactly the delay the original design achieves.  This measures those
+    numbers with the timing analyzer over the same constraint machinery the
+    sizer uses.
+    """
+    from .constraints import ConstraintGenerator, DelaySpec as _Spec
+    from .paths import PathExtractor
+    from .pruning import prune_paths
+
+    analyzer = StaticTimingAnalyzer(circuit, library)
+    extractor = PathExtractor(circuit)
+    if extractor.count() > 20_000:
+        paths = extractor.extract_representative()
+    else:
+        paths = prune_paths(circuit, extractor.extract()).paths
+    generator = ConstraintGenerator(
+        circuit, library, _Spec(data=1.0, input_slope=input_slope)
+    )
+    constraints = generator.generate(paths, {})
+    report = analyzer.analyze(widths, input_slope=input_slope)
+    slopes = {key: event.slope for key, event in report.arrivals.items()}
+    worst: Dict[str, float] = {}
+    for constraint in constraints.timing:
+        measured = analyzer.path_delay(
+            constraint.hops, widths, input_slope=input_slope, net_slopes=slopes
+        )
+        worst[constraint.kind] = max(worst.get(constraint.kind, 0.0), measured)
+    return worst
+
+
+def measure_slopes(
+    circuit,
+    library: ModelLibrary,
+    widths: Mapping[str, float],
+    input_slope: float = 30.0,
+) -> Tuple[float, float]:
+    """(worst output slope, worst internal slope) of a sized circuit, ps.
+
+    The savings protocol hands SMART the *original design's* realized slopes
+    as its reliability limits — same performance, same edge rates."""
+    analyzer = StaticTimingAnalyzer(circuit, library)
+    report = analyzer.analyze(widths, input_slope=input_slope)
+    outputs = set(circuit.primary_outputs)
+    worst_out, worst_int = 0.0, 0.0
+    for (net, _trans), event in report.arrivals.items():
+        if net in outputs:
+            worst_out = max(worst_out, event.slope)
+        elif net not in circuit.primary_inputs:
+            worst_int = max(worst_int, event.slope)
+    return worst_out, worst_int
+
+
+def spec_from_measurement(
+    class_delays: Mapping[str, float],
+    input_slope: float = 30.0,
+    slack: float = 1.0,
+    max_output_slope: float = 150.0,
+    max_internal_slope: float = 350.0,
+    precharge_slack: float = 2.5,
+) -> DelaySpec:
+    """A :class:`DelaySpec` matching a measured design's per-class delays.
+
+    ``slack`` > 1 loosens everything uniformly.  ``precharge_slack`` loosens
+    only the precharge budget: precharge must merely complete within the
+    clock's low phase, so matching the original's (typically over-driven)
+    precharge speed would forbid exactly the precharge downsizing that
+    produces the paper's domino clock-load savings.
+    """
+    if not class_delays:
+        raise ValueError("no measured classes")
+    data = class_delays.get("data", max(class_delays.values()))
+    return DelaySpec(
+        data=data * slack,
+        control=(
+            class_delays["control"] * slack if "control" in class_delays else None
+        ),
+        evaluate=(
+            class_delays["evaluate"] * slack if "evaluate" in class_delays else None
+        ),
+        precharge=(
+            class_delays["precharge"] * slack * precharge_slack
+            if "precharge" in class_delays
+            else None
+        ),
+        phase_budget=(
+            class_delays["segment"] * slack if "segment" in class_delays else None
+        ),
+        input_slope=input_slope,
+        max_output_slope=max_output_slope,
+        max_internal_slope=max_internal_slope,
+    )
+
+
+class SmartSizer:
+    """Automatic transistor sizer for one macro instance.
+
+    Parameters
+    ----------
+    circuit:
+        The unsized (labeled) circuit.
+    library:
+        Component model library (defines the technology).
+    objective:
+        ``"area"`` (total transistor width — the paper's headline metric),
+        ``"power"`` (activity-weighted switched capacitance), ``"clock"``
+        (clock load plus a small area tiebreak), or ``"area+clock"``.
+    otb_borrow:
+        Opportunistic-time-borrowing window in ps for multi-phase domino
+        paths (0 disables OTB).
+    """
+
+    def __init__(
+        self,
+        circuit: Circuit,
+        library: ModelLibrary,
+        objective: str = "area",
+        otb_borrow: float = 0.0,
+        max_paths: int = 2_000_000,
+        enumeration_threshold: int = 20_000,
+        analysis_library: Optional[ModelLibrary] = None,
+        gp_method: str = "slsqp",
+    ):
+        self.circuit = circuit
+        self.library = library
+        self.objective = objective
+        self.otb_borrow = otb_borrow
+        self.max_paths = max_paths
+        #: Above this raw path count, switch from enumerate-then-prune to
+        #: representative extraction (pruning applied during the walk).
+        self.enumeration_threshold = enumeration_threshold
+        #: The "timing analysis tool" may use different (more accurate)
+        #: models than the GP's — the paper's PathMill-vs-posynomial split.
+        #: Defaults to the GP's own library.
+        self.analyzer = StaticTimingAnalyzer(circuit, analysis_library or library)
+        #: Convex solver for the inner GP ("slsqp" or "barrier").
+        self.gp_method = gp_method
+
+    # -- objective -----------------------------------------------------------
+
+    def objective_posynomial(self) -> Posynomial:
+        area = self.circuit.area_posynomial()
+        if self.objective == "area":
+            return area
+        if self.objective == "clock":
+            clock = self.circuit.clock_load_posynomial()
+            if len(clock) == 0:
+                return area
+            return clock + 0.01 * area
+        if self.objective == "area+clock":
+            clock = self.circuit.clock_load_posynomial()
+            return area + clock if len(clock) else area
+        if self.objective == "power":
+            return self._power_posynomial()
+        raise ValueError(f"unknown objective {self.objective!r}")
+
+    def _power_posynomial(self) -> Posynomial:
+        """Activity-weighted switched capacitance (arbitrary consistent
+        units; only relative values matter to the optimum)."""
+        estimator = PowerEstimator(self.circuit, self.library)
+        table = self.circuit.size_table
+        parts: List[Posynomial] = []
+        for net in self.circuit.nets.values():
+            if net.kind.value in ("supply", "ground"):
+                continue
+            activity = estimator.net_activity(net.name)
+            cap = Posynomial.zero()
+            for stage, pin in self.circuit.fanout_of(net.name):
+                cap = cap + self.library.input_cap(stage, pin, table)
+            driver = self.circuit.driver_of(net.name)
+            if driver is not None:
+                cap = cap + self.library.output_parasitic(driver, table)
+            if len(cap):
+                parts.append(activity * cap)
+        total = posy_sum(parts)
+        if len(total) == 0:
+            return self.circuit.area_posynomial()
+        return total
+
+    # -- main entry -----------------------------------------------------------
+
+    def size(
+        self,
+        spec: DelaySpec,
+        tolerance: float = 2.0,
+        max_outer_iterations: int = 8,
+        prune: bool = True,
+        initial: Optional[Mapping[str, float]] = None,
+    ) -> SizingResult:
+        """Run the Figure-4 loop to convergence.
+
+        Raises :class:`SizingError` when the GP is infeasible at the original
+        spec (the topology cannot meet the constraints at any size).
+        """
+        from .pruning import PruneStats
+
+        extractor = PathExtractor(self.circuit, max_paths=self.max_paths)
+        raw_count = extractor.count()
+        if prune and raw_count > self.enumeration_threshold:
+            representative = extractor.extract_representative()
+            prune_result = PruneResult(
+                paths=representative,
+                stats=PruneStats(
+                    initial=raw_count,
+                    after_precedence=raw_count,
+                    after_dominance=len(representative),
+                    after_regularity=len(representative),
+                ),
+            )
+        elif prune:
+            prune_result = prune_paths(self.circuit, extractor.extract())
+        else:
+            raw_paths = extractor.extract()
+            prune_result = PruneResult(
+                paths=list(raw_paths),
+                stats=PruneStats(
+                    len(raw_paths), len(raw_paths), len(raw_paths), len(raw_paths)
+                ),
+            )
+
+        generator = ConstraintGenerator(
+            self.circuit, self.library, spec, otb_borrow=self.otb_borrow
+        )
+        slope_map: Dict[str, float] = {}
+        multipliers: Dict[str, float] = {}
+        env: Optional[Dict[str, float]] = dict(initial) if initial else None
+        history: List[IterationRecord] = []
+        constraints = generator.generate(prune_result.paths, slope_map)
+        if not constraints.timing:
+            raise SizingError(
+                f"{self.circuit.name}: no timing constraints were generated"
+            )
+
+        realized: Dict[str, float] = {}
+        worst_violation = math.inf
+        worst_name = ""
+        converged = False
+        damping = 1.0
+
+        for iteration in range(max_outer_iterations):
+            gp = self._build_gp(constraints, multipliers)
+            try:
+                solution = gp.solve(
+                    initial=env or self.circuit.size_table.default_env(),
+                    method=self.gp_method,
+                )
+            except GPInfeasibleError as exc:
+                if iteration == 0:
+                    raise SizingError(
+                        f"{self.circuit.name}: constraints infeasible at spec "
+                        f"{spec.data:.1f} ps ({exc})"
+                    ) from exc
+                # A retargeted budget over-tightened: halve the mismatch
+                # correction and try again.
+                damping *= 0.5
+                multipliers = {
+                    name: 1.0 - (1.0 - mult) * 0.5
+                    for name, mult in multipliers.items()
+                }
+                history.append(
+                    IterationRecord(
+                        iteration=iteration,
+                        gp_status="infeasible-retarget",
+                        gp_objective=float("nan"),
+                        worst_violation=worst_violation,
+                        worst_constraint=worst_name,
+                    )
+                )
+                continue
+            if solution.status == "infeasible" and iteration == 0:
+                raise SizingError(
+                    f"{self.circuit.name}: constraints infeasible at spec "
+                    f"{spec.data:.1f} ps (GP reported {solution.message})"
+                )
+            env = solution.env
+
+            report = self.analyzer.analyze(env, input_slope=spec.input_slope)
+            slope_map = self._slope_map(report)
+
+            realized = {}
+            worst_violation = -math.inf
+            worst_name = ""
+            for constraint in constraints.timing:
+                measured = self.analyzer.path_delay(
+                    constraint.hops,
+                    env,
+                    input_slope=spec.input_slope,
+                    net_slopes=slope_map,
+                )
+                realized[constraint.name] = measured
+                violation = measured - constraint.spec
+                if violation > worst_violation:
+                    worst_violation = violation
+                    worst_name = constraint.name
+
+            history.append(
+                IterationRecord(
+                    iteration=iteration,
+                    gp_status=solution.status,
+                    gp_objective=solution.objective,
+                    worst_violation=worst_violation,
+                    worst_constraint=worst_name,
+                )
+            )
+
+            if worst_violation <= tolerance:
+                converged = True
+                break
+            if (
+                len(history) >= 2
+                and history[-2].gp_status == "optimal"
+                and abs(history[-2].worst_violation - worst_violation) < 0.1
+            ):
+                # Stalled at a floor the models agree on: the spec is not
+                # reachable for this topology; report honestly.
+                break
+
+            multipliers = self._retarget(
+                constraints, realized, env, damping
+            )
+
+        resolved = self.circuit.size_table.resolve(env)
+        return SizingResult(
+            circuit_name=self.circuit.name,
+            widths=dict(env),
+            resolved=resolved,
+            converged=converged,
+            iterations=len(history),
+            area=self.circuit.total_width(resolved),
+            clock_load=self.circuit.clock_load_width(resolved),
+            worst_violation=max(0.0, worst_violation),
+            realized=realized,
+            specs={c.name: c.spec for c in constraints.timing},
+            history=history,
+            prune_stats=prune_result.stats,
+        )
+
+    # -- helpers -----------------------------------------------------------------
+
+    def _build_gp(
+        self, constraints: ConstraintSet, multipliers: Mapping[str, float]
+    ) -> GeometricProgram:
+        gp = GeometricProgram(self.objective_posynomial())
+        for constraint in constraints.timing:
+            budget = constraint.spec * multipliers.get(constraint.name, 1.0)
+            gp.add_upper_bound(constraint.delay, budget, constraint.name)
+        for slope in constraints.slopes:
+            gp.add_upper_bound(slope.slope, slope.limit, slope.name)
+        for noise in constraints.noise:
+            gp.add_inequality(noise.expr, noise.name)
+        for size_var in self.circuit.size_table:
+            if size_var.free:
+                gp.set_bounds(size_var.name, size_var.lower, size_var.upper)
+        return gp
+
+    def _slope_map(self, report) -> Dict[Tuple[str, Transition], float]:
+        """Worst measured slope per (net, transition) — keyed by transition
+        so that e.g. a lazy precharge edge cannot poison the evaluate edge of
+        the same net."""
+        return {
+            key: event.slope for key, event in report.arrivals.items()
+        }
+
+    def _retarget(
+        self,
+        constraints: ConstraintSet,
+        realized: Mapping[str, float],
+        env: Mapping[str, float],
+        damping: float,
+    ) -> Dict[str, float]:
+        """The "create new delay specification" box.
+
+        With slope-refreshed models, the GP prediction and the STA measurement
+        of a path differ only by residual model error ``delta``; the next GP
+        round gets budget ``spec - damping*delta`` so that meeting the model
+        budget means meeting the true spec.  Multipliers are recomputed fresh
+        each iteration (not accumulated) because the constraint set itself is
+        regenerated with the new slopes.
+        """
+        multipliers: Dict[str, float] = {}
+        for constraint in constraints.timing:
+            measured = realized.get(constraint.name)
+            if measured is None or measured <= 0:
+                continue
+            predicted = constraint.delay.evaluate(env)
+            delta = measured - predicted
+            if abs(delta) < 1e-9:
+                continue
+            target = constraint.spec - damping * delta
+            mult = target / constraint.spec
+            multipliers[constraint.name] = min(1.5, max(0.3, mult))
+        return multipliers

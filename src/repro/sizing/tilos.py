@@ -1,0 +1,170 @@
+"""TILOS-style iterative sensitivity sizer (the paper's reference [1]).
+
+Fishburn & Dunlop's classic heuristic: start every transistor at minimum
+size, then repeatedly upsize the device with the best delay-improvement per
+unit of added width on the critical path, until timing is met or no move
+helps.  SMART's Section 5 positions its GP sizer *against* this tradition:
+"It is not aimed as a traditional general sizer [1-5] that gives reasonable
+results for all kinds of circuits, but may or may not meet the specified
+constraints all the time."
+
+We implement the tradition faithfully enough to compare:
+
+* greedy, one label at a time, multiplicative steps;
+* driven by the worst *output arrival* only — slope, noise, and per-class
+  (control/precharge) budgets are invisible to it, exactly the blind spots
+  the SMART constraint generator closes;
+* terminates on spec-met, no-improving-move, or an iteration cap.
+
+The sizer-comparison benchmark measures both quality and the constraint
+classes TILOS silently violates.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Tuple
+
+from ..models.gates import ModelLibrary
+from ..netlist.circuit import Circuit
+from ..sim.timing import StaticTimingAnalyzer
+
+
+@dataclass
+class TilosResult:
+    """Outcome of the iterative sizing."""
+
+    widths: Dict[str, float]
+    resolved: Dict[str, float]
+    met: bool
+    realized_delay: float
+    area: float
+    iterations: int
+    runtime_s: float
+
+
+class TilosSizer:
+    """Greedy sensitivity-based upsizing to a single delay target."""
+
+    def __init__(
+        self,
+        circuit: Circuit,
+        library: ModelLibrary,
+        step: float = 1.15,
+        max_iterations: int = 2000,
+    ):
+        if step <= 1.0:
+            raise ValueError("step must exceed 1.0")
+        self.circuit = circuit
+        self.library = library
+        self.step = step
+        self.max_iterations = max_iterations
+        self.analyzer = StaticTimingAnalyzer(circuit, library)
+
+    # -- internals ---------------------------------------------------------
+
+    def _delay(self, widths: Mapping[str, float], input_slope: float) -> float:
+        report = self.analyzer.analyze(widths, input_slope=input_slope)
+        return report.worst(self.circuit.primary_outputs)
+
+    def _critical_labels(
+        self, widths: Mapping[str, float], input_slope: float
+    ) -> List[str]:
+        """Free labels of stages on (or loading) the worst path."""
+        report = self.analyzer.analyze(widths, input_slope=input_slope)
+        worst_net = max(
+            self.circuit.primary_outputs,
+            key=lambda n: report.net_delay(n),
+        )
+        labels: List[str] = []
+        seen = set()
+        for event in report.critical_path(worst_net):
+            if event.from_stage is None:
+                continue
+            stage = self.circuit.stage(event.from_stage)
+            for label in stage.size_vars.values():
+                if label in seen:
+                    continue
+                seen.add(label)
+                if self.circuit.size_table[label].free:
+                    labels.append(label)
+        return labels
+
+    # -- main entry ---------------------------------------------------------
+
+    def size(
+        self,
+        target_delay: float,
+        input_slope: float = 30.0,
+    ) -> TilosResult:
+        """Upsize from minimum widths until ``target_delay`` is met."""
+        started = time.perf_counter()
+        table = self.circuit.size_table
+        widths = table.minimum_env()
+        delay = self._delay(widths, input_slope)
+        iterations = 0
+
+        while delay > target_delay and iterations < self.max_iterations:
+            iterations += 1
+            candidates = self._critical_labels(widths, input_slope)
+            if not candidates:
+                break
+            best_label: Optional[str] = None
+            best_score = 0.0
+            best_delay = delay
+            for label in candidates:
+                var = table[label]
+                grown = min(var.upper, widths[label] * self.step)
+                if grown <= widths[label] * 1.0001:
+                    continue  # already at the rail
+                trial = dict(widths)
+                trial[label] = grown
+                trial_delay = self._delay(trial, input_slope)
+                d_delay = delay - trial_delay
+                d_area = self.circuit.total_width(
+                    table.resolve(trial)
+                ) - self.circuit.total_width(table.resolve(widths))
+                if d_delay <= 0.0 or d_area <= 0.0:
+                    continue
+                score = d_delay / d_area
+                if score > best_score:
+                    best_score = score
+                    best_label = label
+                    best_delay = trial_delay
+            if best_label is None:
+                # Single-device myopia: every individual bump loses to the
+                # upstream load it adds.  Fall back to the path move —
+                # scale every critical-path label together.
+                trial = dict(widths)
+                moved = False
+                for label in candidates:
+                    var = table[label]
+                    grown = min(var.upper, trial[label] * self.step)
+                    if grown > trial[label] * 1.0001:
+                        trial[label] = grown
+                        moved = True
+                if not moved:
+                    break  # everything at the rails
+                trial_delay = self._delay(trial, input_slope)
+                if trial_delay >= delay:
+                    break  # genuinely stuck: report failure (the classic
+                           # TILOS outcome the paper criticizes)
+                widths = trial
+                delay = trial_delay
+                continue
+            widths[best_label] = min(
+                table[best_label].upper, widths[best_label] * self.step
+            )
+            delay = best_delay
+
+        resolved = table.resolve(widths)
+        return TilosResult(
+            widths=dict(widths),
+            resolved=resolved,
+            met=delay <= target_delay,
+            realized_delay=delay,
+            area=self.circuit.total_width(resolved),
+            iterations=iterations,
+            runtime_s=time.perf_counter() - started,
+        )

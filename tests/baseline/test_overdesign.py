@@ -1,0 +1,71 @@
+"""Over-design baseline sizer tests."""
+
+import pytest
+
+from repro.baseline import OverdesignSizer
+from repro.macros import MacroSpec
+from repro.sim import StaticTimingAnalyzer
+
+
+class TestBasics:
+    def test_invalid_margin(self, small_mux, library):
+        with pytest.raises(ValueError):
+            OverdesignSizer(small_mux, library, margin=0.0)
+
+    def test_result_fields(self, small_mux, library):
+        result = OverdesignSizer(small_mux, library).size()
+        assert result.area > 0
+        assert result.realized_delay > 0
+        assert set(result.widths) == set(small_mux.size_table.free_names())
+        assert set(result.resolved) == set(small_mux.size_table.names())
+
+    def test_widths_within_bounds(self, small_mux, library):
+        result = OverdesignSizer(small_mux, library).size()
+        for name, width in result.widths.items():
+            var = small_mux.size_table[name]
+            assert var.lower <= width <= var.upper
+
+    def test_realized_delay_matches_sta(self, small_mux, library):
+        result = OverdesignSizer(small_mux, library).size()
+        report = StaticTimingAnalyzer(small_mux, library).analyze(result.widths)
+        assert report.worst(small_mux.primary_outputs) == pytest.approx(
+            result.realized_delay
+        )
+
+
+class TestOverdesignCharacter:
+    def test_larger_margin_more_area(self, small_mux, library):
+        lean = OverdesignSizer(small_mux, library, margin=1.0).size()
+        fat = OverdesignSizer(small_mux, library, margin=2.0).size()
+        assert fat.area > lean.area
+
+    def test_larger_margin_not_slower(self, small_mux, library):
+        lean = OverdesignSizer(small_mux, library, margin=1.0).size()
+        fat = OverdesignSizer(small_mux, library, margin=2.0).size()
+        assert fat.realized_delay <= lean.realized_delay * 1.05
+
+    def test_symmetric_pn_habit(self, inverter_chain, library):
+        result = OverdesignSizer(inverter_chain, library).size()
+        beta = library.tech.beta
+        # Each stage's P/N ratio follows the mobility ratio.
+        for stage_idx in range(3):
+            wp = result.resolved[f"P{stage_idx}"]
+            wn = result.resolved[f"N{stage_idx}"]
+            if wn > library.tech.min_width * 1.01:
+                assert wp / wn == pytest.approx(beta, rel=0.05)
+
+    def test_domino_full_strength_clock_devices(self, domino_mux, library):
+        result = OverdesignSizer(domino_mux, library).size()
+        assert result.clock_load > 0
+        # Precharge is at least as big as the data devices, foot bigger.
+        assert result.resolved["P1"] >= result.resolved["N1"]
+        assert result.resolved["N2"] > result.resolved["N1"]
+
+    def test_shared_labels_take_worst_case(self, database, library, tech):
+        """In a strong mux all pass gates share N2; its width must serve the
+        worst-loaded instance."""
+        mux = database.generate(
+            "mux/strong_mutex_passgate", MacroSpec("mux", 8, output_load=60.0), tech
+        )
+        result = OverdesignSizer(mux, library).size()
+        assert result.resolved["N2"] > library.tech.min_width

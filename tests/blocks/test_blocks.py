@@ -1,0 +1,101 @@
+"""Functional-block substrate tests (Section 6.4 / Table 2)."""
+
+import pytest
+
+from repro.blocks import (
+    BlockDesign,
+    MacroInstanceSpec,
+    build_block,
+    reduce_block_power,
+)
+from repro.macros import MacroSpec
+
+
+@pytest.fixture(scope="module")
+def small_block(library):
+    menu = [
+        MacroInstanceSpec(
+            "mux/unsplit_domino", MacroSpec("mux", 8, output_load=30.0), count=2
+        ),
+        MacroInstanceSpec(
+            "zero_detect/static_tree", MacroSpec("zero_detect", 16), count=1
+        ),
+    ]
+    return build_block(
+        "blk_test", menu, macro_width_fraction=0.3, library=library, seed=7
+    )
+
+
+class TestBuildBlock:
+    def test_macro_fraction_hits_target(self, small_block):
+        assert small_block.macro_width_fraction == pytest.approx(0.3, abs=0.06)
+
+    def test_counts_respected(self, small_block):
+        assert sum(m.count for m in small_block.macros) == 3
+
+    def test_transistor_count_positive(self, small_block):
+        assert small_block.transistor_count() > 100
+
+    def test_power_components(self, small_block):
+        assert small_block.macro_power() > 0
+        assert small_block.random_power() > 0
+        assert small_block.total_power() == pytest.approx(
+            small_block.macro_power() + small_block.random_power()
+        )
+
+    def test_power_fraction_exceeds_width_fraction_with_domino(self, small_block):
+        """Domino macros switch more than random static logic, so their power
+        share exceeds their width share — the paper's 22% width / 36% power
+        asymmetry."""
+        assert small_block.macro_power_fraction() > small_block.macro_width_fraction
+
+    def test_invalid_fraction(self, library):
+        with pytest.raises(ValueError):
+            build_block("x", [], macro_width_fraction=1.5, library=library)
+
+    def test_deterministic_by_seed(self, library):
+        menu = [
+            MacroInstanceSpec("mux/tristate", MacroSpec("mux", 4), count=1)
+        ]
+        a = build_block("a", menu, 0.4, library=library, seed=3)
+        b = build_block("b", menu, 0.4, library=library, seed=3)
+        assert a.random_width == pytest.approx(b.random_width)
+
+
+class TestPowerReduction:
+    @pytest.fixture(scope="class")
+    def reduced(self, small_block):
+        return reduce_block_power(small_block)
+
+    def test_block_saving_positive(self, reduced):
+        assert reduced.power_saving > 0.0
+
+    def test_no_performance_penalty(self, reduced):
+        assert reduced.no_performance_penalty
+
+    def test_random_logic_untouched(self, small_block, reduced):
+        assert reduced.random_power == pytest.approx(small_block.random_power())
+        assert reduced.random_width == pytest.approx(small_block.random_width)
+
+    def test_savings_bounded_by_macro_share(self, small_block, reduced):
+        """Block savings can never exceed the macros' power share."""
+        assert reduced.power_saving <= small_block.macro_power_fraction() + 1e-9
+
+    def test_per_macro_records(self, reduced):
+        for record in reduced.macros:
+            assert record.power_after <= record.power_before
+            assert record.width_before > 0
+
+    def test_higher_macro_fraction_saves_more(self, library):
+        menu = [
+            MacroInstanceSpec(
+                "mux/unsplit_domino", MacroSpec("mux", 8, output_load=30.0), count=1
+            ),
+        ]
+        lean = reduce_block_power(
+            build_block("lean", menu, 0.15, library=library, seed=5)
+        )
+        rich = reduce_block_power(
+            build_block("rich", menu, 0.6, library=library, seed=5)
+        )
+        assert rich.power_saving > lean.power_saving

@@ -1,0 +1,73 @@
+"""Single-netlist block view tests (the literal Section-6.4 block)."""
+
+import pytest
+
+from repro.blocks import MacroInstanceSpec, build_block
+from repro.macros import MacroSpec
+from repro.netlist import export_circuit, read_spice, validate_circuit
+from repro.sim import PowerEstimator, StaticTimingAnalyzer
+
+
+@pytest.fixture(scope="module")
+def block(library):
+    menu = [
+        MacroInstanceSpec(
+            "mux/unsplit_domino", MacroSpec("mux", 8, output_load=30.0), count=2
+        ),
+        MacroInstanceSpec(
+            "zero_detect/static_tree", MacroSpec("zero_detect", 8), count=1
+        ),
+    ]
+    return build_block("merged", menu, 0.35, library=library, seed=13)
+
+
+@pytest.fixture(scope="module")
+def merged(block):
+    return block.merged_circuit()
+
+
+class TestMergedCircuit:
+    def test_validates(self, merged):
+        report = validate_circuit(merged)
+        assert report.ok, report.errors
+
+    def test_transistor_count_matches_composition(self, block, merged):
+        assert merged.transistor_count() == block.transistor_count()
+
+    def test_single_shared_clock(self, merged):
+        assert merged.clock_nets() == ["clk"]
+
+    def test_instances_namespaced(self, merged):
+        names = {s.name for s in merged.stages}
+        assert any(n.startswith("unsplit_domino_m0_0/") for n in names)
+        assert any(n.startswith("unsplit_domino_m0_1/") for n in names)
+        assert any(n.startswith("ctrl") for n in names)
+
+    def test_replicas_have_independent_labels(self, block, merged):
+        widths = block.merged_widths()
+        assert "unsplit_domino_m0_0/P1" in widths
+        assert "unsplit_domino_m0_1/P1" in widths
+
+    def test_widths_cover_every_label(self, block, merged):
+        widths = block.merged_widths()
+        free = set(merged.size_table.free_names())
+        assert free <= set(widths)
+
+    def test_sta_runs_on_block(self, block, merged, library):
+        report = StaticTimingAnalyzer(merged, library).analyze(
+            block.merged_widths()
+        )
+        assert report.worst(merged.primary_outputs) > 0
+
+    def test_power_consistent_with_composition(self, block, merged, library):
+        merged_power = PowerEstimator(merged, library).estimate(
+            block.merged_widths()
+        ).total
+        composed = block.total_power()
+        assert merged_power == pytest.approx(composed, rel=0.05)
+
+    def test_spice_export_roundtrip(self, block, merged):
+        deck = export_circuit(merged, block.merged_widths())
+        parsed = read_spice(deck)
+        (name,) = parsed
+        assert len(parsed[name]) == merged.transistor_count()

@@ -1,0 +1,54 @@
+"""Shared fixtures: technology, model library, database, small circuits."""
+
+import pytest
+
+from repro.macros import MacroSpec, default_database
+from repro.macros.base import MacroBuilder
+from repro.models import ModelLibrary, Technology
+
+
+@pytest.fixture(scope="session")
+def tech():
+    return Technology()
+
+@pytest.fixture(scope="session")
+def library(tech):
+    return ModelLibrary(tech)
+
+
+@pytest.fixture(scope="session")
+def database():
+    return default_database()
+
+
+@pytest.fixture
+def inverter_chain(tech):
+    """A 3-stage inverter chain: in -> n1 -> n2 -> out (20 fF load)."""
+    builder = MacroBuilder("invchain", tech)
+    a = builder.input("in")
+    n1 = builder.wire("n1")
+    n2 = builder.wire("n2")
+    out = builder.output("out", load=20.0)
+    builder.size("P0"), builder.size("N0")
+    builder.size("P1"), builder.size("N1")
+    builder.size("P2"), builder.size("N2")
+    builder.inv("i0", a, n1, "P0", "N0")
+    builder.inv("i1", n1, n2, "P1", "N1")
+    builder.inv("i2", n2, out, "P2", "N2")
+    return builder.done()
+
+
+@pytest.fixture
+def small_mux(database, tech):
+    """A 4:1 strongly-mutexed pass-gate mux with 30 fF output load."""
+    return database.generate(
+        "mux/strong_mutex_passgate", MacroSpec("mux", 4, output_load=30.0), tech
+    )
+
+
+@pytest.fixture
+def domino_mux(database, tech):
+    """An 8:1 un-split domino mux."""
+    return database.generate(
+        "mux/unsplit_domino", MacroSpec("mux", 8, output_load=30.0), tech
+    )

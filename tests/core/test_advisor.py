@@ -1,0 +1,142 @@
+"""SMART advisor (Figure-1 flow) tests."""
+
+import pytest
+
+from repro import DesignConstraints, MacroSpec, SmartAdvisor
+from repro.core.advisor import PRUNE_FACTOR
+from repro.sizing.engine import nominal_delay
+
+
+@pytest.fixture(scope="module")
+def advisor():
+    return SmartAdvisor()
+
+
+class TestAdvise:
+    def test_mux_report_ranks_candidates(self, advisor):
+        report = advisor.advise(
+            MacroSpec("mux", 4, output_load=30.0),
+            DesignConstraints(delay=400.0, cost="area"),
+        )
+        assert report.candidates
+        assert report.best is not None
+        ranked = report.ranked()
+        feasible = [c for c in ranked if c.feasible and c.converged]
+        costs = [c.cost.scalar for c in feasible]
+        assert costs == sorted(costs)
+
+    def test_best_is_lowest_cost(self, advisor):
+        report = advisor.advise(
+            MacroSpec("mux", 4, output_load=30.0),
+            DesignConstraints(delay=400.0, cost="area"),
+        )
+        best = report.best
+        for cand in report.feasible:
+            assert best.cost.scalar <= cand.cost.scalar
+
+    def test_impossible_budget_all_infeasible(self, advisor):
+        report = advisor.advise(
+            MacroSpec("mux", 4, output_load=30.0),
+            DesignConstraints(delay=3.0, cost="area"),
+        )
+        assert report.best is None
+
+    def test_explicit_topology_list(self, advisor):
+        report = advisor.advise(
+            MacroSpec("mux", 4, output_load=30.0),
+            DesignConstraints(delay=400.0),
+            topologies=["mux/strong_mutex_passgate", "mux/tristate"],
+        )
+        assert {c.topology for c in report.candidates} == {
+            "mux/strong_mutex_passgate",
+            "mux/tristate",
+        }
+
+    def test_render_mentions_all_candidates(self, advisor):
+        report = advisor.advise(
+            MacroSpec("mux", 4, output_load=30.0),
+            DesignConstraints(delay=400.0),
+        )
+        text = report.render()
+        for cand in report.candidates:
+            assert cand.topology in text
+        assert "best:" in text
+
+    def test_clock_metric_prefers_static_mux(self, advisor):
+        """At a relaxed delay, clock-load cost must never pick a domino mux
+        over a clock-free pass-gate mux."""
+        report = advisor.advise(
+            MacroSpec("mux", 4, output_load=30.0),
+            DesignConstraints(delay=500.0, cost="clock"),
+        )
+        assert report.best is not None
+        assert "domino" not in report.best.topology
+
+
+class TestPruning:
+    def test_quick_estimate_positive(self, advisor, small_mux):
+        estimate = advisor.quick_delay_estimate(
+            small_mux, DesignConstraints(delay=100.0)
+        )
+        assert estimate > 0
+
+    def test_hopeless_topology_pruned_without_sizing(self, advisor, library):
+        """A budget far below nominal/PRUNE_FACTOR skips the sizer."""
+        spec = MacroSpec("mux", 8, output_load=30.0)
+        circuit = advisor.database.generate("mux/weak_mutex_passgate", spec, advisor.tech)
+        nominal = nominal_delay(circuit, library)
+        budget = nominal / PRUNE_FACTOR / 2.0
+        report = advisor.advise(
+            spec,
+            DesignConstraints(delay=budget),
+            topologies=["mux/weak_mutex_passgate"],
+        )
+        (cand,) = report.candidates
+        assert not cand.feasible
+        assert "pruned" in cand.reason or "infeasible" in cand.reason
+
+
+class TestDesignerControls:
+    def test_pinned_sizes_respected(self, advisor):
+        constraints = DesignConstraints(
+            delay=400.0, pinned_sizes={"P3": 15.0}
+        )
+        circuit, result = advisor.size_topology(
+            "mux/strong_mutex_passgate",
+            MacroSpec("mux", 4, output_load=30.0),
+            constraints,
+        )
+        assert result.resolved["P3"] == pytest.approx(15.0)
+
+    def test_size_topology_returns_circuit_and_result(self, advisor):
+        circuit, result = advisor.size_topology(
+            "mux/tristate",
+            MacroSpec("mux", 4, output_load=30.0),
+            DesignConstraints(delay=400.0),
+        )
+        assert circuit.name.startswith("mux4")
+        assert result.converged
+
+
+class TestConstraintsValidation:
+    def test_bad_cost_rejected(self):
+        with pytest.raises(ValueError):
+            DesignConstraints(delay=100.0, cost="speed")
+
+    def test_bad_delay_rejected(self):
+        with pytest.raises(ValueError):
+            DesignConstraints(delay=0.0)
+
+    def test_scaled(self):
+        c = DesignConstraints(delay=100.0, control_delay=120.0).scaled(1.5)
+        assert c.delay == 150.0
+        assert c.control_delay == 180.0
+
+    def test_to_delay_spec_roundtrip(self):
+        c = DesignConstraints(
+            delay=100.0, evaluate_delay=90.0, otb_borrow=25.0, input_slope=20.0
+        )
+        spec = c.to_delay_spec()
+        assert spec.data == 100.0
+        assert spec.evaluate == 90.0
+        assert spec.input_slope == 20.0

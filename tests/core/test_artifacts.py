@@ -1,0 +1,97 @@
+"""Sizing-artifact round-trip tests."""
+
+import json
+
+import pytest
+
+from repro.core.artifacts import (
+    ArtifactError,
+    apply_sizing,
+    load_sizing,
+    save_sizing,
+    spec_from_payload,
+)
+from repro.macros import MacroSpec
+from repro.sim import StaticTimingAnalyzer
+from repro.sizing import DelaySpec, SmartSizer
+from repro.sizing.engine import nominal_delay
+
+
+@pytest.fixture
+def sized(small_mux, library):
+    spec = DelaySpec(data=nominal_delay(small_mux, library))
+    result = SmartSizer(small_mux, library).size(spec)
+    return small_mux, spec, result
+
+
+class TestRoundTrip:
+    def test_save_load_apply(self, sized, tmp_path, database, tech, library):
+        circuit, spec, result = sized
+        path = tmp_path / "mux4.sizing.json"
+        save_sizing(str(path), circuit, result, spec)
+
+        payload = load_sizing(str(path))
+        assert payload["circuit"] == circuit.name
+        assert payload["result"]["converged"]
+
+        # A freshly generated identical macro accepts the artifact and times
+        # identically.
+        fresh = database.generate(
+            "mux/strong_mutex_passgate", MacroSpec("mux", 4, output_load=30.0), tech
+        )
+        widths = apply_sizing(fresh, payload)
+        t_orig = StaticTimingAnalyzer(circuit, library).analyze(
+            result.resolved
+        ).worst(circuit.primary_outputs)
+        t_fresh = StaticTimingAnalyzer(fresh, library).analyze(widths).worst(
+            fresh.primary_outputs
+        )
+        assert t_fresh == pytest.approx(t_orig, rel=1e-9)
+
+    def test_spec_round_trip(self, sized, tmp_path):
+        circuit, spec, result = sized
+        path = tmp_path / "a.json"
+        save_sizing(str(path), circuit, result, spec)
+        loaded = spec_from_payload(load_sizing(str(path)))
+        assert loaded.data == pytest.approx(spec.data)
+        assert loaded.input_slope == spec.input_slope
+
+    def test_spec_absent(self, sized, tmp_path):
+        circuit, _spec, result = sized
+        path = tmp_path / "b.json"
+        save_sizing(str(path), circuit, result)
+        assert spec_from_payload(load_sizing(str(path))) is None
+
+
+class TestValidation:
+    def test_wrong_format_rejected(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"format": "something-else"}))
+        with pytest.raises(ArtifactError):
+            load_sizing(str(path))
+
+    def test_missing_widths_rejected(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"format": "smart-sizing/1"}))
+        with pytest.raises(ArtifactError):
+            load_sizing(str(path))
+
+    def test_label_mismatch_rejected(self, sized, tmp_path, database, tech):
+        circuit, spec, result = sized
+        path = tmp_path / "c.json"
+        save_sizing(str(path), circuit, result, spec)
+        payload = load_sizing(str(path))
+        other = database.generate(
+            "mux/tristate", MacroSpec("mux", 4, output_load=30.0), tech
+        )
+        with pytest.raises(ArtifactError):
+            apply_sizing(other, payload)
+
+    def test_out_of_bounds_rejected(self, sized, tmp_path):
+        circuit, spec, result = sized
+        path = tmp_path / "d.json"
+        save_sizing(str(path), circuit, result, spec)
+        payload = load_sizing(str(path))
+        payload["widths"]["N2"] = 1e9
+        with pytest.raises(ArtifactError):
+            apply_sizing(circuit, payload)

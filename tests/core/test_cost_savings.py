@@ -1,0 +1,92 @@
+"""Cost metric and Section-6.1 savings-protocol tests."""
+
+import pytest
+
+from repro.core.cost import CostBreakdown, evaluate_cost
+from repro.core.savings import macro_savings, measure_and_resize
+from repro.macros import MacroSpec
+
+
+class TestCostBreakdown:
+    def test_evaluate_cost_metrics(self, small_mux, library):
+        env = small_mux.size_table.default_env()
+        area = evaluate_cost(small_mux, library, env, "area")
+        power = evaluate_cost(small_mux, library, env, "power")
+        clock = evaluate_cost(small_mux, library, env, "clock")
+        assert area.scalar == area.area
+        assert power.scalar == power.power
+        assert clock.scalar == clock.clock_load == 0.0  # static mux
+
+    def test_area_plus_clock(self, domino_mux, library):
+        env = domino_mux.size_table.default_env()
+        combo = evaluate_cost(domino_mux, library, env, "area+clock")
+        assert combo.scalar == pytest.approx(combo.area + combo.clock_load)
+
+    def test_unknown_metric(self, small_mux, library):
+        with pytest.raises(ValueError):
+            evaluate_cost(small_mux, library,
+                          small_mux.size_table.default_env(), "speed")
+
+    def test_normalized_to(self):
+        a = CostBreakdown(area=50.0, clock_load=10.0, power=200.0, scalar=50.0)
+        b = CostBreakdown(area=100.0, clock_load=20.0, power=400.0, scalar=100.0)
+        n = a.normalized_to(b)
+        assert n.area == pytest.approx(0.5)
+        assert n.power == pytest.approx(0.5)
+
+    def test_normalized_zero_handling(self):
+        a = CostBreakdown(area=1.0, clock_load=0.0, power=1.0, scalar=1.0)
+        b = CostBreakdown(area=1.0, clock_load=0.0, power=1.0, scalar=1.0)
+        assert a.normalized_to(b).clock_load == pytest.approx(1.0)
+
+
+class TestSavingsProtocol:
+    @pytest.fixture(scope="class")
+    def mux_result(self, database, library):
+        return macro_savings(
+            database,
+            "mux/strong_mutex_passgate",
+            MacroSpec("mux", 6, output_load=40.0),
+            library,
+        )
+
+    def test_smart_meets_baseline_timing(self, mux_result):
+        assert mux_result.timing_met
+
+    def test_positive_width_saving(self, mux_result):
+        assert 0.0 < mux_result.width_saving < 0.9
+
+    def test_normalized_width_complementary(self, mux_result):
+        assert mux_result.normalized_width == pytest.approx(
+            1.0 - mux_result.width_saving
+        )
+
+    def test_static_macro_no_clock_saving(self, mux_result):
+        assert mux_result.clock_saving == 0.0
+
+    def test_domino_clock_saving_positive(self, database, library):
+        result = macro_savings(
+            database,
+            "mux/partitioned_domino",
+            MacroSpec("mux", 8, output_load=30.0),
+            library,
+            objective="area+clock",
+        )
+        assert result.timing_met
+        assert result.clock_saving > 0.0
+        assert result.width_saving > 0.15
+
+    def test_margin_increases_savings(self, database, library):
+        spec = MacroSpec("zero_detect", 16, output_load=20.0)
+        lean = macro_savings(
+            database, "zero_detect/static_tree", spec, library, margin=1.1
+        )
+        fat = macro_savings(
+            database, "zero_detect/static_tree", spec, library, margin=1.8
+        )
+        assert fat.width_saving > lean.width_saving
+
+    def test_measure_and_resize_on_prebuilt_circuit(self, small_mux, library):
+        result = measure_and_resize(small_mux, library, topology="custom")
+        assert result.topology == "custom"
+        assert result.smart.converged

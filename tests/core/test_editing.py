@@ -1,0 +1,99 @@
+"""Macro editing tests: condition logic merge, size pinning, load retarget."""
+
+import pytest
+
+from repro.core.editing import (
+    merge_condition_gate,
+    pin_sizes,
+    retarget_load,
+    unpin_sizes,
+)
+from repro.macros import MacroSpec
+from repro.netlist import StageKind, validate_circuit
+from repro.sizing import DelaySpec, SmartSizer
+from repro.sizing.engine import nominal_delay
+
+
+@pytest.fixture
+def mux(database, tech):
+    return database.generate(
+        "mux/strong_mutex_passgate", MacroSpec("mux", 4, output_load=30.0), tech
+    )
+
+
+class TestMergeConditionGate:
+    def test_nand_merge(self, mux):
+        stage = merge_condition_gate(
+            mux, "s0", "nand", ["cond_a", "cond_b"], "PC", "NC"
+        )
+        assert stage.kind is StageKind.NAND
+        assert "s0" not in mux.primary_inputs
+        assert "cond_a" in mux.primary_inputs
+        assert validate_circuit(mux).ok
+
+    def test_merged_macro_still_sizes(self, mux, library):
+        merge_condition_gate(mux, "s0", "nand", ["ca", "cb"], "PC", "NC")
+        nom = nominal_delay(mux, library)
+        result = SmartSizer(mux, library).size(DelaySpec(data=nom))
+        assert result.converged
+        assert "PC" in result.widths
+
+    def test_inv_merge(self, mux):
+        stage = merge_condition_gate(mux, "in3", "inv", ["in3_n"], "PI", "NI")
+        assert stage.kind is StageKind.INV
+
+    def test_inv_needs_one_input(self, mux):
+        with pytest.raises(ValueError):
+            merge_condition_gate(mux, "in3", "inv", ["x", "y"], "PI", "NI")
+
+    def test_nand_needs_two_inputs(self, mux):
+        with pytest.raises(ValueError):
+            merge_condition_gate(mux, "s0", "nand", ["only"], "PC", "NC")
+
+    def test_unknown_kind_rejected(self, mux):
+        with pytest.raises(ValueError):
+            merge_condition_gate(mux, "s0", "xor3", ["a", "b"], "PC", "NC")
+
+    def test_non_input_rejected(self, mux):
+        with pytest.raises(ValueError):
+            merge_condition_gate(mux, "merge", "nand", ["a", "b"], "PC", "NC")
+
+
+class TestPinning:
+    def test_pin_and_unpin(self, mux):
+        pin_sizes(mux, {"N2": 6.0})
+        assert mux.size_table["N2"].pinned == 6.0
+        unpin_sizes(mux, ["N2"])
+        assert mux.size_table["N2"].free
+
+    def test_pinned_survives_sizing(self, mux, library):
+        pin_sizes(mux, {"P1": 9.0})
+        nom = nominal_delay(mux, library)
+        result = SmartSizer(mux, library).size(DelaySpec(data=nom))
+        assert result.resolved["P1"] == pytest.approx(9.0)
+
+
+class TestRetargetLoad:
+    def test_load_changes(self, mux):
+        retarget_load(mux, "out", 120.0)
+        assert mux.net("out").external_load == 120.0
+
+    def test_stage_pins_rebound(self, mux):
+        retarget_load(mux, "out", 120.0)
+        # The driving stage's output must be the replacement Net object.
+        driver = mux.driver_of("out")
+        assert driver.output.external_load == 120.0
+
+    def test_bigger_load_more_area(self, mux, library, database, tech):
+        nom = nominal_delay(mux, library)
+        small = SmartSizer(mux, library).size(DelaySpec(data=nom))
+        heavy = database.generate(
+            "mux/strong_mutex_passgate", MacroSpec("mux", 4, output_load=30.0), tech
+        )
+        retarget_load(heavy, "out", 150.0)
+        big = SmartSizer(heavy, library).size(DelaySpec(data=nom))
+        assert big.area > small.area
+
+    def test_non_output_rejected(self, mux):
+        with pytest.raises(ValueError):
+            retarget_load(mux, "merge", 50.0)

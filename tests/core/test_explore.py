@@ -1,0 +1,93 @@
+"""Exploration tests: area-delay curves (Fig 6) and topology sweeps (Fig 7)."""
+
+import pytest
+
+from repro import DesignConstraints, MacroSpec, SmartAdvisor, area_delay_curve
+from repro.core.explore import explore_topologies
+from repro.sizing.engine import nominal_delay
+
+
+@pytest.fixture(scope="module")
+def advisor():
+    return SmartAdvisor()
+
+
+@pytest.fixture(scope="module")
+def mux_curve(advisor, library):
+    spec = MacroSpec("mux", 4, output_load=30.0)
+    circuit = advisor.database.generate(
+        "mux/strong_mutex_passgate", spec, advisor.tech
+    )
+    base = DesignConstraints(delay=0.85 * nominal_delay(circuit, library))
+    return area_delay_curve(
+        advisor,
+        "mux/strong_mutex_passgate",
+        spec,
+        base,
+        scales=(0.8, 1.0, 1.3, 1.6),
+    )
+
+
+class TestTradeoffCurve:
+    def test_all_points_converge(self, mux_curve):
+        assert all(p.converged for p in mux_curve.points)
+
+    def test_area_monotone_decreasing_in_delay(self, mux_curve):
+        assert mux_curve.is_monotone()
+
+    def test_tightest_point_most_area(self, mux_curve):
+        points = sorted(mux_curve.points, key=lambda p: p.delay_scale)
+        assert points[0].area == max(p.area for p in mux_curve.points)
+
+    def test_normalization(self, mux_curve):
+        normalized = mux_curve.normalized(reference_scale=1.0)
+        ref = [p for p in normalized.points if p.delay_scale == 1.0][0]
+        assert ref.area == pytest.approx(1.0)
+        assert ref.spec_delay == pytest.approx(1.0)
+
+    def test_infeasible_points_marked(self, advisor):
+        spec = MacroSpec("mux", 4, output_load=30.0)
+        curve = area_delay_curve(
+            advisor,
+            "mux/strong_mutex_passgate",
+            spec,
+            DesignConstraints(delay=400.0),
+            scales=(0.01, 1.0),
+        )
+        by_scale = {p.delay_scale: p for p in curve.points}
+        assert not by_scale[0.01].converged
+        assert by_scale[1.0].converged
+
+
+class TestTopologyExploration:
+    def test_figure7_style_sweep(self, advisor):
+        """All three comparator topologies sized at one constraint point."""
+        circuit = advisor.database.generate(
+            "comparator/xorsum2", MacroSpec("comparator", 32), advisor.tech
+        )
+        from repro.models import ModelLibrary
+
+        nom = nominal_delay(circuit, advisor.library)
+        report = explore_topologies(
+            advisor,
+            MacroSpec("comparator", 32, output_load=20.0),
+            DesignConstraints(delay=nom, phase_budget=0.6 * nom, cost="area+clock"),
+        )
+        assert len(report.candidates) == 3
+        assert report.best is not None
+
+    def test_exploration_at_different_constraints_can_flip(self, advisor):
+        """"Under different design constraints, the original topology may not
+        be the optimal one" — at minimum, rankings are recomputed per point."""
+        spec = MacroSpec("mux", 8, output_load=10.0)
+        loose = explore_topologies(
+            advisor, spec, DesignConstraints(delay=900.0, cost="area")
+        )
+        tight = explore_topologies(
+            advisor, spec, DesignConstraints(delay=260.0, cost="area")
+        )
+        assert loose.best is not None and tight.best is not None
+        loose_feasible = {c.topology for c in loose.feasible}
+        tight_feasible = {c.topology for c in tight.feasible}
+        assert tight_feasible <= loose_feasible
+        assert len(tight_feasible) < len(loose_feasible)

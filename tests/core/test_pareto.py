@@ -1,0 +1,69 @@
+"""Pareto-frontier exploration tests (area vs clock load)."""
+
+import pytest
+
+from repro import DesignConstraints, MacroSpec, SmartAdvisor
+from repro.core.explore import ParetoPoint, pareto_frontier
+
+
+@pytest.fixture(scope="module")
+def advisor():
+    return SmartAdvisor()
+
+
+@pytest.fixture(scope="module")
+def frontier(advisor):
+    return pareto_frontier(
+        advisor,
+        MacroSpec("mux", 8, output_load=30.0),
+        DesignConstraints(delay=360.0),
+        topologies=["mux/unsplit_domino", "mux/strong_mutex_passgate"],
+        clock_weights=(0.0, 1.0, 4.0),
+    )
+
+
+class TestParetoPoint:
+    def test_dominates(self):
+        a = ParetoPoint("t", 1.0, area=10.0, clock_load=5.0, converged=True)
+        b = ParetoPoint("t", 1.0, area=12.0, clock_load=6.0, converged=True)
+        c = ParetoPoint("t", 1.0, area=8.0, clock_load=7.0, converged=True)
+        assert a.dominates(b)
+        assert not a.dominates(c)
+        assert not c.dominates(a)
+        assert not a.dominates(a)
+
+
+class TestFrontier:
+    def test_nonempty_and_converged(self, frontier):
+        assert frontier
+        assert all(p.converged for p in frontier)
+
+    def test_no_dominated_points(self, frontier):
+        for p in frontier:
+            assert not any(q.dominates(p) for q in frontier if q is not p)
+
+    def test_sorted_by_area(self, frontier):
+        areas = [p.area for p in frontier]
+        assert areas == sorted(areas)
+
+    def test_frontier_monotone(self, frontier):
+        """Along the frontier, more area must buy less clock load."""
+        for a, b in zip(frontier, frontier[1:]):
+            assert b.clock_load <= a.clock_load + 1e-9
+
+    def test_static_topology_anchors_zero_clock(self, frontier):
+        """The pass-gate mux has no clock load; if it appears it must be the
+        zero-clock anchor of the frontier."""
+        static = [p for p in frontier if "passgate" in p.topology]
+        for p in static:
+            assert p.clock_load == 0.0
+
+    def test_infeasible_budget_empty(self, advisor):
+        result = pareto_frontier(
+            advisor,
+            MacroSpec("mux", 8, output_load=30.0),
+            DesignConstraints(delay=5.0),
+            topologies=["mux/unsplit_domino"],
+            clock_weights=(0.0,),
+        )
+        assert result == []

@@ -1,0 +1,98 @@
+"""AdvisorReport / CandidateResult rendering and ranking edge cases."""
+
+import pytest
+
+from repro.core.cost import CostBreakdown
+from repro.core.report import AdvisorReport, CandidateResult
+from repro.sizing.engine import SizingResult
+
+
+def _sizing(converged=True, area=100.0):
+    return SizingResult(
+        circuit_name="c",
+        widths={},
+        resolved={},
+        converged=converged,
+        iterations=2,
+        area=area,
+        clock_load=0.0,
+        worst_violation=0.0,
+        realized={"p0": 100.0},
+        specs={"p0": 110.0},
+    )
+
+
+def _candidate(name, scalar, converged=True, feasible=True, reason=""):
+    cost = CostBreakdown(area=scalar, clock_load=0.0, power=scalar, scalar=scalar)
+    return CandidateResult(
+        topology=name,
+        description=name,
+        feasible=feasible,
+        sizing=_sizing(converged=converged, area=scalar) if feasible else None,
+        cost=cost if feasible else None,
+        reason=reason,
+    )
+
+
+class TestRanking:
+    def test_best_picks_lowest_scalar(self):
+        report = AdvisorReport(macro="m", metric="area")
+        report.candidates = [
+            _candidate("b", 200.0),
+            _candidate("a", 100.0),
+            _candidate("c", 300.0),
+        ]
+        assert report.best.topology == "a"
+
+    def test_nonconverged_excluded_from_best(self):
+        report = AdvisorReport(macro="m", metric="area")
+        report.candidates = [
+            _candidate("cheap-but-misses", 50.0, converged=False),
+            _candidate("honest", 100.0),
+        ]
+        assert report.best.topology == "honest"
+
+    def test_empty_report(self):
+        report = AdvisorReport(macro="m", metric="area")
+        assert report.best is None
+        assert report.feasible == []
+        assert "best:" not in report.render()
+
+    def test_ranked_puts_infeasible_last(self):
+        report = AdvisorReport(macro="m", metric="area")
+        report.candidates = [
+            _candidate("bad", 0.0, feasible=False, reason="pruned"),
+            _candidate("good", 100.0),
+        ]
+        ranked = report.ranked()
+        assert ranked[0].topology == "good"
+        assert ranked[-1].topology == "bad"
+
+
+class TestRendering:
+    def test_render_shows_reason_for_infeasible(self):
+        report = AdvisorReport(macro="m", metric="area")
+        report.candidates = [
+            _candidate("bad", 0.0, feasible=False, reason="pruned: too slow")
+        ]
+        text = report.render()
+        assert "pruned: too slow" in text
+        assert "infeasible" in text
+
+    def test_render_marks_nonconverged(self):
+        report = AdvisorReport(macro="m", metric="area")
+        report.candidates = [_candidate("x", 100.0, converged=False)]
+        assert "no-conv" in report.render()
+
+
+class TestSizingResultAccessors:
+    def test_worst_slack(self):
+        s = _sizing()
+        assert s.worst_slack == pytest.approx(-s.worst_violation)
+
+    def test_realized_delay_filter(self):
+        s = _sizing()
+        s.realized = {"p0.data": 90.0, "p1.control": 120.0}
+        assert s.realized_delay() == pytest.approx(120.0)
+        assert s.realized_delay("data") == pytest.approx(90.0)
+        assert s.realized_delay("missing") == 0.0

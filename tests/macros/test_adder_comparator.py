@@ -1,0 +1,130 @@
+"""64-bit dual-rail domino CLA adder and 32-bit comparator structure tests."""
+
+import pytest
+
+from repro.macros import MacroSpec
+from repro.netlist import StageKind, validate_circuit
+from repro.sizing import PathExtractor, longest_path_length
+
+
+@pytest.fixture(scope="module")
+def adder16(database, tech):
+    return database.generate(
+        "adder/dual_rail_domino_cla", MacroSpec("adder", 16), tech
+    )
+
+
+class TestDualRailCLA:
+    def test_width_restrictions(self, database):
+        gen = database.generator("adder/dual_rail_domino_cla")
+        assert gen.applicable(MacroSpec("adder", 16))
+        assert gen.applicable(MacroSpec("adder", 64))
+        assert not gen.applicable(MacroSpec("adder", 8))
+        assert not gen.applicable(MacroSpec("adder", 24))
+
+    def test_validates(self, adder16):
+        report = validate_circuit(adder16)
+        assert report.ok, report.errors
+
+    def test_outputs(self, adder16):
+        sums = [o for o in adder16.primary_outputs if o.startswith("sum")]
+        assert len(sums) == 16
+        assert "cout" in adder16.primary_outputs
+
+    def test_dual_rail_level1(self, adder16):
+        """Each bit carries g, k, p and p̄ domino nodes."""
+        for rail in ("g", "k", "p", "pb"):
+            stage = adder16.stage(f"{rail}3_dom")
+            assert stage.kind is StageKind.DOMINO
+            assert stage.clocked  # level 1 is D1
+
+    def test_lookahead_legs_ragged(self, adder16):
+        g_group = adder16.stage("G0_dom")
+        assert sorted(g_group.leg_sizes) == [1, 2, 3, 4]
+        k_group = adder16.stage("K0_dom")
+        assert sorted(k_group.leg_sizes) == [1, 2, 3, 4, 4]
+
+    def test_level2_is_d2(self, adder16):
+        assert not adder16.stage("G0_dom").clocked
+
+    def test_regular_labels_shared_across_bits(self, adder16):
+        assert adder16.stage("g0_dom").size_vars == adder16.stage("g7_dom").size_vars
+        assert adder16.stage("G0_dom").size_vars == adder16.stage("G3_dom").size_vars
+
+    def test_sum_xor_legs(self, adder16):
+        sum5 = adder16.stage("sum5_dom")
+        assert sum5.leg_sizes == (2, 2)  # p·c̄ + p̄·c
+        sum0 = adder16.stage("sum0_dom")
+        assert sum0.leg_sizes == (1,)    # carry-in is 0: sum = p
+
+    def test_depth_is_lookahead_not_ripple(self, database, tech, adder16):
+        adder64 = database.generate(
+            "adder/dual_rail_domino_cla", MacroSpec("adder", 64), tech
+        )
+        # 4x the width costs only the supergroup carry level (2 stages x
+        # both rails), not a 4x-deep ripple.
+        assert longest_path_length(adder64) <= longest_path_length(adder16) + 4
+
+    def test_transistor_scale(self, database, tech):
+        adder64 = database.generate(
+            "adder/dual_rail_domino_cla", MacroSpec("adder", 64), tech
+        )
+        assert 3000 < adder64.transistor_count() < 10000
+
+    def test_raw_path_space_huge(self, database, tech):
+        """The Section-5.2 precondition: raw topological paths in the tens of
+        thousands at 64 bits."""
+        adder64 = database.generate(
+            "adder/dual_rail_domino_cla", MacroSpec("adder", 64), tech
+        )
+        assert PathExtractor(adder64).count() > 32_000
+
+    def test_static_ripple_alternative(self, database, tech):
+        ripple = database.generate("adder/static_ripple", MacroSpec("adder", 8), tech)
+        assert validate_circuit(ripple).ok
+        assert longest_path_length(ripple) > 8
+
+
+@pytest.fixture(scope="module")
+def cmp_xorsum2(database, tech):
+    return database.generate(
+        "comparator/xorsum2", MacroSpec("comparator", 32), tech
+    )
+
+
+class TestComparators:
+    def test_all_variants_validate(self, database, tech):
+        for name in ("comparator/xorsum2", "comparator/xorsum1", "comparator/xorsum4"):
+            c = database.generate(name, MacroSpec("comparator", 32), tech)
+            assert validate_circuit(c).ok, name
+
+    def test_xorsum2_figure7_structure(self, cmp_xorsum2):
+        d1 = [s for s in cmp_xorsum2.stages if s.name.startswith("xs") and s.is_dynamic]
+        assert len(d1) == 16  # Xorsum2 x16
+        assert all(s.clocked for s in d1)
+        assert all(s.leg_sizes == (2, 2, 2, 2) for s in d1)
+        d2 = [s for s in cmp_xorsum2.stages if s.name.startswith("nor") and s.is_dynamic]
+        assert len(d2) == 2   # Nor4 rank combining 8 pair signals
+        assert all(not s.clocked for s in d2)
+
+    def test_xorsum1_structure(self, database, tech):
+        c = database.generate("comparator/xorsum1", MacroSpec("comparator", 32), tech)
+        d1 = [s for s in c.stages if s.name.startswith("xs") and s.is_dynamic]
+        assert len(d1) == 32
+        d2 = [s for s in c.stages if s.name.startswith("nor") and s.is_dynamic]
+        assert len(d2) == 2
+        assert all(len(s.leg_sizes) == 8 for s in d2)  # Nor8
+
+    def test_xorsum4_ends_in_inverter(self, database, tech):
+        c = database.generate("comparator/xorsum4", MacroSpec("comparator", 32), tech)
+        out_stage = c.driver_of("equal")
+        assert out_stage.kind is StageKind.INV
+
+    def test_xorsum2_ends_in_two_input_gate(self, cmp_xorsum2):
+        out_stage = cmp_xorsum2.driver_of("equal")
+        assert len(out_stage.inputs) == 2
+
+    def test_width_must_decompose(self, database):
+        gen = database.generator("comparator/xorsum4")
+        assert gen.applicable(MacroSpec("comparator", 32))
+        assert not gen.applicable(MacroSpec("comparator", 20))

@@ -1,0 +1,91 @@
+"""Macro database infrastructure tests."""
+
+import pytest
+
+from repro.macros import MacroDatabase, MacroGenerator, MacroSpec, default_database
+from repro.macros.mux import StrongMutexPassgateMux
+
+
+class TestMacroSpec:
+    def test_invalid_width(self):
+        with pytest.raises(ValueError):
+            MacroSpec("mux", 0)
+
+    def test_invalid_load(self):
+        with pytest.raises(ValueError):
+            MacroSpec("mux", 4, output_load=-1.0)
+
+    def test_params_access(self):
+        spec = MacroSpec("mux", 8, params=(("partition", 3),))
+        assert spec.param("partition") == 3
+        assert spec.param("absent", 7) == 7
+
+    def test_with_params(self):
+        spec = MacroSpec("mux", 8).with_params(partition=5)
+        assert spec.param("partition") == 5
+        assert spec.width == 8
+
+    def test_hashable(self):
+        assert hash(MacroSpec("mux", 8)) == hash(MacroSpec("mux", 8))
+
+
+class TestDatabase:
+    def test_default_database_complete(self, database):
+        names = {g.name for g in database.topologies()}
+        assert len(names) == len(database.topologies())
+        for family in (
+            "mux", "incrementor", "decrementor", "zero_detect",
+            "decoder", "encoder", "adder", "comparator", "shifter",
+            "register_file",
+        ):
+            assert database.topologies(family), family
+
+    def test_duplicate_registration_rejected(self):
+        db = MacroDatabase()
+        db.register(StrongMutexPassgateMux())
+        with pytest.raises(ValueError):
+            db.register(StrongMutexPassgateMux())
+
+    def test_anonymous_generator_rejected(self):
+        class Anon(MacroGenerator):
+            pass
+
+        with pytest.raises(ValueError):
+            MacroDatabase().register(Anon())
+
+    def test_unknown_topology_helpful_error(self, database):
+        with pytest.raises(KeyError) as err:
+            database.generator("mux/does_not_exist")
+        assert "known" in str(err.value)
+
+    def test_applicable_filters(self, database):
+        two_wide = database.applicable(MacroSpec("mux", 2))
+        names = {g.name for g in two_wide}
+        assert "mux/encoded_select_2to1" in names
+        assert "mux/partitioned_domino" not in names  # needs width >= 4
+
+    def test_generate_validates(self, database, tech):
+        circuit = database.generate(
+            "mux/strong_mutex_passgate", MacroSpec("mux", 4), tech
+        )
+        assert circuit.stages
+
+    def test_generate_wrong_spec_rejected(self, database, tech):
+        with pytest.raises(ValueError):
+            database.generate(
+                "mux/encoded_select_2to1", MacroSpec("mux", 4), tech
+            )
+
+    def test_expandability(self, database, tech):
+        """A designer can add a new topology (Section 4's key property)."""
+
+        class MyMux(StrongMutexPassgateMux):
+            name = "mux/custom_variant"
+            description = "designer-contributed variant"
+
+        before = len(database.topologies("mux"))
+        db = default_database()
+        db.register(MyMux())
+        assert len(db.topologies("mux")) == before + 1
+        circuit = db.generate("mux/custom_variant", MacroSpec("mux", 4), tech)
+        assert circuit.stages

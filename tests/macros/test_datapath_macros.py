@@ -1,0 +1,162 @@
+"""Incrementor / zero-detect / decoder macro tests (the Figure-5 corpus)."""
+
+import pytest
+
+from repro.macros import MacroSpec
+from repro.netlist import PinSpeed, StageKind, validate_circuit
+from repro.sizing import longest_path_length
+
+
+class TestIncrementors:
+    @pytest.mark.parametrize("width", [3, 8, 13, 27])
+    def test_ripple_structure(self, database, tech, width):
+        inc = database.generate(
+            "incrementor/ripple", MacroSpec("incrementor", width), tech
+        )
+        assert validate_circuit(inc).ok
+        sums = [n for n in inc.primary_outputs if n.startswith("sum")]
+        assert len(sums) == width
+        assert "cout" in inc.primary_outputs
+
+    def test_ripple_depth_linear(self, database, tech):
+        d8 = longest_path_length(
+            database.generate("incrementor/ripple", MacroSpec("incrementor", 8), tech)
+        )
+        d16 = longest_path_length(
+            database.generate("incrementor/ripple", MacroSpec("incrementor", 16), tech)
+        )
+        assert d16 > d8 + 10
+
+    def test_prefix_depth_logarithmic(self, database, tech):
+        d8 = longest_path_length(
+            database.generate("incrementor/prefix", MacroSpec("incrementor", 8), tech)
+        )
+        d32 = longest_path_length(
+            database.generate("incrementor/prefix", MacroSpec("incrementor", 32), tech)
+        )
+        assert d32 <= d8 + 6  # ~2 extra AND2 levels
+
+    def test_label_grouping(self, database, tech):
+        grouped = database.generate(
+            "incrementor/ripple",
+            MacroSpec("incrementor", 16, params=(("label_group", 4),)),
+            tech,
+        )
+        per_bit = database.generate(
+            "incrementor/ripple",
+            MacroSpec("incrementor", 16, params=(("label_group", 1),)),
+            tech,
+        )
+        assert len(per_bit.size_table) > len(grouped.size_table)
+
+    def test_decrementor_has_input_inverters(self, database, tech):
+        dec = database.generate(
+            "decrementor/ripple", MacroSpec("decrementor", 8), tech
+        )
+        inc = database.generate(
+            "incrementor/ripple", MacroSpec("incrementor", 8), tech
+        )
+        assert dec.transistor_count() > inc.transistor_count()
+        assert any(s.name.startswith("inpinv") for s in dec.stages)
+
+    def test_prefix_decrementor_validates(self, database, tech):
+        dec = database.generate(
+            "decrementor/prefix", MacroSpec("decrementor", 13), tech
+        )
+        assert validate_circuit(dec).ok
+
+
+class TestZeroDetects:
+    @pytest.mark.parametrize("width", [6, 8, 16, 22, 32, 63])
+    def test_static_tree_all_widths(self, database, tech, width):
+        zdet = database.generate(
+            "zero_detect/static_tree", MacroSpec("zero_detect", width), tech
+        )
+        assert validate_circuit(zdet).ok
+        assert zdet.primary_outputs == ["zero"]
+
+    def test_tree_gates_annotated_fast_slow(self, database, tech):
+        zdet = database.generate(
+            "zero_detect/static_tree", MacroSpec("zero_detect", 16), tech
+        )
+        tree_gates = [s for s in zdet.stages if s.kind in (StageKind.NOR, StageKind.NAND)]
+        assert tree_gates
+        for gate in tree_gates:
+            speeds = [p.speed for p in gate.inputs]
+            assert speeds[0] is PinSpeed.SLOW
+            assert all(s is PinSpeed.FAST for s in speeds[1:])
+
+    def test_tree_depth_logarithmic(self, database, tech):
+        d8 = longest_path_length(
+            database.generate("zero_detect/static_tree", MacroSpec("zero_detect", 8), tech)
+        )
+        d63 = longest_path_length(
+            database.generate("zero_detect/static_tree", MacroSpec("zero_detect", 63), tech)
+        )
+        assert d63 <= d8 + 3
+
+    def test_domino_single_wide_node(self, database, tech):
+        zdet = database.generate(
+            "zero_detect/domino", MacroSpec("zero_detect", 32), tech
+        )
+        (dom,) = [s for s in zdet.stages if s.kind is StageKind.DOMINO]
+        assert len(dom.leg_sizes) == 32
+        assert max(dom.leg_sizes) == 1
+
+    def test_split_domino_two_nodes(self, database, tech):
+        zdet = database.generate(
+            "zero_detect/split_domino", MacroSpec("zero_detect", 22), tech
+        )
+        dominos = [s for s in zdet.stages if s.kind is StageKind.DOMINO]
+        assert len(dominos) == 2
+        assert sum(len(d.leg_sizes) for d in dominos) == 22
+        # Halves share labels (identical nodes, same sizes).
+        assert dominos[0].size_vars == dominos[1].size_vars
+
+
+class TestDecoders:
+    @pytest.mark.parametrize("n", [2, 3, 4, 6, 7])
+    def test_flat_output_count(self, database, tech, n):
+        dec = database.generate("decoder/flat_static", MacroSpec("decoder", n), tech)
+        outs = [o for o in dec.primary_outputs if o.startswith("o")]
+        assert len(outs) == 2 ** n
+        assert validate_circuit(dec).ok
+
+    def test_flat_minterm_wiring(self, database, tech):
+        dec = database.generate("decoder/flat_static", MacroSpec("decoder", 2), tech)
+        # Output o3 = a1 & a0: its NAND must see both true rails.
+        nand = dec.stage("mnand3")
+        nets = {p.net.name for p in nand.inputs}
+        assert nets == {"a0", "a1"}
+        # Output o0: both complement rails.
+        nand0 = dec.stage("mnand0")
+        assert {p.net.name for p in nand0.inputs} == {"ab0", "ab1"}
+
+    def test_predecoded_two_levels(self, database, tech):
+        dec = database.generate("decoder/predecoded", MacroSpec("decoder", 6), tech)
+        assert validate_circuit(dec).ok
+        # 6 bits -> two 3-bit groups -> 16 predecode lines.
+        pre = [s for s in dec.stages if s.name.startswith("pnand")]
+        assert len(pre) == 16
+        # Output combine NANDs are 2-wide.
+        out_nands = [s for s in dec.stages if s.name.startswith("mnand")]
+        assert all(len(s.inputs) == 2 for s in out_nands)
+
+    def test_predecoded_narrower_gates_than_flat(self, database, tech):
+        flat = database.generate("decoder/flat_static", MacroSpec("decoder", 6), tech)
+        pre = database.generate("decoder/predecoded", MacroSpec("decoder", 6), tech)
+        flat_fanin = max(
+            len(s.inputs) for s in flat.stages if s.kind is StageKind.NAND
+        )
+        pre_fanin = max(
+            len(s.inputs) for s in pre.stages if s.kind is StageKind.NAND
+        )
+        assert flat_fanin == 6
+        assert pre_fanin == 3
+
+    def test_domino_decoder_clock_heavy(self, database, tech):
+        dec = database.generate("decoder/domino", MacroSpec("decoder", 4), tech)
+        dominos = [s for s in dec.stages if s.kind is StageKind.DOMINO]
+        assert len(dominos) == 16
+        env = dec.size_table.default_env()
+        assert dec.clock_load_width(env) > 0

@@ -1,0 +1,82 @@
+"""Encoder macro tests: structure, sizing, and functional verification."""
+
+import pytest
+
+from repro.macros import MacroSpec
+from repro.netlist import StageKind, validate_circuit
+from repro.sim import TransientSimulator, clock, constant
+from repro.sizing import DelaySpec, SmartSizer
+from repro.sizing.engine import nominal_delay
+
+
+class TestStructure:
+    @pytest.mark.parametrize("n", [2, 3, 4])
+    def test_static_validates(self, database, tech, n):
+        enc = database.generate("encoder/static_tree", MacroSpec("encoder", n), tech)
+        assert validate_circuit(enc).ok
+        outs = [o for o in enc.primary_outputs if o.startswith("o")]
+        assert len(outs) == n
+        assert len(enc.primary_inputs) == 1 << n
+
+    def test_domino_one_node_per_bit(self, database, tech):
+        enc = database.generate("encoder/domino", MacroSpec("encoder", 3), tech)
+        dominos = [s for s in enc.stages if s.kind is StageKind.DOMINO]
+        assert len(dominos) == 3
+        # Each bit ORs half the input space.
+        assert all(len(s.leg_sizes) == 4 for s in dominos)
+
+    def test_width_range(self, database):
+        gen = database.generator("encoder/static_tree")
+        assert not gen.applicable(MacroSpec("encoder", 1))
+        assert not gen.applicable(MacroSpec("encoder", 7))
+
+
+class TestSizing:
+    @pytest.mark.parametrize("topology", ["encoder/static_tree", "encoder/domino"])
+    def test_sizes(self, database, library, tech, topology):
+        enc = database.generate(
+            topology, MacroSpec("encoder", 3, output_load=20.0), tech
+        )
+        result = SmartSizer(enc, library).size(
+            DelaySpec(data=0.9 * nominal_delay(enc, library))
+        )
+        assert result.converged
+
+
+class TestFunction:
+    @pytest.mark.parametrize("hot", [0, 3, 5, 7])
+    def test_static_encodes_one_hot(self, database, tech, hot):
+        enc = database.generate(
+            "encoder/static_tree", MacroSpec("encoder", 3, output_load=10.0), tech
+        )
+        env = {name: 2.0 for name in enc.size_table.free_names()}
+        devices = enc.expand_transistors(env)
+        sim = TransientSimulator(devices, tech)
+        stim = {
+            f"i{k}": constant(tech.vdd if k == hot else 0.0) for k in range(8)
+        }
+        result = sim.run(stim, duration=3000.0, dt=4.0)
+        for b in range(3):
+            want = (hot >> b) & 1
+            v = result.final(f"o{b}")
+            if want:
+                assert v > 0.8 * tech.vdd, (b, v)
+            else:
+                assert v < 0.2 * tech.vdd, (b, v)
+
+    def test_domino_encodes_one_hot(self, database, tech):
+        enc = database.generate(
+            "encoder/domino", MacroSpec("encoder", 2, output_load=10.0), tech
+        )
+        env = {name: 3.0 for name in enc.size_table.free_names()}
+        devices = enc.expand_transistors(env)
+        extra = {n.name: n.fixed_cap for n in enc.nets.values() if n.fixed_cap > 0}
+        sim = TransientSimulator(devices, tech, extra_caps=extra)
+        hot = 2
+        stim = {"clk": clock(tech.vdd, period=4000.0, cycles=1, start_low=2000.0)}
+        for k in range(4):
+            stim[f"i{k}"] = constant(tech.vdd if k == hot else 0.0)
+        result = sim.run(stim, duration=4000.0, dt=4.0)
+        idx = int(3900 / 4)
+        assert result.v("o1")[idx] > 0.8 * tech.vdd   # bit 1 of 2 set
+        assert result.v("o0")[idx] < 0.2 * tech.vdd

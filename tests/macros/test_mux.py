@@ -1,0 +1,174 @@
+"""Figure-2 mux topology tests: structure, labeling, paper properties."""
+
+import pytest
+
+from repro.macros import MacroSpec
+from repro.netlist import PinClass, StageKind, validate_circuit
+
+
+def _gen(database, tech, name, width, **params):
+    spec = MacroSpec("mux", width, output_load=30.0)
+    if params:
+        spec = spec.with_params(**params)
+    return database.generate(name, spec, tech)
+
+
+class TestStrongMutex:
+    def test_structure(self, database, tech):
+        mux = _gen(database, tech, "mux/strong_mutex_passgate", 4)
+        kinds = [s.kind for s in mux.stages]
+        assert kinds.count(StageKind.PASSGATE) == 4
+        assert kinds.count(StageKind.INV) == 5  # 4 drivers + output
+
+    def test_paper_labeling(self, database, tech):
+        mux = _gen(database, tech, "mux/strong_mutex_passgate", 4)
+        names = set(mux.size_table.names())
+        assert {"P1", "N1", "N2", "P3", "N3"} <= names
+        # "the size of the inverter in the pass-gate is a fixed relation of N2"
+        assert mux.size_table["N2i"].ratio_of == ("N2", 0.5)
+
+    def test_labels_shared_across_legs(self, database, tech):
+        mux = _gen(database, tech, "mux/strong_mutex_passgate", 8)
+        passes = [s for s in mux.stages if s.kind is StageKind.PASSGATE]
+        assert len({s.label("pass") for s in passes}) == 1
+
+    def test_distinct_selects(self, database, tech):
+        mux = _gen(database, tech, "mux/strong_mutex_passgate", 4)
+        selects = {
+            s.select_pins()[0].net.name
+            for s in mux.stages
+            if s.kind is StageKind.PASSGATE
+        }
+        assert len(selects) == 4
+
+    def test_merge_wire_cap_scales(self, database, tech):
+        small = _gen(database, tech, "mux/strong_mutex_passgate", 2)
+        big = _gen(database, tech, "mux/strong_mutex_passgate", 8)
+        assert big.net("merge").wire_cap > small.net("merge").wire_cap
+
+
+class TestWeakMutex:
+    def test_nor_generates_last_select(self, database, tech):
+        mux = _gen(database, tech, "mux/weak_mutex_passgate", 4)
+        nor = mux.stage("selnor")
+        assert nor.kind is StageKind.NOR
+        assert len(nor.inputs) == 3  # n-1 external selects
+        assert {"P4", "N4"} <= set(mux.size_table.names())
+
+    def test_external_selects_n_minus_1(self, database, tech):
+        mux = _gen(database, tech, "mux/weak_mutex_passgate", 5)
+        selects = [n for n in mux.primary_inputs if n.startswith("s")]
+        assert len(selects) == 4
+
+    def test_needs_width_3(self, database):
+        gens = database.applicable(MacroSpec("mux", 2))
+        assert "mux/weak_mutex_passgate" not in {g.name for g in gens}
+
+
+class TestEncodedSelect:
+    def test_single_select_input(self, database, tech):
+        mux = _gen(database, tech, "mux/encoded_select_2to1", 2)
+        assert "select" in mux.primary_inputs
+        assert len([n for n in mux.primary_inputs if n.startswith("s")]) == 1
+
+    def test_complementary_steering(self, database, tech):
+        mux = _gen(database, tech, "mux/encoded_select_2to1", 2)
+        pass0 = mux.stage("pass0")
+        pass1 = mux.stage("pass1")
+        assert pass0.select_pins()[0].net.name == "selb"
+        assert pass1.select_pins()[0].net.name == "select"
+
+    def test_only_width_2(self, database):
+        gen = database.generator("mux/encoded_select_2to1")
+        assert gen.applicable(MacroSpec("mux", 2))
+        assert not gen.applicable(MacroSpec("mux", 3))
+
+
+class TestTristate:
+    def test_shared_bus(self, database, tech):
+        mux = _gen(database, tech, "mux/tristate", 4)
+        tris = [s for s in mux.stages if s.kind is StageKind.TRISTATE]
+        assert len(tris) == 4
+        assert len({s.output.name for s in tris}) == 1
+
+    def test_paper_labels(self, database, tech):
+        mux = _gen(database, tech, "mux/tristate", 4)
+        assert {"P1", "N1", "P2", "N2"} <= set(mux.size_table.names())
+
+
+class TestUnsplitDomino:
+    def test_single_dynamic_node(self, database, tech):
+        mux = _gen(database, tech, "mux/unsplit_domino", 8)
+        dominos = [s for s in mux.stages if s.kind is StageKind.DOMINO]
+        assert len(dominos) == 1
+        (dom,) = dominos
+        assert dom.clocked
+        assert dom.leg_sizes == (2,) * 8  # select over data per leg
+
+    def test_select_over_data_leg_order(self, database, tech):
+        mux = _gen(database, tech, "mux/unsplit_domino", 4)
+        (dom,) = [s for s in mux.stages if s.kind is StageKind.DOMINO]
+        legs = [p for p in dom.inputs if p.pin_class is not PinClass.CLOCK]
+        # Pin order is s, in per leg: even indices select, odd data.
+        assert all(
+            p.pin_class is PinClass.SELECT for p in legs[0::2]
+        )
+        assert all(p.pin_class is PinClass.DATA for p in legs[1::2])
+
+    def test_high_skew_output(self, database, tech):
+        mux = _gen(database, tech, "mux/unsplit_domino", 8)
+        out_inv = mux.stage("outdrv")
+        assert out_inv.params.get("skew") == "high"
+
+
+class TestPartitionedDomino:
+    def test_floor_half_partition(self, database, tech):
+        mux = _gen(database, tech, "mux/partitioned_domino", 8)
+        top = mux.stage("dom_top")
+        bot = mux.stage("dom_bot")
+        assert len(top.leg_sizes) == 4
+        assert len(bot.leg_sizes) == 4
+
+    def test_equal_partitions_share_labels(self, database, tech):
+        mux = _gen(database, tech, "mux/partitioned_domino", 8)
+        top = mux.stage("dom_top")
+        bot = mux.stage("dom_bot")
+        assert top.size_vars == bot.size_vars
+
+    def test_unequal_partitions_labeled_separately(self, database, tech):
+        mux = _gen(database, tech, "mux/partitioned_domino", 7)
+        top = mux.stage("dom_top")
+        bot = mux.stage("dom_bot")
+        assert top.size_vars != bot.size_vars
+        assert {"P3", "N3", "N4"} <= set(mux.size_table.names())
+
+    def test_custom_partition_param(self, database, tech):
+        mux = _gen(database, tech, "mux/partitioned_domino", 8, partition=2)
+        assert len(mux.stage("dom_top").leg_sizes) == 2
+        assert len(mux.stage("dom_bot").leg_sizes) == 6
+
+    def test_invalid_partition_rejected(self, database, tech):
+        with pytest.raises(ValueError):
+            _gen(database, tech, "mux/partitioned_domino", 8, partition=8)
+
+    def test_nand_combiner(self, database, tech):
+        mux = _gen(database, tech, "mux/partitioned_domino", 8)
+        combine = mux.stage("combine")
+        assert combine.kind is StageKind.NAND
+        assert len(combine.inputs) == 2
+
+
+class TestAllValidate:
+    @pytest.mark.parametrize("name,width", [
+        ("mux/strong_mutex_passgate", 2),
+        ("mux/strong_mutex_passgate", 16),
+        ("mux/weak_mutex_passgate", 3),
+        ("mux/encoded_select_2to1", 2),
+        ("mux/tristate", 12),
+        ("mux/unsplit_domino", 16),
+        ("mux/partitioned_domino", 16),
+    ])
+    def test_validates(self, database, tech, name, width):
+        mux = _gen(database, tech, name, width)
+        report = validate_circuit(mux)
+        assert report.ok, report.errors

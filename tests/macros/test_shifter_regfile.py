@@ -1,0 +1,166 @@
+"""Barrel shifter and register-file read-port macro tests."""
+
+import pytest
+
+from repro.macros import MacroSpec
+from repro.netlist import StageKind, validate_circuit
+from repro.sim import TransientSimulator, clock, constant
+from repro.sizing import DelaySpec, SmartSizer, longest_path_length
+from repro.sizing.engine import nominal_delay
+
+
+def _rf_spec(bits=4, regs=8, load=20.0):
+    return MacroSpec(
+        "register_file", bits, output_load=load, params=(("registers", regs),)
+    )
+
+
+class TestBarrelRotator:
+    def test_power_of_two_only(self, database):
+        gen = database.generator("shifter/passgate_barrel")
+        assert gen.applicable(MacroSpec("shifter", 8))
+        assert not gen.applicable(MacroSpec("shifter", 6))
+
+    def test_rank_count(self, database, tech):
+        shifter = database.generate(
+            "shifter/passgate_barrel", MacroSpec("shifter", 16), tech
+        )
+        selects = [n for n in shifter.primary_inputs if n.startswith("sh")]
+        assert len(selects) == 4
+        assert validate_circuit(shifter).ok
+
+    def test_depth_logarithmic(self, database, tech):
+        d8 = longest_path_length(
+            database.generate("shifter/passgate_barrel", MacroSpec("shifter", 8), tech)
+        )
+        d32 = longest_path_length(
+            database.generate("shifter/passgate_barrel", MacroSpec("shifter", 32), tech)
+        )
+        # Each extra rank costs a fixed number of stages (mux + buffer).
+        assert d32 - d8 <= 2 * 3
+
+    def test_labels_shared_per_rank(self, database, tech):
+        shifter = database.generate(
+            "shifter/passgate_barrel", MacroSpec("shifter", 8), tech
+        )
+        rank0 = [
+            s for s in shifter.stages
+            if s.kind is StageKind.PASSGATE and s.name.startswith("r0")
+        ]
+        assert len({s.label("pass") for s in rank0}) == 1
+
+    def test_sizes(self, database, library, tech):
+        shifter = database.generate(
+            "shifter/passgate_barrel", MacroSpec("shifter", 8, output_load=20.0), tech
+        )
+        result = SmartSizer(shifter, library).size(
+            DelaySpec(data=0.9 * nominal_delay(shifter, library))
+        )
+        assert result.converged
+
+    def test_tristate_variant_validates(self, database, tech):
+        shifter = database.generate(
+            "shifter/tristate_barrel", MacroSpec("shifter", 8), tech
+        )
+        assert validate_circuit(shifter).ok
+
+    @pytest.mark.parametrize("amount", [0, 1, 3])
+    def test_rotation_function(self, database, tech, amount):
+        """Drive a one-hot input and check it lands rotated by the select."""
+        shifter = database.generate(
+            "shifter/passgate_barrel", MacroSpec("shifter", 4, output_load=10.0), tech
+        )
+        env = {name: 2.0 for name in shifter.size_table.free_names()}
+        devices = shifter.expand_transistors(env)
+        extra = {
+            n.name: n.fixed_cap for n in shifter.nets.values() if n.fixed_cap > 0
+        }
+        sim = TransientSimulator(devices, tech, extra_caps=extra)
+        hot = 2
+        stim = {}
+        for i in range(4):
+            stim[f"in{i}"] = constant(tech.vdd if i == hot else 0.0)
+        for s in range(2):
+            stim[f"sh{s}"] = constant(tech.vdd if (amount >> s) & 1 else 0.0)
+        result = sim.run(stim, duration=4000.0, dt=4.0)
+        # Rotation: out[i] = in[(i + amount) % 4], so the hot input appears
+        # at index (hot - amount) mod 4.
+        expect = (hot - amount) % 4
+        for i in range(4):
+            v = result.final(f"out{i}")
+            if i == expect:
+                assert v > 0.8 * tech.vdd, (i, v)
+            else:
+                assert v < 0.2 * tech.vdd, (i, v)
+
+
+class TestRegisterFileReadPort:
+    def test_power_of_two_registers(self, database):
+        gen = database.generator("register_file/domino_bitline")
+        assert gen.applicable(_rf_spec(regs=8))
+        assert not gen.applicable(
+            MacroSpec("register_file", 4, params=(("registers", 6),))
+        )
+
+    def test_structure(self, database, tech):
+        rf = database.generate("register_file/domino_bitline", _rf_spec(), tech)
+        assert validate_circuit(rf).ok
+        bitmuxes = [s for s in rf.stages if s.name.startswith("bitmux")]
+        assert len(bitmuxes) == 4
+        assert all(len(s.leg_sizes) == 8 for s in bitmuxes)
+        # Decoder merged under its own namespace.
+        assert any(s.name.startswith("dec/") for s in rf.stages)
+
+    def test_data_inputs_per_reg_and_bit(self, database, tech):
+        rf = database.generate("register_file/domino_bitline", _rf_spec(), tech)
+        data_inputs = [n for n in rf.primary_inputs if n.startswith("d")]
+        assert len(data_inputs) == 8 * 4
+
+    def test_domino_port_sizes(self, database, library, tech):
+        rf = database.generate("register_file/domino_bitline", _rf_spec(), tech)
+        result = SmartSizer(rf, library).size(
+            DelaySpec(data=0.9 * nominal_delay(rf, library))
+        )
+        assert result.converged
+        assert result.clock_load > 0
+
+    def test_tristate_port_sizes_with_relaxed_bitline_slope(
+        self, database, library, tech
+    ):
+        rf = database.generate("register_file/tristate_bitline", _rf_spec(), tech)
+        result = SmartSizer(rf, library).size(
+            DelaySpec(
+                data=0.9 * nominal_delay(rf, library), max_internal_slope=550.0
+            )
+        )
+        assert result.converged
+
+    def test_read_function(self, database, tech):
+        """Evaluate reads the addressed register's bit pattern."""
+        rf = database.generate(
+            "register_file/domino_bitline",
+            _rf_spec(bits=2, regs=4, load=10.0),
+            tech,
+        )
+        env = {name: 3.0 for name in rf.size_table.free_names()}
+        devices = rf.expand_transistors(env)
+        extra = {n.name: n.fixed_cap for n in rf.nets.values() if n.fixed_cap > 0}
+        sim = TransientSimulator(devices, tech, extra_caps=extra)
+        target = 2           # read register 2
+        pattern = 0b01       # its contents
+        stim = {"clk": clock(tech.vdd, period=4000.0, cycles=1, start_low=2000.0)}
+        for a in range(2):
+            stim[f"a{a}"] = constant(tech.vdd if (target >> a) & 1 else 0.0)
+        for r in range(4):
+            for b in range(2):
+                value = (pattern >> b) & 1 if r == target else ((r + b) % 2)
+                stim[f"d{r}_{b}"] = constant(tech.vdd if value else 0.0)
+        result = sim.run(stim, duration=4000.0, dt=4.0)
+        idx = int(3900 / 4)
+        for b in range(2):
+            want = (pattern >> b) & 1
+            v = result.v(f"q{b}")[idx]
+            if want:
+                assert v > 0.8 * tech.vdd, (b, v)
+            else:
+                assert v < 0.2 * tech.vdd, (b, v)

@@ -1,0 +1,94 @@
+"""Model calibration tests (Figure 3's "Model Building for Sizing")."""
+
+import pytest
+
+from repro.models import Technology
+from repro.models.calibrate import (
+    CalibrationSample,
+    fit_technology,
+    measure_samples,
+    model_error,
+    predicted_delay,
+)
+
+
+@pytest.fixture(scope="module")
+def samples():
+    tech = Technology()
+    return measure_samples(
+        tech, widths=(1.0, 3.0), loads=(10.0,), slopes=(15.0, 50.0), stacks=(1, 2)
+    )
+
+
+class TestMeasurement:
+    def test_grid_covered(self, samples):
+        assert len(samples) == 2 * 1 * 2 * 2
+        assert {s.stack for s in samples} == {1, 2}
+
+    def test_delays_positive_and_ordered(self, samples):
+        for s in samples:
+            assert s.measured_delay > 0
+        # Same width/slope: deeper stack is slower.
+        by_key = {}
+        for s in samples:
+            by_key[(s.width_n, s.input_slope, s.stack)] = s.measured_delay
+        for (w, sl, stack), delay in by_key.items():
+            if stack == 2:
+                assert delay > by_key[(w, sl, 1)]
+
+    def test_slow_slope_slower(self, samples):
+        by_key = {
+            (s.width_n, s.input_slope, s.stack): s.measured_delay for s in samples
+        }
+        for (w, sl, stack), delay in by_key.items():
+            if sl == 50.0:
+                assert delay > by_key[(w, 15.0, stack)]
+
+
+class TestFit:
+    def test_fit_improves_or_matches_error(self, samples):
+        tech = Technology()
+        fitted = fit_technology(tech, samples)
+        assert model_error(fitted, samples) <= model_error(tech, samples) + 1e-9
+
+    def test_fitted_parameters_in_range(self, samples):
+        fitted = fit_technology(Technology(), samples)
+        assert 0.5 <= fitted.stack_derate <= 1.2
+        assert 0.05 <= fitted.slope_sensitivity <= 1.0
+
+    def test_fit_without_samples_measures_its_own(self):
+        tech = Technology()
+        fitted = fit_technology(
+            tech,
+            measure_samples(tech, widths=(2.0,), loads=(10.0,),
+                            slopes=(20.0,), stacks=(1, 2)),
+        )
+        assert fitted.name == tech.name
+
+    def test_empty_samples_rejected(self):
+        with pytest.raises(ValueError):
+            fit_technology(Technology(), [])
+        with pytest.raises(ValueError):
+            model_error(Technology(), [])
+
+    def test_reasonable_model_error_after_fit(self, samples):
+        fitted = fit_technology(Technology(), samples)
+        # The posynomial template should track the switch-level sim within
+        # ~35% RMS over this grid — accurate enough for the Figure-4 loop.
+        assert model_error(fitted, samples) < 0.35
+
+
+class TestPrediction:
+    def test_predicted_delay_formula(self):
+        tech = Technology()
+        s = CalibrationSample(
+            width_p=2.0, width_n=1.0, load_ff=10.0,
+            input_slope=20.0, stack=1, measured_delay=0.0,
+        )
+        expected = (
+            0.6931471805599453
+            * (tech.r_nmos / 1.0)
+            * (tech.c_diff * 3.0 + 10.0)
+            + tech.slope_sensitivity * 20.0
+        )
+        assert predicted_delay(s, tech) == pytest.approx(expected)

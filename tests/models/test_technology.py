@@ -1,0 +1,64 @@
+"""Technology parameter tests."""
+
+import pytest
+
+from repro.models import GENERIC_130, GENERIC_180, Technology
+
+
+class TestValidation:
+    def test_defaults_valid(self):
+        tech = Technology()
+        assert tech.tau > 0
+        assert tech.beta == pytest.approx(tech.r_pmos / tech.r_nmos)
+
+    def test_positive_required(self):
+        with pytest.raises(ValueError):
+            Technology(r_nmos=0.0)
+        with pytest.raises(ValueError):
+            Technology(vdd=-1.0)
+
+    def test_width_range(self):
+        with pytest.raises(ValueError):
+            Technology(min_width=10.0, max_width=1.0)
+
+    def test_activity_range(self):
+        with pytest.raises(ValueError):
+            Technology(activity=0.0)
+        with pytest.raises(ValueError):
+            Technology(activity=1.5)
+
+
+class TestDerived:
+    def test_inverter_input_cap(self):
+        tech = Technology()
+        assert tech.inverter_input_cap(2.0, 1.0) == pytest.approx(3.0 * tech.c_gate)
+
+    def test_switching_energy(self):
+        tech = Technology(vdd=2.0)
+        assert tech.switching_energy(10.0) == pytest.approx(40.0)
+
+    def test_dynamic_power_units(self):
+        tech = Technology(vdd=1.0, frequency=2.0)
+        # 10 fF, alpha 0.5, 1V, 2GHz -> 10 fJ x 0.5 x 2 GHz = 10 µW
+        assert tech.dynamic_power(10.0, activity=0.5) == pytest.approx(10.0)
+
+    def test_dynamic_power_default_activity(self):
+        tech = Technology()
+        assert tech.dynamic_power(10.0) == pytest.approx(
+            tech.activity * 10.0 * tech.vdd ** 2 * tech.frequency
+        )
+
+    def test_scaled_returns_copy(self):
+        tech = Technology()
+        faster = tech.scaled(r_nmos=4.0)
+        assert faster.r_nmos == 4.0
+        assert tech.r_nmos == 8.0
+
+    def test_presets_differ(self):
+        assert GENERIC_130.tau < GENERIC_180.tau
+        assert GENERIC_130.vdd < GENERIC_180.vdd
+
+    def test_immutability(self):
+        tech = Technology()
+        with pytest.raises(Exception):
+            tech.r_nmos = 1.0

@@ -1,0 +1,141 @@
+"""Size-label table tests: labeling, pinning, ratio ties, regularity."""
+
+import pytest
+
+from repro.netlist import SizeTable, SizeVar
+
+
+class TestSizeVar:
+    def test_defaults_free(self):
+        v = SizeVar("N1")
+        assert v.free
+
+    def test_bad_bounds(self):
+        with pytest.raises(ValueError):
+            SizeVar("N1", lower=2.0, upper=1.0)
+        with pytest.raises(ValueError):
+            SizeVar("N1", lower=0.0, upper=1.0)
+
+    def test_pinned_must_be_within_bounds(self):
+        with pytest.raises(ValueError):
+            SizeVar("N1", lower=1.0, upper=2.0, pinned=5.0)
+
+    def test_pinned_and_ratio_conflict(self):
+        with pytest.raises(ValueError):
+            SizeVar("N1", pinned=1.0, ratio_of=("N2", 0.5))
+
+    def test_pinned_not_free(self):
+        assert not SizeVar("N1", pinned=1.0).free
+
+    def test_ratio_not_free(self):
+        assert not SizeVar("N1", ratio_of=("N2", 0.5)).free
+
+
+class TestSizeTable:
+    def test_declare_and_lookup(self):
+        table = SizeTable()
+        table.declare("P1", 0.5, 100.0)
+        assert "P1" in table
+        assert table["P1"].lower == 0.5
+
+    def test_identical_redeclare_ok(self):
+        table = SizeTable()
+        table.declare("P1", 0.5, 100.0)
+        table.declare("P1", 0.5, 100.0)
+        assert len(table) == 1
+
+    def test_conflicting_redeclare_rejected(self):
+        table = SizeTable()
+        table.declare("P1", 0.5, 100.0)
+        with pytest.raises(ValueError):
+            table.declare("P1", 0.6, 100.0)
+
+    def test_self_ratio_rejected(self):
+        table = SizeTable()
+        with pytest.raises(ValueError):
+            table.declare("A", ratio_of=("A", 0.5))
+
+    def test_free_names_excludes_tied(self):
+        table = SizeTable()
+        table.declare("N2")
+        table.declare("N2i", ratio_of=("N2", 0.5))
+        table.declare("P3", pinned=4.0)
+        assert table.free_names() == ("N2",)
+
+    def test_monomial_free_variable(self):
+        table = SizeTable()
+        table.declare("N1")
+        mono = table.monomial("N1")
+        assert mono.evaluate({"N1": 3.0}) == pytest.approx(3.0)
+
+    def test_monomial_pinned_is_constant(self):
+        table = SizeTable()
+        table.declare("P1", pinned=4.0)
+        assert table.monomial("P1").evaluate({}) == pytest.approx(4.0)
+
+    def test_monomial_ratio_chain(self):
+        table = SizeTable()
+        table.declare("N2")
+        table.declare("N2i", ratio_of=("N2", 0.5))
+        table.declare("N2ii", ratio_of=("N2i", 0.5))
+        mono = table.monomial("N2ii")
+        assert mono.evaluate({"N2": 8.0}) == pytest.approx(2.0)
+
+    def test_ratio_of_pinned(self):
+        table = SizeTable()
+        table.declare("N2", pinned=6.0)
+        table.declare("N2i", ratio_of=("N2", 0.5))
+        assert table.monomial("N2i").evaluate({}) == pytest.approx(3.0)
+
+    def test_circular_ratio_detected(self):
+        table = SizeTable()
+        table.add(SizeVar("A", ratio_of=("B", 1.0)))
+        table.add(SizeVar("B", ratio_of=("A", 1.0)))
+        with pytest.raises(ValueError):
+            table.monomial("A")
+
+    def test_resolve_full(self):
+        table = SizeTable()
+        table.declare("N2")
+        table.declare("N2i", ratio_of=("N2", 0.5))
+        table.declare("P3", pinned=4.0)
+        widths = table.resolve({"N2": 10.0})
+        assert widths == {
+            "N2": pytest.approx(10.0),
+            "N2i": pytest.approx(5.0),
+            "P3": pytest.approx(4.0),
+        }
+
+    def test_pin_and_unpin(self):
+        table = SizeTable()
+        table.declare("N1", 0.4, 50.0)
+        table.pin("N1", 7.0)
+        assert table.monomial("N1").evaluate({}) == pytest.approx(7.0)
+        table.unpin("N1")
+        assert "N1" in table.free_names()
+
+    def test_default_env_geometric_mean(self):
+        table = SizeTable()
+        table.declare("N1", 1.0, 100.0)
+        env = table.default_env()
+        assert env["N1"] == pytest.approx(10.0)
+
+    def test_minimum_env(self):
+        table = SizeTable()
+        table.declare("N1", 0.7, 100.0)
+        assert table.minimum_env() == {"N1": pytest.approx(0.7)}
+
+    def test_merge(self):
+        a = SizeTable()
+        a.declare("N1")
+        b = SizeTable()
+        b.declare("N2")
+        a.merge(b)
+        assert "N2" in a
+
+    def test_regularity_signature_resolves_ratios(self):
+        table = SizeTable()
+        table.declare("N2")
+        table.declare("N2i", ratio_of=("N2", 0.5))
+        sig = table.regularity_signature(("N2i", "N2"))
+        assert sig == ("N2", "N2")

@@ -1,0 +1,104 @@
+"""Property-based tests for the size-label table (labeling consistency)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.netlist import SizeTable, SizeVar
+
+
+@st.composite
+def size_tables(draw):
+    """Random tables with base labels, ratio ties (acyclic by construction),
+    and pinned labels."""
+    table = SizeTable()
+    n_base = draw(st.integers(min_value=1, max_value=4))
+    bases = []
+    for i in range(n_base):
+        name = f"B{i}"
+        table.declare(name, 0.4, 100.0)
+        bases.append(name)
+    n_tied = draw(st.integers(min_value=0, max_value=3))
+    for i in range(n_tied):
+        # Tie to any earlier label (base or tied) — keeps ties acyclic.
+        pool = bases + [f"T{j}" for j in range(i)]
+        target = draw(st.sampled_from(pool))
+        ratio = draw(st.floats(min_value=0.1, max_value=3.0))
+        table.declare(f"T{i}", 0.4, 400.0, ratio_of=(target, ratio))
+    n_pinned = draw(st.integers(min_value=0, max_value=2))
+    for i in range(n_pinned):
+        table.declare(
+            f"F{i}", 0.4, 100.0,
+            pinned=draw(st.floats(min_value=0.5, max_value=90.0)),
+        )
+    return table
+
+
+@st.composite
+def env_for(draw, table):
+    return {
+        name: draw(st.floats(min_value=0.5, max_value=90.0))
+        for name in table.free_names()
+    }
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.data())
+def test_monomial_matches_resolve(data):
+    table = data.draw(size_tables())
+    env = data.draw(env_for(table))
+    resolved = table.resolve(env)
+    for name in table.names():
+        assert table.monomial(name).evaluate(env) == pytest.approx(
+            resolved[name], rel=1e-9
+        )
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.data())
+def test_free_names_partition(data):
+    table = data.draw(size_tables())
+    free = set(table.free_names())
+    for var in table:
+        if var.name in free:
+            assert var.free
+        else:
+            assert var.pinned is not None or var.ratio_of is not None
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.data())
+def test_resolve_scaling_linearity(data):
+    """Scaling the free env scales every unpinned resolved width linearly;
+    pinned widths stay fixed."""
+    table = data.draw(size_tables())
+    env = data.draw(env_for(table))
+    k = data.draw(st.floats(min_value=0.5, max_value=4.0))
+    base = table.resolve(env)
+    scaled = table.resolve({name: v * k for name, v in env.items()})
+    for var in table:
+        if var.pinned is not None:
+            assert scaled[var.name] == pytest.approx(base[var.name])
+        else:
+            assert scaled[var.name] == pytest.approx(base[var.name] * k, rel=1e-9)
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.data())
+def test_regularity_signature_idempotent(data):
+    table = data.draw(size_tables())
+    names = tuple(table.names())
+    sig = table.regularity_signature(names)
+    assert table.regularity_signature(sig) == sig
+    # Every signature element is an untied label.
+    for name in sig:
+        assert table[name].ratio_of is None
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.data())
+def test_default_env_within_bounds(data):
+    table = data.draw(size_tables())
+    env = table.default_env()
+    for name, value in env.items():
+        var = table[name]
+        assert var.lower <= value <= var.upper

@@ -1,0 +1,82 @@
+"""SPICE writer/reader round-trip tests."""
+
+import pytest
+
+from repro.macros import MacroSpec
+from repro.netlist import (
+    Polarity,
+    Transistor,
+    circuit_ports,
+    export_circuit,
+    read_spice,
+    write_spice,
+)
+
+
+def _devices():
+    return [
+        Transistor("mp", Polarity.PMOS, "out", "in", "vdd", "vdd", 4.0, 0.18, "P1"),
+        Transistor("mn", Polarity.NMOS, "out", "in", "vss", "vss", 2.0, 0.18, "N1"),
+    ]
+
+
+class TestWriter:
+    def test_deck_structure(self):
+        deck = write_spice("inv", _devices(), ["in", "out", "vdd", "vss"])
+        lines = deck.strip().splitlines()
+        assert lines[1] == ".SUBCKT inv in out vdd vss"
+        assert lines[-1] == ".ENDS inv"
+        assert any(l.startswith("Mmp") for l in lines)
+
+    def test_labels_in_comments(self):
+        deck = write_spice("inv", _devices())
+        assert "$ label=P1" in deck
+
+    def test_model_names(self):
+        deck = write_spice("inv", _devices())
+        assert "pch" in deck and "nch" in deck
+
+
+class TestReader:
+    def test_roundtrip(self):
+        deck = write_spice("inv", _devices(), ["in", "out"])
+        parsed = read_spice(deck)
+        assert set(parsed) == {"inv"}
+        devices = parsed["inv"]
+        assert len(devices) == 2
+        by_name = {d.name: d for d in devices}
+        assert by_name["mp"].polarity is Polarity.PMOS
+        assert by_name["mp"].width == pytest.approx(4.0)
+        assert by_name["mp"].label == "P1"
+        assert by_name["mn"].drain == "out"
+
+    def test_unknown_card_rejected(self):
+        with pytest.raises(ValueError):
+            read_spice(".SUBCKT x a\nR1 a b 100\n.ENDS x")
+
+    def test_device_outside_subckt_rejected(self):
+        deck = write_spice("inv", _devices())
+        body = [l for l in deck.splitlines() if l.startswith("M")][0]
+        with pytest.raises(ValueError):
+            read_spice(body)
+
+    def test_comments_and_blanks_ignored(self):
+        deck = "* hello\n\n.SUBCKT e a\n.ENDS e\n"
+        assert read_spice(deck) == {"e": []}
+
+
+class TestCircuitExport:
+    def test_port_order(self, small_mux):
+        ports = circuit_ports(small_mux)
+        assert ports[-2:] == ["vdd", "vss"]
+        assert "in0" in ports and "out" in ports
+
+    def test_clock_in_ports(self, domino_mux):
+        assert "clk" in circuit_ports(domino_mux)
+
+    def test_export_roundtrip(self, small_mux):
+        env = small_mux.size_table.default_env()
+        deck = export_circuit(small_mux, env)
+        parsed = read_spice(deck)
+        (name,) = parsed
+        assert len(parsed[name]) == small_mux.transistor_count()

@@ -1,0 +1,233 @@
+"""Stage construction and flat transistor expansion tests."""
+
+import pytest
+
+from repro.netlist import Net, NetKind, Pin, PinClass, Polarity, Stage, StageKind
+from repro.netlist.stages import LogicFamily
+
+
+def _net(name, kind=NetKind.SIGNAL):
+    return Net(name, kind)
+
+
+def _inv(name="u1"):
+    return Stage(
+        name=name,
+        kind=StageKind.INV,
+        inputs=[Pin("a", _net("in"))],
+        output=_net("out"),
+        size_vars={"pull_up": "P1", "pull_down": "N1"},
+    )
+
+
+def _domino(clocked=True, legs=2, series=2):
+    pins = [Pin("clk", _net("clk", NetKind.CLOCK), PinClass.CLOCK)]
+    for li in range(legs):
+        for si in range(series):
+            pins.append(Pin(f"l{li}s{si}", _net(f"d{li}_{si}")))
+    size_vars = {"precharge": "P1", "data": "N1"}
+    if clocked:
+        size_vars["evaluate"] = "N2"
+    return Stage(
+        name="dom",
+        kind=StageKind.DOMINO,
+        inputs=pins,
+        output=_net("dyn"),
+        size_vars=size_vars,
+        params={"clocked": clocked, "leg_series": series, "legs": legs},
+    )
+
+
+class TestConstruction:
+    def test_missing_roles_rejected(self):
+        with pytest.raises(ValueError):
+            Stage(
+                name="u1",
+                kind=StageKind.INV,
+                inputs=[Pin("a", _net("in"))],
+                output=_net("out"),
+                size_vars={"pull_up": "P1"},
+            )
+
+    def test_domino_needs_evaluate_when_clocked(self):
+        with pytest.raises(ValueError):
+            Stage(
+                name="d",
+                kind=StageKind.DOMINO,
+                inputs=[Pin("clk", _net("clk", NetKind.CLOCK), PinClass.CLOCK),
+                        Pin("l0s0", _net("d0"))],
+                output=_net("dyn"),
+                size_vars={"precharge": "P1", "data": "N1"},
+                params={"clocked": True},
+            )
+
+    def test_needs_inputs(self):
+        with pytest.raises(ValueError):
+            Stage(
+                name="u1",
+                kind=StageKind.INV,
+                inputs=[],
+                output=_net("out"),
+                size_vars={"pull_up": "P1", "pull_down": "N1"},
+            )
+
+    def test_family_classification(self):
+        assert _inv().family is LogicFamily.STATIC
+        assert _domino().family is LogicFamily.DOMINO
+
+    def test_clocked_property(self):
+        assert _domino(clocked=True).clocked
+        assert not _domino(clocked=False).clocked
+        assert not _inv().clocked
+
+    def test_inverting(self):
+        assert _inv().inverting
+
+    def test_leg_sizes_uniform(self):
+        assert _domino(legs=3, series=2).leg_sizes == (2, 2, 2)
+
+    def test_series_n_includes_foot(self):
+        assert _domino(clocked=True, series=2).series_n == 3
+        assert _domino(clocked=False, series=2).series_n == 2
+
+
+class TestExpansion:
+    def test_inverter_expansion(self):
+        devices = _inv().expand({"P1": 4.0, "N1": 2.0})
+        assert len(devices) == 2
+        pmos = [d for d in devices if d.polarity is Polarity.PMOS]
+        nmos = [d for d in devices if d.polarity is Polarity.NMOS]
+        assert pmos[0].width == pytest.approx(4.0)
+        assert nmos[0].width == pytest.approx(2.0)
+        assert pmos[0].source == "vdd"
+        assert nmos[0].source == "vss"
+
+    def test_nand_series_stack(self):
+        stage = Stage(
+            name="g",
+            kind=StageKind.NAND,
+            inputs=[Pin("a", _net("a")), Pin("b", _net("b")), Pin("c", _net("c"))],
+            output=_net("out"),
+            size_vars={"pull_up": "P1", "pull_down": "N1"},
+        )
+        devices = stage.expand({"P1": 2.0, "N1": 3.0})
+        nmos = [d for d in devices if d.polarity is Polarity.NMOS]
+        pmos = [d for d in devices if d.polarity is Polarity.PMOS]
+        assert len(nmos) == 3 and len(pmos) == 3
+        # NMOS form a series chain ending at vss.
+        sources = {d.source for d in nmos}
+        assert "vss" in sources
+        drains = {d.drain for d in nmos}
+        assert "out" in drains
+        # Parallel PMOS all drain to out, source vdd.
+        assert all(d.source == "vdd" and d.drain == "out" for d in pmos)
+
+    def test_nor_mirror(self):
+        stage = Stage(
+            name="g",
+            kind=StageKind.NOR,
+            inputs=[Pin("a", _net("a")), Pin("b", _net("b"))],
+            output=_net("out"),
+            size_vars={"pull_up": "P1", "pull_down": "N1"},
+        )
+        devices = stage.expand({"P1": 2.0, "N1": 3.0})
+        nmos = [d for d in devices if d.polarity is Polarity.NMOS]
+        assert all(d.drain == "out" and d.source == "vss" for d in nmos)
+
+    def test_xor_is_twelve_devices(self):
+        stage = Stage(
+            name="x",
+            kind=StageKind.XOR,
+            inputs=[Pin("a", _net("a")), Pin("b", _net("b"))],
+            output=_net("out"),
+            size_vars={"pull_up": "P1", "pull_down": "N1"},
+        )
+        assert stage.transistor_count() == 12
+
+    def test_xor_requires_two_inputs(self):
+        stage = Stage(
+            name="x",
+            kind=StageKind.XOR,
+            inputs=[Pin("a", _net("a"))],
+            output=_net("out"),
+            size_vars={"pull_up": "P1", "pull_down": "N1"},
+        )
+        with pytest.raises(ValueError):
+            stage.expand({"P1": 1.0, "N1": 1.0})
+
+    def test_passgate_expansion(self):
+        stage = Stage(
+            name="p",
+            kind=StageKind.PASSGATE,
+            inputs=[
+                Pin("d", _net("d"), PinClass.DATA),
+                Pin("s", _net("s"), PinClass.SELECT),
+            ],
+            output=_net("out"),
+            size_vars={"pass": "N2", "sel_inv": "N2i"},
+        )
+        devices = stage.expand({"N2": 4.0, "N2i": 2.0})
+        assert len(devices) == 4  # N pass, P pass, 2 inverter devices
+        widths = sorted(d.width for d in devices)
+        assert widths == [2.0, 2.0, 4.0, 4.0]
+
+    def test_tristate_factor_recorded(self):
+        stage = Stage(
+            name="t",
+            kind=StageKind.TRISTATE,
+            inputs=[
+                Pin("d", _net("d"), PinClass.DATA),
+                Pin("en", _net("en"), PinClass.SELECT),
+            ],
+            output=_net("out"),
+            size_vars={"pull_up": "P1", "pull_down": "N1"},
+        )
+        devices = stage.expand({"P1": 8.0, "N1": 4.0})
+        inv_devices = [d for d in devices if d.factor == 0.25]
+        assert len(inv_devices) == 2
+        assert {d.width for d in inv_devices} == {2.0, 1.0}
+
+    def test_domino_clocked_expansion(self):
+        stage = _domino(clocked=True, legs=2, series=2)
+        devices = stage.expand({"P1": 2.0, "N1": 3.0, "N2": 4.0})
+        # 1 precharge + 1 foot + 2 legs x 2 series = 6
+        assert len(devices) == 6
+        foot = [d for d in devices if d.label == "N2"]
+        assert len(foot) == 1
+        assert foot[0].gate == "clk"
+
+    def test_domino_unclocked_has_no_foot(self):
+        stage = _domino(clocked=False)
+        devices = stage.expand({"P1": 2.0, "N1": 3.0})
+        assert len(devices) == 5
+        assert not [d for d in devices if d.label == "N2"]
+
+    def test_domino_ragged_legs(self):
+        pins = [Pin("clk", _net("clk", NetKind.CLOCK), PinClass.CLOCK)]
+        for i in range(3):
+            pins.append(Pin(f"l0s{i}", _net(f"a{i}")))
+        pins.append(Pin("l1s0", _net("b0")))
+        stage = Stage(
+            name="rag",
+            kind=StageKind.DOMINO,
+            inputs=pins,
+            output=_net("dyn"),
+            size_vars={"precharge": "P1", "data": "N1"},
+            params={"clocked": False, "leg_sizes": (3, 1), "legs": 2},
+        )
+        assert stage.leg_sizes == (3, 1)
+        assert stage.series_n == 3
+        devices = stage.expand({"P1": 1.0, "N1": 2.0})
+        assert len(devices) == 5  # precharge + 3 + 1
+
+    def test_transistor_count_width_independent(self):
+        stage = _domino()
+        assert stage.transistor_count() == len(
+            stage.expand({"P1": 9.0, "N1": 9.0, "N2": 9.0})
+        )
+
+    def test_spice_card_format(self):
+        devices = _inv().expand({"P1": 4.0, "N1": 2.0})
+        card = devices[0].spice_card()
+        assert card.startswith("M")
+        assert "W=" in card and "L=" in card

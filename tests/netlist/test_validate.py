@@ -1,0 +1,125 @@
+"""Structural validation tests."""
+
+import pytest
+
+from repro.macros import MacroSpec
+from repro.macros.base import MacroBuilder
+from repro.models import Technology
+from repro.netlist import (
+    NetKind,
+    Pin,
+    PinClass,
+    Stage,
+    StageKind,
+    validate_circuit,
+)
+
+TECH = Technology()
+
+
+def test_clean_macros_validate(database, tech):
+    for topo, spec in [
+        ("mux/strong_mutex_passgate", MacroSpec("mux", 4)),
+        ("mux/unsplit_domino", MacroSpec("mux", 4)),
+        ("zero_detect/static_tree", MacroSpec("zero_detect", 8)),
+        ("decoder/flat_static", MacroSpec("decoder", 3)),
+    ]:
+        circuit = database.generate(topo, spec, tech)
+        report = validate_circuit(circuit)
+        assert report.ok, report.errors
+
+
+def test_undriven_loaded_net_flagged():
+    builder = MacroBuilder("bad", TECH)
+    floating = builder.wire("floating")
+    out = builder.output("out")
+    builder.size("P"), builder.size("N")
+    builder.inv("i0", floating, out, "P", "N")
+    report = validate_circuit(builder.done())
+    assert not report.ok
+    assert any("undriven" in e for e in report.errors)
+
+
+def test_driven_input_flagged():
+    builder = MacroBuilder("bad", TECH)
+    a = builder.input("a")
+    b = builder.input("b")
+    builder.size("P"), builder.size("N")
+    builder.inv("i0", a, b, "P", "N")  # drives a primary input
+    report = validate_circuit(builder.done())
+    assert any("primary input" in e for e in report.errors)
+
+
+def test_domino_clock_on_signal_net_flagged():
+    builder = MacroBuilder("bad", TECH)
+    notclk = builder.input("notclk")
+    d = builder.input("d")
+    node = builder.output("node")
+    builder.size("P1"), builder.size("N1"), builder.size("N2")
+    stage = Stage(
+        name="dom",
+        kind=StageKind.DOMINO,
+        inputs=[
+            Pin("clk", builder.circuit.net("notclk"), PinClass.CLOCK),
+            Pin("l0s0", builder.circuit.net("d"), PinClass.DATA),
+        ],
+        output=builder.circuit.net("node"),
+        size_vars={"precharge": "P1", "data": "N1", "evaluate": "N2"},
+        params={"clocked": True, "leg_series": 1, "legs": 1},
+    )
+    builder.circuit.add_stage(stage)
+    report = validate_circuit(builder.done())
+    assert any("non-clock net" in e for e in report.errors)
+
+
+def test_unknown_label_flagged():
+    builder = MacroBuilder("bad", TECH)
+    a = builder.input("a")
+    out = builder.output("out")
+    builder.size("P")
+    # Bypass builder.size for the pull-down label.
+    stage = Stage(
+        name="i0",
+        kind=StageKind.INV,
+        inputs=[Pin("a", builder.circuit.net("a"))],
+        output=builder.circuit.net("out"),
+        size_vars={"pull_up": "P", "pull_down": "MISSING"},
+    )
+    builder.circuit.add_stage(stage)
+    report = validate_circuit(builder.done())
+    assert any("MISSING" in e for e in report.errors)
+
+
+def test_dangling_net_warns_but_passes():
+    builder = MacroBuilder("warn", TECH)
+    a = builder.input("a")
+    dangling = builder.wire("nowhere")
+    builder.size("P"), builder.size("N")
+    builder.inv("i0", a, dangling, "P", "N")
+    report = validate_circuit(builder.done())
+    assert report.ok
+    assert any("dangling" in w for w in report.warnings)
+
+
+def test_strong_mutex_shared_select_flagged():
+    builder = MacroBuilder("bad", TECH)
+    d0 = builder.input("d0")
+    d1 = builder.input("d1")
+    s = builder.input("s")
+    merge = builder.output("merge")
+    builder.size("N2")
+    builder.size("N2i", ratio_of=("N2", 0.5))
+    builder.passgate("p0", d0, s, merge, "N2", "N2i", mutex="strong")
+    builder.passgate("p1", d1, s, merge, "N2", "N2i", mutex="strong")
+    report = validate_circuit(builder.done())
+    assert any("share a select" in e for e in report.errors)
+
+
+def test_raise_if_failed():
+    builder = MacroBuilder("bad", TECH)
+    floating = builder.wire("floating")
+    out = builder.output("out")
+    builder.size("P"), builder.size("N")
+    builder.inv("i0", floating, out, "P", "N")
+    with pytest.raises(ValueError):
+        validate_circuit(builder.done()).raise_if_failed()

@@ -1,0 +1,62 @@
+"""Tests for the posynomial expression helpers."""
+
+import pytest
+
+from repro.posy import (
+    Monomial,
+    Posynomial,
+    as_monomial,
+    as_posynomial,
+    is_posynomial_in,
+    posy_max_bound,
+    posy_sum,
+    scale_env,
+    var,
+)
+
+
+class TestCoercion:
+    def test_as_monomial_from_scalar(self):
+        assert as_monomial(3.0) == Monomial.constant(3.0)
+
+    def test_as_monomial_from_singleton_posynomial(self):
+        posy = as_posynomial(2.0 * var("x"))
+        assert as_monomial(posy) == 2.0 * var("x")
+
+    def test_as_monomial_multi_term_rejected(self):
+        with pytest.raises(ValueError):
+            as_monomial(var("x") + var("y"))
+
+    def test_as_monomial_bad_type(self):
+        with pytest.raises(TypeError):
+            as_monomial([1, 2])
+
+
+class TestHelpers:
+    def test_posy_max_bound_is_upper_bound(self):
+        exprs = [var("x"), 2.0 * var("x"), as_posynomial(5.0)]
+        bound = posy_max_bound(exprs)
+        env = {"x": 3.0}
+        assert bound.evaluate(env) >= max(e.evaluate(env) if hasattr(e, "evaluate")
+                                          else e for e in exprs[:2])
+
+    def test_scale_env(self):
+        assert scale_env({"a": 2.0, "b": 4.0}, 0.5) == {"a": 1.0, "b": 2.0}
+
+    def test_scale_env_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            scale_env({"a": 1.0}, 0.0)
+
+    def test_is_posynomial_in_subset(self):
+        assert is_posynomial_in(var("x") + var("y"), {"x", "y", "z"})
+        assert not is_posynomial_in(var("w"), {"x", "y"})
+
+    def test_is_posynomial_in_scalar(self):
+        assert is_posynomial_in(5.0, set())
+
+    def test_is_posynomial_in_rejects_junk(self):
+        assert not is_posynomial_in("garbage", {"x"})
+
+    def test_posy_sum_mixed(self):
+        total = posy_sum([var("x"), 1, Posynomial.zero(), 2.5])
+        assert total.evaluate({"x": 2.0}) == pytest.approx(5.5)

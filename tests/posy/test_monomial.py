@@ -1,0 +1,120 @@
+"""Unit tests for Monomial arithmetic and evaluation."""
+
+import math
+
+import pytest
+
+from repro.posy import Monomial, const, var
+
+
+class TestConstruction:
+    def test_variable(self):
+        x = Monomial.variable("x")
+        assert x.coefficient == 1.0
+        assert x.exponents == {"x": 1.0}
+
+    def test_constant(self):
+        c = Monomial.constant(3.5)
+        assert c.is_constant()
+        assert c.evaluate({}) == 3.5
+
+    def test_zero_exponents_dropped(self):
+        m = Monomial(2.0, {"x": 0.0, "y": 1.0})
+        assert m.variables() == frozenset({"y"})
+
+    def test_nonpositive_coefficient_rejected(self):
+        with pytest.raises(ValueError):
+            Monomial(0.0, {"x": 1.0})
+        with pytest.raises(ValueError):
+            Monomial(-1.0, {"x": 1.0})
+
+    def test_nonfinite_coefficient_rejected(self):
+        with pytest.raises(ValueError):
+            Monomial(float("inf"), {})
+
+    def test_helpers(self):
+        assert var("w") == Monomial.variable("w")
+        assert const(2.0) == Monomial.constant(2.0)
+
+
+class TestArithmetic:
+    def test_multiply_merges_exponents(self):
+        m = var("x") * var("y") * var("x")
+        assert m.degree("x") == 2.0
+        assert m.degree("y") == 1.0
+
+    def test_multiply_by_scalar(self):
+        m = 3.0 * var("x")
+        assert m.coefficient == 3.0
+
+    def test_division(self):
+        m = var("x") / var("y")
+        assert m.degree("y") == -1.0
+        assert m.evaluate({"x": 6.0, "y": 2.0}) == pytest.approx(3.0)
+
+    def test_scalar_division(self):
+        m = 1.0 / var("x")
+        assert m.degree("x") == -1.0
+
+    def test_power(self):
+        m = (2.0 * var("x")) ** 2
+        assert m.coefficient == 4.0
+        assert m.degree("x") == 2.0
+
+    def test_fractional_power(self):
+        m = (4.0 * var("x")) ** 0.5
+        assert m.coefficient == pytest.approx(2.0)
+        assert m.degree("x") == pytest.approx(0.5)
+
+    def test_inverse_cancels(self):
+        m = var("x") * var("x") ** -1
+        assert m.is_constant()
+        assert m.coefficient == pytest.approx(1.0)
+
+    def test_addition_promotes_to_posynomial(self):
+        p = var("x") + var("y")
+        assert len(p) == 2
+
+
+class TestEvaluation:
+    def test_evaluate(self):
+        m = 2.0 * var("x") * var("y") ** 2
+        assert m.evaluate({"x": 3.0, "y": 2.0}) == pytest.approx(24.0)
+
+    def test_evaluate_requires_positive(self):
+        with pytest.raises(ValueError):
+            var("x").evaluate({"x": -1.0})
+        with pytest.raises(ValueError):
+            var("x").evaluate({"x": 0.0})
+
+    def test_gradient(self):
+        m = 2.0 * var("x") ** 2
+        grad = m.grad({"x": 3.0})
+        assert grad["x"] == pytest.approx(12.0)
+
+    def test_partial(self):
+        m = 3.0 * var("x") ** 2
+        d = m.partial("x")
+        assert d.coefficient == pytest.approx(6.0)
+        assert d.degree("x") == pytest.approx(1.0)
+
+    def test_partial_negative_exponent_rejected(self):
+        with pytest.raises(ValueError):
+            (1.0 / var("x")).partial("x")
+
+
+class TestEquality:
+    def test_equal_monomials(self):
+        assert 2.0 * var("x") == var("x") * 2.0
+
+    def test_constant_equals_scalar(self):
+        assert Monomial.constant(5.0) == 5.0
+
+    def test_hash_consistency(self):
+        a = 2.0 * var("x") * var("y")
+        b = var("y") * var("x") * 2.0
+        assert hash(a) == hash(b)
+
+    def test_repr_readable(self):
+        assert "x" in repr(var("x"))
+        assert repr(Monomial.constant(1.0)) == "1"

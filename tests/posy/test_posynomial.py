@@ -1,0 +1,118 @@
+"""Unit tests for Posynomial arithmetic, term merging, and evaluation."""
+
+import pytest
+
+from repro.posy import Monomial, Posynomial, as_posynomial, const, posy_sum, var
+
+
+class TestConstruction:
+    def test_from_terms_merges_like_terms(self):
+        p = Posynomial.from_terms([var("x"), var("x"), 2.0 * var("y")])
+        assert len(p) == 2
+        assert p.evaluate({"x": 1.0, "y": 1.0}) == pytest.approx(4.0)
+
+    def test_zero(self):
+        z = Posynomial.zero()
+        assert len(z) == 0
+        assert z.evaluate({}) == 0.0
+
+    def test_scalars_in_terms(self):
+        p = Posynomial.from_terms([1.0, 2.0, var("x")])
+        assert p.constant_part() == pytest.approx(3.0)
+
+    def test_as_posynomial_coercions(self):
+        assert len(as_posynomial(var("x"))) == 1
+        assert len(as_posynomial(5.0)) == 1
+        assert len(as_posynomial(0)) == 0
+        with pytest.raises(TypeError):
+            as_posynomial("nope")
+
+
+class TestArithmetic:
+    def test_addition(self):
+        p = var("x") + var("y") + 1.0
+        assert len(p) == 3
+        assert p.evaluate({"x": 2.0, "y": 3.0}) == pytest.approx(6.0)
+
+    def test_addition_merges(self):
+        p = (var("x") + 1.0) + (var("x") + 2.0)
+        assert len(p) == 2
+        assert p.constant_part() == pytest.approx(3.0)
+
+    def test_multiplication_distributes(self):
+        p = (var("x") + 1.0) * (var("y") + 2.0)
+        env = {"x": 3.0, "y": 5.0}
+        assert p.evaluate(env) == pytest.approx((3 + 1) * (5 + 2))
+
+    def test_scalar_multiplication(self):
+        p = 2.0 * (var("x") + var("y"))
+        assert p.evaluate({"x": 1.0, "y": 1.0}) == pytest.approx(4.0)
+
+    def test_negative_scale_rejected(self):
+        with pytest.raises(ValueError):
+            (-1.0) * (var("x") + 1.0)
+
+    def test_division_by_monomial(self):
+        p = (var("x") ** 2 + var("x")) / var("x")
+        assert p.evaluate({"x": 4.0}) == pytest.approx(5.0)
+
+    def test_power(self):
+        p = (var("x") + 1.0) ** 2
+        assert p.evaluate({"x": 2.0}) == pytest.approx(9.0)
+        assert len(p) == 3
+
+    def test_power_zero_is_one(self):
+        p = (var("x") + 1.0) ** 0
+        assert p.is_constant()
+        assert p.evaluate({}) == pytest.approx(1.0)
+
+    def test_negative_power_rejected(self):
+        with pytest.raises(ValueError):
+            (var("x") + 1.0) ** -1
+
+    def test_subtraction_of_like_terms(self):
+        p = (2.0 * var("x") + 1.0) - var("x")
+        assert p.evaluate({"x": 1.0}) == pytest.approx(2.0)
+
+    def test_subtraction_to_exact_cancellation(self):
+        p = (var("x") + 1.0) - var("x")
+        assert p.constant_part() == pytest.approx(1.0)
+        assert len(p) == 1
+
+    def test_subtraction_going_negative_rejected(self):
+        with pytest.raises(ValueError):
+            as_posynomial(var("x")) - (2.0 * var("x"))
+
+
+class TestIntrospection:
+    def test_variables(self):
+        p = var("a") * var("b") + var("c")
+        assert p.variables() == frozenset({"a", "b", "c"})
+
+    def test_is_monomial_and_as_monomial(self):
+        p = as_posynomial(2.0 * var("x"))
+        assert p.is_monomial()
+        assert p.as_monomial() == 2.0 * var("x")
+        with pytest.raises(ValueError):
+            (var("x") + 1.0).as_monomial()
+
+    def test_gradient(self):
+        p = var("x") ** 2 + 3.0 * var("x") * var("y")
+        grad = p.grad({"x": 2.0, "y": 1.0})
+        assert grad["x"] == pytest.approx(2 * 2 + 3 * 1)
+        assert grad["y"] == pytest.approx(3 * 2)
+
+    def test_posy_sum(self):
+        p = posy_sum([var("x"), 1.0, var("x")])
+        assert p.evaluate({"x": 2.0}) == pytest.approx(5.0)
+        assert len(posy_sum([])) == 0
+
+    def test_equality(self):
+        assert var("x") + var("y") == var("y") + var("x")
+        assert (var("x") + 0.0) == as_posynomial(var("x"))
+        assert Posynomial.zero() == 0
+
+    def test_terms_sorted_deterministically(self):
+        p = var("b") + var("a")
+        names = [t.variables() for t in p.terms]
+        assert names == sorted(names, key=lambda s: sorted(s))

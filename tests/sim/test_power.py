@@ -1,0 +1,68 @@
+"""Power estimator (PowerMill substitute) tests."""
+
+import pytest
+
+from repro.macros import MacroSpec
+from repro.sim.power import CLOCK_ACTIVITY, DOMINO_ACTIVITY, PowerEstimator
+
+
+WIDTHS = {"P0": 2.0, "N0": 1.0, "P1": 4.0, "N1": 2.0, "P2": 8.0, "N2": 4.0}
+
+
+class TestStatic:
+    def test_total_positive(self, inverter_chain, library):
+        report = PowerEstimator(inverter_chain, library).estimate(WIDTHS)
+        assert report.total > 0
+        assert report.clock == 0.0
+        assert report.signal == report.total
+
+    def test_power_scales_with_width(self, inverter_chain, library):
+        est = PowerEstimator(inverter_chain, library)
+        small = est.estimate(WIDTHS).total
+        big = est.estimate({k: 4 * v for k, v in WIDTHS.items()}).total
+        assert big > 2.0 * small
+
+    def test_by_net_sums_to_total(self, inverter_chain, library):
+        report = PowerEstimator(inverter_chain, library).estimate(WIDTHS)
+        assert sum(report.by_net.values()) == pytest.approx(report.total)
+
+    def test_activity_override(self, inverter_chain, library):
+        est = PowerEstimator(inverter_chain, library)
+        base = est.estimate(WIDTHS).by_net["n1"]
+        doubled = est.estimate(
+            WIDTHS, activity_overrides={"n1": 2 * library.tech.activity}
+        ).by_net["n1"]
+        assert doubled == pytest.approx(2 * base)
+
+    def test_fraction_of(self, inverter_chain, library):
+        report = PowerEstimator(inverter_chain, library).estimate(WIDTHS)
+        assert report.fraction_of(report.by_net) == pytest.approx(1.0)
+        assert report.fraction_of([]) == 0.0
+
+
+class TestDomino:
+    def test_clock_component_positive(self, domino_mux, library):
+        env = domino_mux.size_table.default_env()
+        report = PowerEstimator(domino_mux, library).estimate(env)
+        assert report.clock > 0
+        assert report.signal > 0
+
+    def test_domino_activity_higher_than_static(self, domino_mux, library):
+        est = PowerEstimator(domino_mux, library)
+        assert est.net_activity("dyn") == DOMINO_ACTIVITY
+        assert est.net_activity("in0") == library.tech.activity
+
+    def test_clock_activity(self, domino_mux, library):
+        est = PowerEstimator(domino_mux, library)
+        assert est.net_activity("clk") == CLOCK_ACTIVITY
+
+    def test_domino_fanout_inherits_activity(self, domino_mux, library):
+        est = PowerEstimator(domino_mux, library)
+        # "out" is driven by the inverter fed from the dynamic node.
+        assert est.net_activity("out") == DOMINO_ACTIVITY
+
+    def test_net_capacitance_includes_wire(self, domino_mux, library):
+        est = PowerEstimator(domino_mux, library)
+        env = domino_mux.size_table.default_env()
+        caps = est.net_capacitance(env)
+        assert caps["dyn"] > domino_mux.net("dyn").wire_cap

@@ -1,0 +1,64 @@
+"""Timing report formatting tests."""
+
+import pytest
+
+from repro.sim import format_timing_report
+from repro.sizing import DelaySpec
+from repro.sizing.engine import nominal_delay
+
+
+WIDTHS = {"P0": 2.0, "N0": 1.0, "P1": 4.0, "N1": 2.0, "P2": 8.0, "N2": 4.0}
+
+
+class TestFormat:
+    def test_outputs_listed_with_slack(self, inverter_chain, library):
+        spec = DelaySpec(data=1000.0)
+        text = format_timing_report(inverter_chain, library, WIDTHS, spec)
+        assert "out" in text
+        assert "slack" in text
+        assert "critical path" in text
+
+    def test_critical_path_walks_nets(self, inverter_chain, library):
+        text = format_timing_report(inverter_chain, library, WIDTHS)
+        for net in ("in", "n1", "n2", "out"):
+            assert net in text
+
+    def test_slope_violations_flagged(self, inverter_chain, library):
+        tight = DelaySpec(
+            data=1000.0, max_output_slope=1.0, max_internal_slope=1.0
+        )
+        text = format_timing_report(inverter_chain, library, WIDTHS, tight)
+        assert "VIOLATION" in text
+
+    def test_clean_slopes_reported(self, inverter_chain, library):
+        loose = DelaySpec(
+            data=1000.0, max_output_slope=1e6, max_internal_slope=1e6
+        )
+        text = format_timing_report(inverter_chain, library, WIDTHS, loose)
+        assert "all nets within limits" in text
+
+    def test_without_spec_no_slope_section(self, inverter_chain, library):
+        text = format_timing_report(inverter_chain, library, WIDTHS)
+        assert "slope checks" not in text
+
+
+class TestCLIReport:
+    def test_size_with_report_and_save(self, capsys, tmp_path):
+        from repro.cli import main
+
+        artifact = tmp_path / "out.json"
+        code = main([
+            "size", "mux", "4", "--delay", "400", "--load", "30",
+            "--topology", "mux/strong_mutex_passgate",
+            "--report", "--save", str(artifact),
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "timing report" in out
+        assert "critical path" in out
+        assert artifact.exists()
+
+        from repro.core.artifacts import load_sizing
+
+        payload = load_sizing(str(artifact))
+        assert payload["result"]["converged"]

@@ -1,0 +1,135 @@
+"""Metamorphic / property-based tests for the static timing analyzer."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.macros import MacroSpec, default_database
+from repro.macros.base import MacroBuilder
+from repro.models import ModelLibrary, Technology
+from repro.sim import StaticTimingAnalyzer
+
+TECH = Technology()
+LIB = ModelLibrary(TECH)
+DB = default_database()
+
+
+def _chain(length: int, load: float):
+    builder = MacroBuilder(f"chain{length}", TECH)
+    net = builder.input("in")
+    for i in range(length):
+        is_last = i == length - 1
+        out = builder.output("out", load=load) if is_last else builder.wire(f"n{i}")
+        builder.size(f"P{i}"), builder.size(f"N{i}")
+        builder.inv(f"i{i}", net, out, f"P{i}", f"N{i}")
+        net = out
+    return builder.done()
+
+
+widths_strategy = st.floats(min_value=0.5, max_value=40.0)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    st.integers(min_value=1, max_value=5),
+    st.lists(widths_strategy, min_size=10, max_size=10),
+    st.floats(min_value=1.0, max_value=100.0),
+)
+def test_delays_positive(length, widths, load):
+    circuit = _chain(length, load)
+    env = {
+        name: widths[i % len(widths)]
+        for i, name in enumerate(circuit.size_table.free_names())
+    }
+    report = StaticTimingAnalyzer(circuit, LIB).analyze(env)
+    assert report.worst(["out"]) > 0.0
+    for event in report.arrivals.values():
+        assert event.slope > 0.0
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    st.lists(widths_strategy, min_size=6, max_size=6),
+    st.floats(min_value=1.5, max_value=8.0),
+)
+def test_uniform_upsizing_speeds_up_loaded_chain(widths, factor):
+    """With a fixed external load, scaling every width by k>1 strictly
+    reduces the output arrival (R scales 1/k, self-load cancels, fixed load
+    term shrinks)."""
+    circuit = _chain(3, load=30.0)
+    names = circuit.size_table.free_names()
+    env = {name: widths[i % len(widths)] for i, name in enumerate(names)}
+    scaled = {name: value * factor for name, value in env.items()}
+    analyzer = StaticTimingAnalyzer(circuit, LIB)
+    base = analyzer.analyze(env).worst(["out"])
+    fast = analyzer.analyze(scaled).worst(["out"])
+    assert fast < base
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    st.lists(widths_strategy, min_size=6, max_size=6),
+    st.floats(min_value=0.0, max_value=500.0),
+)
+def test_arrival_offset_shifts_exactly(widths, offset):
+    circuit = _chain(3, load=20.0)
+    names = circuit.size_table.free_names()
+    env = {name: widths[i % len(widths)] for i, name in enumerate(names)}
+    analyzer = StaticTimingAnalyzer(circuit, LIB)
+    base = analyzer.analyze(env).worst(["out"])
+    shifted = analyzer.analyze(env, input_arrivals={"in": offset}).worst(["out"])
+    assert shifted == pytest.approx(base + offset, rel=1e-9, abs=1e-9)
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    st.lists(widths_strategy, min_size=6, max_size=6),
+    st.floats(min_value=5.0, max_value=50.0),
+    st.floats(min_value=60.0, max_value=300.0),
+)
+def test_more_load_never_faster(widths, light, heavy):
+    names6 = None
+    light_chain = _chain(2, load=light)
+    heavy_chain = _chain(2, load=heavy)
+    env = {
+        name: widths[i % len(widths)]
+        for i, name in enumerate(light_chain.size_table.free_names())
+    }
+    t_light = StaticTimingAnalyzer(light_chain, LIB).analyze(env).worst(["out"])
+    t_heavy = StaticTimingAnalyzer(heavy_chain, LIB).analyze(env).worst(["out"])
+    assert t_heavy > t_light
+
+
+@settings(max_examples=10, deadline=None)
+@given(st.floats(min_value=0.8, max_value=20.0))
+def test_path_delay_matches_analyze_on_chain(width):
+    """A single-path circuit: per-path measurement equals full STA."""
+    from repro.models import Transition
+
+    circuit = _chain(3, load=20.0)
+    env = {name: width for name in circuit.size_table.free_names()}
+    analyzer = StaticTimingAnalyzer(circuit, LIB)
+    report = analyzer.analyze(env)
+    hops = [
+        ("i0", "a", Transition.FALL),
+        ("i1", "a", Transition.RISE),
+        ("i2", "a", Transition.FALL),
+    ]
+    assert analyzer.path_delay(hops, env) == pytest.approx(
+        report.arrival("out", Transition.FALL).time, rel=1e-9
+    )
+
+
+@settings(max_examples=10, deadline=None)
+@given(st.integers(min_value=2, max_value=12))
+def test_mux_width_monotone_nominal_delay(width):
+    """At nominal sizes, a wider strong-mutex mux is never faster than the
+    2-input one (more merge parasitics and wire)."""
+    from repro.sizing.engine import nominal_delay
+
+    small = DB.generate(
+        "mux/strong_mutex_passgate", MacroSpec("mux", 2, output_load=30.0), TECH
+    )
+    big = DB.generate(
+        "mux/strong_mutex_passgate", MacroSpec("mux", width, output_load=30.0), TECH
+    )
+    assert nominal_delay(big, LIB) >= nominal_delay(small, LIB) - 1e-6

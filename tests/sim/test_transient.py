@@ -1,0 +1,158 @@
+"""Switch-level transient simulator tests: functional + delay plausibility."""
+
+import pytest
+
+from repro.models import Technology
+from repro.netlist import Polarity, Transistor
+from repro.sim import TransientSimulator, step
+from repro.sim.waveforms import constant
+
+TECH = Technology()
+VDD = TECH.vdd
+
+
+def inverter(wp=4.0, wn=2.0, in_net="in", out_net="out", name=""):
+    return [
+        Transistor(f"{name}mp", Polarity.PMOS, out_net, in_net, "vdd", "vdd", wp),
+        Transistor(f"{name}mn", Polarity.NMOS, out_net, in_net, "vss", "vss", wn),
+    ]
+
+
+class TestInverter:
+    def test_logic_levels(self):
+        sim = TransientSimulator(inverter(), TECH, extra_caps={"out": 10.0})
+        result = sim.run({"in": step(VDD, at=100.0, rise=20.0)}, duration=600.0,
+                         dt=1.0, initial={"out": VDD})
+        assert result.final("out") < 0.1 * VDD
+
+    def test_falling_input_raises_output(self):
+        sim = TransientSimulator(inverter(), TECH, extra_caps={"out": 10.0})
+        result = sim.run(
+            {"in": step(VDD, at=100.0, rise=20.0, falling=True)},
+            duration=600.0, dt=1.0, initial={"out": 0.0},
+        )
+        assert result.final("out") > 0.9 * VDD
+
+    def test_delay_scales_inverse_with_width(self):
+        delays = {}
+        for wn in (1.0, 4.0):
+            sim = TransientSimulator(inverter(wp=2 * wn, wn=wn), TECH,
+                                     extra_caps={"out": 30.0})
+            result = sim.run({"in": step(VDD, at=100.0, rise=10.0)},
+                             duration=2000.0, dt=1.0, initial={"out": VDD})
+            delays[wn] = result.delay("in", "out", True, False)
+        assert delays[1.0] > 2.0 * delays[4.0]
+
+    def test_delay_increases_with_load(self):
+        delays = {}
+        for load in (5.0, 50.0):
+            sim = TransientSimulator(inverter(), TECH, extra_caps={"out": load})
+            result = sim.run({"in": step(VDD, at=100.0, rise=10.0)},
+                             duration=2000.0, dt=1.0, initial={"out": VDD})
+            delays[load] = result.delay("in", "out", True, False)
+        assert delays[50.0] > delays[5.0]
+
+    def test_delay_order_of_magnitude(self):
+        """ln2 * R * C with R = 8kΩ/2µm, C ≈ 30 fF + parasitics -> tens of ps."""
+        sim = TransientSimulator(inverter(), TECH, extra_caps={"out": 30.0})
+        result = sim.run({"in": step(VDD, at=100.0, rise=10.0)},
+                         duration=2000.0, dt=0.5, initial={"out": VDD})
+        delay = result.delay("in", "out", True, False)
+        assert 5.0 < delay < 300.0
+
+
+class TestChainAndPass:
+    def test_two_stage_chain_non_inverting(self):
+        devices = inverter(name="a", in_net="in", out_net="mid") + inverter(
+            name="b", in_net="mid", out_net="out"
+        )
+        sim = TransientSimulator(devices, TECH, extra_caps={"out": 10.0})
+        result = sim.run({"in": step(VDD, at=100.0, rise=10.0)},
+                         duration=1500.0, dt=1.0,
+                         initial={"mid": VDD, "out": 0.0})
+        assert result.final("out") > 0.9 * VDD
+        assert result.final("mid") < 0.1 * VDD
+
+    def test_pass_gate_transfers_when_on(self):
+        devices = [
+            Transistor("mn", Polarity.NMOS, "out", "sel", "in", "vss", 4.0),
+            Transistor("mp", Polarity.PMOS, "out", "selb", "in", "vdd", 4.0),
+        ]
+        sim = TransientSimulator(devices, TECH, extra_caps={"out": 10.0})
+        result = sim.run(
+            {"in": step(VDD, at=50.0, rise=10.0),
+             "sel": constant(VDD), "selb": constant(0.0)},
+            duration=800.0, dt=1.0,
+        )
+        assert result.final("out") > 0.9 * VDD
+
+    def test_pass_gate_blocks_when_off(self):
+        devices = [
+            Transistor("mn", Polarity.NMOS, "out", "sel", "in", "vss", 4.0),
+            Transistor("mp", Polarity.PMOS, "out", "selb", "in", "vdd", 4.0),
+        ]
+        sim = TransientSimulator(devices, TECH, extra_caps={"out": 10.0})
+        result = sim.run(
+            {"in": step(VDD, at=50.0, rise=10.0),
+             "sel": constant(0.0), "selb": constant(VDD)},
+            duration=800.0, dt=1.0,
+        )
+        assert result.final("out") < 0.2 * VDD
+
+
+class TestDomino:
+    def _domino_devices(self):
+        """Clocked domino AND of (a, b) with output inverter."""
+        return [
+            Transistor("mpre", Polarity.PMOS, "dyn", "clk", "vdd", "vdd", 2.0),
+            Transistor("ma", Polarity.NMOS, "dyn", "a", "x1", "vss", 4.0),
+            Transistor("mb", Polarity.NMOS, "x1", "b", "foot", "vss", 4.0),
+            Transistor("mft", Polarity.NMOS, "foot", "clk", "vss", "vss", 6.0),
+        ] + inverter(name="buf", in_net="dyn", out_net="out")
+
+    def test_precharge_then_evaluate(self):
+        from repro.sim import clock as clock_stim
+
+        sim = TransientSimulator(self._domino_devices(), TECH,
+                                 extra_caps={"dyn": 5.0, "out": 10.0})
+        stim = {
+            "clk": clock_stim(VDD, period=1600.0, cycles=1, start_low=900.0),
+            "a": constant(VDD),
+            "b": constant(VDD),
+        }
+        result = sim.run(stim, duration=2000.0, dt=2.0)
+        # By the end of precharge (clk low) the node has charged high.
+        idx_pre = int(850.0 / 2.0)
+        assert result.v("dyn")[idx_pre] > 0.8 * VDD
+        # By the end of evaluate (clk still high, both inputs high) the node
+        # has discharged and the buffered output has risen.
+        idx_eval = int(1650.0 / 2.0)
+        assert result.v("dyn")[idx_eval] < 0.2 * VDD
+        assert result.v("out")[idx_eval] > 0.8 * VDD
+
+    def test_no_evaluate_when_input_low(self):
+        from repro.sim import clock as clock_stim
+
+        sim = TransientSimulator(self._domino_devices(), TECH,
+                                 extra_caps={"dyn": 5.0, "out": 10.0})
+        stim = {
+            "clk": clock_stim(VDD, period=1200.0, cycles=1, start_low=600.0),
+            "a": constant(VDD),
+            "b": constant(0.0),
+        }
+        result = sim.run(stim, duration=1400.0, dt=2.0)
+        assert result.final("dyn") > 0.7 * VDD
+        assert result.final("out") < 0.3 * VDD
+
+
+class TestNodes:
+    def test_supplies_not_nodes(self):
+        sim = TransientSimulator(inverter(), TECH)
+        assert "vdd" not in sim.nodes
+        assert "vss" not in sim.nodes
+
+    def test_waveforms_include_supplies(self):
+        sim = TransientSimulator(inverter(), TECH)
+        result = sim.run({"in": constant(0.0)}, duration=10.0, dt=1.0)
+        assert result.v("vdd")[0] == VDD
+        assert result.v("vss")[-1] == 0.0

@@ -1,0 +1,102 @@
+"""Property-based tests for the switch-level transient simulator."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.models import Technology
+from repro.netlist import Polarity, Transistor
+from repro.sim import TransientSimulator, constant, step
+
+TECH = Technology()
+VDD = TECH.vdd
+
+
+def _inverter(wp, wn):
+    return [
+        Transistor("mp", Polarity.PMOS, "out", "in", "vdd", "vdd", wp),
+        Transistor("mn", Polarity.NMOS, "out", "in", "vss", "vss", wn),
+    ]
+
+
+widths = st.floats(min_value=0.5, max_value=30.0)
+loads = st.floats(min_value=1.0, max_value=100.0)
+
+
+@settings(max_examples=15, deadline=None)
+@given(widths, widths, loads)
+def test_voltages_bounded_by_rails(wp, wn, load):
+    """Node voltages never leave (a small band around) the rails."""
+    sim = TransientSimulator(_inverter(wp, wn), TECH, extra_caps={"out": load})
+    result = sim.run(
+        {"in": step(VDD, at=50.0, rise=20.0)},
+        duration=800.0, dt=1.0, initial={"out": VDD},
+    )
+    v = result.v("out")
+    assert float(v.min()) >= -0.25 * VDD
+    assert float(v.max()) <= 1.25 * VDD
+
+
+@settings(max_examples=15, deadline=None)
+@given(widths, widths, loads)
+def test_inverter_output_monotone_on_step(wp, wn, load):
+    """A single rising step on the input discharges the output
+    monotonically (within numerical tolerance)."""
+    sim = TransientSimulator(_inverter(wp, wn), TECH, extra_caps={"out": load})
+    result = sim.run(
+        {"in": step(VDD, at=50.0, rise=5.0)},
+        duration=1500.0, dt=1.0, initial={"out": VDD},
+    )
+    v = result.v("out")
+    start = 60  # after the input edge completes
+    diffs = np.diff(v[start:])
+    assert (diffs <= 1e-6).all()
+
+
+@settings(max_examples=15, deadline=None)
+@given(widths, loads, st.floats(min_value=1.5, max_value=4.0))
+def test_wider_pulldown_never_slower(wn, load, factor):
+    def delay(w):
+        sim = TransientSimulator(_inverter(2 * w, w), TECH, extra_caps={"out": load})
+        result = sim.run(
+            {"in": step(VDD, at=50.0, rise=10.0)},
+            duration=3000.0, dt=1.0, initial={"out": VDD},
+        )
+        return result.delay("in", "out", True, False)
+
+    slow = delay(wn)
+    fast = delay(wn * factor)
+    assert slow is not None and fast is not None
+    assert fast <= slow * 1.02
+
+
+@settings(max_examples=10, deadline=None)
+@given(widths, loads)
+def test_steady_state_independent_of_dt(wn, load):
+    """Backward Euler: the settled value must not depend on the step size."""
+    def final(dt):
+        sim = TransientSimulator(_inverter(2 * wn, wn), TECH,
+                                 extra_caps={"out": load})
+        result = sim.run(
+            {"in": constant(VDD)}, duration=2000.0, dt=dt,
+            initial={"out": VDD},
+        )
+        return result.final("out")
+
+    assert final(1.0) == pytest.approx(final(4.0), abs=0.05 * VDD)
+
+
+@settings(max_examples=10, deadline=None)
+@given(widths)
+def test_off_device_holds_node(w):
+    """With the gate off, a charged node leaks only negligibly within a
+    short window."""
+    devices = [
+        Transistor("mn", Polarity.NMOS, "node", "gate", "vss", "vss", w),
+    ]
+    sim = TransientSimulator(devices, TECH, extra_caps={"node": 20.0})
+    result = sim.run(
+        {"gate": constant(0.0)}, duration=500.0, dt=1.0,
+        initial={"node": VDD},
+    )
+    assert result.final("node") > 0.9 * VDD

@@ -1,0 +1,94 @@
+"""Waveform stimulus and measurement tests."""
+
+import numpy as np
+import pytest
+
+from repro.sim import (
+    PiecewiseLinear,
+    clock,
+    constant,
+    crossing_time,
+    measure_delay,
+    measure_transition,
+    step,
+)
+
+
+class TestPiecewiseLinear:
+    def test_holds_outside_range(self):
+        src = PiecewiseLinear(((10.0, 0.0), (20.0, 1.8)))
+        assert src.value(0.0) == 0.0
+        assert src.value(100.0) == 1.8
+
+    def test_interpolates(self):
+        src = PiecewiseLinear(((0.0, 0.0), (10.0, 1.0)))
+        assert src.value(5.0) == pytest.approx(0.5)
+
+    def test_monotone_times_required(self):
+        with pytest.raises(ValueError):
+            PiecewiseLinear(((1.0, 0.0), (1.0, 1.0)))
+        with pytest.raises(ValueError):
+            PiecewiseLinear(())
+
+    def test_sample(self):
+        src = step(1.8, at=10.0, rise=10.0)
+        values = src.sample(np.array([0.0, 15.0, 30.0]))
+        assert values[0] == 0.0
+        assert values[1] == pytest.approx(0.9)
+        assert values[2] == pytest.approx(1.8)
+
+    def test_constant(self):
+        assert constant(1.8).value(123.0) == 1.8
+
+    def test_falling_step(self):
+        src = step(1.8, at=5.0, rise=1.0, falling=True)
+        assert src.value(0.0) == 1.8
+        assert src.value(10.0) == 0.0
+
+    def test_clock_cycles(self):
+        src = clock(1.8, period=100.0, cycles=2, start_low=50.0)
+        assert src.value(0.0) == 0.0
+        assert src.value(80.0) == 1.8       # first high phase
+        assert src.value(130.0) == 0.0      # first low phase
+        assert src.value(180.0) == 1.8      # second high phase
+
+
+class TestMeasurement:
+    def _ramp(self):
+        times = np.linspace(0.0, 100.0, 101)
+        values = np.clip((times - 20.0) / 40.0, 0.0, 1.0) * 1.8
+        return times, values
+
+    def test_crossing_time_rising(self):
+        times, values = self._ramp()
+        t = crossing_time(times, values, 0.9, rising=True)
+        assert t == pytest.approx(40.0, abs=1.0)
+
+    def test_crossing_time_respects_after(self):
+        times = np.array([0.0, 10.0, 20.0, 30.0, 40.0])
+        values = np.array([0.0, 1.8, 0.0, 1.8, 1.8])
+        t = crossing_time(times, values, 0.9, rising=True, after=15.0)
+        assert 20.0 < t < 30.0
+
+    def test_crossing_none_when_absent(self):
+        times, values = self._ramp()
+        assert crossing_time(times, values, 0.9, rising=False) is None
+
+    def test_measure_delay(self):
+        times = np.linspace(0.0, 200.0, 201)
+        v_in = np.clip((times - 20.0) / 2.0, 0.0, 1.0) * 1.8
+        v_out = 1.8 - np.clip((times - 60.0) / 2.0, 0.0, 1.0) * 1.8
+        d = measure_delay(times, v_in, v_out, 1.8, in_rising=True, out_rising=False)
+        assert d == pytest.approx(40.0, abs=1.0)
+
+    def test_measure_transition(self):
+        times, values = self._ramp()
+        t = measure_transition(times, values, 1.8, rising=True)
+        # 20%..80% takes 0.6 of the 40ps full ramp; scaled back to full swing.
+        assert t == pytest.approx(40.0, abs=1.5)
+
+    def test_measure_delay_none_when_no_output_edge(self):
+        times = np.linspace(0.0, 100.0, 101)
+        v_in = np.clip((times - 20.0) / 2.0, 0.0, 1.0) * 1.8
+        v_out = np.zeros_like(times)
+        assert measure_delay(times, v_in, v_out, 1.8, True, True) is None

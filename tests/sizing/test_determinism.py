@@ -1,0 +1,52 @@
+"""Reproducibility: the flow is deterministic end to end."""
+
+import pytest
+
+from repro.baseline import OverdesignSizer
+from repro.macros import MacroSpec, default_database
+from repro.models import ModelLibrary
+from repro.sizing import DelaySpec, SmartSizer
+from repro.sizing.engine import nominal_delay
+
+
+def _size_fresh(topology, spec, budget_fraction=0.9):
+    database = default_database()
+    library = ModelLibrary()
+    circuit = database.generate(topology, spec, library.tech)
+    budget = budget_fraction * nominal_delay(circuit, library)
+    return SmartSizer(circuit, library).size(DelaySpec(data=budget))
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize("topology,spec", [
+        ("mux/strong_mutex_passgate", MacroSpec("mux", 4, output_load=30.0)),
+        ("mux/unsplit_domino", MacroSpec("mux", 8, output_load=30.0)),
+        ("zero_detect/static_tree", MacroSpec("zero_detect", 16, output_load=20.0)),
+    ])
+    def test_sizer_repeatable(self, topology, spec):
+        a = _size_fresh(topology, spec)
+        b = _size_fresh(topology, spec)
+        assert a.converged == b.converged
+        assert a.iterations == b.iterations
+        assert a.area == pytest.approx(b.area, rel=1e-9)
+        for name in a.widths:
+            assert a.widths[name] == pytest.approx(b.widths[name], rel=1e-9)
+
+    def test_baseline_repeatable(self, database, library, tech):
+        spec = MacroSpec("decoder", 4, output_load=20.0)
+        runs = []
+        for _ in range(2):
+            circuit = database.generate("decoder/flat_static", spec, tech)
+            runs.append(OverdesignSizer(circuit, library).size())
+        assert runs[0].area == pytest.approx(runs[1].area, rel=1e-12)
+        assert runs[0].realized_delay == pytest.approx(
+            runs[1].realized_delay, rel=1e-12
+        )
+
+    def test_generation_deterministic(self, tech):
+        database = default_database()
+        spec = MacroSpec("adder", 16)
+        a = database.generate("adder/dual_rail_domino_cla", spec, tech)
+        b = database.generate("adder/dual_rail_domino_cla", spec, tech)
+        assert [s.name for s in a.stages] == [s.name for s in b.stages]
+        assert a.size_table.names() == b.size_table.names()

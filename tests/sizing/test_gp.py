@@ -1,0 +1,160 @@
+"""GP solver tests: known-optimum problems, constraints, infeasibility."""
+
+import math
+
+import pytest
+
+from repro.posy import as_posynomial, const, var
+from repro.sizing.gp import (
+    GeometricProgram,
+    GPError,
+    GPInfeasibleError,
+    GPSolution,
+)
+
+
+class TestKnownOptima:
+    def test_unconstrained_hits_lower_bounds(self):
+        gp = GeometricProgram(as_posynomial(var("x") + var("y")))
+        gp.set_bounds("x", 1.0, 10.0)
+        gp.set_bounds("y", 2.0, 10.0)
+        sol = gp.solve()
+        assert sol.optimal
+        assert sol.env["x"] == pytest.approx(1.0, rel=1e-3)
+        assert sol.env["y"] == pytest.approx(2.0, rel=1e-3)
+
+    def test_x_plus_inverse_x(self):
+        """min x + 1/x has optimum 2 at x = 1."""
+        gp = GeometricProgram(var("x") + 1.0 / var("x"))
+        gp.set_bounds("x", 0.01, 100.0)
+        sol = gp.solve()
+        assert sol.env["x"] == pytest.approx(1.0, rel=1e-3)
+        assert sol.objective == pytest.approx(2.0, rel=1e-4)
+
+    def test_constrained_area_problem(self):
+        """min x*y subject to 1/(x*y) <= 1 -> optimum x*y = 1."""
+        gp = GeometricProgram(as_posynomial(var("x") * var("y")))
+        gp.add_inequality(1.0 / (var("x") * var("y")), "min_area")
+        gp.set_bounds("x", 0.1, 10.0)
+        gp.set_bounds("y", 0.1, 10.0)
+        sol = gp.solve()
+        assert sol.objective == pytest.approx(1.0, rel=1e-3)
+
+    def test_equality_constraint(self):
+        """min x + y s.t. x == 4y -> x = 4 y_lb."""
+        gp = GeometricProgram(var("x") + var("y"))
+        gp.add_equality(var("x"), 4.0 * var("y"))
+        gp.set_bounds("x", 0.1, 100.0)
+        gp.set_bounds("y", 1.0, 100.0)
+        sol = gp.solve()
+        assert sol.env["x"] == pytest.approx(4.0 * sol.env["y"], rel=1e-4)
+        assert sol.env["y"] == pytest.approx(1.0, rel=1e-3)
+
+    def test_classic_two_term_tradeoff(self):
+        """min 1/x + x^2: d/dx = -1/x^2 + 2x = 0 -> x = (1/2)^(1/3)."""
+        gp = GeometricProgram(1.0 / var("x") + var("x") ** 2)
+        gp.set_bounds("x", 0.01, 100.0)
+        sol = gp.solve()
+        assert sol.env["x"] == pytest.approx(0.5 ** (1.0 / 3.0), rel=1e-3)
+
+
+class TestUpperBoundHelper:
+    def test_add_upper_bound_scales(self):
+        gp = GeometricProgram(var("x"))
+        gp.add_upper_bound(var("y"), 5.0, "cap")
+        gp.set_bounds("x", 1.0, 2.0)
+        gp.set_bounds("y", 0.1, 100.0)
+        sol = gp.solve()
+        assert sol.env["y"] <= 5.0 + 1e-6
+
+    def test_nonpositive_limit_rejected(self):
+        gp = GeometricProgram(var("x"))
+        with pytest.raises(GPError):
+            gp.add_upper_bound(var("x"), 0.0)
+
+
+class TestDegenerateInputs:
+    def test_empty_objective_rejected(self):
+        from repro.posy import Posynomial
+
+        with pytest.raises(GPError):
+            GeometricProgram(Posynomial.zero())
+
+    def test_trivial_constant_constraint_ok(self):
+        gp = GeometricProgram(var("x"))
+        gp.add_inequality(as_posynomial(0.5), "ok")  # 0.5 <= 1 holds
+        gp.set_bounds("x", 1.0, 2.0)
+        assert gp.solve().optimal
+
+    def test_constant_violated_constraint_raises(self):
+        gp = GeometricProgram(var("x"))
+        with pytest.raises(GPInfeasibleError):
+            gp.add_inequality(as_posynomial(2.0), "bad")
+
+    def test_constant_equality_consistent(self):
+        gp = GeometricProgram(var("x"))
+        gp.add_equality(const(2.0), const(2.0))  # fine, drops out
+        gp.set_bounds("x", 1.0, 2.0)
+        assert gp.solve().optimal
+
+    def test_constant_equality_inconsistent(self):
+        gp = GeometricProgram(var("x"))
+        with pytest.raises(GPInfeasibleError):
+            gp.add_equality(const(2.0), const(3.0))
+
+    def test_invalid_bounds(self):
+        gp = GeometricProgram(var("x"))
+        with pytest.raises(GPError):
+            gp.set_bounds("x", -1.0, 2.0)
+        with pytest.raises(GPError):
+            gp.set_bounds("x", 3.0, 2.0)
+
+
+class TestInfeasibility:
+    def test_box_vs_constraint_conflict(self):
+        """x <= 0.5 with bounds x >= 1 is infeasible."""
+        gp = GeometricProgram(var("x"))
+        gp.add_upper_bound(var("x"), 0.5, "tight")
+        gp.set_bounds("x", 1.0, 10.0)
+        with pytest.raises(GPInfeasibleError):
+            gp.solve()
+
+    def test_two_conflicting_constraints(self):
+        gp = GeometricProgram(var("x") + var("y"))
+        gp.add_upper_bound(var("x") * var("y"), 0.5, "small")
+        gp.add_upper_bound(4.0 / (var("x") * var("y")), 1.0, "big")  # xy >= 4
+        gp.set_bounds("x", 0.1, 10.0)
+        gp.set_bounds("y", 0.1, 10.0)
+        with pytest.raises(GPInfeasibleError):
+            gp.solve()
+
+
+class TestSolutionIntrospection:
+    def _solved(self):
+        gp = GeometricProgram(var("x") + var("y"))
+        gp.add_upper_bound(1.0 / (var("x") * var("y")), 1.0, "area")
+        gp.set_bounds("x", 0.1, 10.0)
+        gp.set_bounds("y", 0.1, 10.0)
+        return gp, gp.solve()
+
+    def test_margins(self):
+        gp, sol = self._solved()
+        margins = sol.constraint_margins(gp)
+        assert set(margins) == {"area"}
+        assert margins["area"] >= -1e-4
+
+    def test_tight_constraints(self):
+        gp, sol = self._solved()
+        assert "area" in sol.tight_constraints(gp, tol=1e-2)
+
+    def test_no_variables(self):
+        gp = GeometricProgram(as_posynomial(3.0))
+        sol = gp.solve()
+        assert sol.optimal
+        assert sol.objective == pytest.approx(3.0)
+
+    def test_warm_start_used(self):
+        gp = GeometricProgram(var("x") + 1.0 / var("x"))
+        gp.set_bounds("x", 0.01, 100.0)
+        sol = gp.solve(initial={"x": 1.0})
+        assert sol.env["x"] == pytest.approx(1.0, rel=1e-3)

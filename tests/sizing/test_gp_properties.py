@@ -1,0 +1,97 @@
+"""Property-based GP solver tests: feasibility, optimality certificates."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.posy import Monomial, Posynomial, var
+from repro.sizing.gp import GeometricProgram, GPInfeasibleError
+
+VARS = ("x", "y")
+
+
+@st.composite
+def random_gp(draw):
+    """A random bounded GP over two variables with achievable constraints.
+
+    Constraints are built to be satisfiable by construction: for a witness
+    point w we only add constraints with f(w) <= 1.
+    """
+    witness = {
+        name: draw(st.floats(min_value=0.5, max_value=5.0)) for name in VARS
+    }
+    objective = Posynomial.from_terms(
+        [
+            Monomial(
+                draw(st.floats(min_value=0.1, max_value=10.0)),
+                {name: draw(st.sampled_from([-1.0, 1.0, 2.0])) for name in VARS},
+            )
+            for _ in range(draw(st.integers(min_value=1, max_value=3)))
+        ]
+    )
+    gp = GeometricProgram(objective)
+    for name in VARS:
+        gp.set_bounds(name, 0.1, 50.0)
+    n_constraints = draw(st.integers(min_value=0, max_value=3))
+    for i in range(n_constraints):
+        expr = Posynomial.from_terms(
+            [
+                Monomial(
+                    draw(st.floats(min_value=0.1, max_value=2.0)),
+                    {
+                        name: draw(st.sampled_from([-1.0, 0.0, 1.0]))
+                        for name in VARS
+                    },
+                )
+                for _ in range(draw(st.integers(min_value=1, max_value=2)))
+            ]
+        )
+        value = expr.evaluate(witness)
+        # Scale so the witness satisfies it with ~20% margin.
+        gp.add_inequality(expr / (1.25 * value), f"c{i}")
+    return gp, witness
+
+
+@settings(max_examples=30, deadline=None)
+@given(random_gp())
+def test_solver_finds_feasible_point(problem):
+    gp, witness = problem
+    sol = gp.solve(initial=witness)
+    assert sol.max_violation <= 5e-3
+
+
+@settings(max_examples=30, deadline=None)
+@given(random_gp())
+def test_solution_no_worse_than_witness(problem):
+    """The optimum must not exceed the known-feasible witness objective."""
+    gp, witness = problem
+    sol = gp.solve(initial=witness)
+    if sol.status == "optimal":
+        assert sol.objective <= gp.objective.evaluate(witness) * (1 + 1e-4)
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    st.floats(min_value=0.2, max_value=5.0),
+    st.floats(min_value=0.2, max_value=5.0),
+)
+def test_scaling_invariance(a, b):
+    """Scaling the objective by a constant scales the optimum, same argmin."""
+    base = GeometricProgram(a * var("x") + a / var("x"))
+    base.set_bounds("x", 0.01, 100.0)
+    scaled = GeometricProgram(a * b * var("x") + a * b / var("x"))
+    scaled.set_bounds("x", 0.01, 100.0)
+    s1, s2 = base.solve(), scaled.solve()
+    assert s2.objective == pytest.approx(b * s1.objective, rel=1e-3)
+    assert s2.env["x"] == pytest.approx(s1.env["x"], rel=1e-2)
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.floats(min_value=1.2, max_value=10.0))
+def test_tightening_constraint_raises_objective(limit):
+    """min x+y s.t. xy >= limit: tighter limit -> larger optimum (2*sqrt)."""
+    gp = GeometricProgram(var("x") + var("y"))
+    gp.add_upper_bound(limit / (var("x") * var("y")), 1.0, "prod")
+    gp.set_bounds("x", 0.01, 1000.0)
+    gp.set_bounds("y", 0.01, 1000.0)
+    sol = gp.solve()
+    assert sol.objective == pytest.approx(2.0 * limit ** 0.5, rel=1e-2)

@@ -1,0 +1,125 @@
+"""Domino keeper tests: expansion, models, sizing, and physical droop."""
+
+import pytest
+
+from repro.core.editing import add_keeper
+from repro.macros import MacroSpec
+from repro.models import Transition
+from repro.netlist import Polarity
+from repro.sim import TransientSimulator, clock, constant, step
+from repro.sizing import DelaySpec, SmartSizer
+from repro.sizing.engine import nominal_delay
+
+
+@pytest.fixture
+def kept_mux(database, tech):
+    mux = database.generate(
+        "mux/unsplit_domino", MacroSpec("mux", 8, output_load=30.0), tech
+    )
+    add_keeper(mux, "dom", ratio=0.15)
+    return mux
+
+
+class TestExpansion:
+    def test_keeper_devices_added(self, kept_mux):
+        stage = kept_mux.stage("dom")
+        names = {d.name.split(".")[-1] for d in stage.expand(
+            {label: 2.0 for label in stage.size_vars.values()}
+        )}
+        assert {"mkeep", "fbp", "fbn"} <= names
+
+    def test_keeper_width_tracks_precharge(self, kept_mux):
+        stage = kept_mux.stage("dom")
+        devices = stage.expand({label: 4.0 for label in stage.size_vars.values()})
+        keeper = next(d for d in devices if d.name.endswith("mkeep"))
+        assert keeper.width == pytest.approx(0.15 * 4.0)
+        assert keeper.polarity is Polarity.PMOS
+
+    def test_area_posynomial_includes_keeper(self, kept_mux, database, tech):
+        plain = database.generate(
+            "mux/unsplit_domino", MacroSpec("mux", 8, output_load=30.0), tech
+        )
+        env = kept_mux.size_table.default_env()
+        assert kept_mux.total_width(env) > plain.total_width(env)
+        assert kept_mux.area_posynomial().evaluate(env) == pytest.approx(
+            kept_mux.total_width(env)
+        )
+
+    def test_add_keeper_rejects_static(self, small_mux):
+        with pytest.raises(ValueError):
+            add_keeper(small_mux, "outdrv", 0.1)
+
+
+class TestModels:
+    def test_contention_slows_evaluate(self, kept_mux, database, tech, library):
+        plain = database.generate(
+            "mux/unsplit_domino", MacroSpec("mux", 8, output_load=30.0), tech
+        )
+        env = plain.size_table.default_env()
+        stage_k = kept_mux.stage("dom")
+        stage_p = plain.stage("dom")
+        pin_k = stage_k.data_pins()[0]
+        pin_p = stage_p.data_pins()[0]
+        r_kept = library.model(stage_k).resistance(
+            stage_k, pin_k, Transition.FALL, kept_mux.size_table
+        ).evaluate(env)
+        r_plain = library.model(stage_p).resistance(
+            stage_p, pin_p, Transition.FALL, plain.size_table
+        ).evaluate(env)
+        assert r_kept > r_plain
+
+    def test_sizer_accounts_for_contention(self, kept_mux, database, tech, library):
+        """Same budget: the kept mux costs more area (contention must be
+        bought back) — the model sees the keeper."""
+        plain = database.generate(
+            "mux/unsplit_domino", MacroSpec("mux", 8, output_load=30.0), tech
+        )
+        budget = 0.9 * nominal_delay(plain, library)
+        a_plain = SmartSizer(plain, library).size(DelaySpec(data=budget)).area
+        a_kept = SmartSizer(kept_mux, library).size(DelaySpec(data=budget)).area
+        assert a_kept > a_plain
+
+    def test_keeper_relaxes_noise_constraint(self, database, tech, library):
+        """With the keeper's charge-sharing credit, the same noise ratio
+        needs less precharge upsizing."""
+        spec = DelaySpec(data=400.0, charge_sharing_ratio=0.6)
+        plain = database.generate(
+            "mux/unsplit_domino", MacroSpec("mux", 8, output_load=30.0), tech
+        )
+        kept = database.generate(
+            "mux/unsplit_domino", MacroSpec("mux", 8, output_load=30.0), tech
+        )
+        add_keeper(kept, "dom", ratio=0.2)
+        r_plain = SmartSizer(plain, library).size(spec)
+        r_kept = SmartSizer(kept, library).size(spec)
+        assert r_plain.converged and r_kept.converged
+        ratio_plain = r_plain.resolved["P1"] / r_plain.resolved["N1"]
+        ratio_kept = r_kept.resolved["P1"] / r_kept.resolved["N1"]
+        assert ratio_kept < ratio_plain
+
+
+class TestPhysicalEffect:
+    def _droop(self, circuit, widths, tech):
+        devices = circuit.expand_transistors(widths)
+        extra = {n.name: n.fixed_cap for n in circuit.nets.values() if n.fixed_cap > 0}
+        sim = TransientSimulator(devices, tech, extra_caps=extra)
+        stim = {"clk": clock(tech.vdd, period=2400.0, cycles=1, start_low=1200.0)}
+        for i in range(8):
+            stim[f"s{i}"] = (
+                step(tech.vdd, at=1230.0, rise=15.0)
+                if i == 0
+                else constant(0.0)
+            )
+            stim[f"in{i}"] = constant(0.0)
+        result = sim.run(stim, duration=2400.0, dt=2.0)
+        window = result.v("dyn")[int(1300 / 2):int(2350 / 2)]
+        return float(window.min())
+
+    def test_keeper_reduces_droop(self, kept_mux, database, tech):
+        plain = database.generate(
+            "mux/unsplit_domino", MacroSpec("mux", 8, output_load=30.0), tech
+        )
+        env = {name: 3.0 for name in plain.size_table.free_names()}
+        v_plain = self._droop(plain, env, tech)
+        v_kept = self._droop(kept_mux, env, tech)
+        assert v_kept > v_plain

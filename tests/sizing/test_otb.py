@@ -1,0 +1,69 @@
+"""Opportunistic time borrowing tests (Section 5.3 / reference [12])."""
+
+import pytest
+
+from repro.macros import MacroSpec
+from repro.sizing import DelaySpec, SmartSizer, analyze_borrowing
+from repro.sizing.engine import nominal_delay
+
+
+@pytest.fixture(scope="module")
+def comparator(database, tech):
+    return database.generate(
+        "comparator/xorsum4", MacroSpec("comparator", 32, output_load=20.0), tech
+    )
+
+
+class TestAnalysis:
+    def test_no_domino_no_records(self, inverter_chain, library):
+        report = analyze_borrowing(
+            inverter_chain, library,
+            inverter_chain.size_table.default_env(),
+            DelaySpec(data=500.0),
+        )
+        assert report.records == []
+        assert not report.any_borrowing
+        assert report.max_borrowed == 0.0
+
+    def test_comparator_segments_measured(self, comparator, library):
+        env = comparator.size_table.default_env()
+        nom = nominal_delay(comparator, library)
+        report = analyze_borrowing(
+            comparator, library, env,
+            DelaySpec(data=nom, phase_budget=nom / 2.0),
+        )
+        assert report.records
+        assert all(r.segment_delay > 0 for r in report.records)
+
+    def test_borrowed_is_clamped_nonnegative(self, comparator, library):
+        env = comparator.size_table.default_env()
+        report = analyze_borrowing(
+            comparator, library, env,
+            DelaySpec(data=1e6, phase_budget=1e6),
+        )
+        assert report.max_borrowed == 0.0
+        assert report.borrowers() == []
+
+
+class TestOTBInSizer:
+    def test_otb_no_worse_area(self, comparator, library):
+        """With a borrow window, the per-phase constraints relax, so the
+        area optimum cannot be worse than without OTB."""
+        nom = nominal_delay(comparator, library)
+        spec = DelaySpec(data=0.95 * nom, phase_budget=0.55 * nom)
+        no_otb = SmartSizer(comparator, library).size(spec)
+        with_otb = SmartSizer(
+            comparator, library, otb_borrow=0.15 * nom
+        ).size(spec)
+        assert no_otb.converged and with_otb.converged
+        assert with_otb.area <= no_otb.area * 1.02
+
+    def test_otb_enables_tighter_phases(self, comparator, library):
+        """A phase budget just below the no-OTB floor becomes reachable when
+        segments may borrow."""
+        nom = nominal_delay(comparator, library)
+        tight = DelaySpec(data=0.95 * nom, phase_budget=0.40 * nom)
+        borrowing = SmartSizer(
+            comparator, library, otb_borrow=0.25 * nom
+        ).size(tight)
+        assert borrowing.converged or borrowing.worst_violation < 25.0

@@ -1,0 +1,109 @@
+"""TILOS-style iterative sizer tests and GP-vs-TILOS comparison."""
+
+import pytest
+
+from repro.macros import MacroSpec
+from repro.sizing import DelaySpec, SmartSizer, TilosSizer
+from repro.sizing.engine import nominal_delay
+
+
+class TestBasics:
+    def test_invalid_step(self, inverter_chain, library):
+        with pytest.raises(ValueError):
+            TilosSizer(inverter_chain, library, step=1.0)
+
+    def test_meets_feasible_target(self, inverter_chain, library):
+        target = nominal_delay(inverter_chain, library)
+        result = TilosSizer(inverter_chain, library).size(target)
+        assert result.met
+        assert result.realized_delay <= target
+        assert result.iterations >= 0
+
+    def test_starts_from_minimum(self, inverter_chain, library):
+        """A very loose target should barely move anything."""
+        huge = 10.0 * nominal_delay(inverter_chain, library)
+        result = TilosSizer(inverter_chain, library).size(huge)
+        table = inverter_chain.size_table
+        for name, width in result.widths.items():
+            assert width == pytest.approx(table[name].lower)
+
+    def test_gives_up_on_impossible_target(self, inverter_chain, library):
+        result = TilosSizer(
+            inverter_chain, library, max_iterations=300
+        ).size(1.0)
+        assert not result.met
+
+    def test_tighter_target_more_area(self, inverter_chain, library):
+        nom = nominal_delay(inverter_chain, library)
+        loose = TilosSizer(inverter_chain, library).size(1.2 * nom)
+        tight = TilosSizer(inverter_chain, library).size(0.85 * nom)
+        assert tight.met
+        assert tight.area > loose.area
+
+    def test_heuristic_fails_where_gp_succeeds(self, small_mux, library):
+        """"may or may not meet the specified constraints all the time":
+        a target the GP meets but the greedy heuristic gives up on."""
+        nom = nominal_delay(small_mux, library)
+        target = 0.8 * nom
+        tilos = TilosSizer(small_mux, library).size(target)
+        gp = SmartSizer(small_mux, library).size(
+            DelaySpec(data=target, max_output_slope=1e6, max_internal_slope=1e6)
+        )
+        assert gp.converged
+        # The heuristic either misses the target or needs more area.
+        assert (not tilos.met) or tilos.area >= gp.area * 0.9
+
+    def test_respects_bounds(self, small_mux, library):
+        result = TilosSizer(small_mux, library).size(
+            0.8 * nominal_delay(small_mux, library)
+        )
+        for name, width in result.widths.items():
+            var = small_mux.size_table[name]
+            assert var.lower - 1e-9 <= width <= var.upper + 1e-9
+
+
+class TestAgainstGP:
+    @pytest.mark.parametrize("topology,width", [
+        ("mux/strong_mutex_passgate", 4),
+        ("zero_detect/static_tree", 16),
+    ])
+    def test_gp_no_worse_at_same_target(
+        self, database, library, tech, topology, width
+    ):
+        """The GP's global optimum cannot lose to the greedy heuristic on
+        the metric both optimize (area at a met delay) — modulo the GP's
+        extra reliability constraints, hence the small tolerance."""
+        family = topology.split("/")[0]
+        circuit = database.generate(
+            topology, MacroSpec(family, width, output_load=20.0), tech
+        )
+        target = 0.85 * nominal_delay(circuit, library)
+        tilos = TilosSizer(circuit, library).size(target)
+        # Same game for both: drop the GP's extra reliability constraints so
+        # the comparison is area-at-delay only.
+        gp = SmartSizer(circuit, library).size(
+            DelaySpec(data=target, max_output_slope=1e6, max_internal_slope=1e6)
+        )
+        assert gp.converged
+        if tilos.met:
+            assert gp.area <= tilos.area * 1.10
+
+    def test_tilos_blind_to_constraint_classes(self, database, library, tech):
+        """TILOS only watches the worst output arrival; SMART's constraint
+        generator also budgets slopes.  Measure what the heuristic leaves
+        behind."""
+        from repro.sizing.engine import measure_slopes
+
+        circuit = database.generate(
+            "mux/unsplit_domino", MacroSpec("mux", 8, output_load=30.0), tech
+        )
+        target = 0.9 * nominal_delay(circuit, library)
+        tilos = TilosSizer(circuit, library).size(target)
+        gp = SmartSizer(circuit, library).size(DelaySpec(data=target))
+        assert gp.converged
+        _out_t, int_tilos = measure_slopes(circuit, library, tilos.widths)
+        _out_g, int_gp = measure_slopes(circuit, library, gp.widths)
+        # The GP held internal slopes under the 350 ps reliability limit.
+        assert int_gp <= 350.0 * 1.05
+        # (TILOS usually exceeds it; assert only that SMART is no worse.)
+        assert int_gp <= int_tilos * 1.05

@@ -1,0 +1,92 @@
+"""Command-line interface tests."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_advise_args(self):
+        args = build_parser().parse_args(
+            ["advise", "mux", "4", "--delay", "300", "--cost", "power"]
+        )
+        assert args.macro == "mux"
+        assert args.width == 4
+        assert args.delay == 300.0
+        assert args.cost == "power"
+
+    def test_size_requires_topology(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["size", "mux", "4"])
+
+
+class TestCommands:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "mux/strong_mutex_passgate" in out
+        assert "adder/dual_rail_domino_cla" in out
+
+    def test_advise_success(self, capsys):
+        code = main(["advise", "mux", "4", "--delay", "400", "--load", "30"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "best:" in out
+
+    def test_advise_impossible_budget_nonzero_exit(self, capsys):
+        code = main(["advise", "mux", "4", "--delay", "3"])
+        assert code == 1
+
+    def test_size_prints_widths(self, capsys):
+        code = main([
+            "size", "mux", "4", "--delay", "400", "--load", "30",
+            "--topology", "mux/strong_mutex_passgate",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "converged=True" in out
+        assert "N2" in out
+
+    def test_export_prints_spice(self, capsys):
+        code = main([
+            "export", "mux", "4", "--delay", "400", "--load", "30",
+            "--topology", "mux/strong_mutex_passgate",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert ".SUBCKT" in out
+        assert ".ENDS" in out
+
+    def test_savings_protocol(self, capsys):
+        code = main([
+            "savings", "mux", "6", "--load", "40",
+            "--topology", "mux/strong_mutex_passgate",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "width saving" in out
+        assert "timing met      : yes" in out
+
+    def test_pareto(self, capsys):
+        code = main([
+            "pareto", "mux", "8", "--delay", "360", "--load", "30",
+            "--weights", "0,2",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "w_clk" in out
+
+    def test_curve(self, capsys):
+        code = main([
+            "curve", "mux", "4", "--delay", "300", "--load", "30",
+            "--topology", "mux/strong_mutex_passgate",
+            "--scales", "1.0,1.5",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "budget ps" in out
+        assert "yes" in out

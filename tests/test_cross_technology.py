@@ -1,0 +1,65 @@
+"""Cross-technology portability: the entire flow at a second process node.
+
+The paper's methodology is process-portable by construction (the models are
+parameterized, the database is structural).  These tests run the full stack
+at the faster GENERIC_130 node and check scaling directions.
+"""
+
+import pytest
+
+from repro import DesignConstraints, MacroSpec, SmartAdvisor
+from repro.core.savings import macro_savings
+from repro.macros import default_database
+from repro.models import GENERIC_130, GENERIC_180, ModelLibrary
+from repro.sizing import DelaySpec, SmartSizer
+from repro.sizing.engine import nominal_delay
+
+
+@pytest.fixture(scope="module")
+def lib130():
+    return ModelLibrary(GENERIC_130)
+
+
+@pytest.fixture(scope="module")
+def lib180():
+    return ModelLibrary(GENERIC_180)
+
+
+class TestScaling:
+    def test_faster_node_faster_nominal(self, database, lib130, lib180):
+        spec = MacroSpec("mux", 8, output_load=30.0)
+        c180 = database.generate("mux/unsplit_domino", spec, GENERIC_180)
+        c130 = database.generate("mux/unsplit_domino", spec, GENERIC_130)
+        assert nominal_delay(c130, lib130) < nominal_delay(c180, lib180)
+
+    def test_sizer_converges_at_130(self, database, lib130):
+        spec = MacroSpec("mux", 8, output_load=30.0)
+        circuit = database.generate("mux/unsplit_domino", spec, GENERIC_130)
+        result = SmartSizer(circuit, lib130).size(
+            DelaySpec(data=0.9 * nominal_delay(circuit, lib130))
+        )
+        assert result.converged
+
+    def test_bounds_track_technology(self, database, lib130):
+        spec = MacroSpec("mux", 4, output_load=20.0)
+        circuit = database.generate("mux/strong_mutex_passgate", spec, GENERIC_130)
+        for var in circuit.size_table:
+            assert var.lower == pytest.approx(GENERIC_130.min_width)
+
+    def test_advisor_at_130(self, database, lib130):
+        advisor = SmartAdvisor(database=database, library=lib130)
+        report = advisor.advise(
+            MacroSpec("mux", 4, output_load=30.0),
+            DesignConstraints(delay=300.0),
+        )
+        assert report.best is not None
+
+    def test_savings_protocol_portable(self, database, lib130):
+        result = macro_savings(
+            database,
+            "zero_detect/static_tree",
+            MacroSpec("zero_detect", 16, output_load=20.0),
+            lib130,
+        )
+        assert result.timing_met
+        assert result.width_saving > 0.05

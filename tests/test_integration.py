@@ -1,0 +1,110 @@
+"""End-to-end integration tests across the SMART flow.
+
+These cross-module scenarios mirror how a datapath designer would actually
+use the tool, including the Section-6.1 verification step: after SMART sizes
+a macro, the *transient simulator* (our SPICE) re-measures the critical
+transition and it must land near the spec.
+"""
+
+import pytest
+
+from repro import DesignConstraints, MacroSpec, SmartAdvisor
+from repro.core.editing import merge_condition_gate, pin_sizes
+from repro.core.savings import macro_savings
+from repro.netlist import export_circuit, read_spice
+from repro.sim import TransientSimulator, constant, step
+from repro.sizing.engine import nominal_delay
+
+
+@pytest.fixture(scope="module")
+def advisor():
+    return SmartAdvisor()
+
+
+class TestAdviseSizeExport:
+    def test_full_flow_to_spice(self, advisor, tmp_path):
+        spec = MacroSpec("mux", 4, output_load=30.0)
+        report = advisor.advise(spec, DesignConstraints(delay=400.0))
+        best = report.best
+        assert best is not None
+        circuit, sizing = advisor.size_topology(
+            best.topology, spec, DesignConstraints(delay=400.0)
+        )
+        deck = export_circuit(circuit, sizing.resolved)
+        deck_file = tmp_path / "mux4.sp"
+        deck_file.write_text(deck)
+        parsed = read_spice(deck_file.read_text())
+        (name,) = parsed
+        assert len(parsed[name]) == circuit.transistor_count()
+
+
+class TestSpiceVerification:
+    def test_sized_mux_meets_spec_in_transient(self, advisor, library):
+        """Section 6.1's closing step: re-simulate the SMART solution."""
+        spec = MacroSpec("mux", 4, output_load=30.0)
+        circuit = advisor.database.generate(
+            "mux/strong_mutex_passgate", spec, advisor.tech
+        )
+        budget = 0.9 * nominal_delay(circuit, library)
+        constraints = DesignConstraints(delay=budget)
+        _, sizing = advisor.size_topology(
+            "mux/strong_mutex_passgate", spec, constraints
+        )
+        assert sizing.converged
+
+        devices = circuit.expand_transistors(sizing.resolved)
+        extra = {
+            net.name: net.fixed_cap
+            for net in circuit.nets.values()
+            if net.fixed_cap > 0
+        }
+        sim = TransientSimulator(devices, advisor.tech, extra_caps=extra)
+        vdd = advisor.tech.vdd
+        stimuli = {"in0": step(vdd, at=200.0, rise=constraints.input_slope)}
+        for i in range(1, 4):
+            stimuli[f"in{i}"] = constant(0.0)
+        for i in range(4):
+            stimuli[f"s{i}"] = constant(vdd if i == 0 else 0.0)
+        result = sim.run(stimuli, duration=200.0 + 6.0 * budget, dt=1.0)
+        measured = result.delay("in0", "out", in_rising=True, out_rising=True)
+        assert measured is not None
+        # The switch-level sim and the calibrated templates are different
+        # models; agree within a factor-2 band around the spec.
+        assert measured < 2.0 * budget
+
+
+class TestEditThenSize:
+    def test_edit_pin_size_verify(self, advisor, library):
+        spec = MacroSpec("mux", 4, output_load=30.0)
+        circuit = advisor.database.generate(
+            "mux/strong_mutex_passgate", spec, advisor.tech
+        )
+        merge_condition_gate(circuit, "s3", "nand", ["valid", "sel3"], "PC", "NC")
+        pin_sizes(circuit, {"P3": 10.0})
+        from repro.sizing import DelaySpec, SmartSizer
+
+        nom = nominal_delay(circuit, library)
+        result = SmartSizer(circuit, library).size(DelaySpec(data=nom))
+        assert result.converged
+        assert result.resolved["P3"] == pytest.approx(10.0)
+        assert "PC" in result.widths
+
+
+class TestCrossTopologyConsistency:
+    def test_savings_protocol_entire_mux_family(self, advisor, library):
+        """Table-1 shape: every mux topology yields nonnegative savings and
+        domino rows also save clock."""
+        cases = {
+            "mux/strong_mutex_passgate": MacroSpec("mux", 6, output_load=40.0),
+            "mux/tristate": MacroSpec("mux", 6, output_load=80.0),
+            "mux/unsplit_domino": MacroSpec("mux", 8, output_load=30.0),
+        }
+        for topology, spec in cases.items():
+            objective = "area+clock" if "domino" in topology else "area"
+            result = macro_savings(
+                advisor.database, topology, spec, library, objective=objective
+            )
+            assert result.timing_met, topology
+            assert result.width_saving > 0.0, topology
+            if "domino" in topology:
+                assert result.clock_saving > 0.0, topology
