@@ -29,13 +29,15 @@ from .core import (
     area_delay_curve,
     explore_topologies,
 )
+from . import obs
 from .macros import MacroDatabase, MacroGenerator, MacroSpec, default_database
 from .models import GENERIC_130, GENERIC_180, ModelLibrary, Technology
 from .sizing import DelaySpec, SizingError, SizingResult, SmartSizer
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
+    "obs",
     "SmartAdvisor",
     "AdvisorReport",
     "CandidateResult",

@@ -37,7 +37,11 @@ from typing import Dict, Mapping, Optional
 from ..models.gates import ModelLibrary
 from ..netlist.circuit import Circuit
 from ..netlist.stages import Stage, StageKind
+from ..obs import metrics, trace
+from ..obs.log import get_logger
 from ..sim.timing import StaticTimingAnalyzer
+
+log = get_logger(__name__)
 
 #: The stage effort (output load / input capacitance) an unhurried designer
 #: would taper to; dividing by the margin makes every stage proportionally
@@ -92,6 +96,22 @@ class OverdesignSizer:
         caller measures from the returned result (the Section-6.1 protocol
         hands that measurement to SMART as the spec).
         """
+        with trace.span(
+            "baseline_size", circuit=self.circuit.name, margin=self.margin
+        ) as sp:
+            result = self._size_traced(input_slope)
+            sp.set_attrs(
+                area=round(result.area, 3),
+                realized_delay=round(result.realized_delay, 2),
+            )
+        metrics.counter("baseline.runs").inc()
+        log.debug(
+            "baseline %s: area=%.1f um realized=%.1f ps (margin %.2f)",
+            self.circuit.name, result.area, result.realized_delay, self.margin,
+        )
+        return result
+
+    def _size_traced(self, input_slope: float) -> BaselineResult:
         effort = NOMINAL_EFFORT / self.margin
         table = self.circuit.size_table
         tech = self.tech

@@ -8,7 +8,19 @@ Subcommands:
 * ``list``    — list the registered topologies;
 * ``export``  — generate a macro, size it, and print the SPICE deck;
 * ``savings`` — run the Section-6.1 original-vs-SMART protocol on a topology;
-* ``curve``   — print a Figure-6 style area-delay sweep for a topology.
+* ``curve``   — print a Figure-6 style area-delay sweep for a topology;
+* ``inspect`` — replay a ``--trace`` JSONL file into a timing/convergence
+  report.
+
+Observability flags (accepted by every run subcommand, or globally before
+the subcommand):
+
+* ``--trace FILE`` — record a hierarchical span trace of the whole run as
+  JSONL (replay with ``smart-advisor inspect FILE``);
+* ``--profile``    — print a per-span wall-time summary and the metrics
+  registry after the command;
+* ``-v/--verbose`` — route ``repro.*`` diagnostics to stderr (repeat for
+  DEBUG).
 """
 
 from __future__ import annotations
@@ -21,6 +33,12 @@ from .core.advisor import SmartAdvisor
 from .core.constraints import DesignConstraints
 from .macros.base import MacroSpec
 from .netlist.spice import export_circuit
+from .obs import metrics as obs_metrics
+from .obs import trace as obs_trace
+from .obs.inspect import inspect_file
+from .obs.log import configure_logging, emit, get_logger
+
+log = get_logger(__name__)
 
 
 def _spec_from_args(args: argparse.Namespace) -> MacroSpec:
@@ -32,6 +50,31 @@ def _constraints_from_args(args: argparse.Namespace) -> DesignConstraints:
         delay=args.delay,
         cost=args.cost,
         input_slope=args.input_slope,
+    )
+
+
+def _add_obs_flags(parser: argparse.ArgumentParser, suppress: bool) -> None:
+    """Observability flags.
+
+    Added once to the root parser (with real defaults) and once to every
+    subparser via a parent (with SUPPRESS defaults), so they are accepted
+    both before and after the subcommand without the subparser's defaults
+    clobbering a value parsed at the root.
+    """
+    default = argparse.SUPPRESS if suppress else None
+    parser.add_argument(
+        "--trace", metavar="FILE", default=default,
+        help="write a JSONL span trace of the run to FILE",
+    )
+    parser.add_argument(
+        "--profile", action="store_true",
+        default=argparse.SUPPRESS if suppress else False,
+        help="print a wall-time profile summary after the command",
+    )
+    parser.add_argument(
+        "-v", "--verbose", action="count",
+        default=argparse.SUPPRESS if suppress else 0,
+        help="diagnostics on stderr (-v info, -vv debug)",
     )
 
 
@@ -51,12 +94,20 @@ def build_parser() -> argparse.ArgumentParser:
         prog="smart-advisor",
         description="SMART macro design advisor (DAC 2000 reproduction)",
     )
+    _add_obs_flags(parser, suppress=False)
+    obs_parent = argparse.ArgumentParser(add_help=False)
+    _add_obs_flags(obs_parent, suppress=True)
+
     sub = parser.add_subparsers(dest="command", required=True)
 
-    advise = sub.add_parser("advise", help="explore all topologies for a spec")
+    advise = sub.add_parser(
+        "advise", help="explore all topologies for a spec", parents=[obs_parent]
+    )
     _add_common(advise)
 
-    size = sub.add_parser("size", help="size one topology")
+    size = sub.add_parser(
+        "size", help="size one topology", parents=[obs_parent]
+    )
     _add_common(size)
     size.add_argument("--topology", required=True)
     size.add_argument(
@@ -68,14 +119,19 @@ def build_parser() -> argparse.ArgumentParser:
         help="write the sized design as a JSON artifact",
     )
 
-    sub.add_parser("list", help="list registered topologies")
+    sub.add_parser(
+        "list", help="list registered topologies", parents=[obs_parent]
+    )
 
-    export = sub.add_parser("export", help="size a topology and print SPICE")
+    export = sub.add_parser(
+        "export", help="size a topology and print SPICE", parents=[obs_parent]
+    )
     _add_common(export)
     export.add_argument("--topology", required=True)
 
     savings = sub.add_parser(
-        "savings", help="Section-6.1 protocol: over-design baseline vs SMART"
+        "savings", help="Section-6.1 protocol: over-design baseline vs SMART",
+        parents=[obs_parent],
     )
     _add_common(savings)
     savings.add_argument("--topology", required=True)
@@ -84,7 +140,9 @@ def build_parser() -> argparse.ArgumentParser:
         help="over-design margin of the baseline designer",
     )
 
-    curve = sub.add_parser("curve", help="area-delay sweep for a topology")
+    curve = sub.add_parser(
+        "curve", help="area-delay sweep for a topology", parents=[obs_parent]
+    )
     _add_common(curve)
     curve.add_argument("--topology", required=True)
     curve.add_argument(
@@ -93,7 +151,8 @@ def build_parser() -> argparse.ArgumentParser:
     )
 
     pareto = sub.add_parser(
-        "pareto", help="area-vs-clock frontier across topologies"
+        "pareto", help="area-vs-clock frontier across topologies",
+        parents=[obs_parent],
     )
     _add_common(pareto)
     pareto.add_argument(
@@ -101,16 +160,58 @@ def build_parser() -> argparse.ArgumentParser:
         help="comma-separated clock-load weights for the objective sweep",
     )
 
+    inspect = sub.add_parser(
+        "inspect", help="replay a --trace JSONL file as a readable report",
+        parents=[obs_parent],
+    )
+    inspect.add_argument("trace_file", help="JSONL trace written by --trace")
+
     return parser
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
+    configure_logging(getattr(args, "verbose", 0) or 0)
+
+    if args.command == "inspect":
+        try:
+            emit(inspect_file(args.trace_file))
+        except (OSError, ValueError) as exc:
+            emit(f"error: cannot read trace: {exc}")
+            return 1
+        return 0
+
+    trace_path = getattr(args, "trace", None)
+    profile = getattr(args, "profile", False)
+    tracer = None
+    if trace_path or profile:
+        tracer = obs_trace.Tracer()
+        obs_trace.install(tracer)
+    try:
+        with obs_trace.span(f"cli:{args.command}"):
+            return _run_command(args)
+    finally:
+        if tracer is not None:
+            obs_trace.install(None)
+            if trace_path:
+                try:
+                    tracer.write_jsonl(trace_path)
+                    log.info("wrote trace: %s", trace_path)
+                except OSError as exc:
+                    emit(f"error: cannot write trace: {exc}")
+            if profile:
+                emit()
+                emit(tracer.profile_summary())
+                emit()
+                emit(obs_metrics.registry().render())
+
+
+def _run_command(args: argparse.Namespace) -> int:
     advisor = SmartAdvisor()
 
     if args.command == "list":
         for generator in advisor.database.topologies():
-            print(f"{generator.name:<34} {generator.description}")
+            emit(f"{generator.name:<34} {generator.description}")
         return 0
 
     spec = _spec_from_args(args)
@@ -118,7 +219,7 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     if args.command == "advise":
         report = advisor.advise(spec, constraints)
-        print(report.render())
+        emit(report.render())
         return 0 if report.best is not None else 1
 
     if args.command == "savings":
@@ -128,14 +229,14 @@ def main(argv: Optional[List[str]] = None) -> int:
             advisor.database, args.topology, spec, advisor.library,
             margin=args.margin,
         )
-        print(f"topology        : {args.topology}")
-        print(f"baseline area   : {result.baseline.area:.1f} um "
-              f"(margin {args.margin})")
-        print(f"SMART area      : {result.smart.area:.1f} um")
-        print(f"width saving    : {result.width_saving:.1%}")
+        emit(f"topology        : {args.topology}")
+        emit(f"baseline area   : {result.baseline.area:.1f} um "
+             f"(margin {args.margin})")
+        emit(f"SMART area      : {result.smart.area:.1f} um")
+        emit(f"width saving    : {result.width_saving:.1%}")
         if result.baseline.clock_load > 0:
-            print(f"clock saving    : {result.clock_saving:.1%}")
-        print(f"timing met      : {'yes' if result.timing_met else 'NO'}")
+            emit(f"clock saving    : {result.clock_saving:.1%}")
+        emit(f"timing met      : {'yes' if result.timing_met else 'NO'}")
         return 0 if result.timing_met else 1
 
     if args.command == "pareto":
@@ -146,11 +247,11 @@ def main(argv: Optional[List[str]] = None) -> int:
             advisor, spec, constraints, clock_weights=weights
         )
         if not frontier:
-            print("no feasible points")
+            emit("no feasible points")
             return 1
-        print(f"{'topology':<34} {'w_clk':>6} {'area um':>9} {'clock um':>9}")
+        emit(f"{'topology':<34} {'w_clk':>6} {'area um':>9} {'clock um':>9}")
         for point in frontier:
-            print(
+            emit(
                 f"{point.topology:<34} {point.clock_weight:>6.1f} "
                 f"{point.area:>9.1f} {point.clock_load:>9.1f}"
             )
@@ -163,9 +264,9 @@ def main(argv: Optional[List[str]] = None) -> int:
         curve = area_delay_curve(
             advisor, args.topology, spec, constraints, scales=scales
         )
-        print(f"{'scale':>7} {'budget ps':>10} {'area um':>10} {'clock um':>9} ok")
+        emit(f"{'scale':>7} {'budget ps':>10} {'area um':>10} {'clock um':>9} ok")
         for point in sorted(curve.points, key=lambda p: -p.spec_delay):
-            print(
+            emit(
                 f"{point.delay_scale:>7.2f} {point.spec_delay:>10.1f} "
                 f"{point.area:>10.1f} {point.clock_load:>9.1f} "
                 f"{'yes' if point.converged else 'NO'}"
@@ -174,18 +275,19 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     circuit, result = advisor.size_topology(args.topology, spec, constraints)
     if args.command == "size":
-        print(f"{circuit.name}: converged={result.converged} "
-              f"iterations={result.iterations}")
-        print(f"area (total width): {result.area:.1f} um")
+        emit(f"{circuit.name}: converged={result.converged} "
+             f"iterations={result.iterations} "
+             f"runtime={result.runtime_s:.3f}s")
+        emit(f"area (total width): {result.area:.1f} um")
         if result.clock_load:
-            print(f"clock load: {result.clock_load:.1f} um")
+            emit(f"clock load: {result.clock_load:.1f} um")
         for label in sorted(result.resolved):
-            print(f"  {label:<16} {result.resolved[label]:8.2f} um")
+            emit(f"  {label:<16} {result.resolved[label]:8.2f} um")
         if args.report:
             from .sim import format_timing_report
 
-            print()
-            print(
+            emit()
+            emit(
                 format_timing_report(
                     circuit, advisor.library, result.resolved,
                     spec=constraints.to_delay_spec(),
@@ -197,11 +299,11 @@ def main(argv: Optional[List[str]] = None) -> int:
             save_sizing(
                 args.save, circuit, result, constraints.to_delay_spec()
             )
-            print(f"\nsaved sizing artifact: {args.save}")
+            emit(f"\nsaved sizing artifact: {args.save}")
         return 0 if result.converged else 1
 
     # export
-    print(export_circuit(circuit, result.resolved))
+    emit(export_circuit(circuit, result.resolved))
     return 0
 
 

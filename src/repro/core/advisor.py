@@ -21,11 +21,15 @@ from ..macros.base import MacroDatabase, MacroGenerator, MacroSpec
 from ..macros.registry import default_database
 from ..models.gates import ModelLibrary
 from ..models.technology import Technology
+from ..obs import metrics, trace
+from ..obs.log import get_logger
 from ..sim.timing import StaticTimingAnalyzer
 from ..sizing.engine import SizingError, SmartSizer
 from .constraints import DesignConstraints
 from .cost import evaluate_cost
 from .report import AdvisorReport, CandidateResult
+
+log = get_logger(__name__)
 
 #: A topology whose nominal-size delay exceeds the budget by this factor is
 #: pruned without sizing (the Figure-1 "Simple Pruning of Design Space" box).
@@ -73,10 +77,28 @@ class SmartAdvisor:
         report = AdvisorReport(
             macro=f"{spec.macro_type}[{spec.width}]", metric=constraints.cost
         )
-        for generator in generators:
-            report.candidates.append(
-                self._try_topology(generator, spec, constraints, sizing_tolerance)
+        with trace.span(
+            "advise",
+            macro=report.macro,
+            metric=constraints.cost,
+            candidates=len(generators),
+        ) as sp:
+            for generator in generators:
+                report.candidates.append(
+                    self._try_topology(
+                        generator, spec, constraints, sizing_tolerance
+                    )
+                )
+            best = report.best
+            sp.set_attrs(
+                feasible=len(report.feasible),
+                best=best.topology if best else None,
             )
+        log.info(
+            "advise %s: %d/%d topologies feasible, best=%s",
+            report.macro, len(report.feasible), len(report.candidates),
+            best.topology if best else "none",
+        )
         return report
 
     def size_topology(
@@ -87,16 +109,17 @@ class SmartAdvisor:
         tolerance: float = 2.0,
     ):
         """Size one named topology; returns ``(circuit, SizingResult)``."""
-        generator = self.database.generator(topology)
-        circuit = generator.generate(spec, self.tech)
-        self._apply_pins(circuit, constraints)
-        sizer = SmartSizer(
-            circuit,
-            self.library,
-            objective=constraints.cost,
-            otb_borrow=constraints.otb_borrow,
-        )
-        result = sizer.size(constraints.to_delay_spec(), tolerance=tolerance)
+        with trace.span("size_topology", topology=topology):
+            generator = self.database.generator(topology)
+            circuit = generator.generate(spec, self.tech)
+            self._apply_pins(circuit, constraints)
+            sizer = SmartSizer(
+                circuit,
+                self.library,
+                objective=constraints.cost,
+                otb_borrow=constraints.otb_borrow,
+            )
+            result = sizer.size(constraints.to_delay_spec(), tolerance=tolerance)
         return circuit, result
 
     # -- internals --------------------------------------------------------------------
@@ -107,6 +130,22 @@ class SmartAdvisor:
                 circuit.size_table.pin(label, width)
 
     def _try_topology(
+        self,
+        generator: MacroGenerator,
+        spec: MacroSpec,
+        constraints: DesignConstraints,
+        tolerance: float,
+    ) -> CandidateResult:
+        with trace.span("topology", topology=generator.name) as sp:
+            candidate = self._size_candidate(
+                generator, spec, constraints, tolerance
+            )
+            sp.set_attrs(feasible=candidate.feasible)
+            if not candidate.feasible:
+                sp.set_attrs(reason=candidate.reason)
+        return candidate
+
+    def _size_candidate(
         self,
         generator: MacroGenerator,
         spec: MacroSpec,
@@ -124,8 +163,14 @@ class SmartAdvisor:
             )
         self._apply_pins(circuit, constraints)
 
-        estimate = self.quick_delay_estimate(circuit, constraints)
+        with trace.span("feasibility_screen"):
+            estimate = self.quick_delay_estimate(circuit, constraints)
         if estimate > PRUNE_FACTOR * constraints.delay:
+            metrics.counter("advisor.topologies_pruned").inc()
+            log.debug(
+                "pruned %s: nominal delay %.0f ps vs budget %.0f ps",
+                generator.name, estimate, constraints.delay,
+            )
             return CandidateResult(
                 topology=generator.name,
                 description=generator.description,
@@ -145,12 +190,14 @@ class SmartAdvisor:
         try:
             sizing = sizer.size(constraints.to_delay_spec(), tolerance=tolerance)
         except SizingError as exc:
+            metrics.counter("advisor.topologies_infeasible").inc()
             return CandidateResult(
                 topology=generator.name,
                 description=generator.description,
                 feasible=False,
                 reason=str(exc),
             )
+        metrics.counter("advisor.topologies_sized").inc()
         cost = evaluate_cost(circuit, self.library, sizing.resolved, constraints.cost)
         return CandidateResult(
             topology=generator.name,

@@ -17,11 +17,15 @@ from dataclasses import dataclass, field
 from typing import List, Optional, Sequence
 
 from ..macros.base import MacroSpec
+from ..obs import trace
+from ..obs.log import get_logger
 from ..sizing.engine import SizingError, SmartSizer
 from .advisor import SmartAdvisor
 from .constraints import DesignConstraints
 from .cost import evaluate_cost
 from .report import AdvisorReport
+
+log = get_logger(__name__)
 
 
 @dataclass
@@ -91,35 +95,46 @@ def area_delay_curve(
 ) -> TradeoffCurve:
     """Figure-6 sweep: size ``topology`` at each scaled delay budget."""
     curve = TradeoffCurve(topology=topology)
-    for scale in scales:
-        constraints = base_constraints.scaled(scale)
-        try:
-            circuit, sizing = advisor.size_topology(
-                topology, spec, constraints, tolerance=tolerance
-            )
-        except SizingError:
-            curve.points.append(
-                TradeoffPoint(
-                    delay_scale=scale,
-                    spec_delay=constraints.delay,
-                    realized_delay=0.0,
-                    area=0.0,
-                    clock_load=0.0,
-                    converged=False,
+    with trace.span(
+        "area_delay_curve", topology=topology, points=len(scales)
+    ):
+        for scale in scales:
+            constraints = base_constraints.scaled(scale)
+            with trace.span("curve_point", scale=scale) as sp:
+                try:
+                    circuit, sizing = advisor.size_topology(
+                        topology, spec, constraints, tolerance=tolerance
+                    )
+                except SizingError as exc:
+                    log.debug(
+                        "curve point scale=%.2f infeasible: %s", scale, exc
+                    )
+                    sp.set_attrs(converged=False)
+                    curve.points.append(
+                        TradeoffPoint(
+                            delay_scale=scale,
+                            spec_delay=constraints.delay,
+                            realized_delay=0.0,
+                            area=0.0,
+                            clock_load=0.0,
+                            converged=False,
+                        )
+                    )
+                    continue
+                worst = (
+                    max(sizing.realized.values()) if sizing.realized else 0.0
                 )
-            )
-            continue
-        worst = max(sizing.realized.values()) if sizing.realized else 0.0
-        curve.points.append(
-            TradeoffPoint(
-                delay_scale=scale,
-                spec_delay=constraints.delay,
-                realized_delay=worst,
-                area=sizing.area,
-                clock_load=sizing.clock_load,
-                converged=sizing.converged,
-            )
-        )
+                sp.set_attrs(converged=sizing.converged, area=sizing.area)
+                curve.points.append(
+                    TradeoffPoint(
+                        delay_scale=scale,
+                        spec_delay=constraints.delay,
+                        realized_delay=worst,
+                        area=sizing.area,
+                        clock_load=sizing.clock_load,
+                        converged=sizing.converged,
+                    )
+                )
     return curve
 
 
@@ -170,6 +185,30 @@ def pareto_frontier(
     if topologies is None:
         topologies = [g.name for g in advisor.database.applicable(spec)]
     points: List[ParetoPoint] = []
+    with trace.span(
+        "pareto_frontier",
+        topologies=len(topologies),
+        weights=len(clock_weights),
+    ):
+        points.extend(
+            _pareto_points(advisor, spec, constraints, topologies, clock_weights)
+        )
+    frontier = [
+        p for p in points
+        if p.converged and not any(q.dominates(p) for q in points if q.converged)
+    ]
+    frontier.sort(key=lambda p: (p.area, p.clock_load))
+    return frontier
+
+
+def _pareto_points(
+    advisor: SmartAdvisor,
+    spec: MacroSpec,
+    constraints: DesignConstraints,
+    topologies: Sequence[str],
+    clock_weights: Sequence[float],
+) -> List[ParetoPoint]:
+    points: List[ParetoPoint] = []
     for topology in topologies:
         try:
             circuit = advisor.database.generator(topology).generate(
@@ -204,9 +243,4 @@ def pareto_frontier(
                     converged=result.converged,
                 )
             )
-    frontier = [
-        p for p in points
-        if p.converged and not any(q.dominates(p) for q in points if q.converged)
-    ]
-    frontier.sort(key=lambda p: (p.area, p.clock_load))
-    return frontier
+    return points

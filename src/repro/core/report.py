@@ -56,7 +56,7 @@ class AdvisorReport:
         lines = [
             f"SMART advisor report: {self.macro} (metric: {self.metric})",
             f"{'topology':<34} {'status':<12} {'area':>10} {'clock':>10} "
-            f"{'power':>10} {'iters':>6}",
+            f"{'power':>10} {'iters':>6} {'time s':>8} {'gp-fb':>5}",
         ]
         for cand in self.ranked():
             if cand.feasible and cand.sizing is not None and cand.cost is not None:
@@ -64,12 +64,15 @@ class AdvisorReport:
                 lines.append(
                     f"{cand.topology:<34} {status:<12} "
                     f"{cand.cost.area:>10.1f} {cand.cost.clock_load:>10.1f} "
-                    f"{cand.cost.power:>10.1f} {cand.sizing.iterations:>6d}"
+                    f"{cand.cost.power:>10.1f} {cand.sizing.iterations:>6d} "
+                    f"{cand.sizing.runtime_s:>8.3f} "
+                    f"{cand.sizing.gp_fallback_count:>5d}"
                 )
             else:
                 lines.append(
                     f"{cand.topology:<34} {'infeasible':<12} "
-                    f"{'-':>10} {'-':>10} {'-':>10} {'-':>6}  {cand.reason}"
+                    f"{'-':>10} {'-':>10} {'-':>10} {'-':>6} {'-':>8} "
+                    f"{'-':>5}  {cand.reason}"
                 )
         best = self.best
         if best is not None:

@@ -1,0 +1,81 @@
+"""Observability for the SMART advisor stack.
+
+Three cooperating pieces:
+
+* :mod:`repro.obs.trace` — hierarchical wall-time spans and point events
+  (``span("advise") > span("size") > span("gp_solve")``), JSONL export and
+  tree/profile rendering.  Disabled by default with a no-op null tracer.
+* :mod:`repro.obs.metrics` — a process-global registry of counters, gauges
+  and histograms (GP solves, STA node visits, path counts per pruning pass,
+  refinement residuals), with :func:`~repro.obs.metrics.metrics_scope` for
+  test isolation.
+* :mod:`repro.obs.log` — ``logging`` under the ``repro`` namespace:
+  diagnostics on stderr (``-v`` / ``-vv``), CLI-facing output on stdout via
+  :func:`~repro.obs.log.emit`.
+
+Typical instrumented call-site::
+
+    from repro.obs import metrics, trace
+
+    with trace.span("gp_solve", method=self.gp_method) as sp:
+        solution = gp.solve(...)
+        sp.set_attrs(status=solution.status)
+    metrics.counter("gp.solves").inc()
+
+and typical test::
+
+    with trace.tracing_scope() as tracer, metrics.metrics_scope() as reg:
+        run()
+        assert [s.name for s in tracer.spans].count("gp_solve") == reg.counter("gp.solves").value
+"""
+
+from . import metrics, trace
+from .inspect import inspect_file, render_trace_report
+from .log import configure_logging, emit, get_logger, log
+from .metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    metrics_scope,
+)
+from .trace import (
+    EventRecord,
+    NullTracer,
+    SpanRecord,
+    TraceDump,
+    Tracer,
+    add_attrs,
+    event,
+    get_tracer,
+    load_jsonl,
+    span,
+    tracing_scope,
+)
+
+__all__ = [
+    "trace",
+    "metrics",
+    "Tracer",
+    "NullTracer",
+    "SpanRecord",
+    "EventRecord",
+    "TraceDump",
+    "span",
+    "event",
+    "add_attrs",
+    "get_tracer",
+    "tracing_scope",
+    "load_jsonl",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "metrics_scope",
+    "configure_logging",
+    "emit",
+    "get_logger",
+    "log",
+    "inspect_file",
+    "render_trace_report",
+]

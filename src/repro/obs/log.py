@@ -1,0 +1,106 @@
+"""Logging for the reproduction: diagnostics on stderr, CLI output on stdout.
+
+Two channels, deliberately separate:
+
+* :func:`get_logger` — standard :mod:`logging` loggers under the ``repro``
+  namespace for *diagnostics* (what the sizer decided, why a topology was
+  pruned).  Silent by default; :func:`configure_logging` attaches a stderr
+  handler at WARNING/INFO/DEBUG for the CLI's ``-v`` / ``-vv``.
+* :func:`emit` — *CLI-facing output* (tables, results).  It still lands on
+  ``sys.stdout`` — scripts pipe it — but flows through a dedicated
+  ``repro.out`` logger so the output path is uniform, capturable, and
+  redirectable like any other logging target.
+"""
+
+from __future__ import annotations
+
+import logging
+import sys
+from typing import Optional
+
+ROOT_LOGGER_NAME = "repro"
+
+#: Handlers this module attached (so reconfiguration is idempotent).
+_OBS_HANDLER_FLAG = "_repro_obs_handler"
+
+
+def get_logger(name: Optional[str] = None) -> logging.Logger:
+    """A diagnostics logger under the ``repro`` namespace.
+
+    Call with ``__name__`` from inside the package (already namespaced) or
+    with a short suffix from outside.
+    """
+    if name is None:
+        return logging.getLogger(ROOT_LOGGER_NAME)
+    if name == ROOT_LOGGER_NAME or name.startswith(ROOT_LOGGER_NAME + "."):
+        return logging.getLogger(name)
+    return logging.getLogger(f"{ROOT_LOGGER_NAME}.{name}")
+
+
+#: Module-level diagnostics logger, importable as ``from repro.obs import log``
+#: (the satellite-task "repro.obs.log" module-level logger).
+log = get_logger()
+
+
+class _DynamicStreamHandler(logging.Handler):
+    """Writes to the *current* ``sys.stdout``/``sys.stderr`` at emit time.
+
+    Resolving the stream lazily keeps pytest's capsys and shell redirection
+    working — a handler that captured the stream object at configure time
+    would bypass later replacement.
+    """
+
+    def __init__(self, stream_name: str = "stderr"):
+        super().__init__()
+        self._stream_name = stream_name
+
+    def emit(self, record: logging.LogRecord) -> None:
+        try:
+            stream = getattr(sys, self._stream_name)
+            stream.write(self.format(record) + "\n")
+        except Exception:  # pragma: no cover - mirror logging's resilience
+            self.handleError(record)
+
+
+def configure_logging(verbosity: int = 0) -> None:
+    """Route ``repro.*`` diagnostics to stderr.
+
+    ``verbosity`` 0 → WARNING, 1 (``-v``) → INFO, ≥2 (``-vv``) → DEBUG.
+    Idempotent: reconfiguring replaces the handler this module installed
+    and leaves any user-attached handlers alone.
+    """
+    root = logging.getLogger(ROOT_LOGGER_NAME)
+    for handler in list(root.handlers):
+        if getattr(handler, _OBS_HANDLER_FLAG, False):
+            root.removeHandler(handler)
+    handler = _DynamicStreamHandler("stderr")
+    handler.setFormatter(
+        logging.Formatter("%(levelname)s %(name)s: %(message)s")
+    )
+    setattr(handler, _OBS_HANDLER_FLAG, True)
+    root.addHandler(handler)
+    if verbosity <= 0:
+        root.setLevel(logging.WARNING)
+    elif verbosity == 1:
+        root.setLevel(logging.INFO)
+    else:
+        root.setLevel(logging.DEBUG)
+
+
+def _out_logger() -> logging.Logger:
+    logger = logging.getLogger(f"{ROOT_LOGGER_NAME}.out")
+    if not any(
+        getattr(h, _OBS_HANDLER_FLAG, False) for h in logger.handlers
+    ):
+        handler = _DynamicStreamHandler("stdout")
+        handler.setFormatter(logging.Formatter("%(message)s"))
+        setattr(handler, _OBS_HANDLER_FLAG, True)
+        logger.addHandler(handler)
+        logger.setLevel(logging.INFO)
+        logger.propagate = False
+    return logger
+
+
+def emit(message: str = "") -> None:
+    """CLI-facing output line on stdout (the replacement for ``print``)."""
+    _out_logger().info(message)

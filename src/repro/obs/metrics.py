@@ -1,0 +1,212 @@
+"""Counters, gauges and histograms for the advisor stack.
+
+A process-global :class:`MetricsRegistry` collects the quantities the paper
+reports as evidence — GP solves and their inner iterations, phase-1
+feasibility fallbacks, STA node visits, path counts before/after each
+pruning pass, per-iteration refinement residuals — without requiring any
+caller to thread a registry object through eight layers of code.
+
+Instrumented code fetches instruments at call time::
+
+    from repro.obs import metrics
+    metrics.counter("gp.solves").inc()
+    metrics.histogram("engine.residual_ps").observe(worst_violation)
+
+Tests isolate themselves with :func:`metrics_scope`, which swaps in a fresh
+registry for the duration of a ``with`` block::
+
+    with metrics.metrics_scope() as reg:
+        run_the_thing()
+        assert reg.counter("gp.solves").value == 3
+
+Instruments are deliberately tiny (an attribute update per operation) so the
+always-on registry stays within the observability layer's ≤2 % overhead
+budget on the convergence benchmark.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Any, Dict, Iterator, List, Optional
+
+
+class Counter:
+    """Monotonically increasing count."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.value += amount
+
+    def snapshot(self) -> float:
+        return self.value
+
+
+class Gauge:
+    """Last-written value (path counts, areas, residuals-at-exit)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value: Optional[float] = None
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+    def snapshot(self) -> Optional[float]:
+        return self.value
+
+
+class Histogram:
+    """Streaming distribution: count/sum/min/max plus the raw series.
+
+    The raw series is kept because convergence analyses need the *sequence*
+    of residuals, not just their envelope; at advisor scales (tens of
+    observations per run) the memory cost is irrelevant.
+    """
+
+    __slots__ = ("name", "count", "total", "min", "max", "values")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.count = 0
+        self.total = 0.0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+        self.values: List[float] = []
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+        self.values.append(value)
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def snapshot(self) -> Dict[str, Any]:
+        return {
+            "count": self.count,
+            "sum": self.total,
+            "min": self.min,
+            "max": self.max,
+            "mean": self.mean,
+        }
+
+
+class MetricsRegistry:
+    """Named instruments, created on first touch."""
+
+    def __init__(self) -> None:
+        self.counters: Dict[str, Counter] = {}
+        self.gauges: Dict[str, Gauge] = {}
+        self.histograms: Dict[str, Histogram] = {}
+
+    def counter(self, name: str) -> Counter:
+        instrument = self.counters.get(name)
+        if instrument is None:
+            instrument = self.counters[name] = Counter(name)
+        return instrument
+
+    def gauge(self, name: str) -> Gauge:
+        instrument = self.gauges.get(name)
+        if instrument is None:
+            instrument = self.gauges[name] = Gauge(name)
+        return instrument
+
+    def histogram(self, name: str) -> Histogram:
+        instrument = self.histograms.get(name)
+        if instrument is None:
+            instrument = self.histograms[name] = Histogram(name)
+        return instrument
+
+    def snapshot(self) -> Dict[str, Any]:
+        """JSON-ready dump of every instrument."""
+        return {
+            "counters": {n: c.snapshot() for n, c in self.counters.items()},
+            "gauges": {n: g.snapshot() for n, g in self.gauges.items()},
+            "histograms": {
+                n: h.snapshot() for n, h in self.histograms.items()
+            },
+        }
+
+    def reset(self) -> None:
+        self.counters.clear()
+        self.gauges.clear()
+        self.histograms.clear()
+
+    def render(self) -> str:
+        """Plain-text dump in report_fmt style (for ``--profile`` output)."""
+        lines = ["metrics:"]
+        for name in sorted(self.counters):
+            lines.append(f"  {name:<36} {self.counters[name].value:>12g}")
+        for name in sorted(self.gauges):
+            value = self.gauges[name].value
+            rendered = f"{value:g}" if value is not None else "-"
+            lines.append(f"  {name:<36} {rendered:>12}")
+        for name in sorted(self.histograms):
+            h = self.histograms[name]
+            lines.append(
+                f"  {name:<36} n={h.count} mean={h.mean:.3g} "
+                f"min={h.min if h.min is not None else '-'} "
+                f"max={h.max if h.max is not None else '-'}"
+            )
+        if len(lines) == 1:
+            lines.append("  (no metrics recorded)")
+        return "\n".join(lines)
+
+
+_registry = MetricsRegistry()
+
+
+def registry() -> MetricsRegistry:
+    """The currently active (process-global) registry."""
+    return _registry
+
+
+def counter(name: str) -> Counter:
+    return _registry.counter(name)
+
+
+def gauge(name: str) -> Gauge:
+    return _registry.gauge(name)
+
+
+def histogram(name: str) -> Histogram:
+    return _registry.histogram(name)
+
+
+def snapshot() -> Dict[str, Any]:
+    return _registry.snapshot()
+
+
+def reset() -> None:
+    _registry.reset()
+
+
+@contextmanager
+def metrics_scope(
+    fresh: Optional[MetricsRegistry] = None,
+) -> Iterator[MetricsRegistry]:
+    """Swap in a fresh registry for a ``with`` block (test isolation).
+
+    Instrumented code looks the registry up at call time, so everything
+    recorded inside the block lands in the scoped registry and the previous
+    registry is restored untouched on exit.
+    """
+    global _registry
+    previous = _registry
+    _registry = fresh or MetricsRegistry()
+    try:
+        yield _registry
+    finally:
+        _registry = previous

@@ -26,6 +26,7 @@ from ..models.gates import ModelLibrary, Transition
 from ..netlist.circuit import Circuit
 from ..netlist.nets import NetKind, Pin, PinClass
 from ..netlist.stages import Stage, StageKind
+from ..obs import metrics, trace
 
 #: A hop along a timing path: (stage name, input pin name, output transition).
 Hop = Tuple[str, str, Transition]
@@ -248,6 +249,9 @@ class StaticTimingAnalyzer:
                 )
 
         table = self.circuit.size_table
+        # Arc relaxations are counted locally and flushed to the metrics
+        # registry once per run, keeping the inner loop free of lookups.
+        visits = 0
         for stage in self.circuit.topological_stages():
             out = stage.output.name
             load = self.net_load(out, resolved)
@@ -264,6 +268,7 @@ class StaticTimingAnalyzer:
                     src = arrivals.get((pin.net.name, in_trans))
                     if src is None:
                         continue
+                    visits += 1
                     delay = wire_extra + self.library.delay(
                         stage, pin, out_trans, load, table, input_slope=src.slope
                     ).evaluate(resolved)
@@ -283,6 +288,9 @@ class StaticTimingAnalyzer:
                             pin.name,
                             src_key=(pin.net.name, in_trans),
                         )
+        metrics.counter("sta.analyses").inc()
+        metrics.counter("sta.node_visits").inc(visits)
+        trace.add_attrs(sta_node_visits=visits)
         return TimingReport(arrivals=arrivals, circuit_name=self.circuit.name)
 
     def path_delay(
@@ -303,6 +311,7 @@ class StaticTimingAnalyzer:
         close.  Keying by transition matters: a domino buffer's lazy
         precharge edge must not poison its critical evaluate edge.
         """
+        metrics.counter("sta.path_delays").inc()
         resolved = self.circuit.size_table.resolve(widths) if not all(
             n in widths for n in self.circuit.size_table.names()
         ) else dict(widths)

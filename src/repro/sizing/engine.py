@@ -26,11 +26,14 @@ Constraint kinds wired into the GP (Figure 4's constraint taxonomy):
 from __future__ import annotations
 
 import math
+import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Mapping, Optional, Tuple
 
 from ..models.gates import ModelLibrary, Transition
 from ..netlist.circuit import Circuit
+from ..obs import metrics, trace
+from ..obs.log import get_logger
 from ..posy import Posynomial, posy_sum
 from ..sim.power import PowerEstimator
 from ..sim.timing import StaticTimingAnalyzer
@@ -38,6 +41,8 @@ from .constraints import ConstraintGenerator, ConstraintSet, DelaySpec
 from .gp import GeometricProgram, GPInfeasibleError
 from .paths import PathExtractor
 from .pruning import PruneResult, prune_paths
+
+log = get_logger(__name__)
 
 
 class SizingError(Exception):
@@ -89,6 +94,8 @@ class SizingResult:
     specs: Dict[str, float]           # constraint name -> spec, ps
     history: List[IterationRecord] = field(default_factory=list)
     prune_stats: Optional[object] = None
+    runtime_s: float = 0.0            # wall-time of the whole Figure-4 loop
+    gp_fallback_count: int = 0        # infeasible-retarget GP recoveries
 
     @property
     def worst_slack(self) -> float:
@@ -306,31 +313,84 @@ class SmartSizer:
         Raises :class:`SizingError` when the GP is infeasible at the original
         spec (the topology cannot meet the constraints at any size).
         """
+        with trace.span(
+            "size", circuit=self.circuit.name, objective=self.objective
+        ) as run_span:
+            t_start = time.perf_counter()
+            result = self._size_traced(
+                spec, tolerance, max_outer_iterations, prune, initial
+            )
+            result.runtime_s = time.perf_counter() - t_start
+            run_span.set_attrs(
+                converged=result.converged,
+                iterations=result.iterations,
+                worst_violation=round(result.worst_violation, 4),
+                area=round(result.area, 3),
+                gp_fallbacks=result.gp_fallback_count,
+            )
+            metrics.histogram("engine.runtime_s").observe(result.runtime_s)
+            log.info(
+                "sized %s: converged=%s iterations=%d residual=%.2f ps "
+                "area=%.1f um (%.3f s)",
+                self.circuit.name, result.converged, result.iterations,
+                result.worst_violation, result.area, result.runtime_s,
+            )
+            return result
+
+    def _size_traced(
+        self,
+        spec: DelaySpec,
+        tolerance: float,
+        max_outer_iterations: int,
+        prune: bool,
+        initial: Optional[Mapping[str, float]],
+    ) -> SizingResult:
         from .pruning import PruneStats
 
         extractor = PathExtractor(self.circuit, max_paths=self.max_paths)
-        raw_count = extractor.count()
-        if prune and raw_count > self.enumeration_threshold:
-            representative = extractor.extract_representative()
-            prune_result = PruneResult(
-                paths=representative,
-                stats=PruneStats(
-                    initial=raw_count,
-                    after_precedence=raw_count,
-                    after_dominance=len(representative),
-                    after_regularity=len(representative),
-                ),
-            )
-        elif prune:
-            prune_result = prune_paths(self.circuit, extractor.extract())
-        else:
-            raw_paths = extractor.extract()
-            prune_result = PruneResult(
-                paths=list(raw_paths),
-                stats=PruneStats(
-                    len(raw_paths), len(raw_paths), len(raw_paths), len(raw_paths)
-                ),
-            )
+        with trace.span("path_extraction") as extract_span:
+            raw_count = extractor.count()
+            extract_span.set_attrs(raw_paths=raw_count)
+            if prune and raw_count > self.enumeration_threshold:
+                representative = extractor.extract_representative()
+                prune_result = PruneResult(
+                    paths=representative,
+                    stats=PruneStats(
+                        initial=raw_count,
+                        after_precedence=raw_count,
+                        after_dominance=len(representative),
+                        after_regularity=len(representative),
+                    ),
+                )
+                extract_span.set_attrs(
+                    mode="representative", kept_paths=len(representative)
+                )
+            elif prune:
+                raw_paths = extractor.extract()
+                prune_result = prune_paths(self.circuit, raw_paths)
+                extract_span.set_attrs(
+                    mode="enumerate+prune", kept_paths=len(prune_result.paths)
+                )
+            else:
+                raw_paths = extractor.extract()
+                prune_result = PruneResult(
+                    paths=list(raw_paths),
+                    stats=PruneStats(
+                        len(raw_paths), len(raw_paths), len(raw_paths),
+                        len(raw_paths),
+                    ),
+                )
+                extract_span.set_attrs(
+                    mode="enumerate", kept_paths=len(raw_paths)
+                )
+        stats = prune_result.stats
+        metrics.gauge("paths.initial").set(stats.initial)
+        metrics.gauge("paths.final").set(stats.final)
+        log.debug(
+            "%s: %d raw paths -> %d after pruning (%.0fx)",
+            self.circuit.name, stats.initial, stats.final,
+            stats.reduction_factor if stats.final else 0.0,
+        )
 
         generator = ConstraintGenerator(
             self.circuit, self.library, spec, otb_borrow=self.otb_borrow
@@ -339,7 +399,13 @@ class SmartSizer:
         multipliers: Dict[str, float] = {}
         env: Optional[Dict[str, float]] = dict(initial) if initial else None
         history: List[IterationRecord] = []
-        constraints = generator.generate(prune_result.paths, slope_map)
+        with trace.span("constraint_generation") as gen_span:
+            constraints = generator.generate(prune_result.paths, slope_map)
+            gen_span.set_attrs(
+                timing=len(constraints.timing),
+                slopes=len(constraints.slopes),
+                noise=len(constraints.noise),
+            )
         if not constraints.timing:
             raise SizingError(
                 f"{self.circuit.name}: no timing constraints were generated"
@@ -350,88 +416,135 @@ class SmartSizer:
         worst_name = ""
         converged = False
         damping = 1.0
+        gp_fallbacks = 0
+
+        def record_iteration(record: IterationRecord) -> None:
+            history.append(record)
+            trace.event(
+                "iteration_record",
+                iteration=record.iteration,
+                gp_status=record.gp_status,
+                gp_objective=record.gp_objective,
+                residual=record.worst_violation,
+                worst_constraint=record.worst_constraint,
+            )
+            metrics.counter("engine.iterations").inc()
+            if math.isfinite(record.worst_violation):
+                metrics.histogram("engine.residual_ps").observe(
+                    record.worst_violation
+                )
 
         for iteration in range(max_outer_iterations):
-            gp = self._build_gp(constraints, multipliers)
-            try:
-                solution = gp.solve(
-                    initial=env or self.circuit.size_table.default_env(),
-                    method=self.gp_method,
-                )
-            except GPInfeasibleError as exc:
-                if iteration == 0:
+            with trace.span("iteration", iteration=iteration) as iter_span:
+                gp = self._build_gp(constraints, multipliers)
+                try:
+                    with trace.span("gp_solve", method=self.gp_method) as gs:
+                        solution = gp.solve(
+                            initial=env or self.circuit.size_table.default_env(),
+                            method=self.gp_method,
+                        )
+                        gs.set_attrs(
+                            status=solution.status,
+                            solver_iterations=solution.iterations,
+                        )
+                except GPInfeasibleError as exc:
+                    if iteration == 0:
+                        raise SizingError(
+                            f"{self.circuit.name}: constraints infeasible at spec "
+                            f"{spec.data:.1f} ps ({exc})"
+                        ) from exc
+                    # A retargeted budget over-tightened: halve the mismatch
+                    # correction and try again.
+                    gp_fallbacks += 1
+                    metrics.counter("engine.gp_fallbacks").inc()
+                    log.info(
+                        "%s iteration %d: retargeted GP infeasible, "
+                        "halving mismatch correction",
+                        self.circuit.name, iteration,
+                    )
+                    damping *= 0.5
+                    multipliers = {
+                        name: 1.0 - (1.0 - mult) * 0.5
+                        for name, mult in multipliers.items()
+                    }
+                    record_iteration(
+                        IterationRecord(
+                            iteration=iteration,
+                            gp_status="infeasible-retarget",
+                            gp_objective=float("nan"),
+                            worst_violation=worst_violation,
+                            worst_constraint=worst_name,
+                        )
+                    )
+                    iter_span.set_attrs(gp_status="infeasible-retarget")
+                    continue
+                if solution.status == "infeasible" and iteration == 0:
                     raise SizingError(
                         f"{self.circuit.name}: constraints infeasible at spec "
-                        f"{spec.data:.1f} ps ({exc})"
-                    ) from exc
-                # A retargeted budget over-tightened: halve the mismatch
-                # correction and try again.
-                damping *= 0.5
-                multipliers = {
-                    name: 1.0 - (1.0 - mult) * 0.5
-                    for name, mult in multipliers.items()
-                }
-                history.append(
+                        f"{spec.data:.1f} ps (GP reported {solution.message})"
+                    )
+                env = solution.env
+
+                with trace.span("sta"):
+                    report = self.analyzer.analyze(
+                        env, input_slope=spec.input_slope
+                    )
+                slope_map = self._slope_map(report)
+
+                realized = {}
+                worst_violation = -math.inf
+                worst_name = ""
+                with trace.span(
+                    "measure_paths", constraints=len(constraints.timing)
+                ):
+                    for constraint in constraints.timing:
+                        measured = self.analyzer.path_delay(
+                            constraint.hops,
+                            env,
+                            input_slope=spec.input_slope,
+                            net_slopes=slope_map,
+                        )
+                        realized[constraint.name] = measured
+                        violation = measured - constraint.spec
+                        if violation > worst_violation:
+                            worst_violation = violation
+                            worst_name = constraint.name
+
+                record_iteration(
                     IterationRecord(
                         iteration=iteration,
-                        gp_status="infeasible-retarget",
-                        gp_objective=float("nan"),
+                        gp_status=solution.status,
+                        gp_objective=solution.objective,
                         worst_violation=worst_violation,
                         worst_constraint=worst_name,
                     )
                 )
-                continue
-            if solution.status == "infeasible" and iteration == 0:
-                raise SizingError(
-                    f"{self.circuit.name}: constraints infeasible at spec "
-                    f"{spec.data:.1f} ps (GP reported {solution.message})"
-                )
-            env = solution.env
-
-            report = self.analyzer.analyze(env, input_slope=spec.input_slope)
-            slope_map = self._slope_map(report)
-
-            realized = {}
-            worst_violation = -math.inf
-            worst_name = ""
-            for constraint in constraints.timing:
-                measured = self.analyzer.path_delay(
-                    constraint.hops,
-                    env,
-                    input_slope=spec.input_slope,
-                    net_slopes=slope_map,
-                )
-                realized[constraint.name] = measured
-                violation = measured - constraint.spec
-                if violation > worst_violation:
-                    worst_violation = violation
-                    worst_name = constraint.name
-
-            history.append(
-                IterationRecord(
-                    iteration=iteration,
+                iter_span.set_attrs(
                     gp_status=solution.status,
-                    gp_objective=solution.objective,
-                    worst_violation=worst_violation,
+                    residual=round(worst_violation, 4),
                     worst_constraint=worst_name,
                 )
-            )
 
-            if worst_violation <= tolerance:
-                converged = True
-                break
-            if (
-                len(history) >= 2
-                and history[-2].gp_status == "optimal"
-                and abs(history[-2].worst_violation - worst_violation) < 0.1
-            ):
-                # Stalled at a floor the models agree on: the spec is not
-                # reachable for this topology; report honestly.
-                break
+                if worst_violation <= tolerance:
+                    converged = True
+                    break
+                if (
+                    len(history) >= 2
+                    and history[-2].gp_status == "optimal"
+                    and abs(history[-2].worst_violation - worst_violation) < 0.1
+                ):
+                    # Stalled at a floor the models agree on: the spec is not
+                    # reachable for this topology; report honestly.
+                    log.info(
+                        "%s iteration %d: stalled at residual %.2f ps, "
+                        "spec unreachable for this topology",
+                        self.circuit.name, iteration, worst_violation,
+                    )
+                    break
 
-            multipliers = self._retarget(
-                constraints, realized, env, damping
-            )
+                multipliers = self._retarget(
+                    constraints, realized, env, damping
+                )
 
         resolved = self.circuit.size_table.resolve(env)
         return SizingResult(
@@ -447,6 +560,7 @@ class SmartSizer:
             specs={c.name: c.spec for c in constraints.timing},
             history=history,
             prune_stats=prune_result.stats,
+            gp_fallback_count=gp_fallbacks,
         )
 
     # -- helpers -----------------------------------------------------------------

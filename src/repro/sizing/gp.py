@@ -27,6 +27,7 @@ from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 import numpy as np
 from scipy import optimize
 
+from ..obs import metrics, trace
 from ..posy import Monomial, Posynomial, as_posynomial
 
 
@@ -189,11 +190,17 @@ class GeometricProgram:
             _linear_row(mono, index, len(names)) for mono, _ in self.equalities
         ]
 
+        metrics.counter("gp.solves").inc()
         if lse_cons:
             worst = max(c.value(y0) for c in lse_cons)
             if worst > 0.0:
-                y0, worst = self._phase1(y0, lse_cons, eq_rows, lower, upper, tol)
+                metrics.counter("gp.phase1_solves").inc()
+                with trace.span("gp_phase1", violation=round(worst, 4)):
+                    y0, worst = self._phase1(
+                        y0, lse_cons, eq_rows, lower, upper, tol
+                    )
                 if worst > 1e-4:
+                    metrics.counter("gp.infeasible").inc()
                     raise GPInfeasibleError(
                         f"phase-1 could not find a feasible point "
                         f"(max log-violation {worst:.3g})"
@@ -248,6 +255,12 @@ class GeometricProgram:
             status = "inaccurate"
         elif max_violation >= 5e-3:
             status = "infeasible"
+
+        metrics.histogram("gp.solver_iterations").observe(int(result.nit))
+        metrics.counter(f"gp.status.{status}").inc()
+        trace.add_attrs(
+            variables=len(names), constraints=len(lse_cons), method=method
+        )
 
         return GPSolution(
             status=status,

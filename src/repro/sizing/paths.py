@@ -22,6 +22,7 @@ from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 from ..netlist.circuit import Circuit
 from ..netlist.nets import NetKind, Pin, PinClass
+from ..obs import metrics, trace
 
 
 class PathExplosionError(Exception):
@@ -89,13 +90,16 @@ class PathExtractor:
     def extract(self, include_clock: bool = True) -> List[StructuralPath]:
         """All structural paths (raises :class:`PathExplosionError` past the
         cap — callers wanting just the size should use :meth:`count`)."""
-        paths = []
-        for path in self.iter_paths(include_clock=include_clock):
-            paths.append(path)
-            if len(paths) > self.max_paths:
-                raise PathExplosionError(
-                    f"{self.circuit.name}: more than {self.max_paths} paths"
-                )
+        with trace.span("extract_enumerate") as sp:
+            paths = []
+            for path in self.iter_paths(include_clock=include_clock):
+                paths.append(path)
+                if len(paths) > self.max_paths:
+                    raise PathExplosionError(
+                        f"{self.circuit.name}: more than {self.max_paths} paths"
+                    )
+            sp.set_attrs(paths=len(paths))
+            metrics.counter("paths.enumerated").inc(len(paths))
         return paths
 
     def iter_paths(self, include_clock: bool = True) -> Iterator[StructuralPath]:
@@ -186,19 +190,24 @@ class PathExtractor:
             memo[cls] = result
             return result
 
-        paths: List[StructuralPath] = []
-        seen_classes = set()
-        for source in self.source_nets(include_clock):
-            cls = net_class(source)
-            if cls in seen_classes:
-                continue
-            seen_classes.add(cls)
-            start = rep[cls]
-            for steps, end in suffixes(cls):
-                if steps:
-                    paths.append(
-                        StructuralPath(start_net=start, steps=steps, end_net=end)
-                    )
+        with trace.span("extract_representative") as sp:
+            paths: List[StructuralPath] = []
+            seen_classes = set()
+            for source in self.source_nets(include_clock):
+                cls = net_class(source)
+                if cls in seen_classes:
+                    continue
+                seen_classes.add(cls)
+                start = rep[cls]
+                for steps, end in suffixes(cls):
+                    if steps:
+                        paths.append(
+                            StructuralPath(
+                                start_net=start, steps=steps, end_net=end
+                            )
+                        )
+            sp.set_attrs(paths=len(paths), classes=len(rep))
+            metrics.counter("paths.representative").inc(len(paths))
         return paths
 
     def _walk(

@@ -32,6 +32,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from ..netlist.circuit import Circuit
 from ..netlist.nets import PinClass, PinSpeed
 from ..netlist.stages import Stage
+from ..obs import metrics, trace
 from .paths import StructuralPath
 
 #: Signature of one path step for regularity comparisons.
@@ -207,14 +208,26 @@ def prune_paths(
     initial = len(paths)
     current = list(paths)
     if use_precedence:
-        current = prune_pin_precedence(circuit, current)
+        with trace.span("prune_pin_precedence", before=initial) as sp:
+            current = prune_pin_precedence(circuit, current)
+            sp.set_attrs(after=len(current))
     after_precedence = len(current)
     if use_dominance:
-        current = prune_fanout_dominance(circuit, current)
+        with trace.span("prune_fanout_dominance", before=after_precedence) as sp:
+            current = prune_fanout_dominance(circuit, current)
+            sp.set_attrs(after=len(current))
     after_dominance = len(current)
     if use_regularity:
-        current = prune_regularity(circuit, current)
+        with trace.span("prune_regularity", before=after_dominance) as sp:
+            current = prune_regularity(circuit, current)
+            sp.set_attrs(after=len(current))
     after_regularity = len(current)
+    gauges = metrics.registry()
+    gauges.gauge("prune.initial").set(initial)
+    gauges.gauge("prune.after_precedence").set(after_precedence)
+    gauges.gauge("prune.after_dominance").set(after_dominance)
+    gauges.gauge("prune.after_regularity").set(after_regularity)
+    metrics.counter("prune.runs").inc()
     return PruneResult(
         paths=current,
         stats=PruneStats(

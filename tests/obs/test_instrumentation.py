@@ -1,0 +1,220 @@
+"""End-to-end instrumentation: the Figure-4 loop under trace/metrics.
+
+The tentpole contract: a ``test_fig4_convergence``-style sizing run records
+one ``iteration_record`` trace event per :class:`IterationRecord`, nested
+spans for path extraction, each pruning pass, and every GP⇄STA refinement
+iteration (with residual) — and the CLI's ``--trace`` file replays into a
+readable report.
+"""
+
+import json
+
+import pytest
+
+from repro.macros import MacroSpec, default_database
+from repro.models import ModelLibrary, Technology
+from repro.obs import metrics, trace
+from repro.obs.inspect import inspect_file
+from repro.sizing import DelaySpec, SmartSizer
+from repro.sizing.engine import nominal_delay
+
+
+@pytest.fixture(scope="module")
+def library():
+    return ModelLibrary(Technology())
+
+
+@pytest.fixture(scope="module")
+def database():
+    return default_database()
+
+
+def _sized_run(database, library, tracer=None, registry=None):
+    """One Figure-4 loop of the fig4-convergence shape, traced."""
+    circuit = database.generate(
+        "mux/unsplit_domino", MacroSpec("mux", 8, output_load=30.0),
+        library.tech,
+    )
+    budget = 0.9 * nominal_delay(circuit, library)
+    with trace.tracing_scope(tracer) as t, metrics.metrics_scope(registry) as reg:
+        result = SmartSizer(circuit, library).size(
+            DelaySpec(data=budget), tolerance=2.0
+        )
+    return result, t, reg
+
+
+class TestEngineTracing:
+    @pytest.fixture(scope="class")
+    def run(self, database, library):
+        return _sized_run(database, library)
+
+    def test_one_trace_event_per_iteration_record(self, run):
+        result, tracer, _ = run
+        events = [e for e in tracer.events if e.name == "iteration_record"]
+        assert len(events) == len(result.history) == result.iterations
+        for event, record in zip(events, result.history):
+            assert event.attrs["iteration"] == record.iteration
+            assert event.attrs["gp_status"] == record.gp_status
+            assert event.attrs["residual"] == pytest.approx(
+                record.worst_violation
+            )
+
+    def test_nested_spans_for_every_phase(self, run):
+        _, tracer, _ = run
+        names = [s.name for s in tracer.spans]
+        assert "size" in names
+        assert "path_extraction" in names
+        assert "prune_pin_precedence" in names
+        assert "prune_fanout_dominance" in names
+        assert "prune_regularity" in names
+        assert "constraint_generation" in names
+        assert names.count("iteration") >= 1
+        assert names.count("gp_solve") >= 1
+        assert names.count("sta") >= 1
+
+    def test_iteration_spans_carry_residual(self, run):
+        result, tracer, _ = run
+        iteration_spans = [s for s in tracer.spans if s.name == "iteration"]
+        completed = [s for s in iteration_spans if "residual" in s.attrs]
+        assert completed, "no iteration span recorded a residual"
+        final = max(completed, key=lambda s: s.attrs["iteration"])
+        assert final.attrs["residual"] == pytest.approx(
+            result.history[-1].worst_violation, abs=1e-3
+        )
+
+    def test_spans_nest_under_size(self, run):
+        _, tracer, _ = run
+        by_id = {s.span_id: s for s in tracer.spans}
+        size_span = next(s for s in tracer.spans if s.name == "size")
+        for span in tracer.spans:
+            if span.name in ("iteration", "path_extraction"):
+                assert span.parent_id == size_span.span_id
+
+    def test_metrics_recorded(self, run):
+        result, _, reg = run
+        assert reg.counter("engine.iterations").value == result.iterations
+        assert reg.counter("gp.solves").value >= result.iterations
+        assert reg.counter("sta.analyses").value >= 1
+        assert reg.counter("sta.node_visits").value > 0
+        assert reg.gauge("prune.initial").value >= reg.gauge(
+            "prune.after_regularity"
+        ).value
+        residuals = reg.histogram("engine.residual_ps")
+        assert residuals.count == len(
+            [r for r in result.history if r.worst_violation == r.worst_violation]
+        )
+
+    def test_runtime_and_fallbacks_on_result(self, run):
+        result, _, _ = run
+        assert result.runtime_s > 0.0
+        assert result.gp_fallback_count >= 0
+        assert result.converged
+
+
+class TestDisabledOverhead:
+    def test_untraced_run_records_nothing(self, database, library):
+        circuit = database.generate(
+            "mux/tristate", MacroSpec("mux", 4, output_load=30.0),
+            library.tech,
+        )
+        budget = 0.95 * nominal_delay(circuit, library)
+        with metrics.metrics_scope():
+            result = SmartSizer(circuit, library).size(DelaySpec(data=budget))
+        assert result.converged
+        assert not trace.enabled()
+        assert trace.get_tracer().span("x") is trace.get_tracer().span("y")
+
+
+class TestCliTraceFlow:
+    def test_size_trace_profile_and_inspect(self, tmp_path, capsys):
+        from repro.cli import main
+
+        trace_path = str(tmp_path / "run.jsonl")
+        code = main([
+            "size", "mux", "8", "--delay", "360", "--load", "30",
+            "--topology", "mux/partitioned_domino",
+            "--trace", trace_path, "--profile",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "profile summary:" in out
+        assert "gp_solve" in out
+        assert "metrics:" in out
+
+        # trace file is valid JSONL with the required nested spans
+        names = set()
+        with open(trace_path) as fh:
+            for line in fh:
+                obj = json.loads(line)
+                if obj.get("type") == "span":
+                    names.add(obj["name"])
+        assert {
+            "path_extraction", "prune_pin_precedence",
+            "prune_fanout_dominance", "prune_regularity",
+            "iteration", "gp_solve", "sta",
+        } <= names
+
+        # global tracer was uninstalled after the command
+        assert not trace.enabled()
+
+        report = inspect_file(trace_path)
+        assert "span tree:" in report
+        assert "convergence:" in report
+        assert "profile summary:" in report
+
+        code = main(["inspect", trace_path])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "trace report" in out
+
+    def test_inspect_missing_file_fails_cleanly(self, capsys):
+        from repro.cli import main
+
+        code = main(["inspect", "/nonexistent/trace.jsonl"])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "cannot read trace" in out
+
+    def test_global_flag_position_also_accepted(self, tmp_path, capsys):
+        from repro.cli import main
+
+        trace_path = str(tmp_path / "pre.jsonl")
+        code = main([
+            "--trace", trace_path,
+            "size", "mux", "4", "--delay", "400", "--load", "30",
+            "--topology", "mux/strong_mutex_passgate",
+        ])
+        capsys.readouterr()
+        assert code == 0
+        with open(trace_path) as fh:
+            assert json.loads(fh.readline())["type"] == "trace"
+
+    def test_verbose_diagnostics_go_to_stderr(self, capsys):
+        from repro.cli import main
+
+        code = main([
+            "size", "mux", "4", "--delay", "400", "--load", "30",
+            "--topology", "mux/strong_mutex_passgate", "-v",
+        ])
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "sized" in captured.err       # engine INFO diagnostics
+        assert "sized" not in captured.out   # stdout stays CLI-facing
+
+
+class TestAdvisorReportColumns:
+    def test_render_includes_runtime_and_fallbacks(self, database, library):
+        from repro.core.advisor import SmartAdvisor
+        from repro.core.constraints import DesignConstraints
+
+        advisor = SmartAdvisor(database=database, library=library)
+        report = advisor.advise(
+            MacroSpec("mux", 4, output_load=30.0),
+            DesignConstraints(delay=400.0, cost="area"),
+        )
+        text = report.render()
+        assert "time s" in text
+        assert "gp-fb" in text
+        best = report.best
+        assert best is not None
+        assert best.sizing.runtime_s > 0.0

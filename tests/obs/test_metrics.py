@@ -1,0 +1,88 @@
+"""Metrics registry: instruments, snapshots, scope isolation."""
+
+import pytest
+
+from repro.obs import metrics
+from repro.obs.metrics import MetricsRegistry, metrics_scope
+
+
+class TestInstruments:
+    def test_counter(self):
+        reg = MetricsRegistry()
+        c = reg.counter("x")
+        c.inc()
+        c.inc(2.5)
+        assert reg.counter("x").value == pytest.approx(3.5)
+        assert reg.counter("x") is c  # get-or-create returns the same object
+
+    def test_gauge(self):
+        reg = MetricsRegistry()
+        assert reg.gauge("g").value is None
+        reg.gauge("g").set(42.0)
+        reg.gauge("g").set(7.0)
+        assert reg.gauge("g").value == 7.0
+
+    def test_histogram(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("h")
+        for v in (1.0, 3.0, 2.0):
+            h.observe(v)
+        assert h.count == 3
+        assert h.min == 1.0
+        assert h.max == 3.0
+        assert h.mean == pytest.approx(2.0)
+        assert h.values == [1.0, 3.0, 2.0]
+
+    def test_snapshot_shape(self):
+        reg = MetricsRegistry()
+        reg.counter("c").inc()
+        reg.gauge("g").set(1.0)
+        reg.histogram("h").observe(5.0)
+        snap = reg.snapshot()
+        assert snap["counters"] == {"c": 1.0}
+        assert snap["gauges"] == {"g": 1.0}
+        assert snap["histograms"]["h"]["count"] == 1
+        assert snap["histograms"]["h"]["mean"] == 5.0
+
+    def test_render_mentions_every_instrument(self):
+        reg = MetricsRegistry()
+        reg.counter("gp.solves").inc()
+        reg.gauge("paths.final").set(120)
+        reg.histogram("residual").observe(1.0)
+        text = reg.render()
+        assert "gp.solves" in text
+        assert "paths.final" in text
+        assert "residual" in text
+
+
+class TestScopeIsolation:
+    def test_scope_swaps_global_registry(self):
+        outer_value = metrics.counter("isolation.test").value
+        with metrics_scope() as reg:
+            metrics.counter("isolation.test").inc(100)
+            assert reg.counter("isolation.test").value == 100
+        # the outer registry never saw the increment
+        assert metrics.counter("isolation.test").value == outer_value
+
+    def test_nested_scopes(self):
+        with metrics_scope() as outer:
+            metrics.counter("n").inc()
+            with metrics_scope() as inner:
+                metrics.counter("n").inc(5)
+                assert inner.counter("n").value == 5
+            assert metrics.registry() is outer
+            assert outer.counter("n").value == 1
+
+    def test_scope_restores_on_exception(self):
+        before = metrics.registry()
+        with pytest.raises(RuntimeError):
+            with metrics_scope():
+                raise RuntimeError
+        assert metrics.registry() is before
+
+    def test_two_scopes_do_not_share_state(self):
+        with metrics_scope() as first:
+            metrics.counter("c").inc()
+        with metrics_scope() as second:
+            assert metrics.counter("c").value == 0
+        assert first is not second

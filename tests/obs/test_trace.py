@@ -1,0 +1,166 @@
+"""Tracer: span nesting, JSONL round-trip, null-tracer behavior."""
+
+import json
+
+import pytest
+
+from repro.obs import trace
+from repro.obs.trace import (
+    NULL_TRACER,
+    NullTracer,
+    Tracer,
+    load_jsonl,
+    tracing_scope,
+)
+
+
+class TestNesting:
+    def test_spans_record_parent_and_depth(self):
+        tracer = Tracer()
+        with tracer.span("outer") as outer:
+            with tracer.span("inner") as inner:
+                pass
+        assert inner.parent_id == outer.span_id
+        assert outer.depth == 0
+        assert inner.depth == 1
+        # children close before parents
+        assert [s.name for s in tracer.spans] == ["inner", "outer"]
+
+    def test_siblings_share_parent(self):
+        tracer = Tracer()
+        with tracer.span("root") as root:
+            with tracer.span("a") as a:
+                pass
+            with tracer.span("b") as b:
+                pass
+        assert a.parent_id == root.span_id
+        assert b.parent_id == root.span_id
+        assert a.depth == b.depth == 1
+
+    def test_durations_are_nonnegative_and_nested(self):
+        tracer = Tracer()
+        with tracer.span("outer") as outer:
+            with tracer.span("inner") as inner:
+                pass
+        assert inner.duration_s >= 0.0
+        assert outer.duration_s >= inner.duration_s
+
+    def test_attrs_from_kwargs_and_set_attrs(self):
+        tracer = Tracer()
+        with tracer.span("s", macro="mux") as sp:
+            sp.set_attrs(converged=True)
+        assert sp.attrs == {"macro": "mux", "converged": True}
+
+    def test_add_attrs_targets_innermost(self):
+        tracer = Tracer()
+        with tracer.span("outer") as outer:
+            with tracer.span("inner") as inner:
+                tracer.add_attrs(x=1)
+        assert inner.attrs == {"x": 1}
+        assert outer.attrs == {}
+
+    def test_exception_closes_span_and_marks_error(self):
+        tracer = Tracer()
+        with pytest.raises(ValueError):
+            with tracer.span("boom"):
+                raise ValueError("no")
+        assert tracer.spans[0].t_end is not None
+        assert "error" in tracer.spans[0].attrs
+        # the stack is clean afterwards
+        with tracer.span("after") as after:
+            pass
+        assert after.depth == 0
+
+    def test_events_attach_to_current_span(self):
+        tracer = Tracer()
+        with tracer.span("run") as run:
+            tracer.event("iteration_record", iteration=0, residual=1.5)
+        assert len(tracer.events) == 1
+        event = tracer.events[0]
+        assert event.span_id == run.span_id
+        assert event.attrs["residual"] == 1.5
+
+
+class TestJsonlRoundTrip:
+    def test_round_trip(self, tmp_path):
+        tracer = Tracer()
+        with tracer.span("size", circuit="mux8"):
+            with tracer.span("gp_solve", method="slsqp"):
+                pass
+            tracer.event("iteration_record", iteration=0, residual=0.25)
+        path = str(tmp_path / "t.jsonl")
+        tracer.write_jsonl(path)
+
+        dump = load_jsonl(path)
+        assert [s.name for s in dump.spans] == ["gp_solve", "size"]
+        by_name = {s.name: s for s in dump.spans}
+        assert by_name["gp_solve"].parent_id == by_name["size"].span_id
+        assert by_name["size"].attrs == {"circuit": "mux8"}
+        assert len(dump.events) == 1
+        assert dump.events[0].attrs == {"iteration": 0, "residual": 0.25}
+        assert dump.unix_time == pytest.approx(tracer.epoch_unix)
+
+    def test_every_line_is_json(self, tmp_path):
+        tracer = Tracer()
+        with tracer.span("a"):
+            tracer.event("e", k="v")
+        path = str(tmp_path / "t.jsonl")
+        tracer.write_jsonl(path)
+        with open(path) as fh:
+            lines = [line for line in fh if line.strip()]
+        assert len(lines) == 3  # header + event + span
+        for line in lines:
+            json.loads(line)
+
+    def test_rejects_garbage(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text("not json\n")
+        with pytest.raises(ValueError):
+            load_jsonl(str(path))
+
+    def test_rendering_survives_round_trip(self, tmp_path):
+        tracer = Tracer()
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                pass
+        path = str(tmp_path / "t.jsonl")
+        tracer.write_jsonl(path)
+        tree = load_jsonl(path).render_tree()
+        assert "outer" in tree
+        assert "  inner" in tree
+        summary = load_jsonl(path).profile_summary()
+        assert "profile summary" in summary
+        assert "inner" in summary
+
+
+class TestGlobalTracer:
+    def test_disabled_by_default(self):
+        assert isinstance(trace.get_tracer(), NullTracer)
+        assert not trace.enabled()
+
+    def test_null_tracer_span_is_shared_noop(self):
+        cm1 = NULL_TRACER.span("a", x=1)
+        cm2 = NULL_TRACER.span("b")
+        assert cm1 is cm2
+        with cm1 as sp:
+            sp.set_attrs(anything=1)  # silently ignored
+        NULL_TRACER.event("e", k="v")
+        NULL_TRACER.add_attrs(k="v")
+
+    def test_tracing_scope_activates_and_restores(self):
+        before = trace.get_tracer()
+        with tracing_scope() as tracer:
+            assert trace.get_tracer() is tracer
+            assert trace.enabled()
+            with trace.span("via-module"):
+                trace.event("e")
+        assert trace.get_tracer() is before
+        assert [s.name for s in tracer.spans] == ["via-module"]
+        assert len(tracer.events) == 1
+
+    def test_scope_restores_on_exception(self):
+        before = trace.get_tracer()
+        with pytest.raises(RuntimeError):
+            with tracing_scope():
+                raise RuntimeError
+        assert trace.get_tracer() is before
