@@ -9,7 +9,7 @@ heuristic never sees.
 
 import pytest
 
-from conftest import norm, render_table
+from conftest import render_table
 from repro.macros import MacroSpec
 from repro.sizing import DelaySpec, SmartSizer, TilosSizer
 from repro.sizing.engine import measure_slopes, nominal_delay

@@ -16,10 +16,9 @@ the hand-sized original.
 
 import pytest
 
-from conftest import norm, pct, render_table
+from conftest import norm, render_table
 from repro.core.savings import macro_savings
 from repro.macros import MacroSpec
-from repro.models import ModelLibrary
 from repro.sizing import SmartSizer
 from repro.sizing.engine import (
     measure_class_delays,

@@ -10,7 +10,7 @@ import pytest
 
 from conftest import pct, render_table
 from repro.core.savings import macro_savings
-from repro.macros import MacroSpec, default_database
+from repro.macros import MacroSpec
 from repro.models import GENERIC_130, GENERIC_180, ModelLibrary
 
 CORPUS = [

@@ -152,3 +152,42 @@ def test_bench_counting(benchmark, adder64):
 
     raw, reduced = benchmark.pedantic(kernel, rounds=1, iterations=1)
     assert raw > 32_000 and reduced < 300
+
+
+class TestPruningCertificate:
+    """The prune is sound, not just small: a ``certify=True`` run emits a
+    per-path drop witness, and the linter's independent verifier confirms
+    every one of the >32,000 extracted paths is either surviving or validly
+    dominated/merged — the ISSUE-2 coverage guarantee on the Section-5.2
+    flagship."""
+
+    @pytest.fixture(scope="class")
+    def certified(self, adder64):
+        raw = PathExtractor(adder64).extract()
+        result = prune_paths(adder64, raw, certify=True)
+        return raw, result.certificate
+
+    def test_certificate_verifies(self, adder64, certified):
+        from repro.lint.coverage import verify_pruning
+
+        raw, certificate = certified
+        report = verify_pruning(adder64, raw, certificate)
+        render_table(
+            "Section 5.2: pruning-certificate verification (64-bit adder)",
+            ("quantity", "measured"),
+            [
+                ("extracted paths", f"{len(raw):,}"),
+                ("surviving constraints", len(certificate.surviving)),
+                ("drop witnesses", f"{len(certificate.dropped):,}"),
+                ("uncovered paths", len(report.errors)),
+            ],
+        )
+        assert len(raw) > 32_000
+        assert len(certificate.surviving) < 300
+        assert report.ok, [d.format() for d in report.errors[:5]]
+
+    def test_every_path_accounted(self, certified):
+        raw, certificate = certified
+        surviving = set(certificate.surviving)
+        assert surviving.isdisjoint(certificate.dropped)
+        assert len(surviving) + len(certificate.dropped) == len(set(raw))

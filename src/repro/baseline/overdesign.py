@@ -30,9 +30,8 @@ per-class delays with the timing analyzer, hand SMART the same topology and
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
-from typing import Dict, Mapping, Optional
+from typing import Dict, Optional
 
 from ..models.gates import ModelLibrary
 from ..netlist.circuit import Circuit

@@ -18,7 +18,7 @@ power come from the same estimators as everything else.
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..baseline.overdesign import BaselineResult, OverdesignSizer

@@ -12,11 +12,10 @@ Protocol, exactly as the paper describes its block experiments:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from dataclasses import dataclass
+from typing import List
 
 from ..sim.power import PowerEstimator
-from ..sizing.constraints import DelaySpec
 from ..sizing.engine import (
     SizingError,
     SmartSizer,
@@ -24,7 +23,7 @@ from ..sizing.engine import (
     measure_slopes,
     spec_from_measurement,
 )
-from .generator import BlockDesign, SizedMacro
+from .generator import BlockDesign
 
 
 @dataclass

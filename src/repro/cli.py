@@ -166,6 +166,46 @@ def build_parser() -> argparse.ArgumentParser:
     )
     inspect.add_argument("trace_file", help="JSONL trace written by --trace")
 
+    lint = sub.add_parser(
+        "lint",
+        help="static analysis: ERC, constraint-coverage, GP pre-solve rules",
+        parents=[obs_parent],
+    )
+    lint.add_argument("macro", nargs="?", help="macro type (mux, adder, ...)")
+    lint.add_argument(
+        "width", nargs="?", type=int, help="bit width / input count"
+    )
+    lint.add_argument(
+        "--topology", help="lint one topology (default: all applicable)"
+    )
+    lint.add_argument(
+        "--list-rules", action="store_true",
+        help="list every registered rule and exit",
+    )
+    lint.add_argument(
+        "--json", action="store_true", help="machine-readable output"
+    )
+    lint.add_argument(
+        "--waivers", metavar="FILE", help="waiver/suppression file"
+    )
+    lint.add_argument(
+        "--gp", action="store_true",
+        help="also build each circuit's constraints and run the GP2xx rules",
+    )
+    lint.add_argument(
+        "--coverage", action="store_true",
+        help="also emit and verify the Section-5.2 pruning certificate",
+    )
+    lint.add_argument("--delay", type=float, default=150.0,
+                      help="delay budget for --gp, ps")
+    lint.add_argument("--load", type=float, default=20.0,
+                      help="output load, fF")
+    lint.add_argument("--input-slope", type=float, default=30.0)
+    lint.add_argument(
+        "--max-paths", type=int, default=200_000,
+        help="skip --coverage for circuits with more extracted paths",
+    )
+
     return parser
 
 
@@ -206,8 +246,97 @@ def main(argv: Optional[List[str]] = None) -> int:
                 emit(obs_metrics.registry().render())
 
 
+def _run_lint(args: argparse.Namespace, advisor: SmartAdvisor) -> int:
+    import json as _json
+
+    from .lint import all_rules, lint_circuit, load_waivers, render_text
+    from .lint.reporters import report_dict
+
+    if args.list_rules:
+        emit(f"{'id':<8} {'severity':<8} {'group':<10} title")
+        for rule_obj in all_rules():
+            emit(
+                f"{rule_obj.id:<8} {str(rule_obj.severity):<8} "
+                f"{rule_obj.group:<10} {rule_obj.title}"
+            )
+        return 0
+    if args.macro is None or args.width is None:
+        emit("error: lint needs MACRO and WIDTH (or --list-rules)")
+        return 2
+
+    spec = MacroSpec(args.macro, args.width, output_load=args.load)
+    waivers = load_waivers(args.waivers) if args.waivers else ()
+    if args.topology:
+        generators = [advisor.database.generator(args.topology)]
+    else:
+        generators = advisor.database.applicable(spec)
+        if not generators:
+            emit(f"error: no topology implements {args.macro}[{args.width}]")
+            return 2
+
+    reports = []
+    for generator in generators:
+        if not generator.applicable(spec):
+            emit(
+                f"error: {generator.name} cannot implement "
+                f"{args.macro}[{args.width}]"
+            )
+            return 2
+        # build(), not generate(): lint must reach circuits that would fail
+        # the generator's own validation gate.
+        circuit = generator.build(spec, advisor.tech)
+        reports.append(lint_circuit(circuit, waivers=waivers))
+        if args.gp or args.coverage:
+            from .core.constraints import DesignConstraints
+            from .lint.waivers import apply_waivers
+            from .sizing.engine import SmartSizer
+
+            def waived(report):
+                report.diagnostics[:] = apply_waivers(
+                    report.diagnostics, waivers
+                )
+                return report
+
+            sizer = SmartSizer(circuit, advisor.library)
+            delay_spec = DesignConstraints(
+                delay=args.delay, input_slope=args.input_slope
+            ).to_delay_spec()
+            if args.gp:
+                reports.append(waived(sizer.pre_solve_lint(delay_spec)))
+            if args.coverage:
+                from .lint.coverage import verify_pruning
+                from .sizing.paths import PathExtractor
+                from .sizing.pruning import prune_paths
+
+                extractor = PathExtractor(circuit)
+                n_paths = extractor.count()
+                if n_paths > args.max_paths:
+                    emit(
+                        f"{circuit.name}: coverage skipped "
+                        f"({n_paths:,} paths > --max-paths {args.max_paths:,})"
+                    )
+                else:
+                    raw = extractor.extract()
+                    result = prune_paths(circuit, raw, certify=True)
+                    reports.append(
+                        waived(
+                            verify_pruning(circuit, raw, result.certificate)
+                        )
+                    )
+
+    if args.json:
+        emit(_json.dumps([report_dict(r) for r in reports], indent=2))
+    else:
+        for report in reports:
+            emit(render_text(report))
+    return 0 if all(r.ok for r in reports) else 1
+
+
 def _run_command(args: argparse.Namespace) -> int:
     advisor = SmartAdvisor()
+
+    if args.command == "lint":
+        return _run_lint(args, advisor)
 
     if args.command == "list":
         for generator in advisor.database.topologies():

@@ -113,6 +113,9 @@ class SmartAdvisor:
             generator = self.database.generator(topology)
             circuit = generator.generate(spec, self.tech)
             self._apply_pins(circuit, constraints)
+            lint_errors = self._lint_gate(circuit)
+            if lint_errors:
+                raise SizingError(f"{circuit.name}: {lint_errors}")
             sizer = SmartSizer(
                 circuit,
                 self.library,
@@ -123,6 +126,38 @@ class SmartAdvisor:
         return circuit, result
 
     # -- internals --------------------------------------------------------------------
+
+    def _lint_gate(self, circuit) -> Optional[str]:
+        """Pre-sizing lint gate: structural + family ERC rules.
+
+        Returns a one-line failure reason when the circuit has lint errors
+        (fail fast — an electrically broken candidate would only waste GP
+        iterations), ``None`` when clean.  Warnings are logged through
+        ``repro.obs`` and do not block sizing.
+        """
+        from ..lint.runner import lint_circuit
+
+        with trace.span("lint_gate", circuit=circuit.name) as sp:
+            report = lint_circuit(circuit)
+            sp.set_attrs(
+                errors=len(report.errors), warnings=len(report.warnings)
+            )
+        for diag in report.warnings:
+            log.debug("lint %s: %s", circuit.name, diag.format())
+        if report.warnings:
+            log.info(
+                "lint %s: %d warning(s) (first: %s)",
+                circuit.name, len(report.warnings),
+                report.warnings[0].rule_id,
+            )
+        if report.ok:
+            return None
+        metrics.counter("advisor.topologies_lint_failed").inc()
+        first = report.errors[0].format()
+        more = len(report.errors) - 1
+        return (
+            f"lint failed: {first}" + (f" (+{more} more)" if more else "")
+        )
 
     def _apply_pins(self, circuit, constraints: DesignConstraints) -> None:
         for label, width in (constraints.pinned_sizes or {}).items():
@@ -162,6 +197,15 @@ class SmartAdvisor:
                 reason=f"generation failed: {exc}",
             )
         self._apply_pins(circuit, constraints)
+
+        lint_errors = self._lint_gate(circuit)
+        if lint_errors:
+            return CandidateResult(
+                topology=generator.name,
+                description=generator.description,
+                feasible=False,
+                reason=lint_errors,
+            )
 
         with trace.span("feasibility_screen"):
             estimate = self.quick_delay_estimate(circuit, constraints)

@@ -8,7 +8,7 @@ sizer's :class:`~repro.sizing.constraints.DelaySpec`.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 from typing import Dict, Optional
 
 from ..sizing.constraints import DelaySpec

@@ -20,7 +20,7 @@ Every edit re-validates the circuit.
 
 from __future__ import annotations
 
-from typing import Dict, Mapping, Optional, Sequence
+from typing import Mapping, Optional, Sequence
 
 from ..netlist.circuit import Circuit
 from ..netlist.nets import Net, NetKind, Pin, PinClass

@@ -22,7 +22,6 @@ from ..obs.log import get_logger
 from ..sizing.engine import SizingError, SmartSizer
 from .advisor import SmartAdvisor
 from .constraints import DesignConstraints
-from .cost import evaluate_cost
 from .report import AdvisorReport
 
 log = get_logger(__name__)

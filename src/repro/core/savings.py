@@ -14,7 +14,6 @@ in total transistor width (area/power proxy) and clock load.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
 
 from ..baseline.overdesign import BaselineResult, OverdesignSizer
 from ..macros.base import MacroDatabase, MacroSpec

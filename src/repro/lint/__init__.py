@@ -1,0 +1,54 @@
+"""``repro.lint`` — rule-based static analysis for circuits, constraints,
+and GP models.
+
+A flake8-style rule engine over the reproduction's three correctness
+surfaces:
+
+* **structural/family ERC** (``ERC0xx``/``ERC1xx``) — electrical rule checks
+  on :class:`~repro.netlist.circuit.Circuit` objects, from basic netlist
+  hygiene up to the Section-4 circuit-family semantics (domino monotonicity,
+  D1/D2 ordering, charge sharing, pass-gate chains, mutex discipline);
+* **constraint coverage** (``CST1xx``) — independent re-verification of the
+  Section-5.2 pruning certificate, proving every extracted path is still
+  covered by a surviving constrained path;
+* **GP pre-solve** (``GP2xx``) — well-formedness and feasibility screening
+  of a :class:`~repro.sizing.gp.GeometricProgram` before the solver runs.
+
+Every diagnostic carries a stable rule ID, a severity, and a per-net /
+per-stage location; waiver files suppress known-acceptable findings.  The
+package is wired in three places: :func:`repro.netlist.validate.validate_circuit`
+(the structural group), the advisor's pre-sizing gate, and the engine's GP
+gate — plus the ``repro lint`` CLI subcommand.
+
+Import note: this package intentionally imports only ``repro.netlist.*``
+submodules and ``repro.posy``.  :mod:`repro.lint.coverage` additionally
+imports :mod:`repro.sizing.pruning` and therefore must be imported lazily
+by anything reachable from ``repro.sizing.__init__``.
+"""
+
+from .diagnostics import Diagnostic, LintError, LintReport, Location, Severity
+from .registry import Rule, all_rules, get_rule, rules_in_groups
+from .reporters import render_json, render_text
+from .runner import CIRCUIT_GROUPS, lint_circuit
+from .rules_gp import lint_gp
+from .waivers import Waiver, load_waivers, parse_waivers
+
+__all__ = [
+    "CIRCUIT_GROUPS",
+    "Diagnostic",
+    "LintError",
+    "LintReport",
+    "Location",
+    "Rule",
+    "Severity",
+    "Waiver",
+    "all_rules",
+    "get_rule",
+    "lint_circuit",
+    "lint_gp",
+    "load_waivers",
+    "parse_waivers",
+    "render_json",
+    "render_text",
+    "rules_in_groups",
+]

@@ -1,0 +1,113 @@
+"""The rule registry.
+
+Rules are registered at import time with the :func:`rule` decorator and
+looked up by stable ID.  IDs follow the flake8 convention of a family prefix
+plus a number that never changes meaning once released:
+
+* ``ERC0xx`` — structural electrical rule checks (netlist hygiene);
+* ``ERC1xx`` — circuit-family semantics (Section 4: domino, pass, tristate);
+* ``CST1xx`` — constraint-coverage / pruning-certificate verification;
+* ``GP2xx``  — geometric-program pre-solve checks.
+
+Circuit rules (groups ``structural`` and ``family``) are callables of one
+:class:`~repro.lint.runner.LintContext`; coverage and GP rules are driven by
+their dedicated analyzers (:mod:`repro.lint.coverage`,
+:mod:`repro.lint.rules_gp`) and registered here for identity, severity, and
+``--list-rules`` only.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterable, List, Optional
+
+from .diagnostics import Severity
+
+#: Known rule groups, in report order.
+GROUPS = ("structural", "family", "coverage", "gp")
+
+
+@dataclass(frozen=True)
+class Rule:
+    """One registered rule: identity + default severity + checker."""
+
+    id: str
+    title: str
+    group: str
+    severity: Severity
+    doc: str = ""
+    check: Optional[Callable] = None
+
+
+_REGISTRY: Dict[str, Rule] = {}
+
+
+def register(rule_obj: Rule) -> Rule:
+    if rule_obj.group not in GROUPS:
+        raise ValueError(f"unknown rule group {rule_obj.group!r}")
+    if rule_obj.id in _REGISTRY:
+        raise ValueError(f"duplicate rule id {rule_obj.id}")
+    _REGISTRY[rule_obj.id] = rule_obj
+    return rule_obj
+
+
+def rule(
+    rule_id: str, title: str, group: str, severity: Severity
+) -> Callable[[Callable], Callable]:
+    """Decorator: register ``func`` as the checker for ``rule_id``.
+
+    The function's docstring becomes the rule's long description.
+    """
+
+    def decorate(func: Callable) -> Callable:
+        register(
+            Rule(
+                id=rule_id,
+                title=title,
+                group=group,
+                severity=severity,
+                doc=(func.__doc__ or "").strip(),
+                check=func,
+            )
+        )
+        return func
+
+    return decorate
+
+
+def get_rule(rule_id: str) -> Rule:
+    try:
+        return _REGISTRY[rule_id]
+    except KeyError:
+        raise KeyError(
+            f"no rule {rule_id!r}; known: {sorted(_REGISTRY)}"
+        ) from None
+
+
+def all_rules() -> List[Rule]:
+    """Every registered rule, sorted by ID."""
+    _load_builtin_rules()
+    return sorted(_REGISTRY.values(), key=lambda r: r.id)
+
+
+def rules_in_groups(groups: Iterable[str]) -> List[Rule]:
+    wanted = set(groups)
+    unknown = wanted - set(GROUPS)
+    if unknown:
+        raise ValueError(f"unknown rule group(s): {sorted(unknown)}")
+    return [r for r in all_rules() if r.group in wanted]
+
+
+def _load_builtin_rules() -> None:
+    """Import the built-in rule modules so their ``@rule`` decorators run.
+
+    ``coverage`` imports ``repro.sizing.pruning`` and is therefore loaded
+    last and forgivingly at first (the netlist package may still be
+    mid-initialization when the structural group is first needed).
+    """
+    from . import rules_family, rules_structural  # noqa: F401
+
+    try:
+        from . import coverage, rules_gp  # noqa: F401
+    except ImportError:  # pragma: no cover - partial-init during bootstrap
+        pass

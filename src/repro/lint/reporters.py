@@ -1,0 +1,51 @@
+"""Report renderers: human-readable text and machine-readable JSON."""
+
+from __future__ import annotations
+
+import json
+
+from .diagnostics import LintReport
+
+
+def render_text(report: LintReport, show_waived: bool = False) -> str:
+    """Flake8-style listing plus a summary line."""
+    lines = []
+    header = report.subject or "design"
+    for diag in report.diagnostics:
+        if diag.waived and not show_waived:
+            continue
+        lines.append(f"{header}: {diag.format()}")
+    n_err, n_warn, n_waived = (
+        len(report.errors), len(report.warnings), len(report.waived)
+    )
+    summary = f"{header}: {n_err} error(s), {n_warn} warning(s)"
+    if n_waived:
+        summary += f", {n_waived} waived"
+    lines.append(summary)
+    return "\n".join(lines)
+
+
+def report_dict(report: LintReport) -> dict:
+    """The JSON-serializable payload behind :func:`render_json`."""
+    return {
+        "subject": report.subject,
+        "ok": report.ok,
+        "errors": len(report.errors),
+        "warnings": len(report.warnings),
+        "waived": len(report.waived),
+        "diagnostics": [
+            {
+                "rule": d.rule_id,
+                "severity": str(d.severity),
+                "location": str(d.location),
+                "message": d.message,
+                "waived": d.waived,
+            }
+            for d in report.diagnostics
+        ],
+    }
+
+
+def render_json(report: LintReport) -> str:
+    """JSON document with every diagnostic (waived included, flagged)."""
+    return json.dumps(report_dict(report), indent=2)

@@ -1,0 +1,175 @@
+"""Structural ERC rules (``ERC001``–``ERC009``).
+
+These subsume the historical ad-hoc checks of
+:mod:`repro.netlist.validate`: netlist hygiene that any circuit — whatever
+its logic family — must satisfy.  Message wording is kept compatible with
+the legacy ``ValidationReport`` strings.
+"""
+
+from __future__ import annotations
+
+from ..netlist.circuit import CircuitError
+from ..netlist.nets import NetKind
+from ..netlist.stages import StageKind
+from .diagnostics import Severity
+from .registry import rule
+
+
+def _signal_nets(circuit):
+    for net in circuit.nets.values():
+        if net.kind not in (NetKind.SUPPLY, NetKind.GROUND):
+            yield net
+
+
+@rule("ERC001", "multiply-driven net", "structural", Severity.ERROR)
+def check_multiple_drivers(ctx) -> None:
+    """A net with several drivers is only legal when all drivers are
+    tristates or all are pass gates (shared-bus structures); any other
+    combination shorts two outputs."""
+    for net in _signal_nets(ctx.circuit):
+        drivers = ctx.circuit.drivers_of(net.name)
+        if len(drivers) > 1:
+            kinds = {s.kind for s in drivers}
+            shareable = (
+                kinds <= {StageKind.TRISTATE} or kinds <= {StageKind.PASSGATE}
+            )
+            if not shareable:
+                ctx.emit(
+                    "multiple non-shareable drivers "
+                    f"({', '.join(s.name for s in drivers)})",
+                    net=net.name,
+                )
+
+
+@rule("ERC002", "undriven loaded net", "structural", Severity.ERROR)
+def check_undriven(ctx) -> None:
+    """A net with fanout but no driver and no primary-input declaration
+    floats: downstream logic reads garbage."""
+    for net in _signal_nets(ctx.circuit):
+        is_input = (
+            net.name in ctx.circuit.primary_inputs
+            or net.kind is NetKind.CLOCK
+        )
+        if is_input or ctx.circuit.drivers_of(net.name):
+            continue
+        if ctx.circuit.fanout_of(net.name):
+            ctx.emit("loaded but undriven", net=net.name)
+
+
+@rule("ERC003", "driven primary input", "structural", Severity.ERROR)
+def check_driven_input(ctx) -> None:
+    """Primary inputs and clocks are driven from outside the macro; an
+    internal stage driving one fights the external driver."""
+    for net in _signal_nets(ctx.circuit):
+        is_input = (
+            net.name in ctx.circuit.primary_inputs
+            or net.kind is NetKind.CLOCK
+        )
+        drivers = ctx.circuit.drivers_of(net.name)
+        if is_input and drivers:
+            ctx.emit(
+                f"primary input/clock is also driven by {drivers[0].name}",
+                net=net.name,
+            )
+
+
+@rule("ERC004", "dangling net", "structural", Severity.WARNING)
+def check_dangling(ctx) -> None:
+    """A driven net that nothing loads is dead weight — usually a stale
+    edit.  Warning, not error: the circuit still functions."""
+    for net in _signal_nets(ctx.circuit):
+        if net.kind is NetKind.CLOCK:
+            continue
+        loaded = (
+            bool(ctx.circuit.fanout_of(net.name))
+            or net.name in ctx.circuit.primary_outputs
+        )
+        driven = (
+            bool(ctx.circuit.drivers_of(net.name))
+            or net.name in ctx.circuit.primary_inputs
+        )
+        if driven and not loaded:
+            ctx.emit("driven but unloaded (dangling)", net=net.name)
+
+
+@rule("ERC005", "domino clock hookup", "structural", Severity.ERROR)
+def check_domino_clock(ctx) -> None:
+    """Every domino stage needs a clock pin, and clock pins must land on
+    clock-kind nets — precharge timing is meaningless otherwise."""
+    for stage in ctx.circuit.stages:
+        if stage.kind is not StageKind.DOMINO:
+            continue
+        clock_pins = stage.clock_pins()
+        if not clock_pins:
+            ctx.emit("domino without clock pin", stage=stage.name)
+        for pin in clock_pins:
+            if pin.net.kind is not NetKind.CLOCK:
+                ctx.emit(
+                    f"clock pin on non-clock net {pin.net.name}",
+                    stage=stage.name,
+                )
+
+
+@rule("ERC006", "unknown size label", "structural", Severity.ERROR)
+def check_unknown_labels(ctx) -> None:
+    """Every size label a stage references must be declared in the size
+    table, or the sizer has no variable to optimize."""
+    for stage in ctx.circuit.stages:
+        for label in stage.size_vars.values():
+            if label not in ctx.circuit.size_table:
+                ctx.emit(
+                    f"size label {label} not in size table", stage=stage.name
+                )
+
+
+@rule("ERC007", "unused size label", "structural", Severity.WARNING)
+def check_unused_labels(ctx) -> None:
+    """A declared label no stage references adds a free GP variable with no
+    effect on the design — usually a renamed-but-not-removed edit."""
+    used = {
+        label
+        for stage in ctx.circuit.stages
+        for label in stage.size_vars.values()
+    }
+    for size_var in ctx.circuit.size_table:
+        if size_var.name not in used and size_var.ratio_of is None:
+            ctx.emit(f"size label {size_var.name}: declared but unused")
+
+
+@rule("ERC008", "strong-mutex select discipline", "structural", Severity.ERROR)
+def check_strong_mutex(ctx) -> None:
+    """Strongly-mutexed pass-gate muxes (Figure 2a) assume one-hot selects;
+    the structural proxy is that each gate has a select pin and the select
+    nets are pairwise distinct."""
+    by_output = {}
+    for stage in ctx.circuit.stages:
+        if (
+            stage.kind is StageKind.PASSGATE
+            and stage.params.get("mutex") == "strong"
+        ):
+            by_output.setdefault(stage.output.name, []).append(stage)
+    for out, gates in by_output.items():
+        selects = []
+        for gate in gates:
+            select_pins = gate.select_pins()
+            if not select_pins:
+                ctx.emit(
+                    "strongly-mutexed pass gate has no select pin",
+                    stage=gate.name,
+                )
+                continue
+            selects.append(select_pins[0].net.name)
+        if len(set(selects)) != len(selects):
+            ctx.emit(
+                "strongly-mutexed pass gates share a select net", net=out
+            )
+
+
+@rule("ERC009", "combinational cycle", "structural", Severity.ERROR)
+def check_acyclic(ctx) -> None:
+    """The stage graph must be a DAG; a combinational loop makes both path
+    extraction and static timing meaningless."""
+    try:
+        ctx.circuit.topological_stages()
+    except CircuitError as exc:
+        ctx.emit(str(exc))

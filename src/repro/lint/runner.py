@@ -1,0 +1,87 @@
+"""Circuit lint driver: runs the structural/family rule groups."""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Sequence
+
+from ..netlist.circuit import Circuit
+from ..obs import metrics
+from ..obs.log import get_logger
+from .diagnostics import Diagnostic, LintReport, Location, Severity
+from .registry import Rule, rules_in_groups
+from .waivers import Waiver, apply_waivers
+
+log = get_logger(__name__)
+
+#: Rule groups that operate directly on a :class:`Circuit`.
+CIRCUIT_GROUPS = ("structural", "family")
+
+
+class LintContext:
+    """What one rule's checker sees: the circuit plus an ``emit`` sink."""
+
+    def __init__(self, circuit: Circuit, rule_obj: Rule, report: LintReport):
+        self.circuit = circuit
+        self.rule = rule_obj
+        self._report = report
+
+    def emit(
+        self,
+        message: str,
+        stage: Optional[str] = None,
+        net: Optional[str] = None,
+        pin: Optional[str] = None,
+        severity: Optional[Severity] = None,
+    ) -> Diagnostic:
+        """Record one finding for the rule being run.
+
+        ``severity`` defaults to the rule's registered severity; rules that
+        grade findings (e.g. deep vs. very deep pass chains) may override.
+        """
+        diag = Diagnostic(
+            rule_id=self.rule.id,
+            severity=severity or self.rule.severity,
+            message=message,
+            location=Location(stage=stage, net=net, pin=pin),
+        )
+        self._report.add(diag)
+        return diag
+
+
+def lint_circuit(
+    circuit: Circuit,
+    groups: Sequence[str] = CIRCUIT_GROUPS,
+    waivers: Iterable[Waiver] = (),
+    only: Optional[Iterable[str]] = None,
+) -> LintReport:
+    """Run the circuit rule groups over ``circuit``.
+
+    Parameters
+    ----------
+    groups:
+        Which rule groups to run (subset of :data:`CIRCUIT_GROUPS`).
+    waivers:
+        Suppressions to apply; waived findings stay in the report, marked.
+    only:
+        Optional allow-list of rule IDs (for targeted re-checks).
+    """
+    bad = set(groups) - set(CIRCUIT_GROUPS)
+    if bad:
+        raise ValueError(
+            f"lint_circuit runs only {CIRCUIT_GROUPS}, got {sorted(bad)}"
+        )
+    report = LintReport(subject=circuit.name)
+    wanted = set(only) if only is not None else None
+    for rule_obj in rules_in_groups(groups):
+        if rule_obj.check is None:
+            continue
+        if wanted is not None and rule_obj.id not in wanted:
+            continue
+        rule_obj.check(LintContext(circuit, rule_obj, report))
+    report.diagnostics = apply_waivers(report.diagnostics, waivers)
+    metrics.counter("lint.runs").inc()
+    if report.errors:
+        metrics.counter("lint.errors").inc(len(report.errors))
+    if report.warnings:
+        metrics.counter("lint.warnings").inc(len(report.warnings))
+    return report

@@ -1,0 +1,81 @@
+"""Waiver (suppression) files.
+
+A waiver file is line-oriented text; blank lines and ``#`` comments are
+ignored.  Each waiver line is::
+
+    RULE_PATTERN  LOCATION_PATTERN  [# reason]
+
+Both patterns are shell globs (:mod:`fnmatch`).  The rule pattern matches
+the rule ID (``ERC103``, ``ERC1*``); the location pattern matches the
+rendered location (``stage g0``, ``stage sum*``, ``*`` for any, including
+findings with no location).  Examples::
+
+    # the CLA's deep legs are analysed off-line; accept the hazard heuristic
+    ERC103  stage cla*      # charge-sharing reviewed 2026-08
+    GP203   *               # unconstrained decoupling labels are expected
+
+Waived diagnostics stay in the report (marked ``waived``) so reviewers see
+what was suppressed, but they no longer count as errors or warnings.
+"""
+
+from __future__ import annotations
+
+import fnmatch
+from dataclasses import dataclass
+from typing import Iterable, List
+
+from .diagnostics import Diagnostic
+
+
+@dataclass(frozen=True)
+class Waiver:
+    """One suppression: rule-ID glob + location glob + reason."""
+
+    rule_pattern: str
+    location_pattern: str = "*"
+    reason: str = ""
+
+    def matches(self, diagnostic: Diagnostic) -> bool:
+        if not fnmatch.fnmatchcase(diagnostic.rule_id, self.rule_pattern):
+            return False
+        location = str(diagnostic.location)
+        if location == "" and self.location_pattern == "*":
+            return True
+        return fnmatch.fnmatchcase(location, self.location_pattern)
+
+
+def parse_waivers(text: str) -> List[Waiver]:
+    """Parse waiver-file text; raises :class:`ValueError` on bad lines."""
+    waivers: List[Waiver] = []
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line, _, comment = raw.partition("#")
+        line = line.strip()
+        if not line:
+            continue
+        fields = line.split(None, 1)
+        rule_pattern = fields[0]
+        location_pattern = fields[1].strip() if len(fields) > 1 else "*"
+        if not rule_pattern:
+            raise ValueError(f"waiver line {lineno}: empty rule pattern")
+        waivers.append(
+            Waiver(rule_pattern, location_pattern, comment.strip())
+        )
+    return waivers
+
+
+def load_waivers(path: str) -> List[Waiver]:
+    with open(path) as fh:
+        return parse_waivers(fh.read())
+
+
+def apply_waivers(
+    diagnostics: Iterable[Diagnostic], waivers: Iterable[Waiver]
+) -> List[Diagnostic]:
+    """Mark matching diagnostics waived; returns a new list."""
+    waivers = list(waivers)
+    out: List[Diagnostic] = []
+    for diag in diagnostics:
+        if any(w.matches(diag) for w in waivers):
+            diag = diag.with_waived()
+        out.append(diag)
+    return out

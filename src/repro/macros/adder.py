@@ -28,7 +28,7 @@ alternative; NAND-majority carry chain plus XOR sums.
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence, Tuple
+from typing import List, Sequence, Tuple
 
 from ..models.technology import Technology
 from ..netlist.circuit import Circuit

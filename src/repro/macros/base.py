@@ -16,8 +16,8 @@ and hierarchy.  Here:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 from ..models.technology import Technology
 from ..netlist.circuit import Circuit

@@ -27,12 +27,11 @@ explore with SMART.
 
 from __future__ import annotations
 
-from typing import List, Tuple
+from typing import List
 
 from ..models.technology import Technology
 from ..netlist.circuit import Circuit
 from ..netlist.nets import Net, PinClass
-from ..netlist.stages import StageKind
 from .base import MacroBuilder, MacroGenerator, MacroSpec
 
 

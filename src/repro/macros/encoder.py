@@ -19,7 +19,7 @@ from typing import List
 
 from ..models.technology import Technology
 from ..netlist.circuit import Circuit
-from ..netlist.nets import Net, PinClass, PinSpeed
+from ..netlist.nets import Net, PinClass
 from ..netlist.stages import StageKind
 from .base import MacroBuilder, MacroGenerator, MacroSpec
 from .zero_detect import _chunk_sizes, _speeds

@@ -25,7 +25,6 @@ from typing import List
 from ..models.technology import Technology
 from ..netlist.circuit import Circuit
 from ..netlist.nets import Net
-from ..netlist.stages import StageKind
 from .base import MacroBuilder, MacroGenerator, MacroSpec
 
 

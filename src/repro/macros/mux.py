@@ -21,13 +21,11 @@ domino mux                            (shared when partitions are equal),
 
 from __future__ import annotations
 
-import math
-from typing import List, Tuple
+from typing import Tuple
 
 from ..models.technology import Technology
 from ..netlist.circuit import Circuit
-from ..netlist.nets import Net, PinClass
-from ..netlist.stages import StageKind
+from ..netlist.nets import PinClass
 from .base import MacroBuilder, MacroGenerator, MacroSpec
 
 #: Per-input wire capacitance of the shared merge node, fF (grows with mux

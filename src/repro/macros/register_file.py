@@ -20,12 +20,10 @@ Topologies:
 
 from __future__ import annotations
 
-import math
-from typing import List
 
 from ..models.technology import Technology
 from ..netlist.circuit import Circuit
-from ..netlist.nets import Net, PinClass
+from ..netlist.nets import PinClass
 from .base import MacroBuilder, MacroGenerator, MacroSpec
 from .decoder import FlatStaticDecoder
 

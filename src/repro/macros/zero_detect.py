@@ -14,7 +14,7 @@
 
 from __future__ import annotations
 
-from typing import List, Sequence
+from typing import List
 
 from ..models.technology import Technology
 from ..netlist.circuit import Circuit

@@ -33,7 +33,7 @@ from typing import Dict, Optional
 from ..netlist.nets import Pin, PinClass
 from ..netlist.sizing_vars import SizeTable
 from ..netlist.stages import Stage, StageKind
-from ..posy import Posynomial, as_posynomial, posy_sum
+from ..posy import Posynomial, as_posynomial
 from .technology import Technology
 
 LN2 = math.log(2.0)

@@ -21,7 +21,7 @@ power                 µW (at ``frequency`` GHz)
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 
 
 @dataclass(frozen=True)

@@ -8,13 +8,13 @@ from :meth:`Circuit.expand_transistors`.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+from typing import Dict, List, Mapping, Optional, Tuple
 
 import networkx as nx
 
 from ..posy import Monomial, Posynomial, posy_sum
 from .devices import Transistor
-from .nets import Net, NetKind, Pin, PinClass
+from .nets import Net, NetKind, Pin
 from .sizing_vars import SizeTable, SizeVar
 from .stages import Stage, StageKind, VDD, VSS
 
@@ -154,12 +154,24 @@ class Circuit:
         return graph
 
     def topological_stages(self) -> List[Stage]:
-        """Stages in topological order (raises on combinational loops)."""
+        """Stages in topological order (raises on combinational loops,
+        naming the stages on one detected cycle)."""
         graph = self.stage_graph()
         try:
             order = list(nx.topological_sort(graph))
         except nx.NetworkXUnfeasible as exc:
-            raise CircuitError(f"{self.name}: combinational loop") from exc
+            try:
+                cycle = [edge[0] for edge in nx.find_cycle(graph)]
+            except nx.NetworkXNoCycle:  # pragma: no cover - unfeasible => cycle
+                cycle = []
+            through = (
+                " through stages " + " -> ".join(cycle + cycle[:1])
+                if cycle
+                else ""
+            )
+            raise CircuitError(
+                f"{self.name}: combinational loop{through}"
+            ) from exc
         return [self._stage_by_name[n] for n in order]
 
     def clock_nets(self) -> List[str]:

@@ -10,7 +10,7 @@ annotation drives the pin-precedence pruning of Section 5.2.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional
 
 

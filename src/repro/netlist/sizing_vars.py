@@ -12,7 +12,7 @@ portions of the macro while letting the automatic sizer size the rest").
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Iterator, Mapping, Optional, Tuple
 
 from ..posy import Monomial, const, var

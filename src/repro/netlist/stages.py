@@ -32,10 +32,10 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Optional, Tuple
+from typing import Dict, List, Mapping, Tuple
 
 from .devices import Polarity, Transistor
-from .nets import Net, NetKind, Pin, PinClass
+from .nets import Net, Pin, PinClass
 
 VDD = "vdd"
 VSS = "vss"

@@ -2,10 +2,15 @@
 
 Run after macro generation and after designer edits (Section 2: "a macro may
 not always be realized in exactly the same way it exists in the database ...
-should therefore support editing").  The checks catch the structural mistakes
-edits introduce: multiply-driven or floating nets, missing clock hookups on
-dynamic stages, dangling labels, and select sets that violate their declared
-mutex discipline width.
+should therefore support editing").
+
+Since the ``repro.lint`` package landed, this module is a thin compatibility
+facade: the checks themselves are the lint ``structural`` rule group
+(``ERC001``–``ERC009``), and :func:`validate_circuit` adapts a
+:class:`repro.lint.LintReport` into the legacy string-based
+:class:`ValidationReport` shape that macro generators and existing callers
+consume.  Run :func:`repro.lint.lint_circuit` directly for rule IDs,
+locations, waivers, and the family-semantics rule group.
 """
 
 from __future__ import annotations
@@ -14,8 +19,6 @@ from dataclasses import dataclass, field
 from typing import List
 
 from .circuit import Circuit
-from .nets import NetKind, PinClass
-from .stages import StageKind, VDD, VSS
 
 
 @dataclass
@@ -35,96 +38,13 @@ class ValidationReport:
 
 
 def validate_circuit(circuit: Circuit) -> ValidationReport:
-    """Run all structural checks; returns a :class:`ValidationReport`."""
-    report = ValidationReport()
-    _check_drivers(circuit, report)
-    _check_floating(circuit, report)
-    _check_clocks(circuit, report)
-    _check_labels(circuit, report)
-    _check_mutex(circuit, report)
-    _check_acyclic(circuit, report)
-    return report
+    """Run the structural lint rules; returns a :class:`ValidationReport`."""
+    # Imported lazily: repro.lint depends on repro.netlist submodules, and
+    # this module is imported by repro.netlist.__init__ itself.
+    from ..lint.runner import lint_circuit
 
-
-def _check_drivers(circuit: Circuit, report: ValidationReport) -> None:
-    for net in circuit.nets.values():
-        if net.kind in (NetKind.SUPPLY, NetKind.GROUND):
-            continue
-        drivers = circuit.drivers_of(net.name)
-        is_input = net.name in circuit.primary_inputs or net.kind is NetKind.CLOCK
-        if is_input and drivers:
-            report.errors.append(
-                f"net {net.name}: primary input/clock is also driven by "
-                f"{drivers[0].name}"
-            )
-        if not is_input and not drivers:
-            if circuit.fanout_of(net.name):
-                report.errors.append(f"net {net.name}: loaded but undriven")
-        if len(drivers) > 1:
-            kinds = {s.kind for s in drivers}
-            shareable = kinds <= {StageKind.TRISTATE} or kinds <= {StageKind.PASSGATE}
-            if not shareable:
-                report.errors.append(
-                    f"net {net.name}: multiple non-shareable drivers "
-                    f"({', '.join(s.name for s in drivers)})"
-                )
-
-
-def _check_floating(circuit: Circuit, report: ValidationReport) -> None:
-    for net in circuit.nets.values():
-        if net.kind in (NetKind.SUPPLY, NetKind.GROUND, NetKind.CLOCK):
-            continue
-        loaded = bool(circuit.fanout_of(net.name)) or net.name in circuit.primary_outputs
-        driven = bool(circuit.drivers_of(net.name)) or net.name in circuit.primary_inputs
-        if driven and not loaded:
-            report.warnings.append(f"net {net.name}: driven but unloaded (dangling)")
-
-
-def _check_clocks(circuit: Circuit, report: ValidationReport) -> None:
-    for stage in circuit.stages:
-        if stage.kind is StageKind.DOMINO:
-            clock_pins = stage.clock_pins()
-            if not clock_pins:
-                report.errors.append(f"stage {stage.name}: domino without clock pin")
-            for pin in clock_pins:
-                if pin.net.kind is not NetKind.CLOCK:
-                    report.errors.append(
-                        f"stage {stage.name}: clock pin on non-clock net {pin.net.name}"
-                    )
-
-
-def _check_labels(circuit: Circuit, report: ValidationReport) -> None:
-    used = set()
-    for stage in circuit.stages:
-        for label in stage.size_vars.values():
-            used.add(label)
-            if label not in circuit.size_table:
-                report.errors.append(
-                    f"stage {stage.name}: size label {label} not in size table"
-                )
-    for size_var in circuit.size_table:
-        if size_var.name not in used and size_var.ratio_of is None:
-            report.warnings.append(f"size label {size_var.name}: declared but unused")
-
-
-def _check_mutex(circuit: Circuit, report: ValidationReport) -> None:
-    """Strongly-mutexed pass-gate muxes (Figure 2a) assume one-hot selects;
-    the structural proxy we can check is that the select nets of a mux's pass
-    gates are distinct."""
-    by_output = {}
-    for stage in circuit.stages:
-        if stage.kind is StageKind.PASSGATE and stage.params.get("mutex") == "strong":
-            by_output.setdefault(stage.output.name, []).append(stage)
-    for out, gates in by_output.items():
-        selects = [g.select_pins()[0].net.name for g in gates]
-        if len(set(selects)) != len(selects):
-            report.errors.append(
-                f"net {out}: strongly-mutexed pass gates share a select net"
-            )
-
-
-def _check_acyclic(circuit: Circuit, report: ValidationReport) -> None:
-    try:
-        circuit.topological_stages()
-    except Exception as exc:  # CircuitError
-        report.errors.append(str(exc))
+    lint_report = lint_circuit(circuit, groups=("structural",))
+    return ValidationReport(
+        errors=[d.text for d in lint_report.errors],
+        warnings=[d.text for d in lint_report.warnings],
+    )

@@ -19,7 +19,7 @@ from typing import Dict, Mapping, Optional
 from ..models.gates import ModelLibrary
 from ..netlist.circuit import Circuit
 from ..netlist.nets import NetKind
-from ..netlist.stages import StageKind, VDD, VSS
+from ..netlist.stages import StageKind
 
 #: Activity of a clock net: one rise + one fall per cycle.
 CLOCK_ACTIVITY = 1.0

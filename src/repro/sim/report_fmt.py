@@ -7,12 +7,12 @@ the reliability limits — the PathMill-style text report for our STA.
 
 from __future__ import annotations
 
-from typing import List, Mapping, Optional, Sequence
+from typing import List, Mapping, Optional
 
 from ..models.gates import ModelLibrary, Transition
 from ..netlist.circuit import Circuit
 from ..sizing.constraints import DelaySpec
-from .timing import StaticTimingAnalyzer, TimingReport
+from .timing import StaticTimingAnalyzer
 
 
 def format_timing_report(

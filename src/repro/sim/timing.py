@@ -19,7 +19,7 @@ Timing graph nodes are ``(net, transition)`` pairs.  Stage arcs:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 from ..models.gates import ModelLibrary, Transition

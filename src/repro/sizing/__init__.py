@@ -27,8 +27,10 @@ from .paths import (
     longest_path_length,
 )
 from .pruning import (
+    DropWitness,
     PruneResult,
     PruneStats,
+    PruningCertificate,
     dominant_stages,
     path_signature,
     prune_fanout_dominance,
@@ -56,6 +58,8 @@ __all__ = [
     "dominant_stages",
     "PruneResult",
     "PruneStats",
+    "PruningCertificate",
+    "DropWitness",
     "ConstraintGenerator",
     "ConstraintSet",
     "DelaySpec",

@@ -27,7 +27,7 @@ from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 from ..models.gates import ModelLibrary, Transition
 from ..netlist.circuit import Circuit
 from ..netlist.nets import NetKind, PinClass
-from ..netlist.stages import Stage, StageKind
+from ..netlist.stages import StageKind
 from ..posy import Posynomial
 from ..sim.timing import StaticTimingAnalyzer, stage_arcs
 from .paths import StructuralPath
@@ -337,7 +337,6 @@ class ConstraintGenerator:
         ratio = self.spec.charge_sharing_ratio
         if ratio is None:
             return
-        from ..models.gates import DominoModel
 
         table = self.circuit.size_table
         tech = self.library.tech

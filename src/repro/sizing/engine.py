@@ -337,14 +337,13 @@ class SmartSizer:
             )
             return result
 
-    def _size_traced(
-        self,
-        spec: DelaySpec,
-        tolerance: float,
-        max_outer_iterations: int,
-        prune: bool,
-        initial: Optional[Mapping[str, float]],
-    ) -> SizingResult:
+    def _extract(self, prune: bool) -> PruneResult:
+        """Path extraction + Section-5.2 reduction (one Figure-4 front end).
+
+        Enumerates and prunes when the raw count is tractable; falls back to
+        representative extraction (pruning applied during the walk) above
+        ``enumeration_threshold``.
+        """
         from .pruning import PruneStats
 
         extractor = PathExtractor(self.circuit, max_paths=self.max_paths)
@@ -383,6 +382,40 @@ class SmartSizer:
                 extract_span.set_attrs(
                     mode="enumerate", kept_paths=len(raw_paths)
                 )
+        return prune_result
+
+    def pre_solve_lint(self, spec: DelaySpec):
+        """Build this circuit's constraint set and GP for ``spec`` and run
+        the ``GP2xx`` pre-solve rules, without solving.
+
+        Returns a :class:`repro.lint.LintReport`; the same screen gates
+        every :meth:`size` run.
+        """
+        prune_result = self._extract(prune=True)
+        generator = ConstraintGenerator(
+            self.circuit, self.library, spec, otb_borrow=self.otb_borrow
+        )
+        constraints = generator.generate(prune_result.paths, {})
+        return self._lint_gp(constraints)
+
+    def _lint_gp(self, constraints: ConstraintSet):
+        from ..lint.rules_gp import lint_gp
+
+        report = lint_gp(
+            self._build_gp(constraints, {}), self.circuit.size_table
+        )
+        report.subject = f"{self.circuit.name}:gp"
+        return report
+
+    def _size_traced(
+        self,
+        spec: DelaySpec,
+        tolerance: float,
+        max_outer_iterations: int,
+        prune: bool,
+        initial: Optional[Mapping[str, float]],
+    ) -> SizingResult:
+        prune_result = self._extract(prune)
         stats = prune_result.stats
         metrics.gauge("paths.initial").set(stats.initial)
         metrics.gauge("paths.final").set(stats.final)
@@ -409,6 +442,21 @@ class SmartSizer:
         if not constraints.timing:
             raise SizingError(
                 f"{self.circuit.name}: no timing constraints were generated"
+            )
+
+        # GP pre-solve gate: fail fast on malformed or trivially-infeasible
+        # programs instead of burning solver iterations on them.
+        gp_lint = self._lint_gp(constraints)
+        for diag in gp_lint.warnings:
+            log.debug("gp lint %s: %s", self.circuit.name, diag.format())
+        if not gp_lint.ok:
+            metrics.counter("engine.gp_lint_failures").inc()
+            details = "; ".join(d.format() for d in gp_lint.errors[:3])
+            more = len(gp_lint.errors) - 3
+            if more > 0:
+                details += f" (+{more} more)"
+            raise SizingError(
+                f"{self.circuit.name}: GP pre-solve lint failed: {details}"
             )
 
         realized: Dict[str, float] = {}

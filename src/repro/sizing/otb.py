@@ -16,7 +16,7 @@ does each evaluate segment actually borrow across its phase boundary?
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Mapping, Optional, Tuple
+from typing import List, Mapping, Optional
 
 from ..models.gates import ModelLibrary
 from ..netlist.circuit import Circuit

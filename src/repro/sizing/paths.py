@@ -17,8 +17,7 @@ materialization.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from functools import lru_cache
-from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+from typing import Dict, Iterator, List, Tuple
 
 from ..netlist.circuit import Circuit
 from ..netlist.nets import NetKind, Pin, PinClass

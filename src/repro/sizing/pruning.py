@@ -30,7 +30,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..netlist.circuit import Circuit
-from ..netlist.nets import PinClass, PinSpeed
+from ..netlist.nets import PinSpeed
 from ..netlist.stages import Stage
 from ..obs import metrics, trace
 from .paths import StructuralPath
@@ -57,10 +57,44 @@ class PruneStats:
         return self.initial / self.final if self.final else float("inf")
 
 
+@dataclass(frozen=True)
+class DropWitness:
+    """Why one extracted path was pruned.
+
+    ``reason`` is the pass that dropped it: ``"precedence"`` (with the FAST
+    ``stage``/``pin`` it entered), ``"dominance"`` or ``"regularity"`` (with
+    the same-signature ``survivor`` that still constrains the GP).
+    """
+
+    reason: str
+    stage: Optional[str] = None
+    pin: Optional[str] = None
+    survivor: Optional[StructuralPath] = None
+
+
+@dataclass
+class PruningCertificate:
+    """Merge/dominance certificate for one :func:`prune_paths` run.
+
+    Claims, for every input path, either membership in ``surviving`` or a
+    :class:`DropWitness`; plus the fanout-dominance claims (regularity-group
+    key -> dominant stage name) the dominance pass relied on.  The linter's
+    :func:`repro.lint.coverage.verify_pruning` re-checks every claim
+    independently — pruning soundness as a checked invariant, not an
+    assumption.
+    """
+
+    initial: int
+    surviving: List[StructuralPath]
+    dropped: Dict[StructuralPath, DropWitness]
+    dominant: Dict[Tuple, str] = field(default_factory=dict)
+
+
 @dataclass
 class PruneResult:
     paths: List[StructuralPath]
     stats: PruneStats
+    certificate: Optional[PruningCertificate] = None
 
 
 def _stage_key(circuit: Circuit, stage: Stage) -> Tuple[str, Tuple[str, ...]]:
@@ -95,10 +129,15 @@ def path_signature(circuit: Circuit, path: StructuralPath) -> Tuple:
 
 
 def prune_pin_precedence(
-    circuit: Circuit, paths: Sequence[StructuralPath]
+    circuit: Circuit,
+    paths: Sequence[StructuralPath],
+    drops: Optional[Dict[StructuralPath, DropWitness]] = None,
 ) -> List[StructuralPath]:
     """Drop paths that enter any stage through a FAST pin when that stage has
-    a SLOW pin of the same pin class (the slow path subsumes the fast one)."""
+    a SLOW pin of the same pin class (the slow path subsumes the fast one).
+
+    When ``drops`` is given, each pruned path records the FAST step that
+    justified dropping it."""
     slow_classes: Dict[str, set] = {}
     for stage in circuit.stages:
         classes = {
@@ -118,6 +157,10 @@ def prune_pin_precedence(
                 and pin.pin_class in slow_classes.get(stage.name, ())
             ):
                 prunable = True
+                if drops is not None:
+                    drops[path] = DropWitness(
+                        "precedence", stage=stage.name, pin=pin.name
+                    )
                 break
         if not prunable:
             kept.append(path)
@@ -146,11 +189,17 @@ def dominant_stages(circuit: Circuit) -> Dict[Tuple, str]:
 
 
 def prune_fanout_dominance(
-    circuit: Circuit, paths: Sequence[StructuralPath]
+    circuit: Circuit,
+    paths: Sequence[StructuralPath],
+    drops: Optional[Dict[StructuralPath, DropWitness]] = None,
 ) -> List[StructuralPath]:
     """Keep only paths whose every step goes through its group's dominant
     stage — unless no retained path would cover that signature, in which case
-    the path survives (soundness guard for asymmetric surroundings)."""
+    the path survives (soundness guard for asymmetric surroundings).
+
+    When ``drops`` is given, each pruned path records a ``"dominance"``
+    witness (the same-signature survivor is filled in by
+    :func:`prune_paths` once the final set is known)."""
     dominant = dominant_stages(circuit)
 
     kept: List[StructuralPath] = []
@@ -169,6 +218,8 @@ def prune_fanout_dominance(
         if sig not in covered:
             kept.append(path)
             covered.add(sig)
+        elif drops is not None:
+            drops[path] = DropWitness("dominance")
     return kept
 
 
@@ -178,16 +229,20 @@ def prune_fanout_dominance(
 
 
 def prune_regularity(
-    circuit: Circuit, paths: Sequence[StructuralPath]
+    circuit: Circuit,
+    paths: Sequence[StructuralPath],
+    drops: Optional[Dict[StructuralPath, DropWitness]] = None,
 ) -> List[StructuralPath]:
     """One representative per path signature (first in input order)."""
-    seen = set()
+    seen: Dict[Tuple, StructuralPath] = {}
     kept = []
     for path in paths:
         sig = path_signature(circuit, path)
         if sig not in seen:
-            seen.add(sig)
+            seen[sig] = path
             kept.append(path)
+        elif drops is not None:
+            drops[path] = DropWitness("regularity", survivor=seen[sig])
     return kept
 
 
@@ -202,24 +257,30 @@ def prune_paths(
     use_precedence: bool = True,
     use_dominance: bool = True,
     use_regularity: bool = True,
+    certify: bool = False,
 ) -> PruneResult:
     """Run the (selected) pruning passes in the paper's order and account for
-    the reduction at each step.  Flags support the ablation benchmark."""
+    the reduction at each step.  Flags support the ablation benchmark.
+
+    With ``certify=True`` the result carries a :class:`PruningCertificate`
+    claiming, per input path, why dropping it was sound; verify with
+    :func:`repro.lint.coverage.verify_pruning`."""
     initial = len(paths)
     current = list(paths)
+    drops: Optional[Dict[StructuralPath, DropWitness]] = {} if certify else None
     if use_precedence:
         with trace.span("prune_pin_precedence", before=initial) as sp:
-            current = prune_pin_precedence(circuit, current)
+            current = prune_pin_precedence(circuit, current, drops=drops)
             sp.set_attrs(after=len(current))
     after_precedence = len(current)
     if use_dominance:
         with trace.span("prune_fanout_dominance", before=after_precedence) as sp:
-            current = prune_fanout_dominance(circuit, current)
+            current = prune_fanout_dominance(circuit, current, drops=drops)
             sp.set_attrs(after=len(current))
     after_dominance = len(current)
     if use_regularity:
         with trace.span("prune_regularity", before=after_dominance) as sp:
-            current = prune_regularity(circuit, current)
+            current = prune_regularity(circuit, current, drops=drops)
             sp.set_attrs(after=len(current))
     after_regularity = len(current)
     gauges = metrics.registry()
@@ -228,6 +289,11 @@ def prune_paths(
     gauges.gauge("prune.after_dominance").set(after_dominance)
     gauges.gauge("prune.after_regularity").set(after_regularity)
     metrics.counter("prune.runs").inc()
+    certificate = None
+    if certify:
+        certificate = _build_certificate(
+            circuit, initial, current, drops, use_dominance
+        )
     return PruneResult(
         paths=current,
         stats=PruneStats(
@@ -236,4 +302,32 @@ def prune_paths(
             after_dominance=after_dominance,
             after_regularity=after_regularity,
         ),
+        certificate=certificate,
+    )
+
+
+def _build_certificate(
+    circuit: Circuit,
+    initial: int,
+    surviving: List[StructuralPath],
+    drops: Dict[StructuralPath, DropWitness],
+    used_dominance: bool,
+) -> PruningCertificate:
+    """Finalize the per-pass drop records into a certificate: dominance
+    drops learn their same-signature survivor now that the final set is
+    known, and the dominance pass's fanout claims are attached."""
+    by_sig = {path_signature(circuit, p): p for p in surviving}
+    finalized: Dict[StructuralPath, DropWitness] = {}
+    for path, witness in drops.items():
+        if witness.reason == "dominance":
+            witness = DropWitness(
+                "dominance",
+                survivor=by_sig.get(path_signature(circuit, path)),
+            )
+        finalized[path] = witness
+    return PruningCertificate(
+        initial=initial,
+        surviving=list(surviving),
+        dropped=finalized,
+        dominant=dict(dominant_stages(circuit)) if used_dominance else {},
     )

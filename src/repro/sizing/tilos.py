@@ -23,8 +23,8 @@ classes TILOS silently violates.
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Optional, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional
 
 from ..models.gates import ModelLibrary
 from ..netlist.circuit import Circuit

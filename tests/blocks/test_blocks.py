@@ -2,12 +2,7 @@
 
 import pytest
 
-from repro.blocks import (
-    BlockDesign,
-    MacroInstanceSpec,
-    build_block,
-    reduce_block_power,
-)
+from repro.blocks import MacroInstanceSpec, build_block, reduce_block_power
 from repro.macros import MacroSpec
 
 

@@ -65,7 +65,6 @@ class TestTopologyExploration:
         circuit = advisor.database.generate(
             "comparator/xorsum2", MacroSpec("comparator", 32), advisor.tech
         )
-        from repro.models import ModelLibrary
 
         nom = nominal_delay(circuit, advisor.library)
         report = explore_topologies(

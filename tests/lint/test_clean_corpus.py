@@ -1,0 +1,66 @@
+"""Golden corpus: every registered macro generator, across sizes, lints
+with ZERO errors.
+
+This is the contract behind the advisor's pre-sizing gate: the database is
+clean, so any error a designer edit introduces is new.  Warnings are
+allowed (the corpus has known dangling dual-rail stubs and charge-sharing
+heuristic hits) but errors fail the build.
+"""
+
+import pytest
+
+from repro.lint import Severity, lint_circuit
+from repro.macros.base import MacroSpec
+from repro.macros.registry import default_database
+from repro.models import Technology
+
+DATABASE = default_database()
+TECH = Technology()
+
+
+def _widths(generator):
+    """Small / middle / largest applicable width for a generator.
+
+    Widths are probed rather than fixed because several topologies only
+    exist at exact sizes (comparator/xorsum2 wants 32); decoders are capped
+    at 8 select bits since their output count is ``2**width``.
+    """
+    cap = 8 if generator.macro_type == "decoder" else 64
+    widths = [
+        w for w in range(2, cap + 1)
+        if generator.applicable(MacroSpec(generator.macro_type, w))
+    ]
+    assert widths, f"{generator.name}: no applicable width <= {cap}"
+    return sorted({widths[0], widths[len(widths) // 2], widths[-1]})
+
+
+@pytest.mark.parametrize(
+    "topology", [g.name for g in DATABASE.topologies()]
+)
+def test_corpus_is_error_free(topology):
+    generator = DATABASE.generator(topology)
+    for width in _widths(generator):
+        circuit = generator.generate(
+            MacroSpec(generator.macro_type, width), TECH
+        )
+        report = lint_circuit(circuit)
+        assert report.errors == [], (
+            f"{topology}[{width}]: "
+            + "; ".join(d.format() for d in report.errors)
+        )
+
+
+def test_corpus_warnings_are_known_rules():
+    """Corpus warnings stay within the expected heuristic rules — anything
+    else is a new finding someone should triage."""
+    allowed = {"ERC004", "ERC007", "ERC103"}
+    seen = set()
+    for generator in DATABASE.topologies():
+        for width in _widths(generator):
+            circuit = generator.generate(
+                MacroSpec(generator.macro_type, width), TECH
+            )
+            for diag in lint_circuit(circuit).warnings:
+                assert diag.severity is Severity.WARNING
+                seen.add(diag.rule_id)
+    assert seen <= allowed, f"unexpected warning rules: {seen - allowed}"

@@ -1,0 +1,164 @@
+"""Pruning-certificate verification (CST101–CST103).
+
+Each test prunes a real macro with ``certify=True``, confirms the clean
+certificate verifies, then tampers with one claim and checks the verifier
+catches exactly that lie.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.core.advisor import SmartAdvisor
+from repro.lint.coverage import verify_pruning
+from repro.macros.base import MacroSpec
+from repro.sizing.paths import PathExtractor
+from repro.sizing.pruning import path_signature, prune_paths
+
+
+@pytest.fixture(scope="module")
+def advisor():
+    return SmartAdvisor()
+
+
+def _certified(advisor, topology, macro_type, width):
+    circuit = advisor.database.generate(
+        topology, MacroSpec(macro_type, width), advisor.tech
+    )
+    raw = PathExtractor(circuit).extract()
+    result = prune_paths(circuit, raw, certify=True)
+    assert result.certificate is not None
+    return circuit, raw, result.certificate
+
+
+class TestCleanCertificates:
+    @pytest.mark.parametrize(
+        "topology, macro_type, width",
+        [
+            ("zero_detect/static_tree", "zero_detect", 15),  # precedence
+            ("zero_detect/domino", "zero_detect", 8),  # regularity
+            ("mux/strong_mutex_passgate", "mux", 8),  # dominance
+            ("adder/dual_rail_domino_cla", "adder", 16),  # all three
+        ],
+    )
+    def test_verifies_ok(self, advisor, topology, macro_type, width):
+        circuit, raw, cert = _certified(advisor, topology, macro_type, width)
+        report = verify_pruning(circuit, raw, cert)
+        assert report.ok, [d.format() for d in report.errors[:5]]
+        assert report.subject == f"{circuit.name}:pruning"
+
+    def test_certificate_accounts_for_every_path(self, advisor):
+        circuit, raw, cert = _certified(
+            advisor, "adder/dual_rail_domino_cla", "adder", 16
+        )
+        assert set(cert.surviving).isdisjoint(cert.dropped)
+        assert len(cert.surviving) + len(cert.dropped) == len(set(raw))
+
+    def test_uncertified_run_has_no_certificate(self, advisor):
+        circuit = advisor.database.generate(
+            "mux/strong_mutex_passgate", MacroSpec("mux", 4), advisor.tech
+        )
+        raw = PathExtractor(circuit).extract()
+        assert prune_paths(circuit, raw).certificate is None
+
+
+class TestCST101UncoveredPath:
+    def test_deleted_witness_is_caught(self, advisor):
+        circuit, raw, cert = _certified(
+            advisor, "mux/strong_mutex_passgate", "mux", 8
+        )
+        victim = next(iter(cert.dropped))
+        del cert.dropped[victim]
+        report = verify_pruning(circuit, raw, cert)
+        diags = report.by_rule("CST101")
+        assert len(diags) == 1
+        assert "neither surviving nor witnessed" in diags[0].message
+        assert not report.ok
+
+
+class TestCST102InvalidWitness:
+    def test_forged_precedence_pin(self, advisor):
+        circuit, raw, cert = _certified(
+            advisor, "zero_detect/static_tree", "zero_detect", 15
+        )
+        victim, witness = next(
+            (p, w) for p, w in cert.dropped.items()
+            if w.reason == "precedence"
+        )
+        cert.dropped[victim] = dataclasses.replace(witness, pin="zz_bogus")
+        report = verify_pruning(circuit, raw, cert)
+        diags = report.by_rule("CST102")
+        assert len(diags) == 1
+        assert "does not justify dropping" in diags[0].message
+
+    def test_merge_witness_without_survivor(self, advisor):
+        circuit, raw, cert = _certified(
+            advisor, "zero_detect/domino", "zero_detect", 8
+        )
+        victim, witness = next(
+            (p, w) for p, w in cert.dropped.items()
+            if w.reason == "regularity"
+        )
+        cert.dropped[victim] = dataclasses.replace(witness, survivor=None)
+        report = verify_pruning(circuit, raw, cert)
+        assert "names no surviving path" in report.by_rule("CST102")[0].message
+
+    def test_merge_witness_with_wrong_signature(self, advisor):
+        circuit, raw, cert = _certified(
+            advisor, "zero_detect/domino", "zero_detect", 8
+        )
+        victim, witness = next(
+            (p, w) for p, w in cert.dropped.items()
+            if w.reason == "regularity"
+        )
+        # Point the witness at a *surviving* path of a different signature.
+        impostor = next(
+            s for s in cert.surviving
+            if path_signature(circuit, s) != path_signature(circuit, victim)
+        )
+        cert.dropped[victim] = dataclasses.replace(witness, survivor=impostor)
+        report = verify_pruning(circuit, raw, cert)
+        diags = report.by_rule("CST102")
+        assert len(diags) == 1
+        assert "different path signature" in diags[0].message
+
+
+class TestCST103InvalidDominance:
+    def test_claimed_stage_outside_group(self, advisor):
+        circuit, raw, cert = _certified(
+            advisor, "mux/strong_mutex_passgate", "mux", 8
+        )
+        assert cert.dominant  # dominance pass ran
+        key = next(iter(cert.dominant))
+        cert.dominant[key] = "no_such_stage"
+        report = verify_pruning(circuit, raw, cert)
+        diags = report.by_rule("CST103")
+        assert len(diags) == 1
+        assert "not in the claimed regularity group" in diags[0].message
+
+    def test_non_maximal_fanout_claim(self, advisor):
+        # incrementor/ripple's carry-inverter group mixes fanout-2 stages
+        # with the fanout-0 coutinv; claiming coutinv dominant is a lie the
+        # recount must catch.
+        circuit, raw, cert = _certified(
+            advisor, "incrementor/ripple", "incrementor", 8
+        )
+        key = next(
+            k for k, name in cert.dominant.items() if name.startswith("cinv")
+        )
+        cert.dominant[key] = "coutinv"
+        report = verify_pruning(circuit, raw, cert)
+        diags = report.by_rule("CST103")
+        assert len(diags) == 1
+        assert "claimed dominant with fanout 0" in diags[0].message
+
+    def test_finding_cap_suppresses_flood(self, advisor):
+        circuit, raw, cert = _certified(
+            advisor, "mux/strong_mutex_passgate", "mux", 8
+        )
+        # Drop every witness: 14 uncovered paths against a cap of 5.
+        cert.dropped.clear()
+        report = verify_pruning(circuit, raw, cert, max_findings=5)
+        diags = report.by_rule("CST101")
+        assert len(diags) == 6  # 5 findings + 1 suppression summary
+        assert "9 more CST101 finding(s) suppressed" in diags[-1].message

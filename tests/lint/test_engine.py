@@ -1,0 +1,184 @@
+"""Rule-engine mechanics: registry, diagnostics, waivers, reporters."""
+
+import json
+
+import pytest
+
+from repro.lint import (
+    Diagnostic,
+    LintError,
+    Location,
+    Rule,
+    Severity,
+    all_rules,
+    get_rule,
+    lint_circuit,
+    parse_waivers,
+    render_json,
+    render_text,
+    rules_in_groups,
+)
+from repro.lint.registry import register
+from repro.lint.waivers import Waiver, apply_waivers
+from repro.macros.base import MacroBuilder
+from repro.models import Technology
+
+TECH = Technology()
+
+
+def _broken_circuit():
+    """One ERC002 error + one ERC004 warning."""
+    builder = MacroBuilder("bad", TECH)
+    floating = builder.wire("floating")
+    out = builder.output("out")
+    a = builder.input("a")
+    dangling = builder.wire("nowhere")
+    builder.size("P"), builder.size("N")
+    builder.inv("i0", floating, out, "P", "N")
+    builder.inv("i1", a, dangling, "P", "N")
+    return builder.done()
+
+
+class TestRegistry:
+    def test_ids_unique_and_sorted(self):
+        ids = [r.id for r in all_rules()]
+        assert ids == sorted(ids)
+        assert len(ids) == len(set(ids))
+
+    def test_every_rule_documented(self):
+        for rule_obj in all_rules():
+            assert rule_obj.title, rule_obj.id
+            assert rule_obj.doc, rule_obj.id
+            assert rule_obj.severity in (Severity.ERROR, Severity.WARNING)
+
+    def test_expected_families_present(self):
+        ids = {r.id for r in all_rules()}
+        assert {"ERC001", "ERC101", "CST101", "GP201"} <= ids
+
+    def test_get_rule(self):
+        assert get_rule("ERC002").group == "structural"
+        with pytest.raises(KeyError):
+            get_rule("XYZ999")
+
+    def test_duplicate_id_rejected(self):
+        from repro.lint.registry import _REGISTRY
+
+        try:
+            with pytest.raises(ValueError, match="duplicate"):
+                register(
+                    Rule("ERC001", "again", "structural", Severity.ERROR)
+                )
+            with pytest.raises(ValueError, match="unknown rule group"):
+                register(Rule("ZZZ001", "bad group", "nope", Severity.ERROR))
+        finally:
+            _REGISTRY.pop("ZZZ001", None)
+
+    def test_rules_in_groups_rejects_unknown(self):
+        with pytest.raises(ValueError, match="unknown rule group"):
+            rules_in_groups(["structural", "bogus"])
+
+    def test_runner_rejects_non_circuit_groups(self):
+        with pytest.raises(ValueError):
+            lint_circuit(_broken_circuit(), groups=("gp",))
+
+
+class TestDiagnostics:
+    def test_severity_ordering(self):
+        assert Severity.ERROR > Severity.WARNING
+        assert str(Severity.ERROR) == "error"
+
+    def test_location_rendering(self):
+        assert str(Location(stage="m0", pin="s")) == "stage m0 pin s"
+        assert str(Location(net="carry7")) == "net carry7"
+        assert str(Location()) == ""
+        assert Location().empty
+
+    def test_diagnostic_text_and_format(self):
+        diag = Diagnostic(
+            "ERC002", Severity.ERROR, "loaded but undriven",
+            Location(net="x"),
+        )
+        assert diag.text == "net x: loaded but undriven"
+        assert diag.format() == "ERC002 error: net x: loaded but undriven"
+        assert "waived" in diag.with_waived().format()
+
+    def test_report_views(self):
+        report = lint_circuit(_broken_circuit())
+        assert not report.ok
+        assert report.by_rule("ERC002")
+        assert report.by_rule("ERC004")
+        assert all(d.severity is Severity.ERROR for d in report.errors)
+        with pytest.raises(LintError) as excinfo:
+            report.raise_if_failed()
+        assert isinstance(excinfo.value, ValueError)
+        assert excinfo.value.report is report
+
+    def test_only_filter(self):
+        report = lint_circuit(_broken_circuit(), only=["ERC004"])
+        assert report.ok  # the ERC002 error was not run
+        assert report.warnings
+
+
+class TestWaivers:
+    def test_parse(self):
+        waivers = parse_waivers(
+            "# comment\n"
+            "\n"
+            "ERC103  stage cla*   # reviewed\n"
+            "GP203\n"
+        )
+        assert waivers == [
+            Waiver("ERC103", "stage cla*", "reviewed"),
+            Waiver("GP203", "*", ""),
+        ]
+
+    def test_matching(self):
+        diag = Diagnostic(
+            "ERC103", Severity.WARNING, "hazard", Location(stage="cla7")
+        )
+        assert Waiver("ERC103", "stage cla*").matches(diag)
+        assert Waiver("ERC1*", "*").matches(diag)
+        assert not Waiver("ERC103", "stage sum*").matches(diag)
+        assert not Waiver("GP*", "*").matches(diag)
+        bare = Diagnostic("ERC007", Severity.WARNING, "unused")
+        assert Waiver("ERC007", "*").matches(bare)
+
+    def test_waived_errors_do_not_fail(self):
+        circuit = _broken_circuit()
+        report = lint_circuit(circuit, waivers=parse_waivers("ERC00*\n"))
+        assert report.ok
+        assert report.waived
+        report.raise_if_failed()  # does not raise
+
+    def test_apply_waivers_preserves_order(self):
+        diags = [
+            Diagnostic("A100", Severity.ERROR, "one"),
+            Diagnostic("B200", Severity.ERROR, "two"),
+        ]
+        out = apply_waivers(diags, [Waiver("B200")])
+        assert [d.rule_id for d in out] == ["A100", "B200"]
+        assert [d.waived for d in out] == [False, True]
+
+
+class TestReporters:
+    def test_text(self):
+        report = lint_circuit(_broken_circuit())
+        text = render_text(report)
+        assert "bad: ERC002 error: net floating: loaded but undriven" in text
+        assert "1 error(s)" in text
+
+    def test_text_hides_waived_by_default(self):
+        report = lint_circuit(
+            _broken_circuit(), waivers=parse_waivers("ERC002\n")
+        )
+        assert "ERC002" not in render_text(report)
+        assert "ERC002" in render_text(report, show_waived=True)
+        assert "1 waived" in render_text(report)
+
+    def test_json(self):
+        report = lint_circuit(_broken_circuit())
+        payload = json.loads(render_json(report))
+        assert payload["subject"] == "bad"
+        assert payload["ok"] is False
+        rules = {d["rule"] for d in payload["diagnostics"]}
+        assert {"ERC002", "ERC004"} <= rules

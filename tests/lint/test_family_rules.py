@@ -1,0 +1,257 @@
+"""One positive and one negative test per family rule ``ERC101``–``ERC107``.
+
+Fixtures are deliberately-broken micro-circuits; each test isolates its rule
+with ``only=`` so unrelated hygiene findings don't leak in.
+"""
+
+from repro.lint import Severity, lint_circuit
+from repro.lint.rules_family import CHARGE_SHARE_DEPTH, MAX_PASS_CHAIN
+from repro.macros.base import MacroBuilder
+from repro.models import Technology
+from repro.netlist.nets import PinClass
+
+TECH = Technology()
+
+
+def _builder(name="fixture"):
+    builder = MacroBuilder(name, TECH)
+    for label in ("P", "N", "PC", "D", "E", "PP", "SI"):
+        builder.size(label)
+    return builder
+
+
+def check(circuit, rule_id):
+    return lint_circuit(circuit, only=[rule_id]).by_rule(rule_id)
+
+
+def _domino(builder, name, in_net, out_net, clocked=True):
+    return builder.domino(
+        name,
+        [[(in_net, PinClass.DATA)]],
+        builder.circuit.net("clk"),
+        out_net,
+        "PC",
+        "D",
+        "E" if clocked else None,
+    )
+
+
+class TestERC101Monotonicity:
+    def test_even_parity_is_flagged(self):
+        builder = _builder()
+        builder.clock()
+        a = builder.input("a")
+        dyn0, n1, n2 = builder.wire("dyn0"), builder.wire("n1"), builder.wire("n2")
+        _domino(builder, "d0", a, dyn0)
+        builder.inv("b0", dyn0, n1, "P", "N")
+        builder.inv("b1", n1, n2, "P", "N")
+        _domino(builder, "d1", n2, builder.output("out"))
+        diags = check(builder.done(), "ERC101")
+        assert len(diags) == 1
+        assert "even parity" in diags[0].message
+        assert diags[0].location.stage == "d1"
+
+    def test_xor_in_cone_is_flagged(self):
+        builder = _builder()
+        builder.clock()
+        a, b = builder.input("a"), builder.input("b")
+        n = builder.wire("n")
+        builder.xor("x0", a, b, n, "P", "N")
+        _domino(builder, "d0", n, builder.output("out"))
+        diags = check(builder.done(), "ERC101")
+        assert len(diags) == 1
+        assert "non-monotone XOR stage x0" in diags[0].message
+
+    def test_odd_parity_is_clean(self):
+        builder = _builder()
+        builder.clock()
+        a = builder.input("a")
+        dyn0, buf = builder.wire("dyn0"), builder.wire("buf")
+        _domino(builder, "d0", a, dyn0)
+        builder.inv("b0", dyn0, buf, "P", "N")
+        _domino(builder, "d1", buf, builder.output("out"))
+        assert not check(builder.done(), "ERC101")
+
+
+class TestERC102D2Precharge:
+    def test_d2_fed_from_primary_input(self):
+        builder = _builder()
+        builder.clock()
+        a = builder.input("a")
+        _domino(builder, "d2", a, builder.output("out"), clocked=False)
+        diags = check(builder.done(), "ERC102")
+        assert len(diags) == 1
+        assert "footless (D2)" in diags[0].message
+        assert "roots at a" in diags[0].message
+
+    def test_d2_fed_from_buffered_domino_is_clean(self):
+        builder = _builder()
+        builder.clock()
+        a = builder.input("a")
+        dyn0, buf = builder.wire("dyn0"), builder.wire("buf")
+        _domino(builder, "d1", a, dyn0)
+        builder.inv("b0", dyn0, buf, "P", "N")
+        _domino(builder, "d2", buf, builder.output("out"), clocked=False)
+        assert not check(builder.done(), "ERC102")
+
+
+class TestERC103ChargeSharing:
+    def _deep_stack(self, keeper):
+        builder = _builder()
+        clk = builder.clock()
+        nets = [builder.input(f"a{i}") for i in range(CHARGE_SHARE_DEPTH)]
+        stage = builder.domino(
+            "d0",
+            [[(net, PinClass.DATA) for net in nets]],
+            clk,
+            builder.output("out"),
+            "PC",
+            "D",
+            "E",
+        )
+        if keeper:
+            stage.params["keeper"] = True
+        return builder.done()
+
+    def test_deep_unkept_stack_warns(self):
+        diags = check(self._deep_stack(keeper=False), "ERC103")
+        assert len(diags) == 1
+        assert diags[0].severity is Severity.WARNING
+        assert f"depth {CHARGE_SHARE_DEPTH}" in diags[0].message
+
+    def test_keeper_suppresses(self):
+        assert not check(self._deep_stack(keeper=True), "ERC103")
+
+    def test_aggregates_per_shape(self):
+        builder = _builder()
+        clk = builder.clock()
+        for col in range(4):
+            nets = [
+                builder.input(f"a{col}_{i}")
+                for i in range(CHARGE_SHARE_DEPTH)
+            ]
+            builder.domino(
+                f"d{col}",
+                [[(net, PinClass.DATA) for net in nets]],
+                clk,
+                builder.output(f"out{col}"),
+                "PC",
+                "D",
+                "E",
+            )
+        diags = check(builder.done(), "ERC103")
+        assert len(diags) == 1  # one finding for the whole regular column
+        assert "4 stages like d0" in diags[0].message
+
+
+class TestERC104PassChain:
+    def _chain(self, length):
+        builder = _builder()
+        nets = [builder.input("d0")]
+        for i in range(1, length):
+            nets.append(builder.wire(f"n{i}"))
+        nets.append(builder.output("out"))
+        for i in range(length):
+            sel = builder.input(f"s{i}")
+            builder.passgate(f"p{i}", nets[i], sel, nets[i + 1], "PP", "SI")
+        return builder.done()
+
+    def test_long_chain_flagged_once_at_tail(self):
+        diags = check(self._chain(MAX_PASS_CHAIN + 1), "ERC104")
+        assert len(diags) == 1
+        assert diags[0].location.stage == f"p{MAX_PASS_CHAIN}"
+        assert f"depth {MAX_PASS_CHAIN + 1}" in diags[0].message
+
+    def test_max_depth_is_clean(self):
+        assert not check(self._chain(MAX_PASS_CHAIN), "ERC104")
+
+    def test_restoring_stage_breaks_chain(self):
+        builder = _builder()
+        d0 = builder.input("d0")
+        n1, n2, n3 = builder.wire("n1"), builder.wire("n2"), builder.wire("n3")
+        out = builder.output("out")
+        builder.passgate("p0", d0, builder.input("s0"), n1, "PP", "SI")
+        builder.passgate("p1", n1, builder.input("s1"), n2, "PP", "SI")
+        builder.inv("restore", n2, n3, "P", "N")
+        builder.passgate("p2", n3, builder.input("s2"), out, "PP", "SI")
+        assert not check(builder.done(), "ERC104")
+
+
+class TestERC105SharedDriverSelects:
+    def test_tristates_with_same_enable(self):
+        builder = _builder()
+        a, b, en = builder.input("a"), builder.input("b"), builder.input("en")
+        out = builder.output("out")
+        builder.tristate("t0", a, en, out, "P", "N")
+        builder.tristate("t1", b, en, out, "P", "N")
+        diags = check(builder.done(), "ERC105")
+        assert len(diags) == 1
+        assert "same select net" in diags[0].message
+        assert diags[0].location.net == "out"
+
+    def test_weak_passgates_with_same_select(self):
+        builder = _builder()
+        a, b, s = builder.input("a"), builder.input("b"), builder.input("s")
+        out = builder.output("out")
+        builder.passgate("p0", a, s, out, "PP", "SI", mutex="weak")
+        builder.passgate("p1", b, s, out, "PP", "SI", mutex="weak")
+        assert check(builder.done(), "ERC105")
+
+    def test_distinct_enables_clean(self):
+        builder = _builder()
+        a, b = builder.input("a"), builder.input("b")
+        e0, e1 = builder.input("e0"), builder.input("e1")
+        out = builder.output("out")
+        builder.tristate("t0", a, e0, out, "P", "N")
+        builder.tristate("t1", b, e1, out, "P", "N")
+        assert not check(builder.done(), "ERC105")
+
+
+class TestERC106ClockInDataCone:
+    def test_clock_on_data_pin(self):
+        builder = _builder()
+        clk = builder.clock()
+        builder.inv("i0", clk, builder.output("out"), "P", "N")
+        diags = check(builder.done(), "ERC106")
+        assert len(diags) == 1
+        assert diags[0].severity is Severity.WARNING
+        assert "clock net clk used as data input" in diags[0].message
+
+    def test_clock_on_clock_pin_clean(self):
+        builder = _builder()
+        builder.clock()
+        a = builder.input("a")
+        _domino(builder, "d0", a, builder.output("out"))
+        assert not check(builder.done(), "ERC106")
+
+
+class TestERC107EncodedComplement:
+    def _pair(self, with_inverter):
+        builder = _builder()
+        a, b, s = builder.input("a"), builder.input("b"), builder.input("s")
+        out = builder.output("out")
+        if with_inverter:
+            s_b = builder.wire("s_b")
+            builder.inv("si", s, s_b, "P", "N")
+        else:
+            s_b = builder.input("s_b")
+        builder.passgate("p0", a, s, out, "PP", "SI", mutex="encoded")
+        builder.passgate("p1", b, s_b, out, "PP", "SI", mutex="encoded")
+        return builder.done()
+
+    def test_non_complementary_selects_warn(self):
+        diags = check(self._pair(with_inverter=False), "ERC107")
+        assert len(diags) == 1
+        assert "not inverter complements" in diags[0].message
+
+    def test_inverter_witness_clean(self):
+        assert not check(self._pair(with_inverter=True), "ERC107")
+
+    def test_unpaired_group_warns(self):
+        builder = _builder()
+        a, s = builder.input("a"), builder.input("s")
+        out = builder.output("out")
+        builder.passgate("p0", a, s, out, "PP", "SI", mutex="encoded")
+        diags = check(builder.done(), "ERC107")
+        assert len(diags) == 1
+        assert "expected a complementary pair" in diags[0].message

@@ -1,0 +1,56 @@
+"""The two lint gates: the advisor's pre-sizing ERC gate and the sizing
+engine's GP pre-solve gate."""
+
+import pytest
+
+from repro.core.advisor import SmartAdvisor
+from repro.core.constraints import DesignConstraints
+from repro.lint import Diagnostic, LintReport, Severity
+from repro.macros.base import MacroBuilder, MacroSpec
+from repro.sizing.engine import SizingError, SmartSizer
+
+
+@pytest.fixture(scope="module")
+def advisor():
+    return SmartAdvisor()
+
+
+def _mux4(advisor):
+    return advisor.database.generate(
+        "mux/strong_mutex_passgate", MacroSpec("mux", 4), advisor.tech
+    )
+
+
+class TestAdvisorLintGate:
+    def test_clean_circuit_passes(self, advisor):
+        assert advisor._lint_gate(_mux4(advisor)) is None
+
+    def test_broken_circuit_blocks_with_reason(self, advisor):
+        builder = MacroBuilder("bad", advisor.tech)
+        builder.size("P"), builder.size("N")
+        ghost = builder.wire("ghost")
+        builder.inv("i0", ghost, builder.output("out"), "P", "N")
+        reason = advisor._lint_gate(builder.done())
+        assert reason is not None
+        assert reason.startswith("lint failed: ")
+        assert "ERC002" in reason
+
+
+class TestEngineGPGate:
+    def test_pre_solve_lint_clean_on_real_macro(self, advisor):
+        circuit = _mux4(advisor)
+        sizer = SmartSizer(circuit, advisor.library)
+        spec = DesignConstraints(delay=150.0).to_delay_spec()
+        report = sizer.pre_solve_lint(spec)
+        assert report.subject == f"{circuit.name}:gp"
+        assert report.ok
+
+    def test_gp_lint_errors_fail_fast(self, advisor, monkeypatch):
+        circuit = _mux4(advisor)
+        sizer = SmartSizer(circuit, advisor.library)
+        failing = LintReport(subject="gp")
+        failing.add(Diagnostic("GP201", Severity.ERROR, "forged failure"))
+        monkeypatch.setattr(sizer, "_lint_gp", lambda constraints: failing)
+        spec = DesignConstraints(delay=150.0).to_delay_spec()
+        with pytest.raises(SizingError, match="GP pre-solve lint failed"):
+            sizer.size(spec)

@@ -1,0 +1,120 @@
+"""Positive and negative tests for the GP pre-solve rules GP201–GP204."""
+
+from repro.lint.rules_gp import lint_gp
+from repro.netlist.sizing_vars import SizeTable
+from repro.posy import Monomial, Posynomial
+from repro.sizing.gp import GeometricProgram
+
+
+def _rules(report):
+    return [d.rule_id for d in report.diagnostics]
+
+
+class TestGP201WellFormedness:
+    def test_negative_coefficient(self):
+        # Monomial's constructor rejects bad coefficients, so forge the
+        # malformed term through Posynomial's trusting internal ctor — the
+        # exact "silently outside GP form" case the rule screens for.
+        gp = GeometricProgram(Monomial.variable("x"))
+        gp.add_inequality(Posynomial({(("x", 1.0),): -2.0}), "bad")
+        report = lint_gp(gp)
+        assert "GP201" in _rules(report)
+        diag = report.by_rule("GP201")[0]
+        assert "not positive finite" in diag.message
+        assert diag.location.constraint == "bad"
+
+    def test_non_finite_exponent(self):
+        gp = GeometricProgram(Posynomial({(("x", float("inf")),): 1.0}))
+        report = lint_gp(gp)
+        diag = report.by_rule("GP201")[0]
+        assert "exponent of x is not finite" in diag.message
+        assert diag.location.constraint == "objective"
+
+    def test_well_formed_program_clean(self):
+        gp = GeometricProgram(Monomial.variable("x"))
+        gp.add_upper_bound(
+            Monomial.variable("x") + Monomial.constant(0.5), 2.0, "c0"
+        )
+        assert not lint_gp(gp).by_rule("GP201")
+
+
+class TestGP202UndeclaredVariable:
+    def test_typo_variable(self):
+        table = SizeTable()
+        table.declare("w")
+        gp = GeometricProgram(Monomial.variable("w"))
+        gp.add_upper_bound(Monomial.variable("typo"), 5.0, "c0")
+        report = lint_gp(gp, table)
+        diags = report.by_rule("GP202")
+        assert len(diags) == 1
+        assert "size variable typo is not declared" in diags[0].message
+
+    def test_declared_variables_clean(self):
+        table = SizeTable()
+        table.declare("w")
+        gp = GeometricProgram(Monomial.variable("w"))
+        gp.add_upper_bound(Monomial.variable("w"), 5.0, "c0")
+        assert not lint_gp(gp, table).by_rule("GP202")
+
+    def test_no_table_skips_check(self):
+        gp = GeometricProgram(Monomial.variable("anything"))
+        gp.add_upper_bound(Monomial.variable("anything"), 5.0, "c0")
+        assert not lint_gp(gp).by_rule("GP202")
+
+
+class TestGP203UnconstrainedVariable:
+    def test_objective_only_variable(self):
+        table = SizeTable()
+        table.declare("w")
+        table.declare("u")
+        gp = GeometricProgram(
+            Monomial.variable("w") * Monomial.variable("u")
+        )
+        gp.add_upper_bound(Monomial.variable("w"), 5.0, "c0")
+        report = lint_gp(gp, table)
+        diags = report.by_rule("GP203")
+        assert len(diags) == 1
+        assert "size variable u appears in no constraint" in diags[0].message
+
+    def test_all_constrained_clean(self):
+        table = SizeTable()
+        table.declare("w")
+        gp = GeometricProgram(Monomial.variable("w"))
+        gp.add_upper_bound(Monomial.variable("w"), 5.0, "c0")
+        assert not lint_gp(gp, table).by_rule("GP203")
+
+    def test_no_table_fallback(self):
+        gp = GeometricProgram(
+            Monomial.variable("w") * Monomial.variable("u")
+        )
+        gp.add_upper_bound(Monomial.variable("w"), 5.0, "c0")
+        diags = lint_gp(gp).by_rule("GP203")
+        assert len(diags) == 1
+        assert "u appears only in the objective" in diags[0].message
+
+
+class TestGP204InfeasibleScreen:
+    def test_box_already_violates(self):
+        gp = GeometricProgram(Monomial.variable("x"))
+        gp.add_upper_bound(Monomial.variable("x"), 1.0, "tight")
+        gp.set_bounds("x", 2.0, 10.0)
+        report = lint_gp(gp)
+        diags = report.by_rule("GP204")
+        assert len(diags) == 1
+        assert "no sizing can satisfy" in diags[0].message
+        assert diags[0].location.constraint == "tight"
+
+    def test_negative_exponents_use_upper_bound(self):
+        # min of 4/x over [2, 10] is 0.4 — feasible, must NOT be flagged.
+        gp = GeometricProgram(Monomial.variable("x"))
+        gp.add_upper_bound(
+            Monomial(4.0, {"x": -1.0}), 1.0, "inverse"
+        )
+        gp.set_bounds("x", 2.0, 10.0)
+        assert not lint_gp(gp).by_rule("GP204")
+
+    def test_feasible_box_clean(self):
+        gp = GeometricProgram(Monomial.variable("x"))
+        gp.add_upper_bound(Monomial.variable("x"), 1.0, "tight")
+        gp.set_bounds("x", 0.5, 10.0)
+        assert not lint_gp(gp).by_rule("GP204")

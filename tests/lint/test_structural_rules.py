@@ -1,0 +1,242 @@
+"""One positive (clean) and one negative (broken-fixture) test per
+structural rule ``ERC001``–``ERC009``."""
+
+import pytest
+
+from repro.lint import Severity, lint_circuit
+from repro.macros.base import MacroBuilder
+from repro.models import Technology
+from repro.netlist.circuit import CircuitError
+from repro.netlist.nets import Pin, PinClass
+from repro.netlist.stages import Stage, StageKind
+from repro.netlist.validate import validate_circuit
+
+TECH = Technology()
+
+
+def _builder(name="fixture"):
+    builder = MacroBuilder(name, TECH)
+    builder.size("P")
+    builder.size("N")
+    return builder
+
+
+def check(circuit, rule_id):
+    """Run one rule; return its diagnostics."""
+    return lint_circuit(circuit, only=[rule_id]).by_rule(rule_id)
+
+
+class TestERC001MultipleDrivers:
+    def test_violation(self):
+        # Circuit.add_stage rejects two static drivers outright, so the
+        # reachable multi-driver bug is a tristate fighting a static gate.
+        builder = _builder()
+        a, b, en = builder.input("a"), builder.input("b"), builder.input("en")
+        out = builder.output("out")
+        builder.tristate("t0", a, en, out, "P", "N")
+        builder.inv("i1", b, out, "P", "N")
+        diags = check(builder.done(), "ERC001")
+        assert len(diags) == 1
+        assert "multiple non-shareable drivers" in diags[0].message
+        assert diags[0].location.net == "out"
+
+    def test_shared_tristate_bus_is_legal(self):
+        builder = _builder()
+        a, b = builder.input("a"), builder.input("b")
+        e0, e1 = builder.input("e0"), builder.input("e1")
+        out = builder.output("out")
+        builder.tristate("t0", a, e0, out, "P", "N")
+        builder.tristate("t1", b, e1, out, "P", "N")
+        assert not check(builder.done(), "ERC001")
+
+
+class TestERC002Undriven:
+    def test_violation(self):
+        builder = _builder()
+        ghost = builder.wire("ghost")
+        out = builder.output("out")
+        builder.inv("i0", ghost, out, "P", "N")
+        diags = check(builder.done(), "ERC002")
+        assert [d.location.net for d in diags] == ["ghost"]
+        assert diags[0].severity is Severity.ERROR
+
+    def test_clean(self):
+        builder = _builder()
+        a = builder.input("a")
+        out = builder.output("out")
+        builder.inv("i0", a, out, "P", "N")
+        assert not check(builder.done(), "ERC002")
+
+
+class TestERC003DrivenInput:
+    def test_violation(self):
+        builder = _builder()
+        a, b = builder.input("a"), builder.input("b")
+        builder.circuit.mark_output("b")
+        builder.inv("i0", a, b, "P", "N")
+        diags = check(builder.done(), "ERC003")
+        assert len(diags) == 1
+        assert "primary input/clock is also driven by i0" in diags[0].message
+
+    def test_clean(self):
+        builder = _builder()
+        a = builder.input("a")
+        builder.inv("i0", a, builder.output("out"), "P", "N")
+        assert not check(builder.done(), "ERC003")
+
+
+class TestERC004Dangling:
+    def test_violation(self):
+        builder = _builder()
+        a = builder.input("a")
+        builder.inv("i0", a, builder.wire("nowhere"), "P", "N")
+        diags = check(builder.done(), "ERC004")
+        assert [d.location.net for d in diags] == ["nowhere"]
+        assert diags[0].severity is Severity.WARNING
+
+    def test_primary_output_is_not_dangling(self):
+        builder = _builder()
+        a = builder.input("a")
+        builder.inv("i0", a, builder.output("out"), "P", "N")
+        assert not check(builder.done(), "ERC004")
+
+
+class TestERC005DominoClock:
+    def test_clock_pin_on_signal_net(self):
+        builder = _builder()
+        builder.size("PC"), builder.size("D"), builder.size("E")
+        a = builder.input("a")
+        fake_clk = builder.input("not_a_clock")  # SIGNAL kind
+        builder.domino(
+            "d0", [[(a, PinClass.DATA)]], fake_clk, builder.output("out"),
+            "PC", "D", "E",
+        )
+        diags = check(builder.done(), "ERC005")
+        assert len(diags) == 1
+        assert "non-clock net not_a_clock" in diags[0].message
+
+    def test_clean(self):
+        builder = _builder()
+        builder.size("PC"), builder.size("D"), builder.size("E")
+        a = builder.input("a")
+        clk = builder.clock()
+        builder.domino(
+            "d0", [[(a, PinClass.DATA)]], clk, builder.output("out"),
+            "PC", "D", "E",
+        )
+        assert not check(builder.done(), "ERC005")
+
+
+class TestERC006UnknownLabel:
+    def test_violation(self):
+        builder = _builder()
+        a = builder.input("a")
+        builder.inv("i0", a, builder.output("out"), "P", "UNDECLARED")
+        diags = check(builder.done(), "ERC006")
+        assert len(diags) == 1
+        assert "size label UNDECLARED not in size table" in diags[0].message
+        assert diags[0].location.stage == "i0"
+
+    def test_clean(self):
+        builder = _builder()
+        a = builder.input("a")
+        builder.inv("i0", a, builder.output("out"), "P", "N")
+        assert not check(builder.done(), "ERC006")
+
+
+class TestERC007UnusedLabel:
+    def test_violation(self):
+        builder = _builder()
+        builder.size("ORPHAN")
+        a = builder.input("a")
+        builder.inv("i0", a, builder.output("out"), "P", "N")
+        diags = check(builder.done(), "ERC007")
+        assert len(diags) == 1
+        assert "ORPHAN" in diags[0].message
+
+    def test_ratio_labels_exempt(self):
+        builder = _builder()
+        builder.size("HALF_P", ratio_of=("P", 0.5))
+        a = builder.input("a")
+        builder.inv("i0", a, builder.output("out"), "P", "N")
+        assert not check(builder.done(), "ERC007")
+
+
+class TestERC008StrongMutex:
+    def test_shared_select_net(self):
+        builder = _builder()
+        builder.size("PP"), builder.size("SI")
+        a, b, s = builder.input("a"), builder.input("b"), builder.input("s")
+        out = builder.output("out")
+        builder.passgate("p0", a, s, out, "PP", "SI")
+        builder.passgate("p1", b, s, out, "PP", "SI")
+        diags = check(builder.done(), "ERC008")
+        assert len(diags) == 1
+        assert "share a select net" in diags[0].message
+
+    def test_missing_select_pin_is_diagnosed_not_crashed(self):
+        """Regression: a strong-mutex pass gate with no select pin used to
+        raise IndexError inside the checker."""
+        builder = _builder()
+        builder.size("PP"), builder.size("SI")
+        a = builder.input("a")
+        out = builder.output("out")
+        builder.circuit.add_stage(
+            Stage(
+                name="p0",
+                kind=StageKind.PASSGATE,
+                inputs=[Pin("d", a, PinClass.DATA)],
+                output=out,
+                size_vars={"pass": "PP", "sel_inv": "SI"},
+                params={"mutex": "strong"},
+            )
+        )
+        diags = check(builder.done(), "ERC008")
+        assert len(diags) == 1
+        assert "no select pin" in diags[0].message
+        assert diags[0].location.stage == "p0"
+        # ... and through the legacy facade as well.
+        report = validate_circuit(builder.done())
+        assert any("no select pin" in err for err in report.errors)
+
+    def test_clean(self):
+        builder = _builder()
+        builder.size("PP"), builder.size("SI")
+        a, b = builder.input("a"), builder.input("b")
+        s0, s1 = builder.input("s0"), builder.input("s1")
+        out = builder.output("out")
+        builder.passgate("p0", a, s0, out, "PP", "SI")
+        builder.passgate("p1", b, s1, out, "PP", "SI")
+        assert not check(builder.done(), "ERC008")
+
+
+class TestERC009Cycle:
+    def _looped(self):
+        builder = _builder()
+        n0, n1 = builder.wire("n0"), builder.wire("n1")
+        builder.circuit.mark_output("n1")
+        builder.inv("fwd", n0, n1, "P", "N")
+        builder.inv("bwd", n1, n0, "P", "N")
+        return builder.done()
+
+    def test_cycle_names_stages(self):
+        """Satellite: the CircuitError and the diagnostic must name the
+        stages on the loop, not just say 'cycle'."""
+        circuit = self._looped()
+        with pytest.raises(CircuitError, match="combinational loop") as exc:
+            circuit.topological_stages()
+        message = str(exc.value)
+        assert "fwd" in message and "bwd" in message
+        assert "->" in message
+
+        diags = check(circuit, "ERC009")
+        assert len(diags) == 1
+        assert "fwd" in diags[0].message and "bwd" in diags[0].message
+
+    def test_clean(self):
+        builder = _builder()
+        a = builder.input("a")
+        mid = builder.wire("mid")
+        builder.inv("i0", a, mid, "P", "N")
+        builder.inv("i1", mid, builder.output("out"), "P", "N")
+        assert not check(builder.done(), "ERC009")

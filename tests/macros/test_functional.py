@@ -5,13 +5,11 @@ into logic tests: drive a sized macro with concrete input vectors and check
 the settled output voltages implement the macro's truth function.
 """
 
-import itertools
 
 import pytest
 
 from repro.macros import MacroSpec
-from repro.sim import TransientSimulator, clock, constant, step
-from repro.sim.waveforms import PiecewiseLinear
+from repro.sim import TransientSimulator, clock, constant
 
 
 def _simulate_static(circuit, tech, input_values, settle=3000.0):

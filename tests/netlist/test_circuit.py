@@ -5,7 +5,6 @@ import pytest
 from repro.macros.base import MacroBuilder
 from repro.models import Technology
 from repro.netlist import Circuit, CircuitError, NetKind
-from repro.posy import Posynomial
 
 TECH = Technology()
 

@@ -3,7 +3,7 @@
 import pytest
 from hypothesis import given, settings, strategies as st
 
-from repro.netlist import SizeTable, SizeVar
+from repro.netlist import SizeTable
 
 
 @st.composite

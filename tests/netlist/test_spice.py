@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.macros import MacroSpec
 from repro.netlist import (
     Polarity,
     Transistor,

@@ -5,14 +5,7 @@ import pytest
 from repro.macros import MacroSpec
 from repro.macros.base import MacroBuilder
 from repro.models import Technology
-from repro.netlist import (
-    NetKind,
-    Pin,
-    PinClass,
-    Stage,
-    StageKind,
-    validate_circuit,
-)
+from repro.netlist import Pin, PinClass, Stage, StageKind, validate_circuit
 
 TECH = Technology()
 

@@ -1,6 +1,5 @@
 """Unit tests for Monomial arithmetic and evaluation."""
 
-import math
 
 import pytest
 

@@ -3,9 +3,9 @@
 import math
 
 import pytest
-from hypothesis import given, settings, strategies as st
+from hypothesis import given, strategies as st
 
-from repro.posy import Monomial, Posynomial, as_posynomial, var
+from repro.posy import Monomial, Posynomial, as_posynomial
 
 VARS = ("x", "y", "z")
 

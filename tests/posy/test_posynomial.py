@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.posy import Monomial, Posynomial, as_posynomial, const, posy_sum, var
+from repro.posy import Posynomial, as_posynomial, posy_sum, var
 
 
 class TestConstruction:

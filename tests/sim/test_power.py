@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.macros import MacroSpec
 from repro.sim.power import CLOCK_ACTIVITY, DOMINO_ACTIVITY, PowerEstimator
 
 

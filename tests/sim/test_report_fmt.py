@@ -1,10 +1,8 @@
 """Timing report formatting tests."""
 
-import pytest
 
 from repro.sim import format_timing_report
 from repro.sizing import DelaySpec
-from repro.sizing.engine import nominal_delay
 
 
 WIDTHS = {"P0": 2.0, "N0": 1.0, "P1": 4.0, "N1": 2.0, "P2": 8.0, "N2": 4.0}

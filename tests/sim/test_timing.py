@@ -2,8 +2,7 @@
 
 import pytest
 
-from repro.macros import MacroSpec
-from repro.models import ModelLibrary, Transition
+from repro.models import Transition
 from repro.sim import StaticTimingAnalyzer
 from repro.sim.timing import arc_input_transition, stage_arcs
 

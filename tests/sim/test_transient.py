@@ -1,6 +1,5 @@
 """Switch-level transient simulator tests: functional + delay plausibility."""
 
-import pytest
 
 from repro.models import Technology
 from repro.netlist import Polarity, Transistor

@@ -1,6 +1,5 @@
 """Constraint generator tests: Section-5.3 family rules."""
 
-import pytest
 
 from repro.macros import MacroSpec
 from repro.models import Transition

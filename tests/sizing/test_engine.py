@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.macros import MacroSpec
 from repro.sim import StaticTimingAnalyzer
 from repro.sizing import DelaySpec, SizingError, SmartSizer
 from repro.sizing.engine import (

@@ -1,16 +1,10 @@
 """GP solver tests: known-optimum problems, constraints, infeasibility."""
 
-import math
 
 import pytest
 
 from repro.posy import as_posynomial, const, var
-from repro.sizing.gp import (
-    GeometricProgram,
-    GPError,
-    GPInfeasibleError,
-    GPSolution,
-)
+from repro.sizing.gp import GeometricProgram, GPError, GPInfeasibleError
 
 
 class TestKnownOptima:

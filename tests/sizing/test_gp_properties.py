@@ -4,7 +4,7 @@ import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.posy import Monomial, Posynomial, var
-from repro.sizing.gp import GeometricProgram, GPInfeasibleError
+from repro.sizing.gp import GeometricProgram
 
 VARS = ("x", "y")
 

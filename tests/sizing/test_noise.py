@@ -10,8 +10,6 @@ charge-sharing event.
 import pytest
 
 from repro.macros import MacroSpec
-from repro.models import Technology
-from repro.netlist import Polarity, Transistor
 from repro.posy import is_posynomial_in
 from repro.sim import TransientSimulator, clock, constant, step
 from repro.sizing import DelaySpec, SmartSizer

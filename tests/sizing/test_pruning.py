@@ -1,6 +1,5 @@
 """Section-5.2 pruning tests: regularity, pin precedence, fanout dominance."""
 
-import pytest
 
 from repro.macros import MacroSpec
 from repro.sizing import (

@@ -90,3 +90,61 @@ class TestCommands:
         assert code == 0
         assert "budget ps" in out
         assert "yes" in out
+
+
+class TestLintCommand:
+    def test_list_rules(self, capsys):
+        assert main(["lint", "--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for rule_id in ("ERC001", "ERC101", "CST101", "GP204"):
+            assert rule_id in out
+        assert "error" in out and "warning" in out
+
+    def test_requires_macro_without_list_rules(self, capsys):
+        assert main(["lint"]) == 2
+
+    def test_clean_macro_exits_zero(self, capsys):
+        assert main(["lint", "mux", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "0 error(s)" in out
+
+    def test_single_topology_with_gp_and_coverage(self, capsys):
+        code = main([
+            "lint", "mux", "4",
+            "--topology", "mux/strong_mutex_passgate",
+            "--gp", "--coverage",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert ":gp:" in out or "gp:" in out
+        assert "pruning" in out
+
+    def test_json_output(self, capsys):
+        import json
+
+        code = main([
+            "lint", "mux", "4",
+            "--topology", "mux/strong_mutex_passgate", "--json",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        reports = json.loads(out)
+        assert all(r["ok"] for r in reports)
+        assert reports[0]["subject"]
+
+    def test_inapplicable_spec_exits_two(self, capsys):
+        code = main([
+            "lint", "comparator", "7",
+            "--topology", "comparator/xorsum2",
+        ])
+        assert code == 2
+
+    def test_waivers_file(self, tmp_path, capsys):
+        waiver_file = tmp_path / "lint.waive"
+        waiver_file.write_text("ERC004  *  # known dual-rail stubs\n")
+        code = main([
+            "lint", "adder", "16", "--waivers", str(waiver_file),
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "waived" in out

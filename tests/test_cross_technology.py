@@ -9,7 +9,6 @@ import pytest
 
 from repro import DesignConstraints, MacroSpec, SmartAdvisor
 from repro.core.savings import macro_savings
-from repro.macros import default_database
 from repro.models import GENERIC_130, GENERIC_180, ModelLibrary
 from repro.sizing import DelaySpec, SmartSizer
 from repro.sizing.engine import nominal_delay
