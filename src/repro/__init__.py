@@ -34,7 +34,7 @@ from .macros import MacroDatabase, MacroGenerator, MacroSpec, default_database
 from .models import GENERIC_130, GENERIC_180, ModelLibrary, Technology
 from .sizing import DelaySpec, SizingError, SizingResult, SmartSizer
 
-__version__ = "1.1.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "obs",

@@ -168,8 +168,12 @@ def build_parser() -> argparse.ArgumentParser:
 
     lint = sub.add_parser(
         "lint",
-        help="static analysis: ERC, constraint-coverage, GP pre-solve rules",
+        help="static analysis: ERC, dataflow, coverage, GP pre-solve rules",
         parents=[obs_parent],
+        epilog=(
+            "exit codes: 0 = clean (no unwaived errors), "
+            "1 = findings, 2 = usage error (bad macro/width/topology)"
+        ),
     )
     lint.add_argument("macro", nargs="?", help="macro type (mux, adder, ...)")
     lint.add_argument(
@@ -196,8 +200,17 @@ def build_parser() -> argparse.ArgumentParser:
         "--coverage", action="store_true",
         help="also emit and verify the Section-5.2 pruning certificate",
     )
+    lint.add_argument(
+        "--dataflow", action="store_true",
+        help="also run the interval-STA screen (DFA303) against --delay "
+             "and report its provably-infeasible/feasible/unknown verdict",
+    )
+    lint.add_argument(
+        "--sarif", action="store_true",
+        help="emit SARIF 2.1.0 instead of text (for CI code-scanning upload)",
+    )
     lint.add_argument("--delay", type=float, default=150.0,
-                      help="delay budget for --gp, ps")
+                      help="delay budget for --gp/--dataflow, ps")
     lint.add_argument("--load", type=float, default=20.0,
                       help="output load, fF")
     lint.add_argument("--input-slope", type=float, default=30.0)
@@ -275,6 +288,7 @@ def _run_lint(args: argparse.Namespace, advisor: SmartAdvisor) -> int:
             return 2
 
     reports = []
+    verdicts = []
     for generator in generators:
         if not generator.applicable(spec):
             emit(
@@ -286,6 +300,23 @@ def _run_lint(args: argparse.Namespace, advisor: SmartAdvisor) -> int:
         # the generator's own validation gate.
         circuit = generator.build(spec, advisor.tech)
         reports.append(lint_circuit(circuit, waivers=waivers))
+        if args.dataflow:
+            from .core.constraints import DesignConstraints
+            from .lint import screen_feasibility
+            from .lint.waivers import apply_waivers as _apply
+
+            screen = screen_feasibility(
+                circuit,
+                advisor.library,
+                DesignConstraints(
+                    delay=args.delay, input_slope=args.input_slope
+                ).to_delay_spec(),
+            )
+            screen.report.diagnostics[:] = _apply(
+                screen.report.diagnostics, waivers
+            )
+            verdicts.append(screen)
+            reports.append(screen.report)
         if args.gp or args.coverage:
             from .core.constraints import DesignConstraints
             from .lint.waivers import apply_waivers
@@ -324,11 +355,33 @@ def _run_lint(args: argparse.Namespace, advisor: SmartAdvisor) -> int:
                         )
                     )
 
-    if args.json:
-        emit(_json.dumps([report_dict(r) for r in reports], indent=2))
+    if args.sarif:
+        from .lint import render_sarif
+
+        emit(render_sarif(reports))
+    elif args.json:
+        payload = [report_dict(r) for r in reports]
+        if verdicts:
+            payload.append({
+                "interval_sta": [
+                    {
+                        "circuit": s.circuit_name,
+                        "verdict": s.verdict,
+                        "sinks": s.sinks,
+                        "runtime_s": round(s.runtime_s, 6),
+                    }
+                    for s in verdicts
+                ],
+            })
+        emit(_json.dumps(payload, indent=2))
     else:
         for report in reports:
             emit(render_text(report))
+        for screen in verdicts:
+            emit(
+                f"{screen.circuit_name}: interval STA at {args.delay:.0f} ps "
+                f"-> {screen.verdict}"
+            )
     return 0 if all(r.ok for r in reports) else 1
 
 

@@ -159,6 +159,31 @@ class SmartAdvisor:
             f"lint failed: {first}" + (f" (+{more} more)" if more else "")
         )
 
+    def _screen_gate(self, circuit, constraints: DesignConstraints) -> Optional[str]:
+        """Interval-STA gate: prove the budget unreachable over the whole
+        size box *before* path extraction or GP solving.
+
+        Unlike :meth:`quick_delay_estimate` (a point heuristic with a 4x
+        fudge factor), this is a certificate — it only rejects topologies
+        whose first GP round is mathematically infeasible, so no topology
+        the sizer could have sized is ever lost here.
+        """
+        from ..lint.dataflow.interval import screen_feasibility
+
+        with trace.span("interval_screen_gate", circuit=circuit.name) as sp:
+            screen = screen_feasibility(
+                circuit,
+                self.library,
+                constraints.to_delay_spec(),
+                otb_borrow=constraints.otb_borrow,
+            )
+            sp.set_attrs(verdict=screen.verdict)
+        if not screen.infeasible:
+            return None
+        metrics.counter("advisor.topologies_screened_infeasible").inc()
+        log.debug("screened %s: %s", circuit.name, screen.summary())
+        return screen.summary()
+
     def _apply_pins(self, circuit, constraints: DesignConstraints) -> None:
         for label, width in (constraints.pinned_sizes or {}).items():
             if label in circuit.size_table:
@@ -207,6 +232,16 @@ class SmartAdvisor:
                 reason=lint_errors,
             )
 
+        screen_reason = self._screen_gate(circuit, constraints)
+        if screen_reason:
+            return CandidateResult(
+                topology=generator.name,
+                description=generator.description,
+                feasible=False,
+                reason=screen_reason,
+                screened=True,
+            )
+
         with trace.span("feasibility_screen"):
             estimate = self.quick_delay_estimate(circuit, constraints)
         if estimate > PRUNE_FACTOR * constraints.delay:
@@ -230,6 +265,7 @@ class SmartAdvisor:
             self.library,
             objective=constraints.cost,
             otb_borrow=constraints.otb_borrow,
+            pre_screen=False,  # the advisor already ran the interval screen
         )
         try:
             sizing = sizer.size(constraints.to_delay_spec(), tolerance=tolerance)

@@ -19,6 +19,9 @@ class CandidateResult:
     sizing: Optional[SizingResult] = None
     cost: Optional[CostBreakdown] = None
     reason: str = ""
+    #: Rejected by the interval-STA screen before any GP solve was attempted
+    #: (a provably-infeasible certificate, not a solver failure).
+    screened: bool = False
 
     @property
     def converged(self) -> bool:
@@ -74,6 +77,13 @@ class AdvisorReport:
                     f"{'-':>10} {'-':>10} {'-':>10} {'-':>6} {'-':>8} "
                     f"{'-':>5}  {cand.reason}"
                 )
+        screened = sum(1 for c in self.candidates if c.screened)
+        if screened:
+            lines.append(
+                f"interval-STA screen: {screened} topolog"
+                f"{'y' if screened == 1 else 'ies'} proven infeasible "
+                "before any GP solve"
+            )
         best = self.best
         if best is not None:
             lines.append(f"best: {best.topology} (scalar {best.cost.scalar:.1f})")

@@ -11,6 +11,10 @@ surfaces:
 * **constraint coverage** (``CST1xx``) — independent re-verification of the
   Section-5.2 pruning certificate, proving every extracted path is still
   covered by a surviving constrained path;
+* **dataflow** (``DFA3xx``) — whole-circuit abstract interpretation
+  (:mod:`repro.lint.dataflow`): clock-phase and monotonicity propagation
+  closing the ERC10x rules' local-cone blind spots, plus the interval-STA
+  pre-GP feasibility prover (:func:`screen_feasibility`);
 * **GP pre-solve** (``GP2xx``) — well-formedness and feasibility screening
   of a :class:`~repro.sizing.gp.GeometricProgram` before the solver runs.
 
@@ -26,9 +30,11 @@ imports :mod:`repro.sizing.pruning` and therefore must be imported lazily
 by anything reachable from ``repro.sizing.__init__``.
 """
 
+from .dataflow import ForwardAnalysis, SolveResult, solve_forward
+from .dataflow.interval import IntervalScreenResult, screen_feasibility
 from .diagnostics import Diagnostic, LintError, LintReport, Location, Severity
 from .registry import Rule, all_rules, get_rule, rules_in_groups
-from .reporters import render_json, render_text
+from .reporters import render_json, render_sarif, render_text, sarif_dict
 from .runner import CIRCUIT_GROUPS, lint_circuit
 from .rules_gp import lint_gp
 from .waivers import Waiver, load_waivers, parse_waivers
@@ -36,11 +42,14 @@ from .waivers import Waiver, load_waivers, parse_waivers
 __all__ = [
     "CIRCUIT_GROUPS",
     "Diagnostic",
+    "ForwardAnalysis",
+    "IntervalScreenResult",
     "LintError",
     "LintReport",
     "Location",
     "Rule",
     "Severity",
+    "SolveResult",
     "Waiver",
     "all_rules",
     "get_rule",
@@ -49,6 +58,10 @@ __all__ = [
     "load_waivers",
     "parse_waivers",
     "render_json",
+    "render_sarif",
     "render_text",
     "rules_in_groups",
+    "sarif_dict",
+    "screen_feasibility",
+    "solve_forward",
 ]

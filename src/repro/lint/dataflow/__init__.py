@@ -1,0 +1,30 @@
+"""``repro.lint.dataflow`` — abstract interpretation over circuit stage DAGs.
+
+The ERC10x family rules walk *local* input cones and stop at the first
+unknown (ERC101 historically bailed out at primary inputs entirely).  This
+package closes those blind spots with a classic forward dataflow framework:
+
+* :mod:`framework` — a generic worklist solver (:func:`solve_forward`) over
+  a :class:`~repro.netlist.circuit.Circuit`'s nets, parameterized by a
+  :class:`ForwardAnalysis` (bottom/join/transfer per stage kind) with
+  widening for cyclic latch structures;
+* :mod:`phase` — clock-phase analysis (``DFA301``): propagates a
+  precharge-level lattice to catch D2 phase races, clock-cone contamination
+  through derived clocks, and over-deep time-borrowing chains;
+* :mod:`monotone` — monotonicity analysis (``DFA302``): whole-circuit
+  monotone-rising/falling/non-monotone propagation subsuming ERC101's cone
+  walk, seeded from declared primary-input phases;
+* :mod:`interval` — interval STA (``DFA303``): propagates delay/slope
+  intervals of the posynomial component models over the sizing-variable box
+  and issues a sound pre-GP verdict (``provably-infeasible`` /
+  ``provably-feasible`` / ``unknown``) via :func:`interval.screen_feasibility`.
+
+``phase`` and ``monotone`` register ordinary circuit rules in the
+``dataflow`` group and run under :func:`repro.lint.runner.lint_circuit`;
+``interval`` (like the GP rules) is driven by its own analyzer because it
+needs a model library and a delay spec.
+"""
+
+from .framework import ForwardAnalysis, SolveResult, solve_forward
+
+__all__ = ["ForwardAnalysis", "SolveResult", "solve_forward"]

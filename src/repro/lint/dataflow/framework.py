@@ -1,0 +1,174 @@
+"""Generic forward dataflow solver over a circuit's stage DAG.
+
+A :class:`ForwardAnalysis` assigns every net an abstract value from a join
+semilattice.  Sources (primary inputs and clock nets) are seeded with
+:meth:`ForwardAnalysis.source_value`; every stage contributes
+``transfer(inputs)`` to its output net; nets with several drivers (tristate
+buses, pass-gate merges) take the join of all contributions.  The solver
+iterates a worklist to the least fixpoint.
+
+Circuits are *supposed* to be DAGs, but lint must not assume its subject is
+well-formed — latch-like loops (a keeper drawn as an explicit stage, a
+miswired feedback path) would cycle forever on a lattice with infinite
+ascending chains.  The solver therefore counts value *changes* per net and,
+past :data:`WIDEN_AFTER` changes, replaces the join with
+:meth:`ForwardAnalysis.widen` (top, for the bundled analyses), which is
+required to be a fixpoint of further joins/transfers, guaranteeing
+termination on arbitrary graphs.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Dict, Tuple
+
+from ...netlist.circuit import Circuit
+from ...netlist.stages import Stage
+from ...obs import metrics, trace
+
+#: Number of value changes a single net may go through before the solver
+#: widens it.  Acyclic circuits never hit this (each net changes at most
+#: lattice-height times, and the bundled lattices are short); only cyclic
+#: structures do.
+WIDEN_AFTER = 8
+
+
+class ForwardAnalysis:
+    """One dataflow analysis: a lattice plus per-stage transfer functions.
+
+    Subclasses define the value domain.  Values must be hashable/comparable
+    with ``==`` (frozen dataclasses work well).  ``join`` must be
+    commutative, associative, and idempotent; ``transfer`` must be monotone
+    in each input for the fixpoint to be the least one (soundness of the
+    *verdicts* additionally needs the transfer functions to over-approximate
+    the concrete circuit semantics — argued per analysis).
+    """
+
+    #: Short name used for spans/metrics (``lint.dataflow.<name>``).
+    name = "forward"
+
+    def bottom(self) -> Any:
+        """The no-information-yet value (identity of ``join``)."""
+        raise NotImplementedError
+
+    def source_value(self, circuit: Circuit, net_name: str) -> Any:
+        """Initial value of a source net (primary input or clock)."""
+        raise NotImplementedError
+
+    def transfer(self, circuit: Circuit, stage: Stage, inputs: Dict[str, Any]) -> Any:
+        """Output-net value contributed by ``stage`` given per-pin input
+        values (keyed by pin name)."""
+        raise NotImplementedError
+
+    def join(self, a: Any, b: Any) -> Any:
+        raise NotImplementedError
+
+    def widen(self, old: Any, new: Any) -> Any:
+        """Called instead of plain join once a net changed :data:`WIDEN_AFTER`
+        times.  Must return a value no further join/transfer can move (top)."""
+        raise NotImplementedError
+
+
+@dataclass
+class SolveResult:
+    """Fixpoint of one analysis over one circuit."""
+
+    values: Dict[str, Any]
+    #: Nets the solver had to widen (non-empty only for cyclic circuits).
+    widened: Tuple[str, ...] = ()
+    #: Total stage transfer evaluations.
+    visits: int = 0
+    runtime_s: float = 0.0
+    extra: Dict[str, Any] = field(default_factory=dict)
+
+    def value(self, net_name: str) -> Any:
+        return self.values[net_name]
+
+
+def solve_forward(circuit: Circuit, analysis: ForwardAnalysis) -> SolveResult:
+    """Run ``analysis`` to fixpoint over ``circuit``; returns per-net values.
+
+    Deterministic: the worklist is seeded in stage-declaration order and
+    processed FIFO, so reports are stable across runs.
+    """
+    t0 = time.perf_counter()
+    with trace.span(
+        f"dataflow:{analysis.name}", circuit=circuit.name
+    ) as span:
+        values: Dict[str, Any] = {
+            name: analysis.bottom() for name in circuit.nets
+        }
+        sources = set(circuit.primary_inputs) | set(circuit.clock_nets())
+        for name in sources:
+            values[name] = analysis.source_value(circuit, name)
+
+        #: Last contribution of each stage to its output net; merged with
+        #: sibling drivers' contributions (and the source seed, for driven
+        #: source nets) at every update.
+        contributions: Dict[str, Any] = {}
+        changes: Dict[str, int] = {}
+        widened: set = set()
+        visits = 0
+
+        queue = deque(stage.name for stage in circuit.stages)
+        queued = set(queue)
+        while queue:
+            stage_name = queue.popleft()
+            queued.discard(stage_name)
+            stage = circuit.stage(stage_name)
+            visits += 1
+            inputs = {
+                pin.name: values[pin.net.name] for pin in stage.inputs
+            }
+            contribution = analysis.transfer(circuit, stage, inputs)
+            if contributions.get(stage_name, _MISSING) == contribution:
+                continue
+            contributions[stage_name] = contribution
+            out = stage.output.name
+            merged = (
+                analysis.source_value(circuit, out)
+                if out in sources
+                else analysis.bottom()
+            )
+            for driver in circuit.drivers_of(out):
+                if driver.name in contributions:
+                    merged = analysis.join(merged, contributions[driver.name])
+            if merged == values[out]:
+                continue
+            changes[out] = changes.get(out, 0) + 1
+            if changes[out] > WIDEN_AFTER:
+                merged = analysis.widen(values[out], merged)
+                widened.add(out)
+            values[out] = merged
+            for consumer, _pin in circuit.fanout_of(out):
+                if consumer.name not in queued:
+                    queue.append(consumer.name)
+                    queued.add(consumer.name)
+
+        runtime = time.perf_counter() - t0
+        span.set_attrs(visits=visits, widened=len(widened))
+        metrics.counter(f"lint.dataflow.{analysis.name}.runs").inc()
+        metrics.histogram(f"lint.dataflow.{analysis.name}.ms").observe(
+            runtime * 1e3
+        )
+        return SolveResult(
+            values=values,
+            widened=tuple(sorted(widened)),
+            visits=visits,
+            runtime_s=runtime,
+        )
+
+
+class _Missing:
+    """Sentinel distinct from every lattice value (including ``None``)."""
+
+    def __eq__(self, other) -> bool:  # pragma: no cover - identity only
+        return self is other
+
+    def __hash__(self) -> int:  # pragma: no cover
+        return id(self)
+
+
+_MISSING = _Missing()

@@ -1,0 +1,180 @@
+"""Whole-circuit monotonicity analysis (``DFA302``).
+
+Section 4: a domino evaluate network must only see *monotone rising* inputs
+— an input that falls (or glitches) during evaluate can falsely discharge
+the dynamic node.  ERC101 checks this by walking each domino input's cone
+back to the nearest dynamic node and counting inversions, but a cone walk
+is local: it cannot see a non-monotone signal smuggled in through a
+pass-gate *select* (selects are not part of the data cone) and it treats
+primary inputs as out of scope.
+
+This analysis propagates an edge-behavior lattice through the whole stage
+graph instead::
+
+            NONMONO          (may glitch / fall during evaluate)
+           /       \\
+       RISING     FALLING    (monotone edge during evaluate)
+           \\       /
+            STEADY           (stable across the whole cycle)
+              |
+            BOTTOM
+
+plus a ``CLOCK`` chain (the clock itself is periodic, neither monotone nor
+steady; it joins with any data behavior to ``NONMONO``).  Transfer
+functions follow gate logic: inverting static gates swap RISING/FALLING of
+the join of their inputs, XOR of non-steady inputs is non-monotone, a pass
+gate forwards its data behavior only while its select is steady, and a
+domino dynamic node always *falls* during evaluate (its output buffer
+restores the rising sense).
+
+Primary inputs take their declared phase
+(:meth:`~repro.netlist.circuit.Circuit.declare_input_phase`): ``mono_rise``
+→ RISING, ``mono_fall`` → FALLING, ``async`` → NONMONO, and
+``steady``/undeclared → STEADY — matching ERC101's historical assumption
+that an undeclared input is quiet during evaluate.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Dict
+
+from ...netlist.circuit import Circuit
+from ...netlist.nets import PinClass
+from ...netlist.stages import Stage, StageKind
+from ..diagnostics import Severity
+from ..registry import rule
+from .framework import ForwardAnalysis, SolveResult, solve_forward
+
+
+class Mono(enum.Enum):
+    BOTTOM = "bottom"
+    STEADY = "steady"
+    RISING = "rising"
+    FALLING = "falling"
+    CLOCK = "clock"
+    NONMONO = "nonmono"
+
+
+_INVERT = {
+    Mono.RISING: Mono.FALLING,
+    Mono.FALLING: Mono.RISING,
+}
+
+
+def _join(a: Mono, b: Mono) -> Mono:
+    if a is b:
+        return a
+    if a is Mono.BOTTOM:
+        return b
+    if b is Mono.BOTTOM:
+        return a
+    if a is Mono.STEADY:
+        return b
+    if b is Mono.STEADY:
+        return a
+    # Distinct non-steady behaviors (RISING vs FALLING, anything vs CLOCK)
+    # merge to the unknown top.
+    return Mono.NONMONO
+
+
+class MonotonicityAnalysis(ForwardAnalysis):
+    """Edge behavior of every net during the evaluate phase."""
+
+    name = "monotone"
+
+    def bottom(self) -> Mono:
+        return Mono.BOTTOM
+
+    def source_value(self, circuit: Circuit, net_name: str) -> Mono:
+        if net_name in set(circuit.clock_nets()):
+            return Mono.CLOCK
+        declared = circuit.input_phase(net_name)
+        if declared == "mono_rise":
+            return Mono.RISING
+        if declared == "mono_fall":
+            return Mono.FALLING
+        if declared == "async":
+            return Mono.NONMONO
+        return Mono.STEADY
+
+    def join(self, a: Mono, b: Mono) -> Mono:
+        return _join(a, b)
+
+    def widen(self, old: Mono, new: Mono) -> Mono:
+        return Mono.NONMONO
+
+    def transfer(
+        self, circuit: Circuit, stage: Stage, inputs: Dict[str, Mono]
+    ) -> Mono:
+        if stage.kind is StageKind.DOMINO:
+            # The dynamic node precharges high and (only) falls during
+            # evaluate, whatever its legs do; the question of whether the
+            # legs were *allowed* their behavior is the rule's, not the
+            # transfer's.
+            return Mono.FALLING
+        if stage.kind is StageKind.XOR:
+            data = [inputs[p.name] for p in stage.data_pins()]
+            if all(v is Mono.BOTTOM for v in data):
+                return Mono.BOTTOM
+            if all(v in (Mono.STEADY, Mono.BOTTOM) for v in data):
+                return Mono.STEADY
+            # Any moving input makes an XOR non-monotone (both of its
+            # polarities appear in the pull networks).
+            return Mono.NONMONO
+        if stage.kind in (StageKind.PASSGATE, StageKind.TRISTATE):
+            data = Mono.BOTTOM
+            for pin in stage.data_pins():
+                data = _join(data, inputs[pin.name])
+            for pin in stage.select_pins():
+                sel = inputs[pin.name]
+                if sel not in (Mono.BOTTOM, Mono.STEADY):
+                    # A switching select chops the output regardless of how
+                    # well-behaved the data is.
+                    return Mono.NONMONO
+            if stage.kind is StageKind.TRISTATE:
+                return _INVERT.get(data, data)
+            return data
+        # Static gates (INV/NAND/NOR/AOI): monotone decreasing in every
+        # input, so the output inverts the joined input behavior.
+        value = Mono.BOTTOM
+        for pin in stage.data_pins():
+            value = _join(value, inputs[pin.name])
+        return _INVERT.get(value, value)
+
+
+def solve_monotonicity(circuit: Circuit) -> SolveResult:
+    return solve_forward(circuit, MonotonicityAnalysis())
+
+
+@rule("DFA302", "whole-circuit domino monotonicity", "dataflow", Severity.ERROR)
+def check_monotone_dataflow(ctx) -> None:
+    """Dataflow companion to ERC101: every domino evaluate input (data *and*
+    select legs) must carry a monotone-rising or steady signal during
+    evaluate, judged on the fixpoint of whole-circuit propagation rather
+    than a local cone walk.  Catches violations the cone walk cannot see —
+    a pass gate whose select is driven by switching logic, or a declared
+    falling primary input feeding a domino leg many stages away."""
+    result = solve_monotonicity(ctx.circuit)
+    for stage in ctx.circuit.stages:
+        if stage.kind is not StageKind.DOMINO:
+            continue
+        for pin in stage.inputs:
+            if pin.pin_class is PinClass.CLOCK:
+                continue
+            value = result.values[pin.net.name]
+            if value is Mono.FALLING:
+                ctx.emit(
+                    f"net {pin.net.name} is monotone-falling during "
+                    "evaluate; a domino leg needs a rising (or steady) "
+                    "input",
+                    stage=stage.name,
+                    pin=pin.name,
+                )
+            elif value is Mono.NONMONO:
+                ctx.emit(
+                    f"net {pin.net.name} is non-monotone during evaluate "
+                    "(glitches can falsely discharge the dynamic node)",
+                    stage=stage.name,
+                    pin=pin.name,
+                )

@@ -1,0 +1,276 @@
+"""Clock-phase analysis (``DFA301``).
+
+Propagates what every net does *while the clock is low* (the precharge
+phase) plus how many clocked-domino phase boundaries lie behind it:
+
+* ``LOW_PRE`` / ``HIGH_PRE`` — forced to a known level during precharge
+  (a buffered domino output is ``LOW_PRE``: the node precharges high, the
+  skewed inverter drives low);
+* ``STABLE_PRE`` — stable during precharge at an unknown level;
+* ``STATIC`` — untimed logic level, may change at any point of the cycle;
+* ``CLOCK`` — the clock itself or combinational logic of it (a *derived
+  clock*): toggles every cycle by construction;
+* ``MIXED`` — top: combinations of the above (e.g. clock gated with data).
+
+Three findings come out of the fixpoint:
+
+1. **D2 phase races** (error): a footless domino's evaluate legs must be
+   ``LOW_PRE`` — anything else can short the precharge path.  This is
+   ERC102 generalized from a cone walk to the whole circuit: a D2 fed
+   through static logic that *mixes* clocked-domino rails with static
+   signals is caught even though every individual cone roots at a domino.
+2. **Clock-cone contamination** (warning): a ``CLOCK``-valued *signal* net
+   reaching a data or select pin.  ERC106 flags clock-**kind** nets only;
+   one inverter (``clkb``) launders the net kind while the behavior stays
+   periodic.
+3. **Borrow-chain depth** (warning): a path accumulating more clocked
+   phase boundaries than :data:`MAX_BORROW_PHASES` — more sequential
+   borrowing than `sizing/otb.analyze_borrowing` can meaningfully audit,
+   and more than the two-phase clocking the paper's macros use.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict
+
+from ...netlist.circuit import Circuit
+from ...netlist.nets import PinClass
+from ...netlist.stages import Stage, StageKind
+from ..diagnostics import Severity
+from ..registry import rule
+from .framework import ForwardAnalysis, SolveResult, solve_forward
+
+#: Deepest chain of clocked (D1) domino phase boundaries before a
+#: time-borrowing warning.  The paper's two-phase domino macros have at
+#: most two D1 ranks per cycle; a third means a signal borrows through more
+#: boundaries than one clock period offers.
+MAX_BORROW_PHASES = 2
+
+
+class Phase(enum.Enum):
+    BOTTOM = "bottom"
+    LOW_PRE = "low"
+    HIGH_PRE = "high"
+    STABLE_PRE = "stable"
+    STATIC = "static"
+    CLOCK = "clock"
+    MIXED = "mixed"
+
+
+#: Values that are at least *stable* during precharge.
+_STABLEISH = (Phase.LOW_PRE, Phase.HIGH_PRE, Phase.STABLE_PRE)
+
+_INVERT = {
+    Phase.LOW_PRE: Phase.HIGH_PRE,
+    Phase.HIGH_PRE: Phase.LOW_PRE,
+}
+
+
+def _join_phase(a: Phase, b: Phase) -> Phase:
+    if a is b:
+        return a
+    if a is Phase.BOTTOM:
+        return b
+    if b is Phase.BOTTOM:
+        return a
+    if a in _STABLEISH and b in _STABLEISH:
+        return Phase.STABLE_PRE
+    return Phase.MIXED
+
+
+@dataclass(frozen=True)
+class PhaseValue:
+    """Precharge behavior + accumulated phase-boundary depth."""
+
+    phase: Phase
+    depth: int = 0
+
+
+class PhaseAnalysis(ForwardAnalysis):
+    name = "phase"
+
+    #: Depth assigned by widening — high enough that a widened (cyclic)
+    #: path always trips the borrow-chain warning rather than hiding.
+    _TOP_DEPTH = 99
+
+    def bottom(self) -> PhaseValue:
+        return PhaseValue(Phase.BOTTOM, 0)
+
+    def source_value(self, circuit: Circuit, net_name: str) -> PhaseValue:
+        if net_name in set(circuit.clock_nets()):
+            return PhaseValue(Phase.CLOCK, 0)
+        declared = circuit.input_phase(net_name)
+        if declared == "mono_rise":
+            # Low during precharge, may only rise during evaluate.
+            return PhaseValue(Phase.LOW_PRE, 0)
+        if declared == "mono_fall":
+            return PhaseValue(Phase.HIGH_PRE, 0)
+        if declared == "steady":
+            return PhaseValue(Phase.STABLE_PRE, 0)
+        return PhaseValue(Phase.STATIC, 0)
+
+    def join(self, a: PhaseValue, b: PhaseValue) -> PhaseValue:
+        return PhaseValue(_join_phase(a.phase, b.phase), max(a.depth, b.depth))
+
+    def widen(self, old: PhaseValue, new: PhaseValue) -> PhaseValue:
+        return PhaseValue(Phase.MIXED, self._TOP_DEPTH)
+
+    def transfer(
+        self, circuit: Circuit, stage: Stage, inputs: Dict[str, PhaseValue]
+    ) -> PhaseValue:
+        if stage.kind is StageKind.DOMINO:
+            depth = max(
+                (
+                    inputs[p.name].depth
+                    for p in stage.inputs
+                    if p.pin_class is not PinClass.CLOCK
+                ),
+                default=0,
+            )
+            # The dynamic node itself is HIGH during precharge; its buffered
+            # output (the conventional domino interface, an inverter away)
+            # is the LOW_PRE the next rank relies on.  A clocked evaluate
+            # foot starts a new phase segment.
+            return PhaseValue(Phase.HIGH_PRE, depth + (1 if stage.clocked else 0))
+
+        depth = max((inputs[p.name].depth for p in stage.inputs), default=0)
+        if stage.kind in (StageKind.PASSGATE, StageKind.TRISTATE):
+            data = Phase.BOTTOM
+            for pin in stage.data_pins():
+                data = _join_phase(data, inputs[pin.name].phase)
+            for pin in stage.select_pins():
+                if inputs[pin.name].phase in (Phase.CLOCK, Phase.MIXED):
+                    # Clock-steered gate: the output toggles with the clock.
+                    return PhaseValue(Phase.MIXED, depth)
+            if stage.kind is StageKind.TRISTATE:
+                data = _INVERT.get(data, data)
+            return PhaseValue(data, depth)
+
+        data = [inputs[p.name].phase for p in stage.data_pins()]
+        known = [v for v in data if v is not Phase.BOTTOM]
+        if not known:
+            return PhaseValue(Phase.BOTTOM, depth)
+        if any(v is Phase.MIXED for v in known):
+            return PhaseValue(Phase.MIXED, depth)
+        # Controlling inputs pin the output during precharge regardless of
+        # what the other inputs do (including clocks and static levels).
+        if stage.kind is StageKind.NAND and any(v is Phase.LOW_PRE for v in known):
+            return PhaseValue(Phase.HIGH_PRE, depth)
+        if stage.kind is StageKind.NOR and any(v is Phase.HIGH_PRE for v in known):
+            return PhaseValue(Phase.LOW_PRE, depth)
+        if all(v is Phase.CLOCK for v in known):
+            # Pure combinational function of clocks: a derived clock.
+            return PhaseValue(Phase.CLOCK, depth)
+        if any(v is Phase.CLOCK for v in known):
+            return PhaseValue(Phase.MIXED, depth)
+        if any(v is Phase.STATIC for v in known):
+            # Untimed level in, untimed level out (absent a controlling
+            # stable input, handled above).
+            return PhaseValue(Phase.STATIC, depth)
+        # All inputs hold a stable precharge level; so does the output.
+        if stage.kind is StageKind.INV:
+            return PhaseValue(_INVERT.get(known[0], known[0]), depth)
+        if stage.kind is StageKind.NAND and all(v is Phase.HIGH_PRE for v in known):
+            return PhaseValue(Phase.LOW_PRE, depth)
+        if stage.kind is StageKind.NOR and all(v is Phase.LOW_PRE for v in known):
+            return PhaseValue(Phase.HIGH_PRE, depth)
+        return PhaseValue(Phase.STABLE_PRE, depth)
+
+
+def solve_phases(circuit: Circuit) -> SolveResult:
+    return solve_forward(circuit, PhaseAnalysis())
+
+
+def _domino_legs(stage: Stage):
+    """Series pin groups of a domino's pull-down legs, in the same order
+    the flat expander wires them (ragged ``leg_sizes`` or uniform
+    ``leg_series`` chunks)."""
+    signal_pins = [
+        p for p in stage.inputs if p.pin_class is not PinClass.CLOCK
+    ]
+    leg_sizes = stage.leg_sizes
+    if sum(leg_sizes) == len(signal_pins):
+        legs, start = [], 0
+        for size in leg_sizes:
+            legs.append(signal_pins[start:start + size])
+            start += size
+        return legs
+    leg_series = max(1, int(stage.params.get("leg_series", 1)))
+    return [
+        signal_pins[i:i + leg_series]
+        for i in range(0, len(signal_pins), leg_series)
+    ]
+
+
+@rule("DFA301", "clock-phase discipline", "dataflow", Severity.ERROR)
+def check_phase_dataflow(ctx) -> None:
+    """Whole-circuit precharge-phase propagation: footless (D2) domino legs
+    must be provably low during precharge (error); derived clocks — signal
+    nets that are combinational functions of the clock — must not steer
+    data or select pins (warning, the net-kind-laundered version of
+    ERC106); and chains of clocked phase boundaries deeper than
+    ``MAX_BORROW_PHASES`` out-borrow the clock period (warning)."""
+    result = solve_phases(ctx.circuit)
+    clock_kind_nets = set(ctx.circuit.clock_nets())
+    flagged_contamination = set()
+    for stage in ctx.circuit.stages:
+        if stage.kind is StageKind.DOMINO and not stage.clocked:
+            # A leg shorts the precharge path only if *every* series device
+            # in it can be on while the clock is low; one provably-low pin
+            # per leg keeps it off.
+            for leg in _domino_legs(stage):
+                if any(
+                    result.values[p.net.name].phase
+                    in (Phase.LOW_PRE, Phase.BOTTOM)
+                    for p in leg
+                ):
+                    continue
+                pin = leg[0]
+                phases = "/".join(
+                    result.values[p.net.name].phase.value for p in leg
+                )
+                ctx.emit(
+                    f"footless (D2) domino leg "
+                    f"({', '.join(p.net.name for p in leg)}) has no input "
+                    f"guaranteed low during precharge ({phases}) — phase "
+                    "race with the precharge device",
+                    stage=stage.name,
+                    pin=pin.name,
+                )
+        if stage.kind is StageKind.DOMINO and stage.clocked:
+            depth = max(
+                (
+                    result.values[p.net.name].depth
+                    for p in stage.inputs
+                    if p.pin_class is not PinClass.CLOCK
+                ),
+                default=0,
+            )
+            if depth + 1 > MAX_BORROW_PHASES:
+                ctx.emit(
+                    f"evaluate chain crosses {depth + 1} clocked phase "
+                    f"boundaries (> {MAX_BORROW_PHASES}): deeper time "
+                    "borrowing than one clock period can grant",
+                    stage=stage.name,
+                    severity=Severity.WARNING,
+                )
+        for pin in stage.inputs:
+            if pin.pin_class is PinClass.CLOCK:
+                continue
+            if pin.net.name in clock_kind_nets:
+                continue  # ERC106 already flags clock-kind nets on data pins
+            if result.values[pin.net.name].phase is Phase.CLOCK:
+                if pin.net.name in flagged_contamination:
+                    continue
+                flagged_contamination.add(pin.net.name)
+                ctx.emit(
+                    f"net {pin.net.name} is a derived clock (combinational "
+                    f"function of the clock) steering a "
+                    f"{pin.pin_class.value} pin — clock-cone contamination",
+                    stage=stage.name,
+                    net=pin.net.name,
+                    pin=pin.name,
+                    severity=Severity.WARNING,
+                )

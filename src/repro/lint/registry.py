@@ -6,6 +6,7 @@ plus a number that never changes meaning once released:
 
 * ``ERC0xx`` — structural electrical rule checks (netlist hygiene);
 * ``ERC1xx`` — circuit-family semantics (Section 4: domino, pass, tristate);
+* ``DFA3xx`` — whole-circuit dataflow analyses (:mod:`repro.lint.dataflow`);
 * ``CST1xx`` — constraint-coverage / pruning-certificate verification;
 * ``GP2xx``  — geometric-program pre-solve checks.
 
@@ -24,7 +25,7 @@ from typing import Callable, Dict, Iterable, List, Optional
 from .diagnostics import Severity
 
 #: Known rule groups, in report order.
-GROUPS = ("structural", "family", "coverage", "gp")
+GROUPS = ("structural", "family", "dataflow", "coverage", "gp")
 
 
 @dataclass(frozen=True)
@@ -106,8 +107,10 @@ def _load_builtin_rules() -> None:
     mid-initialization when the structural group is first needed).
     """
     from . import rules_family, rules_structural  # noqa: F401
+    from .dataflow import monotone, phase  # noqa: F401
 
     try:
         from . import coverage, rules_gp  # noqa: F401
+        from .dataflow import interval  # noqa: F401
     except ImportError:  # pragma: no cover - partial-init during bootstrap
         pass

@@ -1,8 +1,9 @@
-"""Report renderers: human-readable text and machine-readable JSON."""
+"""Report renderers: human-readable text, JSON, and SARIF 2.1.0."""
 
 from __future__ import annotations
 
 import json
+from typing import Iterable, Union
 
 from .diagnostics import LintReport
 
@@ -49,3 +50,89 @@ def report_dict(report: LintReport) -> dict:
 def render_json(report: LintReport) -> str:
     """JSON document with every diagnostic (waived included, flagged)."""
     return json.dumps(report_dict(report), indent=2)
+
+
+#: SARIF has no "circuit" artifact notion; findings carry logical locations
+#: (``stage m0 pin a``) and the subject circuit as the location's module.
+_SARIF_VERSION = "2.1.0"
+_SARIF_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+
+
+def sarif_dict(reports: Union[LintReport, Iterable[LintReport]]) -> dict:
+    """SARIF 2.1.0 log for one or more lint reports (one run, one result
+    per diagnostic).  Waived findings are carried as suppressed results so
+    SARIF viewers show them greyed out rather than dropping them."""
+    from . import registry
+
+    if isinstance(reports, LintReport):
+        reports = [reports]
+    reports = list(reports)
+
+    used_rules = sorted(
+        {d.rule_id for r in reports for d in r.diagnostics}
+    )
+    rule_index = {rule_id: i for i, rule_id in enumerate(used_rules)}
+    driver_rules = []
+    for rule_id in used_rules:
+        try:
+            rule_obj = registry.get_rule(rule_id)
+            driver_rules.append({
+                "id": rule_id,
+                "name": rule_obj.title,
+                "shortDescription": {"text": rule_obj.title},
+                "fullDescription": {"text": rule_obj.doc or rule_obj.title},
+                "defaultConfiguration": {
+                    "level": "error"
+                    if rule_obj.severity.name == "ERROR"
+                    else "warning",
+                },
+            })
+        except KeyError:  # ad-hoc rule id — still a valid SARIF rule entry
+            driver_rules.append({"id": rule_id})
+
+    results = []
+    for report in reports:
+        for diag in report.diagnostics:
+            loc = str(diag.location)
+            fqn = f"{report.subject}: {loc}" if loc else report.subject
+            result = {
+                "ruleId": diag.rule_id,
+                "ruleIndex": rule_index[diag.rule_id],
+                "level": "error" if diag.severity.name == "ERROR" else "warning",
+                "message": {"text": diag.message},
+                "locations": [{
+                    "logicalLocations": [{
+                        "fullyQualifiedName": fqn or "design",
+                        "kind": "member",
+                    }],
+                }],
+            }
+            if diag.waived:
+                result["suppressions"] = [{
+                    "kind": "external",
+                    "justification": "waived via lint waiver file",
+                }]
+            results.append(result)
+
+    return {
+        "$schema": _SARIF_SCHEMA,
+        "version": _SARIF_VERSION,
+        "runs": [{
+            "tool": {
+                "driver": {
+                    "name": "repro-lint",
+                    "informationUri": "https://example.invalid/repro",
+                    "rules": driver_rules,
+                },
+            },
+            "results": results,
+        }],
+    }
+
+
+def render_sarif(reports: Union[LintReport, Iterable[LintReport]]) -> str:
+    """SARIF 2.1.0 JSON (the CI/code-scanning interchange format)."""
+    return json.dumps(sarif_dict(reports), indent=2)

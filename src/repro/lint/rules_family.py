@@ -77,7 +77,13 @@ def check_domino_monotonicity(ctx) -> None:
     inversions (the dynamic node itself falls; the output buffer restores
     the rising sense).  Even parity feeds the evaluate NMOS a falling edge —
     the classic monotonicity violation; an XOR in the cone is non-monotone
-    outright."""
+    outright.
+
+    Cones rooting at a primary input are judged by the input's *declared*
+    phase (:meth:`~repro.netlist.circuit.Circuit.declare_input_phase`): a
+    ``mono_rise`` input needs even parity to stay rising, ``mono_fall`` odd,
+    and ``async`` is never safe.  Undeclared (or ``steady``) inputs are
+    assumed quiet during evaluate, the rule's historical behavior."""
     for stage in ctx.circuit.stages:
         if stage.kind is not StageKind.DOMINO:
             continue
@@ -86,7 +92,28 @@ def check_domino_monotonicity(ctx) -> None:
                 ctx.circuit, pin.net.name
             ):
                 if driver is None:
-                    continue  # primary input: phase unknown, out of scope
+                    declared = ctx.circuit.input_phase(root_net)
+                    if parity >= 0 and (
+                        (declared == "mono_rise" and parity % 2 == 1)
+                        or (declared == "mono_fall" and parity % 2 == 0)
+                    ):
+                        ctx.emit(
+                            f"primary input {root_net} is declared "
+                            f"{declared} but reaches this evaluate input "
+                            f"through {parity} inversion(s) — it falls "
+                            "during evaluate",
+                            stage=stage.name,
+                            pin=pin.name,
+                        )
+                    elif declared == "async":
+                        ctx.emit(
+                            f"primary input {root_net} is declared async "
+                            "(non-monotone) and reaches a domino evaluate "
+                            "input",
+                            stage=stage.name,
+                            pin=pin.name,
+                        )
+                    continue  # steady/undeclared: quiet during evaluate
                 if parity == -1:
                     ctx.emit(
                         f"non-monotone XOR stage {driver.name} in the input "

@@ -14,7 +14,7 @@ from .waivers import Waiver, apply_waivers
 log = get_logger(__name__)
 
 #: Rule groups that operate directly on a :class:`Circuit`.
-CIRCUIT_GROUPS = ("structural", "family")
+CIRCUIT_GROUPS = ("structural", "family", "dataflow")
 
 
 class LintContext:

@@ -156,9 +156,13 @@ class MacroBuilder:
 
     # -- nets ------------------------------------------------------------------
 
-    def input(self, name: str, wire_cap: float = 0.0) -> Net:
+    def input(
+        self, name: str, wire_cap: float = 0.0, phase: Optional[str] = None
+    ) -> Net:
         net = self.circuit.add_net(name, NetKind.SIGNAL, wire_cap)
         self.circuit.mark_input(name)
+        if phase is not None:
+            self.circuit.declare_input_phase(name, phase)
         return net
 
     def output(self, name: str, load: float = 0.0, wire_res: float = 0.0) -> Net:

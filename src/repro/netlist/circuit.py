@@ -23,6 +23,14 @@ class CircuitError(Exception):
     """Structural problem in a circuit."""
 
 
+#: Behaviors a designer may declare for a primary input (Section 4's "the
+#: macro cells carry usage rules" — the interface half of those rules).
+#: ``mono_rise``/``mono_fall`` promise a monotone edge during evaluate and a
+#: known precharge level; ``steady`` promises stability across the whole
+#: clock cycle; ``async`` promises nothing (may glitch at any time).
+INPUT_PHASES = ("mono_rise", "mono_fall", "steady", "async")
+
+
 class Circuit:
     """A hierarchically named, stage-level circuit with shared size labels."""
 
@@ -33,6 +41,10 @@ class Circuit:
         self.size_table = SizeTable()
         self.primary_inputs: List[str] = []
         self.primary_outputs: List[str] = []
+        #: Declared input behavior per primary-input net (see
+        #: :data:`INPUT_PHASES`).  Inputs without a declaration are treated
+        #: conservatively by analyses (unknown static level).
+        self.input_phases: Dict[str, str] = {}
         self.clock: Optional[str] = None
         self._stage_by_name: Dict[str, Stage] = {}
         self._drivers: Dict[str, Stage] = {}
@@ -106,6 +118,23 @@ class Circuit:
             raise CircuitError(f"unknown net {net_name}")
         if net_name not in self.primary_inputs:
             self.primary_inputs.append(net_name)
+
+    def declare_input_phase(self, net_name: str, phase: str) -> None:
+        """Declare a primary input's clocking behavior (see
+        :data:`INPUT_PHASES`).  The dataflow analyses seed their lattices
+        from these declarations, which also lets ERC101 resolve inversion
+        parity through a primary input instead of bailing out."""
+        if net_name not in self.nets:
+            raise CircuitError(f"unknown net {net_name}")
+        if phase not in INPUT_PHASES:
+            raise CircuitError(
+                f"net {net_name}: unknown input phase {phase!r} "
+                f"(expected one of {INPUT_PHASES})"
+            )
+        self.input_phases[net_name] = phase
+
+    def input_phase(self, net_name: str) -> Optional[str]:
+        return self.input_phases.get(net_name)
 
     def mark_output(self, net_name: str, external_load: float = 0.0) -> None:
         if net_name not in self.nets:
@@ -254,6 +283,8 @@ class Circuit:
                 new_name = f"{sep}{net.name}"
                 mapping[net.name] = new_name
                 self._add_net_like(net, new_name)
+        for net_name, phase in other.input_phases.items():
+            self.input_phases.setdefault(mapping[net_name], phase)
         for size_var in other.size_table:
             renamed = self._rename_var(size_var, sep)
             self.size_table.add(renamed)

@@ -229,6 +229,13 @@ class SmartSizer:
     otb_borrow:
         Opportunistic-time-borrowing window in ps for multi-phase domino
         paths (0 disables OTB).
+    pre_screen:
+        Run the interval-STA screen
+        (:func:`repro.lint.dataflow.interval.screen_feasibility`) before
+        each solve and raise :class:`SizingError` without extracting a
+        single path when the spec is provably unreachable over the whole
+        size box.  Sound: the screen only rejects specs whose first GP
+        round is mathematically infeasible.
     """
 
     def __init__(
@@ -241,11 +248,13 @@ class SmartSizer:
         enumeration_threshold: int = 20_000,
         analysis_library: Optional[ModelLibrary] = None,
         gp_method: str = "slsqp",
+        pre_screen: bool = True,
     ):
         self.circuit = circuit
         self.library = library
         self.objective = objective
         self.otb_borrow = otb_borrow
+        self.pre_screen = pre_screen
         self.max_paths = max_paths
         #: Above this raw path count, switch from enumerate-then-prune to
         #: representative extraction (pruning applied during the walk).
@@ -398,6 +407,19 @@ class SmartSizer:
         constraints = generator.generate(prune_result.paths, {})
         return self._lint_gp(constraints)
 
+    def _interval_screen(self, spec: DelaySpec):
+        """Interval-STA verdict for ``spec``, or ``None`` if the screen
+        itself errors (the screen must never turn a solvable run into a
+        crash — lint analyses import lazily and may be mid-bootstrap)."""
+        try:
+            from ..lint.dataflow.interval import screen_feasibility
+
+            return screen_feasibility(
+                self.circuit, self.library, spec, otb_borrow=self.otb_borrow
+            )
+        except ImportError:  # pragma: no cover - partial-init bootstrap
+            return None
+
     def _lint_gp(self, constraints: ConstraintSet):
         from ..lint.rules_gp import lint_gp
 
@@ -415,6 +437,14 @@ class SmartSizer:
         prune: bool,
         initial: Optional[Mapping[str, float]],
     ) -> SizingResult:
+        if self.pre_screen:
+            screen = self._interval_screen(spec)
+            if screen is not None and screen.infeasible:
+                metrics.counter("engine.pre_screen_rejects").inc()
+                raise SizingError(
+                    f"{self.circuit.name}: spec {spec.data:.1f} ps provably "
+                    f"infeasible before GP — {screen.summary()}"
+                )
         prune_result = self._extract(prune)
         stats = prune_result.stats
         metrics.gauge("paths.initial").set(stats.initial)

@@ -140,3 +140,40 @@ class TestConstraintsValidation:
         assert spec.data == 100.0
         assert spec.evaluate == 90.0
         assert spec.input_slope == 20.0
+
+
+class TestIntervalScreenGate:
+    """The interval-STA screen runs before the nominal-delay prune and the
+    sizer; provably-infeasible topologies are skipped and counted."""
+
+    def test_impossible_budget_screened_before_any_solve(self, advisor):
+        report = advisor.advise(
+            MacroSpec("mux", 4, output_load=30.0),
+            DesignConstraints(delay=1.0, cost="area"),
+            topologies=["mux/strong_mutex_passgate", "mux/tristate"],
+        )
+        assert report.best is None
+        for cand in report.candidates:
+            assert cand.screened
+            assert not cand.feasible
+            assert "provably-infeasible" in cand.reason
+
+    def test_screen_count_rendered_in_report(self, advisor):
+        report = advisor.advise(
+            MacroSpec("mux", 4, output_load=30.0),
+            DesignConstraints(delay=1.0, cost="area"),
+            topologies=["mux/strong_mutex_passgate", "mux/tristate"],
+        )
+        text = report.render()
+        assert "interval-STA screen" in text
+        assert "2 topologies proven infeasible" in text
+
+    def test_generous_budget_not_screened(self, advisor):
+        report = advisor.advise(
+            MacroSpec("mux", 4, output_load=30.0),
+            DesignConstraints(delay=400.0, cost="area"),
+            topologies=["mux/strong_mutex_passgate"],
+        )
+        (cand,) = report.candidates
+        assert not cand.screened
+        assert cand.feasible

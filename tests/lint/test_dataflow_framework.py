@@ -1,0 +1,140 @@
+"""Unit tests for the generic forward worklist solver."""
+
+from repro.lint.dataflow import ForwardAnalysis, solve_forward
+from repro.lint.dataflow.framework import WIDEN_AFTER
+from repro.macros.base import MacroBuilder
+from repro.models import Technology
+
+TECH = Technology()
+
+
+class DepthAnalysis(ForwardAnalysis):
+    """Longest stage distance from any source (-1 = unreached).
+
+    Deliberately has an infinite ascending chain so cyclic circuits *must*
+    widen for the solver to terminate.
+    """
+
+    name = "depth"
+
+    def bottom(self):
+        return -1
+
+    def source_value(self, circuit, net_name):
+        return 0
+
+    def transfer(self, circuit, stage, inputs):
+        reached = [v for v in inputs.values() if v >= 0]
+        if not reached:
+            return -1
+        return 1 + max(reached)
+
+    def join(self, a, b):
+        return max(a, b)
+
+    def widen(self, old, new):
+        return 10_000
+
+
+def _builder(name="dfa"):
+    builder = MacroBuilder(name, TECH)
+    for label in ("P", "N"):
+        builder.size(label)
+    return builder
+
+
+class TestAcyclicFixpoint:
+    def test_chain_depths(self):
+        builder = _builder()
+        a = builder.input("a")
+        n1, n2 = builder.wire("n1"), builder.wire("n2")
+        builder.inv("i0", a, n1, "P", "N")
+        builder.inv("i1", n1, n2, "P", "N")
+        builder.inv("i2", n2, builder.output("out"), "P", "N")
+        result = solve_forward(builder.done(), DepthAnalysis())
+        assert result.value("a") == 0
+        assert result.value("n1") == 1
+        assert result.value("n2") == 2
+        assert result.value("out") == 3
+        assert result.widened == ()
+
+    def test_multidriver_net_joins_contributions(self):
+        builder = _builder()
+        a, b = builder.input("a"), builder.input("b")
+        en0, en1 = builder.input("en0"), builder.input("en1")
+        n1 = builder.wire("n1")
+        bus = builder.wire("bus")
+        builder.inv("i0", a, n1, "P", "N")
+        builder.tristate("t0", n1, en0, bus, "P", "N")  # depth 2 contribution
+        builder.tristate("t1", b, en1, bus, "P", "N")   # depth 1 contribution
+        builder.inv("i3", bus, builder.output("out"), "P", "N")
+        result = solve_forward(builder.done(), DepthAnalysis())
+        assert result.value("bus") == 2       # join = max of both drivers
+        assert result.value("out") == 3
+
+    def test_reconvergent_fanout_takes_longest_side(self):
+        builder = _builder()
+        a = builder.input("a")
+        s1, l1, l2 = builder.wire("s1"), builder.wire("l1"), builder.wire("l2")
+        merge = builder.wire("merge")
+        builder.inv("short", a, s1, "P", "N")
+        builder.inv("long0", a, l1, "P", "N")
+        builder.inv("long1", l1, l2, "P", "N")
+        builder.nand("m", [s1, l2], merge, "P", "N")
+        result = solve_forward(builder.done(), DepthAnalysis())
+        assert result.value("merge") == 3
+        assert result.visits >= 4
+
+    def test_undriven_net_stays_bottom(self):
+        builder = _builder()
+        a = builder.input("a")
+        builder.wire("floating")
+        builder.inv("i0", a, builder.output("out"), "P", "N")
+        result = solve_forward(builder.done(), DepthAnalysis())
+        assert result.value("floating") == -1
+
+
+class TestCyclicWidening:
+    def _loop(self):
+        """a NAND whose output feeds itself through an inverter — the
+        worst-case subject: a genuine combinational loop."""
+        builder = _builder()
+        a = builder.input("a")
+        x, fb = builder.wire("x"), builder.wire("fb")
+        builder.nand("g", [a, fb], x, "P", "N")
+        builder.inv("i", x, fb, "P", "N")
+        return builder.done()
+
+    def test_loop_terminates_and_widens(self):
+        result = solve_forward(self._loop(), DepthAnalysis())
+        assert set(result.widened) == {"x", "fb"}
+        assert result.value("x") == 10_000
+        assert result.value("fb") == 10_000
+        # Termination within the widening budget, not by luck.
+        assert result.visits < 10 * (WIDEN_AFTER + 2)
+
+    def test_acyclic_never_widens_even_when_deep(self):
+        builder = _builder()
+        net = builder.input("a")
+        for i in range(3 * WIDEN_AFTER):
+            nxt = builder.wire(f"n{i}")
+            builder.inv(f"i{i}", net, nxt, "P", "N")
+            net = nxt
+        result = solve_forward(builder.done(), DepthAnalysis())
+        assert result.widened == ()
+        assert result.value(f"n{3 * WIDEN_AFTER - 1}") == 3 * WIDEN_AFTER
+
+
+class TestDeterminism:
+    def test_same_circuit_same_result(self):
+        def run():
+            builder = _builder()
+            a, b = builder.input("a"), builder.input("b")
+            n = builder.wire("n")
+            builder.nand("g0", [a, b], n, "P", "N")
+            builder.inv("g1", n, builder.output("out"), "P", "N")
+            return solve_forward(builder.done(), DepthAnalysis())
+
+        first, second = run(), run()
+        assert first.values == second.values
+        assert first.visits == second.visits

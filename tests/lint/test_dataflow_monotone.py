@@ -1,0 +1,215 @@
+"""DFA302 whole-circuit monotonicity + the ERC101 primary-input fix.
+
+Includes the regression contract for this PR: a falling/async primary input
+reaching a domino evaluate network used to slip past ERC101's cone walk
+(primary inputs were "out of scope"); it is now caught both locally (via
+declared pin phases) and globally (DFA302), while an undeclared input keeps
+the historical benefit of the doubt.
+"""
+
+from repro.lint import lint_circuit
+from repro.lint.dataflow.monotone import Mono, solve_monotonicity
+from repro.macros.base import MacroBuilder
+from repro.models import Technology
+from repro.netlist.nets import PinClass
+
+TECH = Technology()
+
+
+def _builder(name="fixture"):
+    builder = MacroBuilder(name, TECH)
+    for label in ("P", "N", "PC", "D", "E", "PP", "SI"):
+        builder.size(label)
+    return builder
+
+
+def check(circuit, rule_id):
+    return lint_circuit(circuit, only=[rule_id]).by_rule(rule_id)
+
+
+def _domino(builder, name, in_net, out_net, clocked=True):
+    return builder.domino(
+        name,
+        [[(in_net, PinClass.DATA)]],
+        builder.circuit.net("clk"),
+        out_net,
+        "PC",
+        "D",
+        "E" if clocked else None,
+    )
+
+
+class TestLattice:
+    def test_declared_sources(self):
+        builder = _builder()
+        builder.clock()
+        builder.input("r", phase="mono_rise")
+        builder.input("f", phase="mono_fall")
+        builder.input("s", phase="steady")
+        builder.input("x", phase="async")
+        builder.input("u")
+        result = solve_monotonicity(builder.done())
+        assert result.value("r") is Mono.RISING
+        assert result.value("f") is Mono.FALLING
+        assert result.value("s") is Mono.STEADY
+        assert result.value("x") is Mono.NONMONO
+        assert result.value("u") is Mono.STEADY
+        assert result.value("clk") is Mono.CLOCK
+
+    def test_static_gates_invert(self):
+        builder = _builder()
+        builder.clock()
+        r = builder.input("r", phase="mono_rise")
+        n1, n2 = builder.wire("n1"), builder.wire("n2")
+        builder.inv("i0", r, n1, "P", "N")
+        builder.inv("i1", n1, n2, "P", "N")
+        result = solve_monotonicity(builder.done())
+        assert result.value("n1") is Mono.FALLING
+        assert result.value("n2") is Mono.RISING
+
+    def test_steady_is_transparent_in_joins(self):
+        builder = _builder()
+        builder.clock()
+        r = builder.input("r", phase="mono_rise")
+        s = builder.input("s", phase="steady")
+        builder.nand("g", [r, s], builder.wire("n"), "P", "N")
+        result = solve_monotonicity(builder.done())
+        assert result.value("n") is Mono.FALLING
+
+    def test_mixed_edges_are_nonmonotone(self):
+        builder = _builder()
+        builder.clock()
+        r = builder.input("r", phase="mono_rise")
+        f = builder.input("f", phase="mono_fall")
+        builder.nand("g", [r, f], builder.wire("n"), "P", "N")
+        result = solve_monotonicity(builder.done())
+        assert result.value("n") is Mono.NONMONO
+
+    def test_xor_of_moving_input_is_nonmonotone(self):
+        builder = _builder()
+        builder.clock()
+        r = builder.input("r", phase="mono_rise")
+        s = builder.input("s", phase="steady")
+        builder.xor("x", r, s, builder.wire("n"), "P", "N")
+        result = solve_monotonicity(builder.done())
+        assert result.value("n") is Mono.NONMONO
+
+    def test_domino_rail_through_odd_inversions_is_rising(self):
+        builder = _builder()
+        builder.clock()
+        a = builder.input("a")
+        dyn, buf = builder.wire("dyn"), builder.wire("buf")
+        _domino(builder, "d0", a, dyn)
+        builder.inv("b0", dyn, buf, "P", "N")
+        result = solve_monotonicity(builder.done())
+        assert result.value("dyn") is Mono.FALLING
+        assert result.value("buf") is Mono.RISING
+
+
+class TestSelectSmuggling:
+    """The seeded whole-circuit violation ERC101's cone walk cannot see:
+    the non-monotone signal arrives through a pass-gate *select*, and the
+    data cone itself is spotless."""
+
+    def _fixture(self):
+        builder = _builder()
+        builder.clock()
+        quiet = builder.input("quiet", phase="steady")
+        glitchy = builder.input("glitchy", phase="async")
+        steered = builder.wire("steered")
+        builder.passgate("pg", quiet, glitchy, steered, "PP", "SI")
+        _domino(builder, "d0", steered, builder.output("out"))
+        return builder.done()
+
+    def test_dataflow_catches_it(self):
+        diags = check(self._fixture(), "DFA302")
+        assert any(
+            "non-monotone" in d.message and d.location.stage == "d0"
+            for d in diags
+        )
+
+    def test_local_cone_walk_misses_it(self):
+        assert not check(self._fixture(), "ERC101")
+
+
+class TestERC101PrimaryInputRegression:
+    """Satellite fix: ERC101 used to skip cones rooting at primary inputs
+    outright; declared pin phases close the blind spot."""
+
+    def _falling_reach(self, phase, inversions):
+        builder = _builder()
+        builder.clock()
+        net = builder.input("a", phase=phase)
+        for i in range(inversions):
+            nxt = builder.wire(f"n{i}")
+            builder.inv(f"i{i}", net, nxt, "P", "N")
+            net = nxt
+        _domino(builder, "d0", net, builder.output("out"))
+        return builder.done()
+
+    def test_mono_fall_even_parity_now_caught(self):
+        """The previously-missed violation: a declared-falling input reaches
+        the evaluate network through an even number of inversions (zero
+        here), so it falls during evaluate — and the old rule said nothing.
+        """
+        diags = check(self._falling_reach("mono_fall", 0), "ERC101")
+        assert len(diags) == 1
+        assert "declared mono_fall" in diags[0].message
+        # DFA302 agrees from the whole-circuit side.
+        assert check(self._falling_reach("mono_fall", 0), "DFA302")
+
+    def test_mono_rise_odd_parity_now_caught(self):
+        diags = check(self._falling_reach("mono_rise", 1), "ERC101")
+        assert len(diags) == 1
+        assert "falls during evaluate" in diags[0].message
+
+    def test_async_input_now_caught(self):
+        diags = check(self._falling_reach("async", 0), "ERC101")
+        assert len(diags) == 1
+        assert "async" in diags[0].message
+
+    def test_correct_polarities_are_clean(self):
+        assert not check(self._falling_reach("mono_rise", 0), "ERC101")
+        assert not check(self._falling_reach("mono_fall", 1), "ERC101")
+        assert not check(self._falling_reach("steady", 0), "ERC101")
+
+    def test_undeclared_input_keeps_historical_benefit_of_doubt(self):
+        assert not check(self._falling_reach(None, 0), "ERC101")
+        assert not check(self._falling_reach(None, 1), "ERC101")
+
+
+class TestDFA302DominoChecks:
+    def test_falling_pi_many_stages_away(self):
+        """Declared falling input laundered through two static ranks — far
+        beyond what a local parity walk tracks once other inputs join."""
+        builder = _builder()
+        builder.clock()
+        f = builder.input("f", phase="mono_fall")
+        s = builder.input("s", phase="steady")
+        n1, n2 = builder.wire("n1"), builder.wire("n2")
+        builder.nand("g0", [f, s], n1, "P", "N")     # rising
+        builder.inv("g1", n1, n2, "P", "N")           # falling again
+        _domino(builder, "d0", n2, builder.output("out"))
+        diags = check(builder.done(), "DFA302")
+        assert any("monotone-falling" in d.message for d in diags)
+
+    def test_clean_domino_pipeline_has_no_findings(self):
+        builder = _builder()
+        builder.clock()
+        a = builder.input("a", phase="mono_rise")
+        dyn, buf = builder.wire("dyn"), builder.wire("buf")
+        _domino(builder, "d0", a, dyn)
+        builder.inv("b0", dyn, buf, "P", "N")
+        _domino(builder, "d1", buf, builder.output("out"))
+        assert not check(builder.done(), "DFA302")
+
+    def test_clock_valued_data_pin_not_flagged_here(self):
+        """A clock on a data pin is ERC106/DFA301 territory; DFA302 stays
+        quiet to avoid triple-reporting."""
+        builder = _builder()
+        clk = builder.clock()
+        clkb = builder.wire("clkb")
+        builder.inv("ci", clk, clkb, "P", "N")
+        _domino(builder, "d0", clkb, builder.output("out"))
+        diags = check(builder.done(), "DFA302")
+        assert not diags

@@ -1,0 +1,250 @@
+"""DFA301 clock-phase analysis: races, derived clocks, borrow depth.
+
+The headline tests seed *whole-circuit* violations and assert both sides:
+DFA301 catches them AND the local ERC10x rules do not — the blind spot the
+dataflow group exists to close.
+"""
+
+from repro.lint import Severity, lint_circuit
+from repro.lint.dataflow.phase import MAX_BORROW_PHASES, Phase, solve_phases
+from repro.macros.base import MacroBuilder
+from repro.models import Technology
+from repro.netlist.nets import PinClass
+
+TECH = Technology()
+
+LOCAL_FAMILY_RULES = ["ERC101", "ERC102", "ERC106"]
+
+
+def _builder(name="fixture"):
+    builder = MacroBuilder(name, TECH)
+    for label in ("P", "N", "PC", "D", "E", "PP", "SI"):
+        builder.size(label)
+    return builder
+
+
+def check(circuit, rule_id):
+    return lint_circuit(circuit, only=[rule_id]).by_rule(rule_id)
+
+
+def _domino(builder, name, in_net, out_net, clocked=True):
+    return builder.domino(
+        name,
+        [[(in_net, PinClass.DATA)]],
+        builder.circuit.net("clk"),
+        out_net,
+        "PC",
+        "D",
+        "E" if clocked else None,
+    )
+
+
+def _buffered_domino(builder, name, in_net, buf_net, clocked=True):
+    dyn = builder.wire(f"{name}_dyn")
+    _domino(builder, name, in_net, dyn, clocked=clocked)
+    builder.inv(f"{name}_buf", dyn, buf_net, "P", "N")
+
+
+class TestPhasePropagation:
+    def test_domino_buffer_is_low_during_precharge(self):
+        builder = _builder()
+        builder.clock()
+        a = builder.input("a")
+        buf = builder.wire("buf")
+        _buffered_domino(builder, "d0", a, buf)
+        result = solve_phases(builder.done())
+        assert result.value("d0_dyn").phase is Phase.HIGH_PRE
+        assert result.value("buf").phase is Phase.LOW_PRE
+
+    def test_derived_clock_stays_clock_through_static_logic(self):
+        builder = _builder()
+        clk = builder.clock()
+        clkb, clkbb = builder.wire("clkb"), builder.wire("clkbb")
+        builder.inv("i0", clk, clkb, "P", "N")
+        builder.inv("i1", clkb, clkbb, "P", "N")
+        result = solve_phases(builder.done())
+        assert result.value("clkb").phase is Phase.CLOCK
+        assert result.value("clkbb").phase is Phase.CLOCK
+
+    def test_controlling_low_pins_nand_high(self):
+        """A LOW_PRE input forces a NAND high during precharge even when the
+        other input is a clock — no MIXED pessimism."""
+        builder = _builder()
+        clk = builder.clock()
+        a = builder.input("a")
+        buf, out = builder.wire("buf"), builder.wire("gated")
+        _buffered_domino(builder, "d0", a, buf)
+        builder.nand("g", [buf, clk], out, "P", "N")
+        result = solve_phases(builder.done())
+        assert result.value("gated").phase is Phase.HIGH_PRE
+
+    def test_declared_input_phases_seed_the_lattice(self):
+        builder = _builder()
+        builder.clock()
+        builder.input("r", phase="mono_rise")
+        builder.input("f", phase="mono_fall")
+        builder.input("s", phase="steady")
+        builder.input("u")
+        circuit = builder.done()
+        result = solve_phases(circuit)
+        assert result.value("r").phase is Phase.LOW_PRE
+        assert result.value("f").phase is Phase.HIGH_PRE
+        assert result.value("s").phase is Phase.STABLE_PRE
+        assert result.value("u").phase is Phase.STATIC
+
+
+class TestD2PhaseRace:
+    def _race(self):
+        """D2 leg steered by a pass gate whose select is a *derived* clock.
+
+        Every local rule is structurally happy: the data cone roots at a
+        clocked domino (ERC102 ok, odd parity so ERC101 ok) and the select
+        net is signal-kind (ERC106 ok).  But during precharge the pass gate
+        toggles with the clock, so the D2 leg is not guaranteed low."""
+        builder = _builder()
+        clk = builder.clock()
+        a = builder.input("a")
+        buf, clkb, steered = (
+            builder.wire("buf"), builder.wire("clkb"), builder.wire("steered")
+        )
+        _buffered_domino(builder, "d0", a, buf)
+        builder.inv("ci", clk, clkb, "P", "N")
+        builder.passgate("pg", buf, clkb, steered, "PP", "SI")
+        builder.domino(
+            "d2",
+            [[(steered, PinClass.DATA)]],
+            clk,
+            builder.output("out"),
+            "PC",
+            "D",
+            None,
+        )
+        return builder.done()
+
+    def test_dataflow_catches_it(self):
+        diags = check(self._race(), "DFA301")
+        errors = [d for d in diags if d.severity is Severity.ERROR]
+        assert any(
+            "no input guaranteed low during precharge" in d.message
+            and d.location.stage == "d2"
+            for d in errors
+        )
+
+    def test_local_rules_miss_it(self):
+        """No local rule sees the race itself.  ERC106 does warn — but only
+        at the clock buffer ``ci`` (clk on an inverter data pin), which any
+        derived-clock circuit trips; nothing local fires at the race site
+        (the pass gate or the D2)."""
+        circuit = self._race()
+        assert not check(circuit, "ERC101")
+        assert not check(circuit, "ERC102")
+        race_sites = {"pg", "d2"}
+        assert not [
+            d for d in check(circuit, "ERC106")
+            if d.location.stage in race_sites
+        ]
+
+    def test_one_low_pin_per_leg_keeps_it_safe(self):
+        """A two-series leg where one device is provably off during
+        precharge is not a race, whatever the other pin does."""
+        builder = _builder()
+        clk = builder.clock()
+        a = builder.input("a")
+        sel = builder.input("sel")  # static level: unknown during precharge
+        buf = builder.wire("buf")
+        _buffered_domino(builder, "d0", a, buf)
+        builder.domino(
+            "d2",
+            [[(buf, PinClass.DATA), (sel, PinClass.SELECT)]],
+            clk,
+            builder.output("out"),
+            "PC",
+            "D",
+            None,
+        )
+        diags = check(builder.done(), "DFA301")
+        assert not [d for d in diags if d.severity is Severity.ERROR]
+
+    def test_static_fed_d2_races(self):
+        builder = _builder()
+        clk = builder.clock()
+        a = builder.input("a")
+        builder.domino(
+            "d2",
+            [[(a, PinClass.DATA)]],
+            clk,
+            builder.output("out"),
+            "PC",
+            "D",
+            None,
+        )
+        diags = check(builder.done(), "DFA301")
+        assert [d for d in diags if d.severity is Severity.ERROR]
+
+
+class TestDerivedClockContamination:
+    def test_laundered_clock_on_data_pin_warns(self):
+        """clk -> inverter -> NAND data pin: ERC106 checks net *kind* and the
+        inverter output is an ordinary signal net; the phase lattice still
+        knows it toggles every cycle."""
+        builder = _builder()
+        clk = builder.clock()
+        a = builder.input("a")
+        clkb = builder.wire("clkb")
+        builder.inv("ci", clk, clkb, "P", "N")
+        builder.nand("g", [a, clkb], builder.output("out"), "P", "N")
+        circuit = builder.done()
+        diags = check(circuit, "DFA301")
+        warnings = [d for d in diags if d.severity is Severity.WARNING]
+        assert any(
+            "derived clock" in d.message and d.location.net == "clkb"
+            for d in warnings
+        )
+        # ERC106 only sees the clock-kind net at the buffer itself; the
+        # laundered clkb usage at stage g is invisible to it.
+        assert not [
+            d for d in check(circuit, "ERC106") if d.location.stage == "g"
+        ]
+
+    def test_clock_kind_net_left_to_erc106(self):
+        builder = _builder()
+        clk = builder.clock()
+        a = builder.input("a")
+        builder.nand("g", [a, clk], builder.output("out"), "P", "N")
+        diags = check(builder.done(), "DFA301")
+        assert not [d for d in diags if "derived clock" in d.message]
+
+    def test_contamination_deduped_per_net(self):
+        builder = _builder()
+        clk = builder.clock()
+        a, b = builder.input("a"), builder.input("b")
+        clkb = builder.wire("clkb")
+        builder.inv("ci", clk, clkb, "P", "N")
+        builder.nand("g0", [a, clkb], builder.wire("n0"), "P", "N")
+        builder.nand("g1", [b, clkb], builder.output("out"), "P", "N")
+        diags = check(builder.done(), "DFA301")
+        assert len([d for d in diags if "derived clock" in d.message]) == 1
+
+
+class TestBorrowChainDepth:
+    def _chain(self, ranks):
+        builder = _builder()
+        builder.clock()
+        net = builder.input("a")
+        for i in range(ranks):
+            buf = builder.wire(f"buf{i}")
+            _buffered_domino(builder, f"d{i}", net, buf)
+            net = buf
+        builder.inv("ob", net, builder.output("out"), "P", "N")
+        return builder.done()
+
+    def test_at_limit_is_clean(self):
+        diags = check(self._chain(MAX_BORROW_PHASES), "DFA301")
+        assert not [d for d in diags if "borrow" in d.message.lower()]
+
+    def test_beyond_limit_warns(self):
+        diags = check(self._chain(MAX_BORROW_PHASES + 1), "DFA301")
+        hits = [d for d in diags if "time" in d.message and "borrow" in d.message]
+        assert hits
+        assert all(d.severity is Severity.WARNING for d in hits)
+        assert hits[0].location.stage == f"d{MAX_BORROW_PHASES}"

@@ -1,0 +1,223 @@
+"""DFA303 interval STA: box bounds, soundness, and the pre-GP screen.
+
+The soundness contract under test (ISSUE acceptance):
+
+* no circuit the sizer successfully sizes is ever ``provably-infeasible``
+  at that spec (no false rejection);
+* at least one over-constrained fixture per macro class is rejected
+  *before any GP solve* (asserted by making ``GeometricProgram.solve``
+  explode);
+* ``provably-feasible`` is only claimed when the GP really is feasible.
+"""
+
+import itertools
+
+import pytest
+
+from repro.lint.dataflow.interval import (
+    posy_box_bounds,
+    screen_feasibility,
+)
+from repro.macros import MacroSpec
+from repro.macros.base import MacroBuilder
+from repro.posy import Monomial, Posynomial
+from repro.sizing import DelaySpec, SizingError, SmartSizer
+from repro.sizing.engine import nominal_delay
+from repro.sizing.gp import GeometricProgram
+
+
+# One representative topology per macro class, at an applicable width.
+CLASS_REPRESENTATIVES = [
+    ("adder", "adder/dual_rail_domino_cla", 16),
+    ("comparator", "comparator/xorsum1", 32),
+    ("decoder", "decoder/domino", 4),
+    ("decrementor", "decrementor/prefix", 8),
+    ("encoder", "encoder/domino", 4),
+    ("incrementor", "incrementor/prefix", 8),
+    ("mux", "mux/encoded_select_2to1", 2),
+    ("register_file", "register_file/domino_bitline", 8),
+    ("shifter", "shifter/passgate_barrel", 8),
+    ("zero_detect", "zero_detect/domino", 8),
+]
+
+
+def _generate(database, tech, macro_type, name, width):
+    gen = database.generator(name)
+    spec = MacroSpec(macro_type, width)
+    assert gen.applicable(spec), (name, width)
+    return gen.generate(spec, tech)
+
+
+class TestPosyBoxBounds:
+    BOX = {"x": (0.5, 4.0), "y": (1.0, 8.0), "z": (0.25, 2.0)}
+
+    def _bounds(self, name):
+        return self.BOX[name]
+
+    def _brute_force(self, expr, samples=5):
+        """Evaluate over a dense grid (corners included): every value must
+        land inside the interval."""
+        names = sorted({v for m in expr for v in m.exponents})
+        axes = [
+            [self.BOX[n][0] + t * (self.BOX[n][1] - self.BOX[n][0]) / (samples - 1)
+             for t in range(samples)]
+            for n in names
+        ]
+        values = []
+        for point in itertools.product(*axes):
+            env = dict(zip(names, point))
+            total = 0.0
+            for mono in expr:
+                v = mono.coefficient
+                for var, exp in mono.exponents.items():
+                    v *= env[var] ** exp
+                total += v
+            values.append(total)
+        return values
+
+    def test_single_monomial_bounds_are_exact(self):
+        mono = Monomial(3.0, {"x": 1.0, "y": -2.0})
+        expr = mono.as_posynomial()
+        lo, hi = posy_box_bounds(expr, self._bounds)
+        values = self._brute_force(expr)
+        assert lo == pytest.approx(min(values))
+        assert hi == pytest.approx(max(values))
+
+    def test_posynomial_interval_contains_all_values(self):
+        expr = Posynomial.from_terms([
+            Monomial(2.0, {"x": 1.0}),
+            Monomial(1.5, {"x": -1.0, "y": 1.0}),
+            Monomial(0.3, {"y": -0.5, "z": 2.0}),
+            Monomial.constant(0.7),
+        ])
+        lo, hi = posy_box_bounds(expr, self._bounds)
+        values = self._brute_force(expr)
+        assert lo <= min(values) + 1e-12
+        assert hi >= max(values) - 1e-12
+        # Not vacuous: the interval is within 2x of the true range.
+        assert lo >= 0.25 * min(values)
+        assert hi <= 4.0 * max(values)
+
+    def test_fractional_and_negative_exponents(self):
+        expr = Posynomial.from_terms([
+            Monomial(1.0, {"x": 0.5, "z": -1.5}),
+            Monomial(4.0, {"y": -1.0}),
+        ])
+        lo, hi = posy_box_bounds(expr, self._bounds)
+        for value in self._brute_force(expr):
+            assert lo - 1e-12 <= value <= hi + 1e-12
+
+    def test_empty_posynomial_is_zero(self):
+        assert posy_box_bounds(Posynomial.zero(), self._bounds) == (0.0, 0.0)
+
+
+class TestNoFalseRejection:
+    """A spec the sizer meets must never screen as infeasible — checked
+    both through the engine (pre_screen defaults on, so a successful size
+    proves the screen let it through) and directly."""
+
+    def test_chain_sizes_with_screen_enabled(self, inverter_chain, library):
+        spec = DelaySpec(data=0.9 * nominal_delay(inverter_chain, library))
+        sizer = SmartSizer(inverter_chain, library)
+        assert sizer.pre_screen  # the default
+        assert sizer.size(spec).converged
+        screen = screen_feasibility(inverter_chain, library, spec)
+        assert not screen.infeasible
+
+    def test_static_mux_sizes_with_screen_enabled(self, small_mux, library):
+        spec = DelaySpec(data=0.9 * nominal_delay(small_mux, library))
+        assert SmartSizer(small_mux, library).size(spec).converged
+        assert not screen_feasibility(small_mux, library, spec).infeasible
+
+    def test_domino_mux_sizes_with_screen_enabled(self, domino_mux, library):
+        spec = DelaySpec(data=0.9 * nominal_delay(domino_mux, library))
+        assert SmartSizer(domino_mux, library).size(spec).converged
+        assert not screen_feasibility(domino_mux, library, spec).infeasible
+
+
+class TestOverConstrainedRejection:
+    @pytest.mark.parametrize(
+        "macro_type,name,width", CLASS_REPRESENTATIVES,
+        ids=[name for _, name, _ in CLASS_REPRESENTATIVES],
+    )
+    def test_one_ps_is_provably_infeasible(
+        self, database, tech, library, macro_type, name, width
+    ):
+        circuit = _generate(database, tech, macro_type, name, width)
+        screen = screen_feasibility(circuit, library, DelaySpec(data=1.0))
+        assert screen.infeasible, screen.verdict
+        assert screen.report.errors  # a DFA303 finding backs the verdict
+        assert any(d.rule_id == "DFA303" for d in screen.report.errors)
+
+    def test_rejection_happens_before_any_gp_solve(
+        self, database, tech, library, monkeypatch
+    ):
+        circuit = _generate(
+            database, tech, "zero_detect", "zero_detect/domino", 8
+        )
+
+        def _boom(self, *args, **kwargs):
+            raise AssertionError("GP solve reached despite the screen")
+
+        monkeypatch.setattr(GeometricProgram, "solve", _boom)
+        with pytest.raises(SizingError, match="provably"):
+            SmartSizer(circuit, library).size(DelaySpec(data=1.0))
+
+    def test_pre_screen_off_skips_the_screen(self, database, tech, library):
+        """The opt-out exists for the advisor (which screens itself): with
+        ``pre_screen=False`` the rejection comes from the GP-side machinery
+        (GP204 pre-solve lint or the solver), never the interval screen."""
+        circuit = _generate(
+            database, tech, "zero_detect", "zero_detect/domino", 8
+        )
+        sizer = SmartSizer(circuit, library, pre_screen=False)
+        with pytest.raises(SizingError) as excinfo:
+            sizer.size(DelaySpec(data=1.0))
+        assert "provably infeasible before GP" not in str(excinfo.value)
+
+
+class TestProvablyFeasible:
+    def _chain(self, tech):
+        builder = MacroBuilder("invchain2", tech)
+        a = builder.input("in")
+        n1 = builder.wire("n1")
+        out = builder.output("out", load=20.0)
+        for label in ("P0", "N0", "P1", "N1"):
+            builder.size(label)
+        builder.inv("i0", a, n1, "P0", "N0")
+        builder.inv("i1", n1, out, "P1", "N1")
+        return builder.done()
+
+    def test_loose_spec_on_static_chain_is_feasible(self, tech, library):
+        circuit = self._chain(tech)
+        screen = screen_feasibility(circuit, library, DelaySpec(data=400.0))
+        assert screen.feasible, screen.verdict
+        # The claim is checked against the real GP: it must succeed.
+        result = SmartSizer(circuit, library, pre_screen=False).size(
+            DelaySpec(data=400.0)
+        )
+        assert result.converged
+
+    def test_multi_phase_circuit_never_claims_feasible(
+        self, database, tech, library
+    ):
+        """Segment budgets cannot be certified from a hulled whole-path
+        value, so multi-phase dominoes cap out at ``unknown``."""
+        circuit = _generate(database, tech, "decoder", "decoder/domino", 4)
+        screen = screen_feasibility(circuit, library, DelaySpec(data=4000.0))
+        assert not screen.feasible
+
+
+class TestWideningGoesUnknown:
+    def test_cyclic_circuit_is_unknown_not_infeasible(self, tech, library):
+        builder = MacroBuilder("loop", tech)
+        for label in ("P", "N"):
+            builder.size(label)
+        a = builder.input("a")
+        x, fb = builder.wire("x"), builder.wire("fb")
+        builder.nand("g", [a, fb], x, "P", "N")
+        builder.inv("i", x, fb, "P", "N")
+        circuit = builder.done()
+        screen = screen_feasibility(circuit, library, DelaySpec(data=1.0))
+        assert screen.widened
+        assert screen.verdict == "unknown"

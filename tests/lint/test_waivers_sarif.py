@@ -1,0 +1,153 @@
+"""Waiver edge cases + the SARIF reporter (satellites of the dataflow PR)."""
+
+import json
+
+from repro.lint import (
+    Diagnostic,
+    Location,
+    LintReport,
+    Severity,
+    lint_circuit,
+    parse_waivers,
+    render_sarif,
+    sarif_dict,
+)
+from repro.macros.base import MacroBuilder
+from repro.models import Technology
+from repro.netlist.nets import PinClass
+
+TECH = Technology()
+
+
+def _d2_race_circuit():
+    """Static input straight into a footless D2 leg: one DFA301 error."""
+    builder = MacroBuilder("race", TECH)
+    for label in ("PC", "D"):
+        builder.size(label)
+    clk = builder.clock()
+    a = builder.input("a")
+    builder.domino(
+        "d2", [[(a, PinClass.DATA)]], clk, builder.output("out"),
+        "PC", "D", None,
+    )
+    return builder.done()
+
+
+class TestWaiverEdgeCases:
+    def test_pattern_matching_no_rule_changes_nothing(self):
+        circuit = _d2_race_circuit()
+        baseline = lint_circuit(circuit, only=["DFA301"])
+        assert baseline.errors
+        report = lint_circuit(
+            circuit, only=["DFA301"],
+            waivers=parse_waivers("ZZZ9* *\nERC999 stage nowhere\n"),
+        )
+        assert not report.ok
+        assert not report.waived
+        assert len(report.errors) == len(baseline.errors)
+
+    def test_waiving_error_severity_dataflow_finding_flips_ok(self):
+        circuit = _d2_race_circuit()
+        report = lint_circuit(
+            circuit, only=["DFA301"],
+            waivers=parse_waivers("DFA301 stage d2*  # accepted race\n"),
+        )
+        assert report.ok
+        assert not report.errors
+        assert report.waived
+        assert all(d.rule_id == "DFA301" for d in report.waived)
+
+    def test_duplicate_waiver_lines_are_idempotent(self):
+        circuit = _d2_race_circuit()
+        once = lint_circuit(
+            circuit, only=["DFA301"], waivers=parse_waivers("DFA301\n")
+        )
+        thrice = lint_circuit(
+            circuit, only=["DFA301"],
+            waivers=parse_waivers("DFA301\nDFA301\nDFA301  *\n"),
+        )
+        assert thrice.ok == once.ok
+        assert len(thrice.waived) == len(once.waived)
+        assert len(thrice.diagnostics) == len(once.diagnostics)
+
+
+class TestSarif:
+    def _report(self):
+        return LintReport(
+            subject="unit",
+            diagnostics=[
+                Diagnostic(
+                    "DFA301", Severity.ERROR, "boom",
+                    Location(stage="d2", pin="in0"),
+                ),
+                Diagnostic(
+                    "DFA302", Severity.WARNING, "glitchy",
+                    Location(stage="g0"),
+                ).with_waived(),
+            ],
+        )
+
+    def test_skeleton(self):
+        doc = sarif_dict(self._report())
+        assert doc["version"] == "2.1.0"
+        assert "sarif-schema-2.1.0" in doc["$schema"]
+        (run,) = doc["runs"]
+        assert run["tool"]["driver"]["name"] == "repro-lint"
+        assert len(run["results"]) == 2
+
+    def test_rules_array_and_indices(self):
+        doc = sarif_dict(self._report())
+        run = doc["runs"][0]
+        rules = run["tool"]["driver"]["rules"]
+        ids = [r["id"] for r in rules]
+        assert ids == sorted(ids)  # deterministic ordering
+        for result in run["results"]:
+            assert ids[result["ruleIndex"]] == result["ruleId"]
+        by_id = {r["id"]: r for r in rules}
+        assert by_id["DFA301"]["defaultConfiguration"]["level"] == "error"
+
+    def test_levels_and_logical_locations(self):
+        doc = sarif_dict(self._report())
+        error, warning = doc["runs"][0]["results"]
+        assert error["level"] == "error"
+        assert warning["level"] == "warning"
+        fqn = error["locations"][0]["logicalLocations"][0]["fullyQualifiedName"]
+        assert fqn == "unit: stage d2 pin in0"
+
+    def test_waived_becomes_suppression(self):
+        doc = sarif_dict(self._report())
+        error, warning = doc["runs"][0]["results"]
+        assert "suppressions" not in error
+        assert warning["suppressions"][0]["kind"] == "external"
+
+    def test_unknown_rule_id_still_valid(self):
+        report = LintReport(
+            subject="x",
+            diagnostics=[Diagnostic("ADHOC1", Severity.ERROR, "msg")],
+        )
+        doc = sarif_dict(report)
+        assert doc["runs"][0]["tool"]["driver"]["rules"] == [{"id": "ADHOC1"}]
+
+    def test_multiple_reports_share_one_run(self):
+        reports = [self._report(), LintReport(subject="other", diagnostics=[
+            Diagnostic("DFA303", Severity.ERROR, "infeasible"),
+        ])]
+        doc = sarif_dict(reports)
+        assert len(doc["runs"]) == 1
+        assert len(doc["runs"][0]["results"]) == 3
+        fqns = {
+            r["locations"][0]["logicalLocations"][0]["fullyQualifiedName"]
+            for r in doc["runs"][0]["results"]
+        }
+        assert "other" in fqns  # bare subject when no location
+
+    def test_render_sarif_round_trips_through_json(self):
+        parsed = json.loads(render_sarif(self._report()))
+        assert parsed == sarif_dict(self._report())
+
+    def test_real_lint_run_renders(self):
+        report = lint_circuit(_d2_race_circuit(), only=["DFA301"])
+        doc = sarif_dict(report)
+        assert any(
+            r["ruleId"] == "DFA301" for r in doc["runs"][0]["results"]
+        )

@@ -170,3 +170,47 @@ class TestMerge:
         top.merge(build_chain(), prefix="b")
         assert "a/P0" in top.size_table and "b/P0" in top.size_table
         assert len(top.stages) == 4
+
+
+class TestInputPhases:
+    """Primary-input phase declarations feeding ERC101 and the DFA3xx
+    dataflow lattices."""
+
+    def test_declare_and_read_back(self):
+        c = build_chain()
+        c.declare_input_phase("in", "mono_rise")
+        assert c.input_phase("in") == "mono_rise"
+        assert c.input_phase("mid") is None  # undeclared nets stay None
+
+    def test_unknown_net_rejected(self):
+        c = build_chain()
+        with pytest.raises(CircuitError, match="unknown net"):
+            c.declare_input_phase("nope", "mono_rise")
+
+    def test_unknown_phase_rejected(self):
+        c = build_chain()
+        with pytest.raises(CircuitError, match="unknown input phase"):
+            c.declare_input_phase("in", "rising")
+
+    def test_builder_passthrough(self):
+        builder = MacroBuilder("m", TECH)
+        builder.input("a", phase="mono_fall")
+        builder.input("b")
+        c = builder.done()
+        assert c.input_phase("a") == "mono_fall"
+        assert c.input_phase("b") is None
+
+    def test_merge_maps_and_preserves_declarations(self):
+        top = Circuit("top")
+        top.add_net("in")
+        top.declare_input_phase("in", "steady")
+        sub = build_chain()
+        sub.declare_input_phase("in", "async")
+        top.merge(sub, prefix="u0")
+        # Shared boundary net: the existing declaration wins.
+        assert top.input_phase("in") == "steady"
+        top2 = Circuit("top2")
+        sub2 = build_chain()
+        sub2.declare_input_phase("in", "async")
+        mapping = top2.merge(sub2, prefix="u0")
+        assert top2.input_phase(mapping["in"]) == "async"

@@ -148,3 +148,60 @@ class TestLintCommand:
         out = capsys.readouterr().out
         assert code == 0
         assert "waived" in out
+
+
+class TestLintDataflow:
+    def test_dataflow_prints_interval_verdicts(self, capsys):
+        code = main([
+            "lint", "mux", "4",
+            "--topology", "mux/strong_mutex_passgate", "--dataflow",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "interval STA" in out
+
+    def test_dataflow_impossible_delay_proves_infeasible(self, capsys):
+        code = main([
+            "lint", "mux", "4",
+            "--topology", "mux/strong_mutex_passgate",
+            "--dataflow", "--delay", "1",
+        ])
+        out = capsys.readouterr().out
+        assert code == 1  # DFA303 errors: findings exit code
+        assert "provably-infeasible" in out
+
+    def test_dataflow_json_carries_verdicts(self, capsys):
+        import json
+
+        code = main([
+            "lint", "mux", "4",
+            "--topology", "mux/strong_mutex_passgate",
+            "--dataflow", "--json",
+        ])
+        payload = json.loads(capsys.readouterr().out)
+        assert code == 0
+        verdicts = payload[-1]["interval_sta"]
+        assert verdicts[0]["verdict"] in ("provably-feasible", "unknown")
+        assert verdicts[0]["circuit"]
+
+    def test_sarif_output_is_valid_sarif(self, capsys):
+        import json
+
+        code = main([
+            "lint", "mux", "4",
+            "--topology", "mux/strong_mutex_passgate",
+            "--dataflow", "--sarif", "--delay", "1",
+        ])
+        doc = json.loads(capsys.readouterr().out)
+        assert code == 1
+        assert doc["version"] == "2.1.0"
+        assert any(
+            r["ruleId"] == "DFA303" for r in doc["runs"][0]["results"]
+        )
+
+    def test_help_documents_exit_codes(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["lint", "--help"])
+        out = capsys.readouterr().out
+        assert "exit codes" in out
+        assert "2 = usage error" in out
