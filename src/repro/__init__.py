@@ -30,14 +30,21 @@ from .core import (
     explore_topologies,
 )
 from . import obs
+from .cache import SizingCache
 from .macros import MacroDatabase, MacroGenerator, MacroSpec, default_database
 from .models import GENERIC_130, GENERIC_180, ModelLibrary, Technology
+from .parallel import SweepPoint, SweepResult, build_grid, run_sweep
 from .sizing import DelaySpec, SizingError, SizingResult, SmartSizer
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 __all__ = [
     "obs",
+    "SizingCache",
+    "SweepPoint",
+    "SweepResult",
+    "build_grid",
+    "run_sweep",
     "SmartAdvisor",
     "AdvisorReport",
     "CandidateResult",

@@ -1,0 +1,30 @@
+"""Content-addressed persistent sizing cache.
+
+Pairs a canonical circuit fingerprint (:mod:`repro.netlist.fingerprint`)
+with context (models/objective/solver) and spec fingerprints to address a
+JSONL store of sizing envs.  Exact hits are re-verified by the engine's STA
+check loop before reuse; near hits warm-start the GP solve.  See DESIGN.md
+("Sizing cache") for the key composition and the soundness argument.
+"""
+
+from .fingerprint import (
+    CacheKey,
+    circuit_fingerprint,
+    context_fingerprint,
+    make_entry,
+    sizing_cache_key,
+    spec_fingerprint,
+)
+from .store import FORMAT, CacheStats, SizingCache
+
+__all__ = [
+    "CacheKey",
+    "CacheStats",
+    "FORMAT",
+    "SizingCache",
+    "circuit_fingerprint",
+    "context_fingerprint",
+    "make_entry",
+    "sizing_cache_key",
+    "spec_fingerprint",
+]

@@ -104,12 +104,66 @@ def build_parser() -> argparse.ArgumentParser:
         "advise", help="explore all topologies for a spec", parents=[obs_parent]
     )
     _add_common(advise)
+    advise.add_argument(
+        "--workers", type=int, default=1,
+        help="size candidate topologies across this many processes",
+    )
+    advise.add_argument(
+        "--cache", metavar="FILE",
+        help="persistent JSONL sizing cache (created if missing)",
+    )
+
+    sweep = sub.add_parser(
+        "sweep",
+        help="advise a spec grid (macro x width x delay) in parallel",
+        parents=[obs_parent],
+        epilog=(
+            "exit codes: 0 = every point found a feasible best, "
+            "1 = some point infeasible or errored"
+        ),
+    )
+    sweep.add_argument(
+        "--macro", action="append", required=True,
+        help="macro type to sweep (repeatable)",
+    )
+    sweep.add_argument(
+        "--widths", default="4,8",
+        help="comma-separated bit widths",
+    )
+    sweep.add_argument(
+        "--delays", default="250,400",
+        help="comma-separated delay budgets, ps",
+    )
+    sweep.add_argument(
+        "--workers", type=int, default=1,
+        help="advise grid points across this many processes",
+    )
+    sweep.add_argument(
+        "--cache", metavar="FILE",
+        help="persistent JSONL sizing cache shared across the sweep",
+    )
+    sweep.add_argument(
+        "--out", metavar="FILE",
+        help="write the smart-sweep/1 JSON artifact",
+    )
+    sweep.add_argument("--load", type=float, default=20.0,
+                       help="output load, fF")
+    sweep.add_argument(
+        "--cost", default="area", choices=["area", "power", "clock", "area+clock"]
+    )
+    sweep.add_argument("--input-slope", type=float, default=30.0)
+    sweep.add_argument("--tolerance", type=float, default=2.0,
+                       help="sizing convergence tolerance, ps")
 
     size = sub.add_parser(
         "size", help="size one topology", parents=[obs_parent]
     )
     _add_common(size)
     size.add_argument("--topology", required=True)
+    size.add_argument(
+        "--cache", metavar="FILE",
+        help="persistent JSONL sizing cache (created if missing)",
+    )
     size.add_argument(
         "--report", action="store_true",
         help="print the full timing/slope report for the solution",
@@ -385,8 +439,58 @@ def _run_lint(args: argparse.Namespace, advisor: SmartAdvisor) -> int:
     return 0 if all(r.ok for r in reports) else 1
 
 
+def _run_sweep(args: argparse.Namespace, advisor: SmartAdvisor) -> int:
+    import json as _json
+
+    from .obs import json_sanitize
+    from .parallel import build_grid, run_sweep
+
+    try:
+        widths = [int(w) for w in args.widths.split(",") if w.strip()]
+        delays = [float(d) for d in args.delays.split(",") if d.strip()]
+    except ValueError as exc:
+        emit(f"error: bad grid axis: {exc}")
+        return 2
+    if not widths or not delays:
+        emit("error: --widths and --delays must each name at least one value")
+        return 2
+
+    grid = build_grid(args.macro, widths, delays)
+    result = run_sweep(
+        grid,
+        workers=args.workers,
+        cache=advisor.cache,
+        database=advisor.database,
+        tech=advisor.tech,
+        output_load=args.load,
+        input_slope=args.input_slope,
+        cost=args.cost,
+        tolerance=args.tolerance,
+    )
+    emit(result.render())
+    if args.out:
+        payload = _json.dumps(
+            json_sanitize(result.to_json()), indent=2, sort_keys=True
+        )
+        try:
+            with open(args.out, "w") as fh:
+                fh.write(payload + "\n")
+        except OSError as exc:
+            emit(f"error: cannot write artifact: {exc}")
+            return 1
+        log.info("wrote sweep artifact: %s", args.out)
+    return 0 if result.complete else 1
+
+
 def _run_command(args: argparse.Namespace) -> int:
-    advisor = SmartAdvisor()
+    cache = None
+    if getattr(args, "cache", None):
+        from .cache import SizingCache
+
+        cache = SizingCache(args.cache)
+        if len(cache):
+            log.info("loaded %d cached sizings from %s", len(cache), args.cache)
+    advisor = SmartAdvisor(cache=cache)
 
     if args.command == "lint":
         return _run_lint(args, advisor)
@@ -396,12 +500,23 @@ def _run_command(args: argparse.Namespace) -> int:
             emit(f"{generator.name:<34} {generator.description}")
         return 0
 
+    if args.command == "sweep":
+        return _run_sweep(args, advisor)
+
     spec = _spec_from_args(args)
     constraints = _constraints_from_args(args)
 
     if args.command == "advise":
-        report = advisor.advise(spec, constraints)
+        report = advisor.advise(spec, constraints, workers=args.workers)
         emit(report.render())
+        if advisor.cache is not None and advisor.cache.stats.lookups:
+            emit(
+                "cache: "
+                + ", ".join(
+                    f"{k}={v}"
+                    for k, v in sorted(advisor.cache.stats.as_dict().items())
+                )
+            )
         return 0 if report.best is not None else 1
 
     if args.command == "savings":

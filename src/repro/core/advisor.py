@@ -15,8 +15,9 @@ Given a macro instance (spec) and its local design constraints, the advisor:
 
 from __future__ import annotations
 
-from typing import Iterable, Optional
+from typing import Iterable, List, Optional
 
+from ..cache.store import SizingCache
 from ..macros.base import MacroDatabase, MacroGenerator, MacroSpec
 from ..macros.registry import default_database
 from ..models.gates import ModelLibrary
@@ -37,17 +38,24 @@ PRUNE_FACTOR = 4.0
 
 
 class SmartAdvisor:
-    """Top-level designer-facing entry point."""
+    """Top-level designer-facing entry point.
+
+    ``cache`` (a :class:`repro.cache.SizingCache`) is threaded into every
+    sizer the advisor creates: exact hits skip the GP loop after an STA
+    re-verification, near hits warm-start it.
+    """
 
     def __init__(
         self,
         database: Optional[MacroDatabase] = None,
         tech: Optional[Technology] = None,
         library: Optional[ModelLibrary] = None,
+        cache: Optional[SizingCache] = None,
     ):
         self.database = database or default_database()
         self.library = library or ModelLibrary(tech or Technology())
         self.tech = self.library.tech
+        self.cache = cache
 
     # -- design-space pruning ---------------------------------------------------
 
@@ -68,8 +76,15 @@ class SmartAdvisor:
         constraints: DesignConstraints,
         topologies: Optional[Iterable[str]] = None,
         sizing_tolerance: float = 2.0,
+        workers: int = 1,
     ) -> AdvisorReport:
-        """Run the full Figure-1 flow; returns the comparison report."""
+        """Run the full Figure-1 flow; returns the comparison report.
+
+        ``workers > 1`` sizes the candidate topologies in a process pool
+        (one task per topology, results in deterministic database order,
+        worker trace spans grafted into this process's trace).  Falls back
+        to the inline path when the inputs cannot cross a process boundary.
+        """
         if topologies is None:
             generators = self.database.applicable(spec)
         else:
@@ -82,13 +97,21 @@ class SmartAdvisor:
             macro=report.macro,
             metric=constraints.cost,
             candidates=len(generators),
+            workers=max(1, workers),
         ) as sp:
-            for generator in generators:
-                report.candidates.append(
+            candidates = None
+            if workers > 1 and len(generators) > 1:
+                candidates = self._advise_parallel(
+                    generators, spec, constraints, sizing_tolerance, workers
+                )
+            if candidates is None:
+                candidates = [
                     self._try_topology(
                         generator, spec, constraints, sizing_tolerance
                     )
-                )
+                    for generator in generators
+                ]
+            report.candidates.extend(candidates)
             best = report.best
             sp.set_attrs(
                 feasible=len(report.feasible),
@@ -121,11 +144,56 @@ class SmartAdvisor:
                 self.library,
                 objective=constraints.cost,
                 otb_borrow=constraints.otb_borrow,
+                cache=self.cache,
             )
             result = sizer.size(constraints.to_delay_spec(), tolerance=tolerance)
         return circuit, result
 
     # -- internals --------------------------------------------------------------------
+
+    def _advise_parallel(
+        self,
+        generators: List[MacroGenerator],
+        spec: MacroSpec,
+        constraints: DesignConstraints,
+        tolerance: float,
+        workers: int,
+    ) -> Optional[List["CandidateResult"]]:
+        """Fan candidate topologies across a process pool.
+
+        Returns ``None`` when the pool cannot be used (unpicklable inputs,
+        no fork support) — the caller then runs the inline path.  Imported
+        lazily: :mod:`repro.parallel.pool` imports this module at top level.
+        """
+        from ..parallel.pool import (
+            CandidateTask,
+            absorb_outcomes,
+            run_candidates,
+        )
+
+        tasks = [
+            CandidateTask(
+                topology=generator.name,
+                spec=spec,
+                constraints=constraints,
+                tolerance=tolerance,
+            )
+            for generator in generators
+        ]
+        outcomes = run_candidates(
+            tasks,
+            workers=workers,
+            database=self.database,
+            tech=self.tech,
+            cache=self.cache,
+        )
+        if outcomes is None:
+            log.info(
+                "advise %s: process pool unavailable, sizing inline",
+                f"{spec.macro_type}[{spec.width}]",
+            )
+            return None
+        return absorb_outcomes(outcomes, cache=self.cache)
 
     def _lint_gate(self, circuit) -> Optional[str]:
         """Pre-sizing lint gate: structural + family ERC rules.
@@ -266,6 +334,7 @@ class SmartAdvisor:
             objective=constraints.cost,
             otb_borrow=constraints.otb_borrow,
             pre_screen=False,  # the advisor already ran the interval screen
+            cache=self.cache,
         )
         try:
             sizing = sizer.size(constraints.to_delay_spec(), tolerance=tolerance)

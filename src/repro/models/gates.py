@@ -359,6 +359,10 @@ class ModelLibrary:
     def register(self, kind: StageKind, model: StageModel) -> None:
         self._models[kind] = model
 
+    def registered_models(self) -> Dict[StageKind, StageModel]:
+        """Stage-kind -> model mapping (read-only view for fingerprinting)."""
+        return dict(self._models)
+
     def model(self, stage: Stage) -> StageModel:
         try:
             return self._models[stage.kind]

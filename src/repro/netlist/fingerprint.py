@@ -1,0 +1,123 @@
+"""Content-addressed circuit fingerprinting.
+
+A fingerprint is a stable SHA-256 digest of everything that determines a
+circuit's *sizing problem*: the stage graph (kinds, pin wiring and
+classification, structural params), the nets (kinds, fixed caps, wire
+resistance), the size table (bounds, pins, ratio ties) and the declared
+interface (primary inputs/outputs, input phases, clock).  Two circuits with
+the same fingerprint produce byte-identical constraint sets, so a sizing
+result computed for one is valid for the other — the foundation of the
+persistent sizing cache in :mod:`repro.cache`.
+
+Properties:
+
+* **order-independent** — stages and nets are serialized sorted by name, so
+  the digest does not depend on construction order (pin order *within* a
+  stage is kept: it is semantic — domino leg grouping, NAND stack order);
+* **name-blind at the circuit level** — ``circuit.name`` is excluded, so a
+  regenerated macro with a cosmetic rename still hits the cache;
+* **canonical floats** — values pass through ``repr`` via JSON, which is
+  deterministic for a given Python build.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import Any, Dict, List
+
+from .circuit import Circuit
+
+#: Bump when the serialized form below changes shape, so stale cache entries
+#: from older builds can never alias a new fingerprint.
+FINGERPRINT_VERSION = 1
+
+
+def _canonical_param(value: Any) -> Any:
+    """Normalize a stage param into a JSON-stable shape."""
+    if isinstance(value, (list, tuple)):
+        return [_canonical_param(v) for v in value]
+    if isinstance(value, bool) or value is None:
+        return value
+    if isinstance(value, (int, float, str)):
+        return value
+    return repr(value)
+
+
+def circuit_payload(circuit: Circuit) -> Dict[str, Any]:
+    """The canonical (JSON-ready) form the fingerprint hashes.
+
+    Exposed separately so tests and debugging tools can diff two payloads
+    when fingerprints unexpectedly disagree.
+    """
+    stages: List[Dict[str, Any]] = []
+    for stage in sorted(circuit.stages, key=lambda s: s.name):
+        stages.append(
+            {
+                "name": stage.name,
+                "kind": stage.kind.value,
+                "inputs": [
+                    [
+                        pin.name,
+                        pin.net.name,
+                        pin.pin_class.value,
+                        pin.speed.value if pin.speed is not None else None,
+                        bool(pin.inverted),
+                    ]
+                    for pin in stage.inputs
+                ],
+                "output": stage.output.name,
+                "size_vars": {
+                    role: stage.size_vars[role]
+                    for role in sorted(stage.size_vars)
+                },
+                "params": {
+                    key: _canonical_param(stage.params[key])
+                    for key in sorted(stage.params)
+                },
+            }
+        )
+    nets = [
+        [
+            net.name,
+            net.kind.value,
+            net.wire_cap,
+            net.external_load,
+            net.wire_res,
+        ]
+        for net in sorted(circuit.nets.values(), key=lambda n: n.name)
+    ]
+    size_vars = [
+        [
+            var.name,
+            var.lower,
+            var.upper,
+            var.pinned,
+            list(var.ratio_of) if var.ratio_of is not None else None,
+        ]
+        for var in sorted(circuit.size_table, key=lambda v: v.name)
+    ]
+    return {
+        "version": FINGERPRINT_VERSION,
+        "stages": stages,
+        "nets": nets,
+        "size_vars": size_vars,
+        "primary_inputs": sorted(circuit.primary_inputs),
+        "primary_outputs": sorted(circuit.primary_outputs),
+        "input_phases": {
+            net: circuit.input_phases[net]
+            for net in sorted(circuit.input_phases)
+        },
+        "clock": circuit.clock,
+    }
+
+
+def circuit_fingerprint(circuit: Circuit) -> str:
+    """Stable, order-independent SHA-256 hex digest of a circuit."""
+    blob = json.dumps(
+        circuit_payload(circuit),
+        sort_keys=True,
+        separators=(",", ":"),
+        allow_nan=False,
+    )
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()

@@ -48,6 +48,7 @@ from .trace import (
     add_attrs,
     event,
     get_tracer,
+    json_sanitize,
     load_jsonl,
     span,
     tracing_scope,
@@ -66,6 +67,7 @@ __all__ = [
     "add_attrs",
     "get_tracer",
     "tracing_scope",
+    "json_sanitize",
     "load_jsonl",
     "Counter",
     "Gauge",

@@ -30,10 +30,37 @@ reconstruct the hierarchy from ``parent`` ids.
 from __future__ import annotations
 
 import json
+import math
 import time
 from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Any, Dict, Iterator, List, Optional, Sequence, Union
+
+
+def json_sanitize(obj: Any) -> Any:
+    """Replace non-finite floats with string sentinels, recursively.
+
+    ``json.dumps`` happily emits ``Infinity``/``NaN``, which are *not* JSON —
+    strict parsers (``json.loads(..., parse_constant=...)``, ``jq``, most
+    non-Python consumers) reject them.  Engine telemetry legitimately carries
+    such values (``worst_violation=inf`` before the first measurement,
+    ``gp_objective=nan`` on an infeasible retarget), so every JSON export
+    boundary routes through this sanitizer.  Sentinels are strings — the sign
+    and NaN-ness survive a round trip — and finite payloads pass unchanged.
+    """
+    if isinstance(obj, float):
+        if math.isnan(obj):
+            return "NaN"
+        if obj == math.inf:
+            return "Infinity"
+        if obj == -math.inf:
+            return "-Infinity"
+        return obj
+    if isinstance(obj, dict):
+        return {key: json_sanitize(value) for key, value in obj.items()}
+    if isinstance(obj, (list, tuple)):
+        return [json_sanitize(value) for value in obj]
+    return obj
 
 
 @dataclass
@@ -125,6 +152,13 @@ class NullTracer:
     def add_attrs(self, **attrs: Any) -> None:
         return None
 
+    def graft(
+        self,
+        spans: Sequence["SpanRecord"],
+        events: Sequence["EventRecord"] = (),
+    ) -> None:
+        return None
+
     def current(self) -> _NullSpan:
         return _NULL_SPAN
 
@@ -210,6 +244,62 @@ class Tracer:
     def current(self) -> Union[SpanRecord, _NullSpan]:
         return self._stack[-1] if self._stack else _NULL_SPAN
 
+    def graft(
+        self,
+        spans: Sequence[SpanRecord],
+        events: Sequence[EventRecord] = (),
+    ) -> None:
+        """Merge a subtrace recorded by *another* tracer (typically a worker
+        process) under the innermost open span.
+
+        Span ids are re-numbered into this tracer's id space; subtrace roots
+        are re-parented onto the current span; depths are offset to nest
+        correctly.  Times are rebased so the subtrace *ends* at this tracer's
+        current clock — worker wall-time stays truthful, only its placement
+        on the parent's axis is approximate (the fork/join skew is not
+        recoverable from the records alone).
+        """
+        spans = list(spans)
+        events = list(events)
+        if not spans and not events:
+            return
+        anchor = self._stack[-1] if self._stack else None
+        anchor_id = anchor.span_id if anchor else None
+        depth0 = len(self._stack)
+        offset = self._next_id
+        ids = {s.span_id for s in spans}
+        t_max = max(
+            [s.t_end if s.t_end is not None else s.t_start for s in spans]
+            + [e.t for e in events]
+        )
+        shift = self._now() - t_max
+        for s in spans:
+            record = SpanRecord(
+                span_id=s.span_id + offset,
+                parent_id=(
+                    s.parent_id + offset if s.parent_id in ids else anchor_id
+                ),
+                name=s.name,
+                depth=s.depth + depth0,
+                t_start=s.t_start + shift,
+                t_end=s.t_end + shift if s.t_end is not None else None,
+                attrs=dict(s.attrs),
+            )
+            self.spans.append(record)
+            self._order.append(record)
+        for e in events:
+            record = EventRecord(
+                name=e.name,
+                t=e.t + shift,
+                span_id=(
+                    e.span_id + offset if e.span_id in ids else anchor_id
+                ),
+                attrs=dict(e.attrs),
+            )
+            self.events.append(record)
+            self._order.append(record)
+        self._next_id = offset + (max(ids) + 1 if ids else 0)
+
     # -- export ------------------------------------------------------------
 
     def jsonl_lines(self) -> Iterator[str]:
@@ -221,7 +311,7 @@ class Tracer:
             }
         )
         for record in self._order:
-            yield json.dumps(record.to_json(), default=str)
+            yield json.dumps(json_sanitize(record.to_json()), default=str)
 
     def write_jsonl(self, path: str) -> None:
         with open(path, "w") as fh:

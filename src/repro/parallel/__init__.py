@@ -1,0 +1,23 @@
+"""Multi-process execution for the advisor and spec-grid sweeps.
+
+* :mod:`repro.parallel.pool` — per-topology candidate sizing across a
+  process pool, with deterministic result ordering, worker-trace grafting,
+  and single-writer cache merging.
+* :mod:`repro.parallel.sweep` — per-(macro, width, delay) advisor runs over
+  a spec grid, sharing one sizing cache across the whole sweep.
+"""
+
+from .pool import CandidateOutcome, CandidateTask, absorb_outcomes, run_candidates
+from .sweep import PointResult, SweepPoint, SweepResult, build_grid, run_sweep
+
+__all__ = [
+    "CandidateOutcome",
+    "CandidateTask",
+    "PointResult",
+    "SweepPoint",
+    "SweepResult",
+    "absorb_outcomes",
+    "build_grid",
+    "run_candidates",
+    "run_sweep",
+]

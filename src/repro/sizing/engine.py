@@ -30,6 +30,8 @@ import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Mapping, Optional, Tuple
 
+from ..cache.fingerprint import CacheKey, make_entry, sizing_cache_key
+from ..cache.store import SizingCache
 from ..models.gates import ModelLibrary, Transition
 from ..netlist.circuit import Circuit
 from ..obs import metrics, trace
@@ -96,6 +98,7 @@ class SizingResult:
     prune_stats: Optional[object] = None
     runtime_s: float = 0.0            # wall-time of the whole Figure-4 loop
     gp_fallback_count: int = 0        # infeasible-retarget GP recoveries
+    cache_hit: str = ""               # "" | "exact" | "warm"
 
     @property
     def worst_slack(self) -> float:
@@ -236,6 +239,11 @@ class SmartSizer:
         single path when the spec is provably unreachable over the whole
         size box.  Sound: the screen only rejects specs whose first GP
         round is mathematically infeasible.
+    cache:
+        Optional :class:`repro.cache.SizingCache`.  Exact hits (same
+        circuit/context/spec fingerprints) are re-verified against the STA
+        before reuse; near hits (same circuit and context, different spec)
+        warm-start the GP.  Converged results are stored back.
     """
 
     def __init__(
@@ -249,12 +257,14 @@ class SmartSizer:
         analysis_library: Optional[ModelLibrary] = None,
         gp_method: str = "slsqp",
         pre_screen: bool = True,
+        cache: Optional[SizingCache] = None,
     ):
         self.circuit = circuit
         self.library = library
         self.objective = objective
         self.otb_borrow = otb_borrow
         self.pre_screen = pre_screen
+        self.cache = cache
         self.max_paths = max_paths
         #: Above this raw path count, switch from enumerate-then-prune to
         #: representative extraction (pruning applied during the walk).
@@ -263,8 +273,27 @@ class SmartSizer:
         #: models than the GP's — the paper's PathMill-vs-posynomial split.
         #: Defaults to the GP's own library.
         self.analyzer = StaticTimingAnalyzer(circuit, analysis_library or library)
+        self._analysis_library = analysis_library
         #: Convex solver for the inner GP ("slsqp" or "barrier").
         self.gp_method = gp_method
+        self._cache_key: Optional[CacheKey] = None
+        self._cache_hit_runtime = 0.0
+
+    def cache_key(self, spec: DelaySpec, tolerance: float = 2.0) -> CacheKey:
+        """Content address of the :meth:`size` problem this sizer would solve
+        for ``spec`` at ``tolerance`` (see :mod:`repro.cache.fingerprint`)."""
+        return sizing_cache_key(
+            self.circuit,
+            self.library,
+            spec,
+            analysis_library=self._analysis_library,
+            objective=self.objective,
+            otb_borrow=self.otb_borrow,
+            gp_method=self.gp_method,
+            max_paths=self.max_paths,
+            enumeration_threshold=self.enumeration_threshold,
+            tolerance=tolerance,
+        )
 
     # -- objective -----------------------------------------------------------
 
@@ -330,6 +359,7 @@ class SmartSizer:
                 spec, tolerance, max_outer_iterations, prune, initial
             )
             result.runtime_s = time.perf_counter() - t_start
+            self._cache_settle(result, spec, tolerance)
             run_span.set_attrs(
                 converged=result.converged,
                 iterations=result.iterations,
@@ -345,6 +375,35 @@ class SmartSizer:
                 result.worst_violation, result.area, result.runtime_s,
             )
             return result
+
+    def _cache_settle(
+        self, result: SizingResult, spec: DelaySpec, tolerance: float
+    ) -> None:
+        """Post-run cache bookkeeping: credit the wall-time an exact hit
+        saved (cached solve time minus the re-verification STA pass), or
+        store a freshly converged result."""
+        if self.cache is None:
+            return
+        if result.cache_hit == "exact":
+            saved = max(0.0, self._cache_hit_runtime - result.runtime_s)
+            self.cache.stats.wall_saved_s += saved
+            metrics.histogram("cache.wall_saved_s").observe(saved)
+            return
+        if result.converged and self._cache_key is not None:
+            self.cache.put(
+                make_entry(
+                    self._cache_key,
+                    circuit_name=self.circuit.name,
+                    objective=self.objective,
+                    spec_data=spec.data,
+                    tolerance=tolerance,
+                    env=result.widths,
+                    iterations=result.iterations,
+                    area=result.area,
+                    runtime_s=result.runtime_s,
+                )
+            )
+            metrics.counter("cache.stores").inc()
 
     def _extract(self, prune: bool) -> PruneResult:
         """Path extraction + Section-5.2 reduction (one Figure-4 front end).
@@ -474,6 +533,83 @@ class SmartSizer:
                 f"{self.circuit.name}: no timing constraints were generated"
             )
 
+        cache_mode = ""
+        self._cache_key = None
+        self._cache_hit_runtime = 0.0
+        if self.cache is not None:
+            self._cache_key = key = self.cache_key(spec, tolerance)
+            entry = self.cache.get(key.key)
+            if entry is not None:
+                with trace.span("cache_verify", key=key.key[:12]):
+                    verified = self._verify_cached(
+                        entry, spec, tolerance, constraints
+                    )
+                if verified is not None:
+                    hit_env, hit_realized, hit_worst, hit_name = verified
+                    self.cache.stats.exact_hits += 1
+                    metrics.counter("cache.exact_hits").inc()
+                    self._cache_hit_runtime = float(
+                        entry.get("runtime_s", 0.0)
+                    )
+                    trace.add_attrs(cache_hit="exact")
+                    log.info(
+                        "%s: cache hit verified (residual %.2f ps), "
+                        "skipping GP loop",
+                        self.circuit.name, hit_worst,
+                    )
+                    resolved = self.circuit.size_table.resolve(hit_env)
+                    return SizingResult(
+                        circuit_name=self.circuit.name,
+                        widths=dict(hit_env),
+                        resolved=resolved,
+                        converged=True,
+                        iterations=0,
+                        area=self.circuit.total_width(resolved),
+                        clock_load=self.circuit.clock_load_width(resolved),
+                        worst_violation=max(0.0, hit_worst),
+                        realized=hit_realized,
+                        specs={c.name: c.spec for c in constraints.timing},
+                        history=[],
+                        prune_stats=prune_result.stats,
+                        cache_hit="exact",
+                    )
+                self.cache.stats.verify_failures += 1
+                metrics.counter("cache.verify_failures").inc()
+                log.warning(
+                    "%s: cached sizing failed STA re-verification; "
+                    "re-solving from scratch",
+                    self.circuit.name,
+                )
+            if env is None:
+                near = self.cache.nearest(
+                    key.circuit_fp, key.context_fp, spec.data
+                )
+                if near is not None:
+                    cache_mode = "warm"
+                    # Tolerant conversion: the GP's _initial_point drops
+                    # anything unusable, so a partly-bad cached env still
+                    # warm-starts with whatever survives.
+                    env = {}
+                    for name, value in dict(near.get("env", {})).items():
+                        try:
+                            env[str(name)] = float(value)
+                        except (TypeError, ValueError):
+                            continue
+                    self.cache.stats.warm_hits += 1
+                    metrics.counter("cache.warm_hits").inc()
+                    trace.add_attrs(cache_hit="warm")
+                    log.debug(
+                        "%s: warm-starting GP from cached env for spec "
+                        "%.1f ps",
+                        self.circuit.name, float(near.get("spec_data", 0.0)),
+                    )
+                else:
+                    self.cache.stats.misses += 1
+                    metrics.counter("cache.misses").inc()
+            else:
+                self.cache.stats.misses += 1
+                metrics.counter("cache.misses").inc()
+
         # GP pre-solve gate: fail fast on malformed or trivially-infeasible
         # programs instead of burning solver iterations on them.
         gp_lint = self._lint_gp(constraints)
@@ -562,6 +698,11 @@ class SmartSizer:
                         f"{spec.data:.1f} ps (GP reported {solution.message})"
                     )
                 env = solution.env
+                if solution.status != "infeasible":
+                    # Back inside the feasible region: restore full mismatch
+                    # correction so one bad retarget doesn't slow every
+                    # remaining iteration.
+                    damping = 1.0
 
                 with trace.span("sta"):
                     report = self.analyzer.analyze(
@@ -639,9 +780,60 @@ class SmartSizer:
             history=history,
             prune_stats=prune_result.stats,
             gp_fallback_count=gp_fallbacks,
+            cache_hit=cache_mode,
         )
 
     # -- helpers -----------------------------------------------------------------
+
+    def _verify_cached(
+        self,
+        entry: Mapping[str, object],
+        spec: DelaySpec,
+        tolerance: float,
+        constraints: ConstraintSet,
+    ) -> Optional[Tuple[Dict[str, float], Dict[str, float], float, str]]:
+        """Re-verify a cached env against this run's own STA and constraint
+        set (the cache is an accelerator, never an oracle).
+
+        The check is the engine's own convergence criterion: every timing
+        constraint's realized delay within ``tolerance`` of its spec, measured
+        with true slope propagation.  Returns ``(env, realized, worst
+        violation, worst constraint)`` on success, ``None`` on any mismatch —
+        malformed env, missing free labels, or a residual over tolerance.
+        """
+        free = set(self.circuit.size_table.free_names())
+        env: Dict[str, float] = {}
+        for name, value in dict(entry.get("env", {})).items():
+            try:
+                width = float(value)  # type: ignore[arg-type]
+            except (TypeError, ValueError):
+                return None
+            if not math.isfinite(width) or width <= 0.0:
+                return None
+            env[str(name)] = width
+        if not free.issubset(env):
+            return None
+        env = {name: env[name] for name in sorted(free)}
+        report = self.analyzer.analyze(env, input_slope=spec.input_slope)
+        slope_map = self._slope_map(report)
+        realized: Dict[str, float] = {}
+        worst_violation = -math.inf
+        worst_name = ""
+        for constraint in constraints.timing:
+            measured = self.analyzer.path_delay(
+                constraint.hops,
+                env,
+                input_slope=spec.input_slope,
+                net_slopes=slope_map,
+            )
+            realized[constraint.name] = measured
+            violation = measured - constraint.spec
+            if violation > worst_violation:
+                worst_violation = violation
+                worst_name = constraint.name
+        if worst_violation > tolerance:
+            return None
+        return env, realized, worst_violation, worst_name
 
     def _build_gp(
         self, constraints: ConstraintSet, multipliers: Mapping[str, float]

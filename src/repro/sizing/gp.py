@@ -281,14 +281,25 @@ class GeometricProgram:
         upper: np.ndarray,
         initial: Optional[Mapping[str, float]],
     ) -> np.ndarray:
-        y0 = (lower + upper) / 2.0
         # Default: geometric middle biased toward small sizes, which is where
         # minimum-area optima live.
-        y0 = np.maximum(lower, np.minimum(upper, lower + 0.25 * (upper - lower)))
+        y0 = lower + 0.25 * (upper - lower)
         if initial:
+            # Warm starts come from caches and prior iterations, so tolerate
+            # anything: unknown names are dropped, non-numeric / non-finite /
+            # non-positive values ignored, out-of-bounds values clamped into
+            # the (log-space) box instead of poisoning the solve.
             for name, value in initial.items():
-                if name in index and value > 0:
-                    y0[index[name]] = math.log(value)
+                i = index.get(name)
+                if i is None:
+                    continue
+                try:
+                    value = float(value)
+                except (TypeError, ValueError):
+                    continue
+                if not math.isfinite(value) or value <= 0.0:
+                    continue
+                y0[i] = min(upper[i], max(lower[i], math.log(value)))
         return np.clip(y0, lower, upper)
 
     def _phase1(

@@ -1,0 +1,110 @@
+"""Engine + cache integration: exact hits, warm starts, verify fallback."""
+
+import pytest
+
+from repro.cache import SizingCache
+from repro.sizing import DelaySpec, SmartSizer
+from repro.sizing.engine import nominal_delay
+
+
+@pytest.fixture
+def spec(small_mux, library):
+    return DelaySpec(data=0.9 * nominal_delay(small_mux, library))
+
+
+class TestExactHit:
+    def test_second_solve_skips_gp(self, small_mux, library, spec):
+        cache = SizingCache()
+        first = SmartSizer(small_mux, library, cache=cache).size(spec)
+        assert first.converged and first.cache_hit == ""
+        assert cache.stats.misses == 1 and cache.stats.stores == 1
+
+        second = SmartSizer(small_mux, library, cache=cache).size(spec)
+        assert second.cache_hit == "exact"
+        assert second.iterations == 0
+        assert second.converged
+        assert cache.stats.exact_hits == 1
+        for name, width in first.widths.items():
+            assert second.widths[name] == pytest.approx(width, abs=1e-9)
+        assert second.area == pytest.approx(first.area, abs=1e-9)
+
+    def test_hit_still_meets_spec_per_sta(self, small_mux, library, spec):
+        cache = SizingCache()
+        SmartSizer(small_mux, library, cache=cache).size(spec)
+        hit = SmartSizer(small_mux, library, cache=cache).size(spec)
+        assert hit.worst_violation <= 2.0
+
+    def test_wall_saved_accounted(self, small_mux, library, spec, tmp_path):
+        path = str(tmp_path / "cache.jsonl")
+        SmartSizer(small_mux, library, cache=SizingCache(path)).size(spec)
+        cache = SizingCache(path)
+        SmartSizer(small_mux, library, cache=cache).size(spec)
+        assert cache.stats.wall_saved_s >= 0.0
+
+
+class TestWarmStart:
+    def test_near_spec_warm_starts(self, small_mux, library, spec):
+        cache = SizingCache()
+        SmartSizer(small_mux, library, cache=cache).size(spec)
+        near = DelaySpec(data=spec.data * 1.05)
+        result = SmartSizer(small_mux, library, cache=cache).size(near)
+        assert result.cache_hit == "warm"
+        assert result.converged
+        assert cache.stats.warm_hits == 1
+
+    def test_caller_initial_beats_warm_start(self, small_mux, library, spec):
+        cache = SizingCache()
+        baseline = SmartSizer(small_mux, library, cache=cache).size(spec)
+        near = DelaySpec(data=spec.data * 1.05)
+        result = SmartSizer(small_mux, library, cache=cache).size(
+            near, initial=baseline.widths
+        )
+        assert result.cache_hit == ""
+        assert cache.stats.warm_hits == 0
+
+
+class TestVerifyFallback:
+    def test_poisoned_entry_is_resolved_fresh(self, small_mux, library, spec):
+        """A cache hit whose env fails the STA re-check must not be trusted:
+        the engine re-solves and the poisoned entry is replaced."""
+        cache = SizingCache()
+        sizer = SmartSizer(small_mux, library, cache=cache)
+        good = sizer.size(spec)
+        key = sizer.cache_key(spec)
+        poisoned = dict(cache.get(key.key))
+        # minimum-everywhere sizes cannot meet a sub-nominal spec
+        poisoned["env"] = {
+            name: small_mux.size_table[name].lower
+            for name in good.widths
+        }
+        cache.put(poisoned)
+
+        result = SmartSizer(small_mux, library, cache=cache).size(spec)
+        assert result.cache_hit != "exact"
+        assert result.converged
+        assert cache.stats.verify_failures == 1
+        for name, width in good.widths.items():
+            assert result.widths[name] == pytest.approx(width, abs=1e-6)
+
+    def test_malformed_env_rejected(self, small_mux, library, spec):
+        cache = SizingCache()
+        sizer = SmartSizer(small_mux, library, cache=cache)
+        sizer.size(spec)
+        key = sizer.cache_key(spec)
+        broken = dict(cache.get(key.key))
+        broken["env"] = {"P1": "not-a-number"}
+        cache.put(broken)
+        result = SmartSizer(small_mux, library, cache=cache).size(spec)
+        assert result.converged
+        assert cache.stats.verify_failures == 1
+
+
+class TestKeyScoping:
+    def test_objective_change_misses(self, small_mux, library, spec):
+        cache = SizingCache()
+        SmartSizer(small_mux, library, objective="area", cache=cache).size(spec)
+        result = SmartSizer(
+            small_mux, library, objective="power", cache=cache
+        ).size(spec)
+        assert result.cache_hit != "exact"
+        assert cache.stats.exact_hits == 0

@@ -133,6 +133,160 @@ class TestJsonlRoundTrip:
         assert "inner" in summary
 
 
+class TestNonFiniteSanitization:
+    """``json.dumps`` happily emits ``Infinity``/``NaN``, which strict JSON
+    parsers reject — the engine's first iteration records
+    ``worst_violation=inf`` and the infeasible-retarget branch records
+    ``gp_objective=nan``, so the export boundary must sanitize them."""
+
+    def _strict(self, text):
+        def reject(token):
+            raise ValueError(f"non-compliant JSON token: {token}")
+
+        return json.loads(text, parse_constant=reject)
+
+    def test_jsonl_lines_are_strict_json(self):
+        tracer = Tracer()
+        with tracer.span("iteration", residual=float("inf")):
+            tracer.event(
+                "iteration_record",
+                gp_objective=float("nan"),
+                residual=float("inf"),
+                slack=float("-inf"),
+            )
+        for line in tracer.jsonl_lines():
+            self._strict(line)
+
+    def test_sentinels_round_trip(self, tmp_path):
+        tracer = Tracer()
+        with tracer.span("size"):
+            tracer.event(
+                "iteration_record",
+                gp_objective=float("nan"),
+                residual=float("inf"),
+            )
+        path = str(tmp_path / "t.jsonl")
+        tracer.write_jsonl(path)
+        with open(path) as fh:
+            for line in fh:
+                self._strict(line)
+        dump = load_jsonl(path)
+        assert dump.events[0].attrs == {
+            "gp_objective": "NaN", "residual": "Infinity"
+        }
+
+    def test_json_sanitize_recurses(self):
+        from repro.obs import json_sanitize
+
+        assert json_sanitize(
+            {"a": float("inf"), "b": [float("nan"), {"c": float("-inf")}],
+             "d": 1.5, "e": "text"}
+        ) == {"a": "Infinity", "b": ["NaN", {"c": "-Infinity"}],
+              "d": 1.5, "e": "text"}
+
+    def test_infeasible_retarget_trace_is_strict_json(
+        self, tmp_path, monkeypatch
+    ):
+        """End-to-end: a run that takes the infeasible-retarget branch (the
+        nan/inf producer) must still emit a strictly parseable trace."""
+        from repro.macros import MacroSpec, default_database
+        from repro.models import ModelLibrary, Technology
+        from repro.sizing import DelaySpec, SmartSizer
+        from repro.sizing.gp import GeometricProgram, GPInfeasibleError
+
+        tech = Technology()
+        circuit = default_database().generate(
+            "mux/strong_mutex_passgate", MacroSpec("mux", 4, output_load=30.0),
+            tech,
+        )
+        calls = {"n": 0}
+        real_solve = GeometricProgram.solve
+
+        def flaky_solve(self, *args, **kwargs):
+            index = calls["n"]
+            calls["n"] += 1
+            if index == 1:
+                raise GPInfeasibleError("injected")
+            return real_solve(self, *args, **kwargs)
+
+        monkeypatch.setattr(GeometricProgram, "solve", flaky_solve)
+        with tracing_scope() as tracer:
+            SmartSizer(
+                circuit, ModelLibrary(tech), pre_screen=False
+            ).size(
+                DelaySpec(data=400.0), tolerance=-1e9, max_outer_iterations=3
+            )
+        statuses = [
+            e.attrs.get("gp_status")
+            for e in tracer.events
+            if e.name == "iteration_record"
+        ]
+        assert "infeasible-retarget" in statuses
+        for line in tracer.jsonl_lines():
+            self._strict(line)
+
+
+class TestGraft:
+    def test_subtrace_nests_under_open_span(self):
+        worker = Tracer()
+        with worker.span("topology"):
+            with worker.span("gp_solve"):
+                pass
+            worker.event("iteration_record", iteration=0)
+
+        parent = Tracer()
+        with parent.span("advise") as advise:
+            parent.graft(worker.spans, worker.events)
+        by_name = {s.name: s for s in parent.spans}
+        assert by_name["topology"].parent_id == advise.span_id
+        assert by_name["topology"].depth == 1
+        assert by_name["gp_solve"].parent_id == by_name["topology"].span_id
+        assert by_name["gp_solve"].depth == 2
+        assert len(parent.events) == 1
+        assert parent.events[0].span_id == by_name["topology"].span_id
+
+    def test_ids_do_not_collide(self):
+        worker = Tracer()
+        with worker.span("w"):
+            pass
+        parent = Tracer()
+        with parent.span("p"):
+            parent.graft(worker.spans)
+            with parent.span("after"):
+                pass
+        ids = [s.span_id for s in parent.spans]
+        assert len(ids) == len(set(ids))
+
+    def test_times_rebased_within_parent(self):
+        worker = Tracer()
+        with worker.span("w"):
+            pass
+        parent = Tracer()
+        with parent.span("p") as p:
+            parent.graft(worker.spans)
+        grafted = next(s for s in parent.spans if s.name == "w")
+        assert grafted.t_start >= 0.0
+        assert grafted.t_end <= p.t_end
+
+    def test_graft_at_root_allowed(self):
+        worker = Tracer()
+        with worker.span("w"):
+            pass
+        parent = Tracer()
+        parent.graft(worker.spans)
+        grafted = parent.spans[0]
+        assert grafted.parent_id is None
+        assert grafted.depth == 0
+
+    def test_empty_graft_is_noop(self):
+        parent = Tracer()
+        parent.graft([], [])
+        assert parent.spans == []
+
+    def test_null_tracer_graft_is_noop(self):
+        NULL_TRACER.graft([], [])
+
+
 class TestGlobalTracer:
     def test_disabled_by_default(self):
         assert isinstance(trace.get_tracer(), NullTracer)

@@ -142,6 +142,102 @@ class TestMeasurementHelpers:
             spec_from_measurement({})
 
 
+class TestRetargetClamp:
+    """The "new delay specification" multipliers are clamped to [0.3, 1.5]
+    so one wildly mis-modeled path cannot swing the next GP round."""
+
+    @staticmethod
+    def _retarget_for(measured, predicted, spec=100.0, damping=1.0):
+        from repro.posy import const
+        from repro.sizing.constraints import ConstraintSet, TimingConstraint
+
+        constraints = ConstraintSet(
+            timing=[
+                TimingConstraint(
+                    name="p0", delay=const(predicted), spec=spec,
+                    kind="data", hops=(),
+                )
+            ]
+        )
+        sizer = SmartSizer.__new__(SmartSizer)  # _retarget needs no state
+        return sizer._retarget(constraints, {"p0": measured}, {}, damping)
+
+    def test_over_tight_clamped_low(self):
+        # measured far above prediction -> target would go negative
+        assert self._retarget_for(measured=500.0, predicted=10.0) == {
+            "p0": 0.3
+        }
+
+    def test_over_loose_clamped_high(self):
+        # measured far below prediction -> target would balloon
+        assert self._retarget_for(measured=1.0, predicted=200.0) == {
+            "p0": 1.5
+        }
+
+    def test_small_mismatch_passes_through(self):
+        mult = self._retarget_for(measured=105.0, predicted=100.0)["p0"]
+        assert mult == pytest.approx(0.95)
+
+    def test_damping_halves_correction(self):
+        full = self._retarget_for(measured=110.0, predicted=100.0)["p0"]
+        half = self._retarget_for(
+            measured=110.0, predicted=100.0, damping=0.5
+        )["p0"]
+        assert 1.0 - half == pytest.approx((1.0 - full) / 2.0)
+
+    def test_matched_path_skipped(self):
+        assert self._retarget_for(measured=100.0, predicted=100.0) == {}
+
+
+class TestDampingReset:
+    def test_damping_restored_after_feasible_solve(
+        self, small_mux, library, monkeypatch
+    ):
+        """After an infeasible-retarget recovery (damping halved), the next
+        *feasible* solve must restore damping to 1.0 — otherwise every later
+        iteration corrects mismatches at half strength and convergence drags."""
+        from repro.sizing.gp import GeometricProgram, GPInfeasibleError
+
+        nom = nominal_delay(small_mux, library)
+        calls = {"n": 0}
+        real_solve = GeometricProgram.solve
+
+        def flaky_solve(self, *args, **kwargs):
+            index = calls["n"]
+            calls["n"] += 1
+            if index == 1:
+                raise GPInfeasibleError("injected infeasibility")
+            return real_solve(self, *args, **kwargs)
+
+        damping_seen = []
+        real_retarget = SmartSizer._retarget
+
+        def spy_retarget(self, constraints, realized, env, damping):
+            damping_seen.append(damping)
+            return real_retarget(self, constraints, realized, env, damping)
+
+        monkeypatch.setattr(GeometricProgram, "solve", flaky_solve)
+        monkeypatch.setattr(SmartSizer, "_retarget", spy_retarget)
+
+        # tolerance=-inf forbids convergence so every feasible iteration
+        # retargets: it0 optimal, it1 injected-infeasible, it2 optimal
+        result = SmartSizer(small_mux, library, pre_screen=False).size(
+            DelaySpec(data=nom), tolerance=-1e9, max_outer_iterations=3
+        )
+        assert result.gp_fallback_count == 1
+        assert damping_seen[0] == 1.0
+        assert len(damping_seen) == 2
+        assert damping_seen[1] == 1.0
+
+    def test_iteration_counts_do_not_regress(self, small_mux, library):
+        """The Figure-4 loop still converges in few iterations (the damping
+        reset must not destabilize the plain path)."""
+        nom = nominal_delay(small_mux, library)
+        result = SmartSizer(small_mux, library).size(DelaySpec(data=0.9 * nom))
+        assert result.converged
+        assert result.iterations <= 4
+
+
 class TestPruningIntegration:
     def test_prune_stats_attached(self, small_mux, library):
         nom = nominal_delay(small_mux, library)

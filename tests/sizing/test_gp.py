@@ -152,3 +152,43 @@ class TestSolutionIntrospection:
         gp.set_bounds("x", 0.01, 100.0)
         sol = gp.solve(initial={"x": 1.0})
         assert sol.env["x"] == pytest.approx(1.0, rel=1e-3)
+
+
+class TestWarmStartRobustness:
+    """``initial`` comes from caches and earlier iterations, so the solver
+    must tolerate stale names, out-of-box values, and junk."""
+
+    def _gp(self):
+        gp = GeometricProgram(var("x") + 1.0 / var("x"))
+        gp.set_bounds("x", 0.5, 100.0)
+        return gp
+
+    def test_unknown_names_dropped(self):
+        sol = self._gp().solve(initial={"x": 1.0, "gone_label": 7.0})
+        assert sol.optimal
+        assert sol.env["x"] == pytest.approx(1.0, rel=1e-3)
+
+    def test_out_of_bounds_value_clamped(self):
+        # 1e6 is far above the upper bound; the solve must still succeed
+        sol = self._gp().solve(initial={"x": 1e6})
+        assert sol.optimal
+        assert 0.5 - 1e-6 <= sol.env["x"] <= 100.0 + 1e-6
+
+    def test_below_lower_bound_clamped(self):
+        sol = self._gp().solve(initial={"x": 1e-9})
+        assert sol.optimal
+
+    def test_nonfinite_values_ignored(self):
+        sol = self._gp().solve(
+            initial={"x": float("nan"), "y": float("inf")}
+        )
+        assert sol.optimal
+        assert sol.env["x"] == pytest.approx(1.0, rel=1e-3)
+
+    def test_non_numeric_values_ignored(self):
+        sol = self._gp().solve(initial={"x": "not-a-width", "y": None})
+        assert sol.optimal
+
+    def test_negative_values_ignored(self):
+        sol = self._gp().solve(initial={"x": -3.0})
+        assert sol.optimal
