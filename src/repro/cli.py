@@ -260,6 +260,22 @@ def build_parser() -> argparse.ArgumentParser:
              "and report its provably-infeasible/feasible/unknown verdict",
     )
     lint.add_argument(
+        "--symbolic", action="store_true",
+        help="also run the switch-level SVC4xx group: functional "
+             "equivalence vs the golden spec, drive fights, floating "
+             "nets, sneak paths, slice isomorphism",
+    )
+    lint.add_argument(
+        "--exact-budget", type=int, default=None, metavar="N",
+        help="--symbolic: enumerate exhaustively up to N inputs "
+             "(default 10), sample above",
+    )
+    lint.add_argument(
+        "--samples", type=int, default=None, metavar="N",
+        help="--symbolic: random assignments above the exact budget "
+             "(default 64)",
+    )
+    lint.add_argument(
         "--sarif", action="store_true",
         help="emit SARIF 2.1.0 instead of text (for CI code-scanning upload)",
     )
@@ -316,7 +332,14 @@ def main(argv: Optional[List[str]] = None) -> int:
 def _run_lint(args: argparse.Namespace, advisor: SmartAdvisor) -> int:
     import json as _json
 
-    from .lint import all_rules, lint_circuit, load_waivers, render_text
+    from .lint import (
+        ALL_CIRCUIT_GROUPS,
+        CIRCUIT_GROUPS,
+        all_rules,
+        lint_circuit,
+        load_waivers,
+        render_text,
+    )
     from .lint.reporters import report_dict
 
     if args.list_rules:
@@ -326,6 +349,9 @@ def _run_lint(args: argparse.Namespace, advisor: SmartAdvisor) -> int:
                 f"{rule_obj.id:<8} {str(rule_obj.severity):<8} "
                 f"{rule_obj.group:<10} {rule_obj.title}"
             )
+            doc_line = rule_obj.doc.splitlines()[0] if rule_obj.doc else ""
+            if doc_line:
+                emit(f"{'':28s}{doc_line}")
         return 0
     if args.macro is None or args.width is None:
         emit("error: lint needs MACRO and WIDTH (or --list-rules)")
@@ -351,9 +377,23 @@ def _run_lint(args: argparse.Namespace, advisor: SmartAdvisor) -> int:
             )
             return 2
         # build(), not generate(): lint must reach circuits that would fail
-        # the generator's own validation gate.
+        # the generator's own validation gate.  The golden spec is attached
+        # manually for the same reason.
         circuit = generator.build(spec, advisor.tech)
-        reports.append(lint_circuit(circuit, waivers=waivers))
+        circuit.functional_spec = generator.functional_spec(spec)
+        groups = CIRCUIT_GROUPS
+        options = {}
+        if args.symbolic:
+            groups = ALL_CIRCUIT_GROUPS
+            if args.exact_budget is not None:
+                options["symbolic_exact_budget"] = args.exact_budget
+            if args.samples is not None:
+                options["symbolic_samples"] = args.samples
+        reports.append(
+            lint_circuit(
+                circuit, groups=groups, waivers=waivers, options=options
+            )
+        )
         if args.dataflow:
             from .core.constraints import DesignConstraints
             from .lint import screen_feasibility

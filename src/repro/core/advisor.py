@@ -195,18 +195,35 @@ class SmartAdvisor:
             return None
         return absorb_outcomes(outcomes, cache=self.cache)
 
+    #: Symbolic-gate enumeration budgets: small enough that the switch-level
+    #: check stays a few percent of one GP solve, large enough to catch the
+    #: systematic wiring errors SVC401/SVC402 exist for.
+    _SYMBOLIC_GATE_OPTIONS = {
+        "symbolic_exact_budget": 8,
+        "symbolic_samples": 12,
+    }
+
     def _lint_gate(self, circuit) -> Optional[str]:
-        """Pre-sizing lint gate: structural + family ERC rules.
+        """Pre-sizing lint gate: structural + family ERC rules, plus the
+        switch-level SVC4xx group when the generator attached a golden
+        functional spec.
 
         Returns a one-line failure reason when the circuit has lint errors
         (fail fast — an electrically broken candidate would only waste GP
         iterations), ``None`` when clean.  Warnings are logged through
         ``repro.obs`` and do not block sizing.
         """
-        from ..lint.runner import lint_circuit
+        from ..lint.runner import ALL_CIRCUIT_GROUPS, CIRCUIT_GROUPS, lint_circuit
 
+        groups = (
+            ALL_CIRCUIT_GROUPS
+            if getattr(circuit, "functional_spec", None) is not None
+            else CIRCUIT_GROUPS
+        )
         with trace.span("lint_gate", circuit=circuit.name) as sp:
-            report = lint_circuit(circuit)
+            report = lint_circuit(
+                circuit, groups=groups, options=self._SYMBOLIC_GATE_OPTIONS
+            )
             sp.set_attrs(
                 errors=len(report.errors), warnings=len(report.warnings)
             )

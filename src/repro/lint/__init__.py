@@ -15,6 +15,11 @@ surfaces:
   (:mod:`repro.lint.dataflow`): clock-phase and monotonicity propagation
   closing the ERC10x rules' local-cone blind spots, plus the interval-STA
   pre-GP feasibility prover (:func:`screen_feasibility`);
+* **symbolic verification** (``SVC4xx``) — switch-level symbolic analysis
+  (:mod:`repro.lint.symbolic`): functional equivalence against golden
+  macro specs, drive-fight/sneak-path proofs, floating-node detection and
+  bit-slice isomorphism certification.  Opt-in (``repro lint --symbolic``
+  or ``groups=("symbolic",)``) because it enumerates the input space;
 * **GP pre-solve** (``GP2xx``) — well-formedness and feasibility screening
   of a :class:`~repro.sizing.gp.GeometricProgram` before the solver runs.
 
@@ -35,11 +40,12 @@ from .dataflow.interval import IntervalScreenResult, screen_feasibility
 from .diagnostics import Diagnostic, LintError, LintReport, Location, Severity
 from .registry import Rule, all_rules, get_rule, rules_in_groups
 from .reporters import render_json, render_sarif, render_text, sarif_dict
-from .runner import CIRCUIT_GROUPS, lint_circuit
+from .runner import ALL_CIRCUIT_GROUPS, CIRCUIT_GROUPS, lint_circuit
 from .rules_gp import lint_gp
 from .waivers import Waiver, load_waivers, parse_waivers
 
 __all__ = [
+    "ALL_CIRCUIT_GROUPS",
     "CIRCUIT_GROUPS",
     "Diagnostic",
     "ForwardAnalysis",

@@ -7,6 +7,7 @@ plus a number that never changes meaning once released:
 * ``ERC0xx`` — structural electrical rule checks (netlist hygiene);
 * ``ERC1xx`` — circuit-family semantics (Section 4: domino, pass, tristate);
 * ``DFA3xx`` — whole-circuit dataflow analyses (:mod:`repro.lint.dataflow`);
+* ``SVC4xx`` — switch-level symbolic verification (:mod:`repro.lint.symbolic`);
 * ``CST1xx`` — constraint-coverage / pruning-certificate verification;
 * ``GP2xx``  — geometric-program pre-solve checks.
 
@@ -25,7 +26,7 @@ from typing import Callable, Dict, Iterable, List, Optional
 from .diagnostics import Severity
 
 #: Known rule groups, in report order.
-GROUPS = ("structural", "family", "dataflow", "coverage", "gp")
+GROUPS = ("structural", "family", "dataflow", "symbolic", "coverage", "gp")
 
 
 @dataclass(frozen=True)
@@ -108,6 +109,7 @@ def _load_builtin_rules() -> None:
     """
     from . import rules_family, rules_structural  # noqa: F401
     from .dataflow import monotone, phase  # noqa: F401
+    from .symbolic import rules  # noqa: F401
 
     try:
         from . import coverage, rules_gp  # noqa: F401

@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import Iterable, Optional, Sequence
+from typing import Iterable, Mapping, Optional, Sequence
 
 from ..netlist.circuit import Circuit
 from ..obs import metrics
@@ -13,16 +13,30 @@ from .waivers import Waiver, apply_waivers
 
 log = get_logger(__name__)
 
-#: Rule groups that operate directly on a :class:`Circuit`.
+#: Rule groups that run on a :class:`Circuit` by default.
 CIRCUIT_GROUPS = ("structural", "family", "dataflow")
+
+#: All circuit-level groups.  ``symbolic`` (the SVC4xx switch-level
+#: verifier) is opt-in: it enumerates the input space, which is orders of
+#: magnitude heavier than the structural passes.
+ALL_CIRCUIT_GROUPS = CIRCUIT_GROUPS + ("symbolic",)
 
 
 class LintContext:
     """What one rule's checker sees: the circuit plus an ``emit`` sink."""
 
-    def __init__(self, circuit: Circuit, rule_obj: Rule, report: LintReport):
+    def __init__(
+        self,
+        circuit: Circuit,
+        rule_obj: Rule,
+        report: LintReport,
+        options: Optional[Mapping[str, object]] = None,
+    ):
         self.circuit = circuit
         self.rule = rule_obj
+        #: Free-form per-run tuning knobs (e.g. the symbolic group's
+        #: enumeration budgets); rules read them with ``.get`` + defaults.
+        self.options: Mapping[str, object] = options or {}
         self._report = report
 
     def emit(
@@ -53,22 +67,27 @@ def lint_circuit(
     groups: Sequence[str] = CIRCUIT_GROUPS,
     waivers: Iterable[Waiver] = (),
     only: Optional[Iterable[str]] = None,
+    options: Optional[Mapping[str, object]] = None,
 ) -> LintReport:
     """Run the circuit rule groups over ``circuit``.
 
     Parameters
     ----------
     groups:
-        Which rule groups to run (subset of :data:`CIRCUIT_GROUPS`).
+        Which rule groups to run (subset of :data:`ALL_CIRCUIT_GROUPS`;
+        the default leaves out the opt-in ``symbolic`` group).
     waivers:
         Suppressions to apply; waived findings stay in the report, marked.
     only:
         Optional allow-list of rule IDs (for targeted re-checks).
+    options:
+        Per-run tuning knobs handed to every rule via
+        :attr:`LintContext.options` (e.g. ``symbolic_exact_budget``).
     """
-    bad = set(groups) - set(CIRCUIT_GROUPS)
+    bad = set(groups) - set(ALL_CIRCUIT_GROUPS)
     if bad:
         raise ValueError(
-            f"lint_circuit runs only {CIRCUIT_GROUPS}, got {sorted(bad)}"
+            f"lint_circuit runs only {ALL_CIRCUIT_GROUPS}, got {sorted(bad)}"
         )
     report = LintReport(subject=circuit.name)
     wanted = set(only) if only is not None else None
@@ -77,7 +96,7 @@ def lint_circuit(
             continue
         if wanted is not None and rule_obj.id not in wanted:
             continue
-        rule_obj.check(LintContext(circuit, rule_obj, report))
+        rule_obj.check(LintContext(circuit, rule_obj, report, options))
     report.diagnostics = apply_waivers(report.diagnostics, waivers)
     metrics.counter("lint.runs").inc()
     if report.errors:

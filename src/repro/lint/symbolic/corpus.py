@@ -1,0 +1,156 @@
+"""CI corpus driver: run the SVC4xx group over the full macro database.
+
+``python -m repro.lint.symbolic.corpus`` sweeps every registered topology
+over a representative width grid (mux widths 2-8, adders up to 16 bits,
+the 32-bit comparator corpus, ...), runs the symbolic rule group on each
+generated circuit, and exits non-zero if any non-waived error survives.
+``--sarif FILE`` writes the combined SARIF 2.1.0 log for code-scanning
+upload; the text summary always goes to stdout.
+
+This is the formal backstop behind the ``symbolic-verify`` CI job: every
+shipped generator must *prove* (or, above the exact budget, sample-test)
+equal to its golden functional spec, with zero drive fights, sneak paths,
+or unexplained floating nets.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from ..diagnostics import LintReport
+from ..runner import lint_circuit
+from ..waivers import load_waivers
+
+#: Width sweep per macro type.  Entries are ``(width, params)``; the driver
+#: skips (generator, spec) pairs the generator declares inapplicable, so the
+#: grid can be generous.
+WIDTH_GRID: Sequence[Tuple[str, int, Tuple[Tuple[str, object], ...]]] = tuple(
+    [("mux", w, ()) for w in range(2, 9)]
+    + [("adder", w, ()) for w in (2, 4, 8, 16)]
+    + [("comparator", 32, ())]
+    + [("incrementor", w, ()) for w in (4, 6, 8)]
+    + [("decrementor", w, ()) for w in (4, 6, 8)]
+    + [("zero_detect", w, ()) for w in (4, 8, 16)]
+    + [("decoder", w, ()) for w in (2, 3, 4, 5)]
+    + [("encoder", w, ()) for w in (2, 3, 4)]
+    + [("shifter", w, ()) for w in (4, 8)]
+    + [
+        ("register_file", w, (("registers", r),))
+        for w, r in ((1, 4), (2, 4), (2, 8))
+    ]
+)
+
+
+def corpus_circuits(grid=WIDTH_GRID) -> Iterable[Tuple[str, object]]:
+    """Yield ``(label, circuit)`` for every applicable (topology, spec) pair
+    in the grid, with golden specs attached via ``generate()``."""
+    from ...macros.base import MacroSpec
+    from ...macros.registry import default_database
+    from ...models.technology import Technology
+
+    tech = Technology()
+    database = default_database()
+    for macro_type, width, params in grid:
+        spec = MacroSpec(macro_type, width, params=params)
+        for generator in database.applicable(spec):
+            label = f"{generator.name}[{width}]"
+            if params:
+                label += "".join(f" {k}={v}" for k, v in params)
+            yield label, generator.generate(spec, tech)
+
+
+def run_corpus(
+    grid=WIDTH_GRID,
+    waivers=(),
+    exact_budget: Optional[int] = None,
+    samples: Optional[int] = None,
+    seed: Optional[int] = None,
+    emit=print,
+) -> List[LintReport]:
+    """Lint every corpus circuit with the symbolic group; return reports."""
+    options = {}
+    if exact_budget is not None:
+        options["symbolic_exact_budget"] = exact_budget
+    if samples is not None:
+        options["symbolic_samples"] = samples
+    if seed is not None:
+        options["symbolic_seed"] = seed
+
+    reports: List[LintReport] = []
+    for label, circuit in corpus_circuits(grid):
+        start = time.perf_counter()
+        report = lint_circuit(
+            circuit, groups=("symbolic",), waivers=waivers, options=options
+        )
+        elapsed = time.perf_counter() - start
+        reports.append(report)
+        status = "ok" if report.ok else "FAIL"
+        emit(
+            f"{status:4s} {label:42s} errors={len(report.errors)} "
+            f"warnings={len(report.warnings)} waived={len(report.waived)} "
+            f"({elapsed:.2f}s)"
+        )
+        for diag in report.diagnostics:
+            if not diag.waived:
+                emit(f"     {diag.format()}")
+    return reports
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.lint.symbolic.corpus",
+        description=(
+            "run SVC401-SVC405 switch-level verification over the full "
+            "default macro database"
+        ),
+        epilog="exit codes: 0 = corpus verified, 1 = non-waived errors",
+    )
+    parser.add_argument(
+        "--sarif", metavar="FILE",
+        help="write combined SARIF 2.1.0 log to FILE",
+    )
+    parser.add_argument(
+        "--waivers", metavar="FILE", help="waiver/suppression file"
+    )
+    parser.add_argument(
+        "--exact-budget", type=int, default=None,
+        help="max inputs for exhaustive enumeration (default 10)",
+    )
+    parser.add_argument(
+        "--samples", type=int, default=None,
+        help="random assignments above the exact budget (default 64)",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=None, help="sampling seed"
+    )
+    args = parser.parse_args(argv)
+
+    waivers = load_waivers(args.waivers) if args.waivers else ()
+    reports = run_corpus(
+        waivers=waivers,
+        exact_budget=args.exact_budget,
+        samples=args.samples,
+        seed=args.seed,
+    )
+
+    if args.sarif:
+        from ..reporters import render_sarif
+
+        with open(args.sarif, "w", encoding="utf-8") as handle:
+            handle.write(render_sarif(reports))
+        print(f"wrote SARIF log: {args.sarif}")
+
+    n_err = sum(len(r.errors) for r in reports)
+    n_warn = sum(len(r.warnings) for r in reports)
+    print(
+        f"corpus: {len(reports)} circuits, {n_err} error(s), "
+        f"{n_warn} warning(s)"
+    )
+    return 0 if n_err == 0 else 1
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via CI
+    sys.exit(main())

@@ -1,0 +1,197 @@
+"""Bit-slice isomorphism certification (the SVC405 analysis).
+
+Regularity merging (:mod:`repro.sizing.pruning`, pass 3) and the
+content-addressed sizing cache both assume that bit slices of a datapath
+macro are *structurally identical up to instance names*: two paths with the
+same (kind, label-signature, pin-class) step sequence are collapsed to one
+GP constraint.  That assumption has never been verified — a generator bug
+that wires one slice differently while reusing the shared size labels would
+silently produce constraints for the wrong circuit.
+
+This module certifies the assumption: for every primary output it computes
+a *canonical cone form* — a Weisfeiler-Leman style iterated refinement hash
+of the output's input cone, blind to net/stage names but sensitive to stage
+kinds, size-label signatures, structural params, pin classes and the
+DAG shape.  Outputs whose cones use the *same multiset of size labels* are
+expected to be isomorphic (they claim, through label sharing, to be copies
+of one slice); a hash disagreement inside such a group is the SVC405
+finding.  The full grouping is exported as a :class:`SliceCertificate` for
+the regularity-merging tests to consume.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from collections import deque
+from dataclasses import dataclass
+from typing import Dict, List, Set, Tuple
+
+from ...netlist.circuit import Circuit
+from ...netlist.stages import Stage
+
+#: WL refinement rounds — enough to separate any non-isomorphic cones this
+#: corpus can produce (diameter of the deepest macro cone is < 64).
+_WL_ROUNDS = 8
+
+
+def _stage_color(circuit: Circuit, stage: Stage) -> str:
+    """Name-blind initial color: kind + canonical label signature + the
+    structural params that change the expansion."""
+    labels = circuit.size_table.regularity_signature(stage.labels())
+    params = []
+    for key in ("series_n", "series_p", "legs", "leg_series", "leg_sizes",
+                "clocked", "skew", "mutex", "keeper"):
+        if key in stage.params:
+            params.append(f"{key}={stage.params[key]!r}")
+    return f"{stage.kind.value}|{','.join(labels)}|{';'.join(params)}"
+
+
+def _cone_stages(circuit: Circuit, output: str) -> List[Stage]:
+    """Every stage in the transitive fan-in cone of ``output``."""
+    seen: Set[str] = set()
+    order: List[Stage] = []
+    frontier = deque(circuit.drivers_of(output))
+    while frontier:
+        stage = frontier.popleft()
+        if stage.name in seen:
+            continue
+        seen.add(stage.name)
+        order.append(stage)
+        for pin in stage.inputs:
+            frontier.extend(circuit.drivers_of(pin.net.name))
+    return order
+
+
+def cone_labels(circuit: Circuit, output: str) -> Tuple[str, ...]:
+    """Sorted multiset of size labels used by the cone of ``output``."""
+    labels: List[str] = []
+    for stage in _cone_stages(circuit, output):
+        labels.extend(stage.labels())
+    return tuple(sorted(labels))
+
+
+def canonical_cone_hash(circuit: Circuit, output: str) -> str:
+    """Canonical form of one output's input cone.
+
+    Iterated refinement: each stage's color absorbs, per round, the sorted
+    multiset of (pin-class, pin-inverted, source-color) triples of its
+    fan-in, where a source is either a driving stage (its current color) or
+    a leaf tag (primary input / clock / undriven).  After ``_WL_ROUNDS``
+    rounds the sorted color multiset — root color first — is hashed.
+    Instance and net names never enter the computation, so isomorphic
+    slices collide and renamed copies are invariant.
+    """
+    cone = _cone_stages(circuit, output)
+    if not cone:
+        return "leaf:" + (
+            "input" if output in circuit.primary_inputs else "undriven"
+        )
+    colors: Dict[str, str] = {
+        stage.name: _stage_color(circuit, stage) for stage in cone
+    }
+    cone_names = set(colors)
+    clock_nets = set(circuit.clock_nets())
+    inputs = set(circuit.primary_inputs)
+    for _ in range(_WL_ROUNDS):
+        new_colors: Dict[str, str] = {}
+        for stage in cone:
+            fanin: List[str] = []
+            for pin in stage.inputs:
+                net = pin.net.name
+                drivers = [
+                    colors[d.name]
+                    for d in circuit.drivers_of(net)
+                    if d.name in cone_names
+                ]
+                if drivers:
+                    source = "+".join(sorted(drivers))
+                elif net in clock_nets:
+                    source = "leaf:clock"
+                elif net in inputs:
+                    source = "leaf:input"
+                else:
+                    source = "leaf:undriven"
+                fanin.append(
+                    f"{pin.pin_class.value}:{int(bool(pin.inverted))}:{source}"
+                )
+            blob = colors[stage.name] + "||" + "|".join(sorted(fanin))
+            new_colors[stage.name] = hashlib.sha256(
+                blob.encode("utf-8")
+            ).hexdigest()[:16]
+        colors = new_colors
+    root_drivers = sorted(
+        colors[d.name]
+        for d in circuit.drivers_of(output)
+        if d.name in cone_names
+    )
+    payload = ",".join(root_drivers) + "#" + ",".join(
+        sorted(colors.values())
+    )
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:16]
+
+
+@dataclass(frozen=True)
+class SliceGroup:
+    """Outputs claiming (via shared labels) to be copies of one slice."""
+
+    labels: Tuple[str, ...]
+    outputs: Tuple[str, ...]
+    cone_hashes: Tuple[str, ...]
+
+    @property
+    def isomorphic(self) -> bool:
+        return len(set(self.cone_hashes)) <= 1
+
+
+@dataclass(frozen=True)
+class SliceCertificate:
+    """The per-macro isomorphism certificate SVC405 emits.
+
+    ``classes`` maps each canonical cone hash to the outputs sharing it;
+    outputs in one class are structurally interchangeable, which is exactly
+    the license regularity merging needs to keep one representative path
+    per signature across slices.
+    """
+
+    circuit: str
+    cone_hash: Dict[str, str]            # output -> canonical hash
+    classes: Dict[str, Tuple[str, ...]]  # canonical hash -> outputs
+    groups: Tuple[SliceGroup, ...]       # label-sharing groups checked
+
+    @property
+    def violations(self) -> Tuple[SliceGroup, ...]:
+        return tuple(g for g in self.groups if not g.isomorphic)
+
+    def certifies(self, *outputs: str) -> bool:
+        """True when all named outputs sit in one isomorphism class."""
+        hashes = {self.cone_hash[o] for o in outputs}
+        return len(hashes) <= 1
+
+
+def slice_certificate(circuit: Circuit) -> SliceCertificate:
+    """Compute the isomorphism certificate for every primary output."""
+    cone_hash = {
+        out: canonical_cone_hash(circuit, out)
+        for out in circuit.primary_outputs
+    }
+    classes: Dict[str, List[str]] = {}
+    for out, digest in cone_hash.items():
+        classes.setdefault(digest, []).append(out)
+    by_labels: Dict[Tuple[str, ...], List[str]] = {}
+    for out in circuit.primary_outputs:
+        by_labels.setdefault(cone_labels(circuit, out), []).append(out)
+    groups = tuple(
+        SliceGroup(
+            labels=labels,
+            outputs=tuple(outs),
+            cone_hashes=tuple(cone_hash[o] for o in outs),
+        )
+        for labels, outs in sorted(by_labels.items())
+        if len(outs) > 1
+    )
+    return SliceCertificate(
+        circuit=circuit.name,
+        cone_hash=cone_hash,
+        classes={h: tuple(outs) for h, outs in classes.items()},
+        groups=groups,
+    )

@@ -1,0 +1,53 @@
+"""Wiring-mutation helpers for verifying the verifier.
+
+The SVC4xx rules are only credible if they catch real generator bugs, so the
+test suite plants one: for every macro family it takes the shipped circuit,
+swaps a single select/data connection, and asserts the mutant is flagged by
+SVC401 (wrong function) or SVC402 (drive fight).  These helpers perform such
+surgical rewires on an already-built :class:`~repro.netlist.circuit.Circuit`
+while keeping its fanout index consistent.
+
+They are *test instrumentation*, not a design API — nothing in the product
+path mutates built circuits.
+"""
+
+from __future__ import annotations
+
+from ...netlist.circuit import Circuit
+from .extract import invalidate_cache
+
+
+def rebind_pin(circuit: Circuit, stage_name: str, pin_name: str, net_name: str) -> None:
+    """Reconnect one input pin of ``stage_name`` to ``net_name``."""
+    stage = circuit.stage(stage_name)
+    for pin in stage.inputs:
+        if pin.name == pin_name:
+            old = pin.net.name
+            pin.net = circuit.net(net_name)
+            _refresh_fanout(circuit, old, net_name)
+            invalidate_cache(circuit)
+            return
+    raise KeyError(f"stage {stage_name} has no pin {pin_name}")
+
+
+def swap_pins(circuit: Circuit, stage_name: str, pin_a: str, pin_b: str) -> None:
+    """Swap the nets of two input pins of one stage (one crossed wire)."""
+    stage = circuit.stage(stage_name)
+    pins = {pin.name: pin for pin in stage.inputs}
+    if pin_a not in pins or pin_b not in pins:
+        raise KeyError(f"stage {stage_name} lacks pins {pin_a}/{pin_b}")
+    a, b = pins[pin_a], pins[pin_b]
+    a.net, b.net = b.net, a.net
+    _refresh_fanout(circuit, a.net.name, b.net.name)
+    invalidate_cache(circuit)
+
+
+def _refresh_fanout(circuit: Circuit, *net_names: str) -> None:
+    """Rebuild the fanout index entries touched by a rewire."""
+    for name in set(net_names):
+        circuit._fanout[name] = [
+            (stage, pin)
+            for stage in circuit.stages
+            for pin in stage.inputs
+            if pin.net.name == name
+        ]

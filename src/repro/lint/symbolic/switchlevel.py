@@ -1,0 +1,380 @@
+"""Bryant-style switch-level steady-state solver.
+
+The verifier needs transistor-level truth, not stage-level truth: a mux with
+swapped select wiring has a perfectly healthy stage graph, and only the
+conducting-path structure of its pull-up / pull-down / pass networks reveals
+the wrong function (or the drive fight).  This module computes, for one
+boolean assignment of the primary inputs, the steady-state value of every
+net of a flat transistor netlist — the core of Bryant's MOSSIM switch-level
+model, specialized to the two strengths this corpus needs (driven > stored
+charge) and a two-phase clock protocol for domino circuits.
+
+Model
+-----
+
+* A transistor is a switch between ``drain`` and ``source``: an NMOS
+  conducts when its gate is 1, a PMOS when its gate is 0; an unknown gate
+  value makes the switch state unknown (it is then neither traversed for
+  value propagation nor trusted to block).
+* ``vdd``/``vss`` and the primary inputs (plus the clock) are *fixed*
+  sources: they hold their value regardless of what conducts into them, and
+  conducting paths are not traced *through* them (an ideal voltage source
+  clamps its node).
+* A net with a definitely-conducting path to a 1-source and none to a
+  0-source is 1 (symmetrically 0).  Paths to both polarities make the net a
+  **conflict** (X) — the raw material for the drive-fight (SVC402) and
+  sneak-path (SVC404) rules.
+* A net with no conducting path to any source keeps its *stored charge*
+  (the value it held at the end of the previous phase) — this is how a
+  domino dynamic node stays high through evaluate when no leg conducts.
+  With no stored charge either, the net **floats** (Z) — SVC403's domain.
+* Keeper devices (the half-latch PMOS and its feedback inverter emitted by
+  the domino expander) are *weak*: they sustain a floating node but never
+  win a fight against the strong network, so ratioed keeper contention is
+  not misreported as a drive fight.
+
+Evaluation is a fixpoint: gate values feed switch states feed net values
+feed gate values.  Values only become *more* defined per iteration except
+through feedback loops, which the iteration cap resolves to X.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Mapping, Optional, Sequence, Set, Tuple
+
+from ...netlist.circuit import Circuit
+from ...netlist.devices import Transistor
+from ...netlist.stages import VDD, VSS, StageKind
+
+#: Device-name suffixes of the weak keeper devices in the domino expander.
+_KEEPER_SUFFIXES = (".mkeep",)
+
+
+@dataclass(frozen=True)
+class Switch:
+    """One transistor viewed as a gated switch between two channel nets."""
+
+    name: str
+    a: str          # drain
+    b: str          # source
+    gate: str
+    on_value: bool  # gate value that makes it conduct (NMOS: 1, PMOS: 0)
+    stage: str
+    weak: bool = False
+
+    def state(self, gate_value: Optional[bool]) -> Optional[bool]:
+        """True = conducting, False = blocked, None = unknown."""
+        if gate_value is None:
+            return None
+        return gate_value == self.on_value
+
+
+class ChannelGraph:
+    """The channel-connected switch network of one circuit.
+
+    Built once per circuit from the flat expansion at unit widths (the
+    boolean behavior is width-independent), then solved once per input
+    assignment.
+    """
+
+    def __init__(self, circuit: Circuit):
+        self.circuit = circuit
+        widths = {label: 1.0 for label in circuit.size_table.names()}
+        devices = circuit.expand_transistors(widths)
+        self.switches: List[Switch] = [self._switch(d) for d in devices]
+        #: net -> indices of switches with a channel terminal on it
+        self.channels: Dict[str, List[int]] = {}
+        for idx, sw in enumerate(self.switches):
+            self.channels.setdefault(sw.a, []).append(idx)
+            self.channels.setdefault(sw.b, []).append(idx)
+        #: Stage kind per stage name (for conflict classification).
+        self.stage_kinds: Dict[str, StageKind] = {
+            s.name: s.kind for s in circuit.stages
+        }
+        self.clock_nets: FrozenSet[str] = frozenset(circuit.clock_nets())
+        self.input_nets: Tuple[str, ...] = tuple(circuit.primary_inputs)
+        #: Every net name appearing in the flat view (includes expander
+        #: internals like stack midpoints that have no Net object).
+        names: Set[str] = {VDD, VSS}
+        names.update(circuit.nets)
+        for sw in self.switches:
+            names.update((sw.a, sw.b, sw.gate))
+        self.net_names: FrozenSet[str] = frozenset(names)
+
+    @staticmethod
+    def _switch(device: Transistor) -> Switch:
+        weak = any(device.name.endswith(sfx) for sfx in _KEEPER_SUFFIXES)
+        return Switch(
+            name=device.name,
+            a=device.drain,
+            b=device.source,
+            gate=device.gate,
+            on_value=device.is_nmos,
+            stage=device.stage,
+            weak=weak,
+        )
+
+    # -- solving ------------------------------------------------------------
+
+    def fixed_values(
+        self, env: Mapping[str, bool], clock: Optional[bool]
+    ) -> Dict[str, bool]:
+        """The clamped source nets for one phase: rails, inputs, clock."""
+        fixed: Dict[str, bool] = {VDD: True, VSS: False}
+        for name in self.input_nets:
+            fixed[name] = bool(env[name])
+        if clock is not None:
+            for name in self.clock_nets:
+                fixed[name] = clock
+        return fixed
+
+    def solve_phase(
+        self,
+        env: Mapping[str, bool],
+        clock: Optional[bool],
+        charge: Optional[Mapping[str, bool]] = None,
+        max_rounds: int = 60,
+    ) -> "PhaseSolution":
+        """Steady state of one clock phase under one input assignment."""
+        fixed = self.fixed_values(env, clock)
+        charge = charge or {}
+        # None = unknown; nets start from their stored charge (weakly).
+        values: Dict[str, Optional[bool]] = {
+            name: fixed.get(name, charge.get(name))
+            for name in self.net_names
+        }
+        conflicts: Dict[str, "Conflict"] = {}
+        floating: Set[str] = set()
+        for _ in range(max_rounds):
+            new_values, conflicts, floating = self._one_round(
+                values, fixed, charge
+            )
+            if new_values == values:
+                break
+            values = new_values
+        else:
+            # Non-convergent feedback: demote every net still moving to X.
+            final, conflicts, floating = self._one_round(values, fixed, charge)
+            for name, val in final.items():
+                if val != values[name]:
+                    values[name] = None
+        return PhaseSolution(
+            values=values, conflicts=conflicts, floating=frozenset(floating)
+        )
+
+    def _one_round(
+        self,
+        values: Dict[str, Optional[bool]],
+        fixed: Mapping[str, bool],
+        charge: Mapping[str, bool],
+    ) -> Tuple[Dict[str, Optional[bool]], Dict[str, "Conflict"], Set[str]]:
+        states = [sw.state(values.get(sw.gate)) for sw in self.switches]
+        reach1 = self._reach(True, states, fixed, weak=False)
+        reach0 = self._reach(False, states, fixed, weak=False)
+        conflicts: Dict[str, Conflict] = {}
+        new_values: Dict[str, Optional[bool]] = {}
+        undriven: List[str] = []
+        for name in self.net_names:
+            if name in fixed:
+                new_values[name] = fixed[name]
+                continue
+            in1, in0 = name in reach1, name in reach0
+            if in1 and in0:
+                new_values[name] = None
+                conflicts[name] = self._conflict(name, states, fixed)
+            elif in1:
+                new_values[name] = True
+            elif in0:
+                new_values[name] = False
+            else:
+                undriven.append(name)
+        # Weak (keeper) drive only matters where the strong network is silent.
+        weak1 = self._reach(True, states, fixed, weak=True)
+        weak0 = self._reach(False, states, fixed, weak=True)
+        floating: Set[str] = set()
+        for name in undriven:
+            w1, w0 = name in weak1, name in weak0
+            if w1 and not w0:
+                new_values[name] = True
+            elif w0 and not w1:
+                new_values[name] = False
+            elif name in charge:
+                new_values[name] = charge[name]
+            else:
+                new_values[name] = None
+                floating.add(name)
+        return new_values, conflicts, floating
+
+    def _reach(
+        self,
+        polarity: bool,
+        states: Sequence[Optional[bool]],
+        fixed: Mapping[str, bool],
+        weak: bool,
+    ) -> Set[str]:
+        """Nets with a definitely-conducting path to a ``polarity`` source.
+
+        ``weak=False`` traverses only strong switches; ``weak=True`` allows
+        keeper switches too (used as a fallback where nothing strong
+        drives).  Traversal never continues *through* a fixed net: sources
+        clamp.
+        """
+        frontier = [name for name, val in fixed.items() if val == polarity]
+        seen: Set[str] = set(frontier)
+        while frontier:
+            net = frontier.pop()
+            for idx in self.channels.get(net, ()):
+                if states[idx] is not True:
+                    continue
+                sw = self.switches[idx]
+                if sw.weak and not weak:
+                    continue
+                other = sw.b if sw.a == net else sw.a
+                if other in seen:
+                    continue
+                seen.add(other)
+                if other not in fixed:
+                    frontier.append(other)
+        return seen
+
+    def _conflict(
+        self,
+        net: str,
+        states: Sequence[Optional[bool]],
+        fixed: Mapping[str, bool],
+    ) -> "Conflict":
+        """Witness paths for a net driven from both polarities."""
+        path1 = self._path_to_source(net, True, states, fixed)
+        path0 = self._path_to_source(net, False, states, fixed)
+        stages: List[str] = []
+        pass_stages: Set[str] = set()
+        for sw in path1 + path0:
+            if sw.stage not in stages:
+                stages.append(sw.stage)
+            if self.stage_kinds.get(sw.stage) is StageKind.PASSGATE:
+                pass_stages.add(sw.stage)
+        return Conflict(
+            net=net,
+            pull_up_path=tuple(sw.name for sw in path1),
+            pull_down_path=tuple(sw.name for sw in path0),
+            stages=tuple(stages),
+            pass_stages=frozenset(pass_stages),
+        )
+
+    def _path_to_source(
+        self,
+        net: str,
+        polarity: bool,
+        states: Sequence[Optional[bool]],
+        fixed: Mapping[str, bool],
+    ) -> List[Switch]:
+        """One conducting switch path from ``net`` back to a source of
+        ``polarity`` (BFS parent reconstruction; empty when none)."""
+        parent: Dict[str, Tuple[str, Switch]] = {}
+        frontier = [net]
+        seen = {net}
+        while frontier:
+            here = frontier.pop(0)
+            for idx in self.channels.get(here, ()):
+                if states[idx] is not True or self.switches[idx].weak:
+                    continue
+                sw = self.switches[idx]
+                other = sw.b if sw.a == here else sw.a
+                if other in seen:
+                    continue
+                seen.add(other)
+                parent[other] = (here, sw)
+                if fixed.get(other) == polarity:
+                    path = [sw]
+                    node = here
+                    while node != net:
+                        node, via = parent[node]
+                        path.append(via)
+                    return path
+                if other not in fixed:
+                    frontier.append(other)
+        return []
+
+
+@dataclass(frozen=True)
+class Conflict:
+    """A net conducting to both rails: the drive-fight/sneak-path witness."""
+
+    net: str
+    pull_up_path: Tuple[str, ...]
+    pull_down_path: Tuple[str, ...]
+    stages: Tuple[str, ...]
+    pass_stages: FrozenSet[str]
+
+    @property
+    def is_sneak_path(self) -> bool:
+        """Both-rail conduction routed through two or more distinct
+        pass-gate stages — a sneak path through the bidirectional pass
+        network rather than a plain PU/PD overlap."""
+        return len(self.pass_stages) >= 2
+
+
+@dataclass
+class PhaseSolution:
+    """Steady state of one phase: net values + anomalies."""
+
+    values: Dict[str, Optional[bool]]
+    conflicts: Dict[str, Conflict] = field(default_factory=dict)
+    floating: FrozenSet[str] = frozenset()
+
+    def value(self, net: str) -> Optional[bool]:
+        return self.values.get(net)
+
+
+@dataclass
+class EvalResult:
+    """Result of evaluating one input assignment end to end."""
+
+    env: Dict[str, bool]
+    evaluate: PhaseSolution
+    precharge: Optional[PhaseSolution] = None
+
+    def output(self, net: str) -> Optional[bool]:
+        return self.evaluate.value(net)
+
+
+def _precharge_env(circuit: Circuit, env: Mapping[str, bool]) -> Dict[str, bool]:
+    """Input values during the precharge phase.
+
+    ``mono_rise`` inputs are low before evaluate, ``mono_fall`` high;
+    everything else (steady / async / undeclared) is modeled at its
+    evaluate value — the solver's single-assignment steady-state view.
+    """
+    pre: Dict[str, bool] = {}
+    for name in circuit.primary_inputs:
+        declared = circuit.input_phase(name)
+        if declared == "mono_rise":
+            pre[name] = False
+        elif declared == "mono_fall":
+            pre[name] = True
+        else:
+            pre[name] = bool(env[name])
+    return pre
+
+
+def evaluate_assignment(
+    graph: ChannelGraph, env: Mapping[str, bool]
+) -> EvalResult:
+    """Solve one input assignment.
+
+    Clocked circuits run the two-phase protocol: settle at clk=0 (the
+    precharge phase charges the dynamic nodes), then solve clk=1 with the
+    precharge steady state as stored charge.  Static circuits solve a
+    single phase with no charge memory.
+    """
+    env = {name: bool(env[name]) for name in graph.input_nets}
+    if not graph.clock_nets:
+        return EvalResult(env=env, evaluate=graph.solve_phase(env, clock=None))
+    pre_env = _precharge_env(graph.circuit, env)
+    pre = graph.solve_phase(pre_env, clock=False)
+    stored = {
+        name: val for name, val in pre.values.items() if val is not None
+    }
+    evaluate = graph.solve_phase(env, clock=True, charge=stored)
+    return EvalResult(env=env, evaluate=evaluate, precharge=pre)

@@ -11,8 +11,11 @@ computed explicitly ("dual-rail"):
   ``p̄`` — each buffered by a high-skew inverter;
 * level 2 (D2): per 4-bit group, lookahead nodes
   ``G = g3 + p3 g2 + p3 p2 g1 + p3 p2 p1 g0``,
-  ``K = k3 + p3 k2 + p3 p2 k1 + p3 p2 p1 k0 + p3 p2 p1 p0`` (``K = Ḡ`` with
-  zero carry-in), ``P = p3 p2 p1 p0`` and ``P̄ = p̄3 + p̄2 + p̄1 + p̄0``;
+  ``A = k3 + p3 k2 + p3 p2 k1 + p3 p2 p1 k0`` (the *absorb* rail
+  ``A = Ḡ·P̄`` — no generate and not all-propagate; the complement-carry
+  recursion is ``c̄_out = A + P·c̄_in``, so the zero-carry-in all-propagate
+  term is added only where a complement carry is actually formed),
+  ``P = p3 p2 p1 p0`` and ``P̄ = p̄3 + p̄2 + p̄1 + p̄0``;
 * level 3 (D2): the same equations over 4 groups per supergroup;
 * level 4 (D2): carry ripple-of-lookahead — carries into each supergroup,
   group and bit on both rails;
@@ -28,15 +31,61 @@ alternative; NAND-majority carry chain plus XOR sums.
 
 from __future__ import annotations
 
-from typing import List, Sequence, Tuple
+import random
+from typing import Dict, List, Sequence, Tuple
 
 from ..models.technology import Technology
 from ..netlist.circuit import Circuit
+from ..netlist.funcspec import Env, FunctionalSpec
 from ..netlist.nets import Net, PinClass
 from .base import MacroBuilder, MacroGenerator, MacroSpec
 
 GROUP = 4          # bits per lookahead group
 SUPER = 4     # groups per supergroup
+
+
+def adder_golden_spec(width: int, has_cin: bool) -> FunctionalSpec:
+    """``{sum, cout} = a + b (+ cin)`` — the golden adder function.  The CLA
+    topology has no carry input (``has_cin=False``); both topologies carry
+    the same ``golden`` marker since cin-less addition is the same function
+    restricted to ``cin = 0``."""
+
+    def total(env: Env) -> int:
+        a = sum(1 << i for i in range(width) if env[f"a{i}"])
+        b = sum(1 << i for i in range(width) if env[f"b{i}"])
+        cin = int(bool(env["cin"])) if has_cin else 0
+        return a + b + cin
+
+    outputs = {
+        f"sum{i}": (lambda env, i=i: bool((total(env) >> i) & 1))
+        for i in range(width)
+    }
+    outputs["cout"] = lambda env: bool((total(env) >> width) & 1)
+
+    def sampler(rng: random.Random) -> Dict[str, bool]:
+        # Bias toward long-carry operands: all-propagate (a XOR b per bit)
+        # half the time, else uniform.
+        env: Dict[str, bool] = {}
+        if rng.getrandbits(1):
+            for i in range(width):
+                env[f"a{i}"] = bool(rng.getrandbits(1))
+                env[f"b{i}"] = not env[f"a{i}"]
+            flip = rng.randrange(width)
+            env[f"b{flip}"] = env[f"a{flip}"]
+        else:
+            for i in range(width):
+                env[f"a{i}"] = bool(rng.getrandbits(1))
+                env[f"b{i}"] = bool(rng.getrandbits(1))
+        if has_cin:
+            env["cin"] = bool(rng.getrandbits(1))
+        return env
+
+    return FunctionalSpec(
+        outputs=outputs,
+        sampler=sampler,
+        golden="adder",
+        notes=f"{width}-bit add{' with cin' if has_cin else ''}",
+    )
 
 
 class DualRailDominoCLA(MacroGenerator):
@@ -52,6 +101,9 @@ class DualRailDominoCLA(MacroGenerator):
             and spec.width >= 16
             and spec.width % 16 == 0
         )
+
+    def functional_spec(self, spec: MacroSpec) -> FunctionalSpec:
+        return adder_golden_spec(spec.width, has_cin=False)
 
     # -- helpers ---------------------------------------------------------------
 
@@ -114,7 +166,16 @@ class DualRailDominoCLA(MacroGenerator):
     def _kill_legs(
         k: Sequence[Net], p: Sequence[Net]
     ) -> List[List[Tuple[Net, PinClass]]]:
-        """``K`` legs: the G-form over kills plus the all-propagate leg."""
+        """Zero-carry-in complement legs: the G-form over absorbs plus the
+        all-propagate leg (``c̄ = A + P·c̄_in`` with ``c̄_in = 1``).
+
+        Only valid where the incoming carry is the constant 0 (the adder's
+        own carry-in).  Mid-chain complement rails must use
+        :meth:`_lookahead_legs` over absorbs and gate the all-propagate leg
+        with the upstream complement carry instead — folding the
+        all-propagate term into the stored rail asserts "no carry" whenever
+        a group merely propagates, which drives both carry rails high when
+        an upstream group generates."""
         legs = DualRailDominoCLA._lookahead_legs(k, p)
         legs.append([(net, PinClass.DATA) for net in reversed(p)])
         return legs
@@ -219,9 +280,11 @@ class DualRailDominoCLA(MacroGenerator):
                     clk, lbl2["G"], clocked=False,
                 )
             )
+            # Absorb rail (no all-propagate leg): consumed by complement-
+            # carry lookaheads whose carry-in is NOT the constant 0.
             K.append(
                 self._domino_pair(
-                    builder, f"K{j}", self._kill_legs(ks, ps),
+                    builder, f"K{j}", self._lookahead_legs(ks, ps),
                     clk, lbl2["K"], clocked=False,
                 )
             )
@@ -257,9 +320,10 @@ class DualRailDominoCLA(MacroGenerator):
                     clk, lbl3["G"], clocked=False,
                 )
             )
+            # Supergroup absorb rail, same convention as the group K rail.
             KS.append(
                 self._domino_pair(
-                    builder, f"KS{s}", self._kill_legs(Ks, Ps),
+                    builder, f"KS{s}", self._lookahead_legs(Ks, Ps),
                     clk, lbl3["K"], clocked=False,
                 )
             )
@@ -402,6 +466,9 @@ class StaticRippleAdder(MacroGenerator):
 
     def applicable(self, spec: MacroSpec) -> bool:
         return spec.macro_type == "adder" and spec.width >= 2
+
+    def functional_spec(self, spec: MacroSpec) -> FunctionalSpec:
+        return adder_golden_spec(spec.width, has_cin=True)
 
     def build(self, spec: MacroSpec, tech: Technology) -> Circuit:
         width = spec.width

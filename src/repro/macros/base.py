@@ -21,6 +21,7 @@ from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 from ..models.technology import Technology
 from ..netlist.circuit import Circuit
+from ..netlist.funcspec import FunctionalSpec
 from ..netlist.nets import Net, NetKind, Pin, PinClass, PinSpeed
 from ..netlist.stages import Stage, StageKind
 from ..netlist.validate import validate_circuit
@@ -90,11 +91,23 @@ class MacroGenerator:
     def build(self, spec: MacroSpec, tech: Technology) -> Circuit:
         raise NotImplementedError
 
+    def functional_spec(self, spec: MacroSpec) -> Optional[FunctionalSpec]:
+        """The golden function of the macro this generator builds for
+        ``spec``, or None when the topology has no reference semantics.
+
+        All topologies of one macro family must return specs with the same
+        ``golden`` marker — the switch-level verifier (SVC401) proves each
+        of them equivalent to that *single* reference function, which is
+        what makes the database's topology choices interchangeable.
+        """
+        return None
+
     def generate(self, spec: MacroSpec, tech: Technology) -> Circuit:
         """Build + validate.  All macros come out of the database clean."""
         if not self.applicable(spec):
             raise ValueError(f"{self.name} cannot implement {spec}")
         circuit = self.build(spec, tech)
+        circuit.functional_spec = self.functional_spec(spec)
         validate_circuit(circuit).raise_if_failed()
         return circuit
 

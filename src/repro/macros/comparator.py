@@ -27,12 +27,40 @@ explore with SMART.
 
 from __future__ import annotations
 
-from typing import List
+import random
+from typing import Dict, List
 
 from ..models.technology import Technology
 from ..netlist.circuit import Circuit
+from ..netlist.funcspec import Env, FunctionalSpec
 from ..netlist.nets import Net, PinClass
 from .base import MacroBuilder, MacroGenerator, MacroSpec
+
+
+def comparator_golden_spec(width: int) -> FunctionalSpec:
+    """``equal = (a == b)`` with a sampler biased toward (near-)equal
+    operands: uniform sampling at width 32 would essentially never exercise
+    the equal case, leaving half of the truth table untested."""
+
+    def equal(env: Env) -> bool:
+        return all(bool(env[f"a{i}"]) == bool(env[f"b{i}"]) for i in range(width))
+
+    def sampler(rng: random.Random) -> Dict[str, bool]:
+        env = {f"a{i}": bool(rng.getrandbits(1)) for i in range(width)}
+        mode = rng.randrange(3)
+        for i in range(width):
+            env[f"b{i}"] = env[f"a{i}"] if mode else bool(rng.getrandbits(1))
+        if mode == 2:  # near miss: exactly one differing bit
+            flip = rng.randrange(width)
+            env[f"b{flip}"] = not env[f"b{flip}"]
+        return env
+
+    return FunctionalSpec(
+        outputs={"equal": equal},
+        sampler=sampler,
+        golden="comparator",
+        notes=f"{width}-bit equality",
+    )
 
 
 class TwoPhaseDominoComparator(MacroGenerator):
@@ -65,6 +93,9 @@ class TwoPhaseDominoComparator(MacroGenerator):
         if self.final == "nand2":
             return n_nor == 2
         return n_nor == 1
+
+    def functional_spec(self, spec: MacroSpec) -> FunctionalSpec:
+        return comparator_golden_spec(spec.width)
 
     def build(self, spec: MacroSpec, tech: Technology) -> Circuit:
         width = spec.width

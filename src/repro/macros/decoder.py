@@ -16,8 +16,33 @@ from typing import List, Sequence, Tuple
 
 from ..models.technology import Technology
 from ..netlist.circuit import Circuit
+from ..netlist.funcspec import Env, FunctionalSpec
 from ..netlist.nets import Net, PinClass
 from .base import MacroBuilder, MacroGenerator, MacroSpec
+
+
+def decoder_golden_spec(n: int) -> FunctionalSpec:
+    """``o_code = (a == code)`` — total over the full input space."""
+
+    def address(env: Env) -> int:
+        return sum(1 << bit for bit in range(n) if env[f"a{bit}"])
+
+    outputs = {
+        f"o{code}": (lambda env, code=code: address(env) == code)
+        for code in range(1 << n)
+    }
+    return FunctionalSpec(
+        outputs=outputs,
+        golden="decoder",
+        notes=f"{n}:{1 << n} one-hot decode",
+    )
+
+
+class _DecoderGenerator(MacroGenerator):
+    """Shared golden-spec hook for the decoder topologies."""
+
+    def functional_spec(self, spec: MacroSpec) -> FunctionalSpec:
+        return decoder_golden_spec(spec.width)
 
 
 def _complement_rank(
@@ -44,7 +69,7 @@ def _minterm_nets(rails: Sequence[Tuple[Net, Net]], code: int) -> List[Net]:
     return nets
 
 
-class FlatStaticDecoder(MacroGenerator):
+class FlatStaticDecoder(_DecoderGenerator):
     """One wide NAND per output."""
 
     name = "decoder/flat_static"
@@ -73,7 +98,7 @@ class FlatStaticDecoder(MacroGenerator):
         return builder.done()
 
 
-class PredecodedDecoder(MacroGenerator):
+class PredecodedDecoder(_DecoderGenerator):
     """Two-level decode through one-hot predecode bundles."""
 
     name = "decoder/predecoded"
@@ -147,7 +172,7 @@ class PredecodedDecoder(MacroGenerator):
         return builder.done()
 
 
-class DominoDecoder(MacroGenerator):
+class DominoDecoder(_DecoderGenerator):
     """One domino AND node per output."""
 
     name = "decoder/domino"

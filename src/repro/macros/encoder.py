@@ -19,13 +19,43 @@ from typing import List
 
 from ..models.technology import Technology
 from ..netlist.circuit import Circuit
+from ..netlist.funcspec import Env, FunctionalSpec
 from ..netlist.nets import Net, PinClass
 from ..netlist.stages import StageKind
 from .base import MacroBuilder, MacroGenerator, MacroSpec
 from .zero_detect import _chunk_sizes, _speeds
 
 
-class StaticTreeEncoder(MacroGenerator):
+def encoder_golden_spec(n: int) -> FunctionalSpec:
+    """``o_b = OR of inputs whose index has bit b set``.
+
+    Total over the full input space — both topologies are plain OR
+    structures, so the proof does not need the one-hot usage restriction
+    (under which ``o`` reads back the hot index in binary)."""
+
+    outputs = {}
+    for b in range(n):
+        members = [k for k in range(1 << n) if (k >> b) & 1]
+
+        def bit(env: Env, members=tuple(members)) -> bool:
+            return any(env[f"i{k}"] for k in members)
+
+        outputs[f"o{b}"] = bit
+    return FunctionalSpec(
+        outputs=outputs,
+        golden="encoder",
+        notes=f"{1 << n}:{n} binary encode",
+    )
+
+
+class _EncoderGenerator(MacroGenerator):
+    """Shared golden-spec hook for the encoder topologies."""
+
+    def functional_spec(self, spec: MacroSpec) -> FunctionalSpec:
+        return encoder_golden_spec(spec.width)
+
+
+class StaticTreeEncoder(_EncoderGenerator):
     """Per-bit OR reduction trees."""
 
     name = "encoder/static_tree"
@@ -79,7 +109,7 @@ class StaticTreeEncoder(MacroGenerator):
         return builder.done()
 
 
-class DominoEncoder(MacroGenerator):
+class DominoEncoder(_EncoderGenerator):
     """Per-bit wide domino OR nodes."""
 
     name = "encoder/domino"

@@ -24,8 +24,34 @@ from typing import List
 
 from ..models.technology import Technology
 from ..netlist.circuit import Circuit
+from ..netlist.funcspec import Env, FunctionalSpec
 from ..netlist.nets import Net
 from .base import MacroBuilder, MacroGenerator, MacroSpec
+
+
+def increment_golden_spec(width: int, invert_inputs: bool) -> FunctionalSpec:
+    """``{sum, cout} = a + cin`` — or, for the decrementor machine, the same
+    ripple over the complemented input rank (borrow propagates where the bit
+    is 0; the outputs are literally that machine's outputs, Section 4's
+    "same schematic on inverted rails")."""
+
+    def total(env: Env) -> int:
+        value = 0
+        for i in range(width):
+            if bool(env[f"a{i}"]) != invert_inputs:
+                value |= 1 << i
+        return value + int(bool(env["cin"]))
+
+    outputs = {
+        f"sum{i}": (lambda env, i=i: bool((total(env) >> i) & 1))
+        for i in range(width)
+    }
+    outputs["cout"] = lambda env: bool((total(env) >> width) & 1)
+    return FunctionalSpec(
+        outputs=outputs,
+        golden="decrementor" if invert_inputs else "incrementor",
+        notes=f"{width}-bit {'decrement' if invert_inputs else 'increment'}",
+    )
 
 
 def _group_label(builder: MacroBuilder, base: str, bit: int, group: int) -> str:
@@ -65,6 +91,9 @@ class RippleIncrementor(MacroGenerator):
 
     def applicable(self, spec: MacroSpec) -> bool:
         return spec.macro_type == self.macro_type and spec.width >= 2
+
+    def functional_spec(self, spec: MacroSpec) -> FunctionalSpec:
+        return increment_golden_spec(spec.width, self.invert_inputs)
 
     def build(self, spec: MacroSpec, tech: Technology) -> Circuit:
         width = spec.width
@@ -116,6 +145,9 @@ class PrefixIncrementor(MacroGenerator):
 
     def applicable(self, spec: MacroSpec) -> bool:
         return spec.macro_type == self.macro_type and spec.width >= 4
+
+    def functional_spec(self, spec: MacroSpec) -> FunctionalSpec:
+        return increment_golden_spec(spec.width, self.invert_inputs)
 
     def build(self, spec: MacroSpec, tech: Technology) -> Circuit:
         width = spec.width

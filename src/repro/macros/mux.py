@@ -21,16 +21,77 @@ domino mux                            (shared when partitions are equal),
 
 from __future__ import annotations
 
-from typing import Tuple
+import random
+from typing import Dict, Tuple
 
 from ..models.technology import Technology
 from ..netlist.circuit import Circuit
+from ..netlist.funcspec import Env, FunctionalSpec
 from ..netlist.nets import PinClass
 from .base import MacroBuilder, MacroGenerator, MacroSpec
 
 #: Per-input wire capacitance of the shared merge node, fF (grows with mux
 #: width — the physical node gets longer).
 MERGE_WIRE_CAP_PER_INPUT = 0.6
+
+
+def mux_golden_spec(n: int, encoding: str = "onehot") -> FunctionalSpec:
+    """The *single* golden mux function: ``out = in[selected index]``.
+
+    Every mux topology in the database — whatever its select encoding or
+    circuit family — must prove equivalent to this one reference function
+    (SVC401), which is what licenses the advisor to treat the six
+    implementations as interchangeable.  ``encoding`` adapts the select
+    decode, not the function:
+
+    * ``"onehot"`` — selects ``s0..s{n-1}``, valid iff exactly one is high;
+    * ``"onehot_weak"`` — selects ``s0..s{n-2}``, valid iff at most one is
+      high (none high routes input ``n-1``, Figure 2(b)'s NOR);
+    * ``"encoded"`` — one ``select`` pin, 2-input only.
+    """
+
+    def selected(env: Env) -> int:
+        if encoding == "encoded":
+            return 1 if env["select"] else 0
+        for i in range(n - 1 if encoding == "onehot_weak" else n):
+            if env[f"s{i}"]:
+                return i
+        return n - 1  # onehot_weak: NOR term routes the last input
+
+    def out(env: Env) -> bool:
+        return bool(env[f"in{selected(env)}"])
+
+    valid = None
+    sampler = None
+    if encoding == "onehot":
+
+        def valid(env: Env) -> bool:
+            return sum(bool(env[f"s{i}"]) for i in range(n)) == 1
+
+        def sampler(rng: random.Random) -> Dict[str, bool]:
+            hot = rng.randrange(n)
+            env = {f"s{i}": i == hot for i in range(n)}
+            env.update({f"in{i}": bool(rng.getrandbits(1)) for i in range(n)})
+            return env
+
+    elif encoding == "onehot_weak":
+
+        def valid(env: Env) -> bool:
+            return sum(bool(env[f"s{i}"]) for i in range(n - 1)) <= 1
+
+        def sampler(rng: random.Random) -> Dict[str, bool]:
+            hot = rng.randrange(n)
+            env = {f"s{i}": i == hot for i in range(n - 1)}
+            env.update({f"in{i}": bool(rng.getrandbits(1)) for i in range(n)})
+            return env
+
+    return FunctionalSpec(
+        outputs={"out": out},
+        valid=valid,
+        sampler=sampler,
+        golden="mux",
+        notes=f"{n}-input mux, {encoding} selects",
+    )
 
 
 def _mux_io(builder: MacroBuilder, n: int, spec: MacroSpec, n_selects: int):
@@ -55,6 +116,9 @@ class StrongMutexPassgateMux(MacroGenerator):
 
     def applicable(self, spec: MacroSpec) -> bool:
         return spec.macro_type == "mux" and spec.width >= 2
+
+    def functional_spec(self, spec: MacroSpec) -> FunctionalSpec:
+        return mux_golden_spec(spec.width, "onehot")
 
     def build(self, spec: MacroSpec, tech: Technology) -> Circuit:
         n = spec.width
@@ -85,6 +149,9 @@ class WeakMutexPassgateMux(MacroGenerator):
 
     def applicable(self, spec: MacroSpec) -> bool:
         return spec.macro_type == "mux" and spec.width >= 3
+
+    def functional_spec(self, spec: MacroSpec) -> FunctionalSpec:
+        return mux_golden_spec(spec.width, "onehot_weak")
 
     def build(self, spec: MacroSpec, tech: Technology) -> Circuit:
         n = spec.width
@@ -119,6 +186,9 @@ class EncodedSelectMux2(MacroGenerator):
 
     def applicable(self, spec: MacroSpec) -> bool:
         return spec.macro_type == "mux" and spec.width == 2
+
+    def functional_spec(self, spec: MacroSpec) -> FunctionalSpec:
+        return mux_golden_spec(2, "encoded")
 
     def build(self, spec: MacroSpec, tech: Technology) -> Circuit:
         builder = MacroBuilder("mux2_encoded_pass", tech)
@@ -155,6 +225,9 @@ class TristateMux(MacroGenerator):
     def applicable(self, spec: MacroSpec) -> bool:
         return spec.macro_type == "mux" and spec.width >= 2
 
+    def functional_spec(self, spec: MacroSpec) -> FunctionalSpec:
+        return mux_golden_spec(spec.width, "onehot")
+
     def build(self, spec: MacroSpec, tech: Technology) -> Circuit:
         n = spec.width
         builder = MacroBuilder(f"mux{n}_tristate", tech)
@@ -178,6 +251,9 @@ class UnsplitDominoMux(MacroGenerator):
 
     def applicable(self, spec: MacroSpec) -> bool:
         return spec.macro_type == "mux" and spec.width >= 2
+
+    def functional_spec(self, spec: MacroSpec) -> FunctionalSpec:
+        return mux_golden_spec(spec.width, "onehot")
 
     def build(self, spec: MacroSpec, tech: Technology) -> Circuit:
         n = spec.width
@@ -210,6 +286,9 @@ class PartitionedDominoMux(MacroGenerator):
 
     def applicable(self, spec: MacroSpec) -> bool:
         return spec.macro_type == "mux" and spec.width >= 4
+
+    def functional_spec(self, spec: MacroSpec) -> FunctionalSpec:
+        return mux_golden_spec(spec.width, "onehot")
 
     def build(self, spec: MacroSpec, tech: Technology) -> Circuit:
         n = spec.width

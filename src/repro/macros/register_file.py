@@ -23,6 +23,7 @@ from __future__ import annotations
 
 from ..models.technology import Technology
 from ..netlist.circuit import Circuit
+from ..netlist.funcspec import Env, FunctionalSpec
 from ..netlist.nets import PinClass
 from .base import MacroBuilder, MacroGenerator, MacroSpec
 from .decoder import FlatStaticDecoder
@@ -38,7 +39,34 @@ def _address_bits(registers: int) -> int:
     return max(1, bits)
 
 
-class DominoBitlineReadPort(MacroGenerator):
+def register_file_golden_spec(bits: int, regs: int) -> FunctionalSpec:
+    """``q_b = d[addr]_b`` — the read port returns the addressed word."""
+    abits = _address_bits(regs)
+
+    def address(env: Env) -> int:
+        return sum(1 << a for a in range(abits) if env[f"a{a}"])
+
+    outputs = {
+        f"q{b}": (lambda env, b=b: bool(env[f"d{address(env)}_{b}"]))
+        for b in range(bits)
+    }
+    return FunctionalSpec(
+        outputs=outputs,
+        golden="register_file",
+        notes=f"{regs}x{bits} read port",
+    )
+
+
+class _ReadPortGenerator(MacroGenerator):
+    """Shared golden-spec hook for the read-port topologies."""
+
+    def functional_spec(self, spec: MacroSpec) -> FunctionalSpec:
+        return register_file_golden_spec(
+            spec.width, int(spec.param("registers", 8))
+        )
+
+
+class DominoBitlineReadPort(_ReadPortGenerator):
     """Decoder + clocked domino bitline per bit."""
 
     name = "register_file/domino_bitline"
@@ -97,7 +125,7 @@ class DominoBitlineReadPort(MacroGenerator):
         return builder.done()
 
 
-class TristateBitlineReadPort(MacroGenerator):
+class TristateBitlineReadPort(_ReadPortGenerator):
     """Decoder + tri-state bitline per bit (static alternative)."""
 
     name = "register_file/tristate_bitline"

@@ -23,6 +23,7 @@ from typing import List
 
 from ..models.technology import Technology
 from ..netlist.circuit import Circuit
+from ..netlist.funcspec import Env, FunctionalSpec
 from ..netlist.nets import Net
 from .base import MacroBuilder, MacroGenerator, MacroSpec
 
@@ -34,7 +35,33 @@ def _log2(n: int) -> int:
     return bits
 
 
-class PassgateBarrelRotator(MacroGenerator):
+def shifter_golden_spec(n: int) -> FunctionalSpec:
+    """``out_i = in_{(i + amount) mod n}`` with ``amount = Σ sh_s · 2^s`` —
+    a right rotate by the binary shift amount, total over all inputs."""
+    ranks = _log2(n)
+
+    def amount(env: Env) -> int:
+        return sum(1 << s for s in range(ranks) if env[f"sh{s}"])
+
+    outputs = {
+        f"out{i}": (lambda env, i=i: bool(env[f"in{(i + amount(env)) % n}"]))
+        for i in range(n)
+    }
+    return FunctionalSpec(
+        outputs=outputs,
+        golden="shifter",
+        notes=f"{n}-bit barrel rotate",
+    )
+
+
+class _ShifterGenerator(MacroGenerator):
+    """Shared golden-spec hook for the barrel-rotator topologies."""
+
+    def functional_spec(self, spec: MacroSpec) -> FunctionalSpec:
+        return shifter_golden_spec(spec.width)
+
+
+class PassgateBarrelRotator(_ShifterGenerator):
     """log2(N) ranks of encoded-select pass-gate muxes."""
 
     name = "shifter/passgate_barrel"
@@ -55,6 +82,10 @@ class PassgateBarrelRotator(MacroGenerator):
         data: List[Net] = [builder.input(f"in{i}") for i in range(n)]
         selects = [builder.input(f"sh{s}") for s in range(ranks)]
 
+        # Each rank's regenerating buffer inverts once, so the shifted data
+        # arrives complemented after an odd number of ranks; a final
+        # polarity-restoring inverter rank is needed then.
+        fixup = ranks % 2 == 1
         current = data
         for s in range(ranks):
             amount = 1 << s
@@ -71,7 +102,7 @@ class PassgateBarrelRotator(MacroGenerator):
             for i in range(n):
                 merge = builder.wire(f"r{s}m{i}")
                 is_last = s == ranks - 1
-                if is_last:
+                if is_last and not fixup:
                     out = builder.output(f"out{i}", load=spec.output_load)
                 else:
                     out = builder.wire(f"r{s}b{i}")
@@ -86,10 +117,16 @@ class PassgateBarrelRotator(MacroGenerator):
                 builder.inv(f"r{s}buf{i}", merge, out, inv_up, inv_dn)
                 next_rank.append(out)
             current = next_rank
+        if fixup:
+            fix_up = builder.size("Pfix")
+            fix_dn = builder.size("Nfix")
+            for i in range(n):
+                out = builder.output(f"out{i}", load=spec.output_load)
+                builder.inv(f"fix{i}", current[i], out, fix_up, fix_dn)
         return builder.done()
 
 
-class TristateBarrelRotator(MacroGenerator):
+class TristateBarrelRotator(_ShifterGenerator):
     """Tri-state ranks for long-wire shifter placements."""
 
     name = "shifter/tristate_barrel"

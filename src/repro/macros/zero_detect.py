@@ -18,12 +18,33 @@ from typing import List
 
 from ..models.technology import Technology
 from ..netlist.circuit import Circuit
+from ..netlist.funcspec import Env, FunctionalSpec
 from ..netlist.nets import Net, PinClass, PinSpeed
 from ..netlist.stages import StageKind
 from .base import MacroBuilder, MacroGenerator, MacroSpec
 
 #: Max fan-in of one static tree gate.
 TREE_ARITY = 4
+
+
+def zero_detect_golden_spec(width: int) -> FunctionalSpec:
+    """``zero = NOR(a_0 .. a_{n-1})`` — total over the full input space."""
+
+    def zero(env: Env) -> bool:
+        return not any(env[f"a{i}"] for i in range(width))
+
+    return FunctionalSpec(
+        outputs={"zero": zero},
+        golden="zero_detect",
+        notes=f"{width}-bit zero detect",
+    )
+
+
+class _ZeroDetectGenerator(MacroGenerator):
+    """Shared golden-spec hook for the zero-detect topologies."""
+
+    def functional_spec(self, spec: MacroSpec) -> FunctionalSpec:
+        return zero_detect_golden_spec(spec.width)
 
 
 def _speeds(count: int) -> List[PinSpeed]:
@@ -53,7 +74,7 @@ def _chunk_sizes(n: int) -> List[int]:
     return sizes
 
 
-class StaticTreeZeroDetect(MacroGenerator):
+class StaticTreeZeroDetect(_ZeroDetectGenerator):
     """Alternating NOR/NAND reduction tree."""
 
     name = "zero_detect/static_tree"
@@ -113,7 +134,7 @@ class StaticTreeZeroDetect(MacroGenerator):
         return builder.done()
 
 
-class DominoZeroDetect(MacroGenerator):
+class DominoZeroDetect(_ZeroDetectGenerator):
     """Single wide domino OR node."""
 
     name = "zero_detect/domino"
@@ -141,7 +162,7 @@ class DominoZeroDetect(MacroGenerator):
         return builder.done()
 
 
-class SplitDominoZeroDetect(MacroGenerator):
+class SplitDominoZeroDetect(_ZeroDetectGenerator):
     """Two half-width domino nodes recombined with a NAND2."""
 
     name = "zero_detect/split_domino"

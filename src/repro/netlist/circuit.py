@@ -46,6 +46,11 @@ class Circuit:
         #: conservatively by analyses (unknown static level).
         self.input_phases: Dict[str, str] = {}
         self.clock: Optional[str] = None
+        #: Golden :class:`~repro.netlist.funcspec.FunctionalSpec` attached
+        #: by the macro generator (None for hand-built circuits).  The
+        #: switch-level verifier (SVC401) checks the extracted behavior
+        #: against it.
+        self.functional_spec = None
         self._stage_by_name: Dict[str, Stage] = {}
         self._drivers: Dict[str, Stage] = {}
         self._all_drivers: Dict[str, List[Stage]] = {}

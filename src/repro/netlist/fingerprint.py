@@ -16,6 +16,11 @@ Properties:
   stage is kept: it is semantic — domino leg grouping, NAND stack order);
 * **name-blind at the circuit level** — ``circuit.name`` is excluded, so a
   regenerated macro with a cosmetic rename still hits the cache;
+* **name-blind for internal nets** — wires are serialized under canonical
+  names derived from their driver stages (``~`` + sorted driver names), so
+  renaming an internal wire cannot change the digest.  Interface nets
+  (primary inputs/outputs, clock) keep their concrete names: they *are* the
+  macro's contract;
 * **canonical floats** — values pass through ``repr`` via JSON, which is
   deterministic for a given Python build.
 """
@@ -30,7 +35,28 @@ from .circuit import Circuit
 
 #: Bump when the serialized form below changes shape, so stale cache entries
 #: from older builds can never alias a new fingerprint.
-FINGERPRINT_VERSION = 1
+#: 2: internal nets serialized under driver-derived canonical names.
+FINGERPRINT_VERSION = 2
+
+
+def canonical_net_names(circuit: Circuit) -> Dict[str, str]:
+    """Map every net name to its canonical (rename-invariant) form.
+
+    Interface nets map to themselves.  Internal wires map to ``~`` plus the
+    sorted names of their driving stages — injective because a stage drives
+    exactly one output net, so distinct nets have disjoint driver sets.  An
+    undriven internal wire (an ERC002 violation) keeps its concrete name.
+    """
+    interface = set(circuit.primary_inputs) | set(circuit.primary_outputs)
+    interface.update(circuit.clock_nets())
+    mapping: Dict[str, str] = {}
+    for name in circuit.nets:
+        if name in interface:
+            mapping[name] = name
+            continue
+        drivers = sorted(s.name for s in circuit.drivers_of(name))
+        mapping[name] = "~" + "+".join(drivers) if drivers else name
+    return mapping
 
 
 def _canonical_param(value: Any) -> Any:
@@ -50,6 +76,7 @@ def circuit_payload(circuit: Circuit) -> Dict[str, Any]:
     Exposed separately so tests and debugging tools can diff two payloads
     when fingerprints unexpectedly disagree.
     """
+    canon = canonical_net_names(circuit)
     stages: List[Dict[str, Any]] = []
     for stage in sorted(circuit.stages, key=lambda s: s.name):
         stages.append(
@@ -59,14 +86,14 @@ def circuit_payload(circuit: Circuit) -> Dict[str, Any]:
                 "inputs": [
                     [
                         pin.name,
-                        pin.net.name,
+                        canon[pin.net.name],
                         pin.pin_class.value,
                         pin.speed.value if pin.speed is not None else None,
                         bool(pin.inverted),
                     ]
                     for pin in stage.inputs
                 ],
-                "output": stage.output.name,
+                "output": canon[stage.output.name],
                 "size_vars": {
                     role: stage.size_vars[role]
                     for role in sorted(stage.size_vars)
@@ -77,16 +104,16 @@ def circuit_payload(circuit: Circuit) -> Dict[str, Any]:
                 },
             }
         )
-    nets = [
+    nets = sorted(
         [
-            net.name,
+            canon[net.name],
             net.kind.value,
             net.wire_cap,
             net.external_load,
             net.wire_res,
         ]
-        for net in sorted(circuit.nets.values(), key=lambda n: n.name)
-    ]
+        for net in circuit.nets.values()
+    )
     size_vars = [
         [
             var.name,

@@ -1,0 +1,74 @@
+"""Golden functional specifications for macros.
+
+A :class:`FunctionalSpec` is the *reference semantics* of a macro: for every
+valid assignment of the primary inputs, what boolean value must each primary
+output settle to after evaluation?  Macro generators attach one to every
+circuit they emit (``Circuit.functional_spec``); the switch-level verifier
+(:mod:`repro.lint.symbolic`) checks the extracted transistor-level behavior
+against it (rule ``SVC401``) and restricts its electrical checks
+(``SVC402``-``SVC404``) to the spec's valid input space.
+
+The spec is deliberately *operational* — plain Python callables over an
+input environment — rather than a BDD/AIG package: the corpus macros are
+small enough that exact cofactor enumeration (or seeded sampling beyond the
+input budget) against a callable is both simpler and harder to get wrong
+than maintaining a second symbolic representation.
+
+This module lives in :mod:`repro.netlist` (the lowest layer) so that both
+the macro generators and the lint engine can import it without cycles.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Callable, Dict, Mapping, Optional
+
+#: An input environment: primary-input net name -> boolean value.
+Env = Mapping[str, bool]
+
+
+@dataclass
+class FunctionalSpec:
+    """The golden function of one macro.
+
+    Attributes
+    ----------
+    outputs:
+        Output net name -> reference function.  Every primary output of the
+        circuit the spec is attached to must appear here.
+    valid:
+        Optional predicate over the input environment.  Environments where
+        it returns False are outside the macro's usage contract (e.g. a
+        non-one-hot select vector on a strongly-mutexed mux) and are skipped
+        by both the equivalence check and the electrical checks.  ``None``
+        means every assignment is valid.
+    sampler:
+        Optional constrained sampler ``rng -> env`` used when the input
+        count exceeds the exact-enumeration budget.  Specs with a sparse
+        valid space (one-hot selects) must provide one — rejection sampling
+        of a 2^-n-density space would never produce a valid vector.
+    golden:
+        Identity of the golden function family, e.g. ``"mux"``.  All
+        topologies implementing the same macro function share one marker so
+        tests can assert they were proved against a *single* spec rather
+        than six per-topology ones.
+    """
+
+    outputs: Dict[str, Callable[[Env], bool]]
+    valid: Optional[Callable[[Env], bool]] = None
+    sampler: Optional[Callable[[random.Random], Dict[str, bool]]] = None
+    golden: str = ""
+    #: Free-form notes rendered in diagnostics (e.g. "one-hot selects").
+    notes: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.outputs:
+            raise ValueError("FunctionalSpec needs at least one output")
+
+    def is_valid(self, env: Env) -> bool:
+        return True if self.valid is None else bool(self.valid(env))
+
+    def expected(self, output: str, env: Env) -> bool:
+        """Reference value of ``output`` under ``env``."""
+        return bool(self.outputs[output](env))

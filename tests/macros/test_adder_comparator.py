@@ -41,8 +41,12 @@ class TestDualRailCLA:
     def test_lookahead_legs_ragged(self, adder16):
         g_group = adder16.stage("G0_dom")
         assert sorted(g_group.leg_sizes) == [1, 2, 3, 4]
+        # The K rail is the *absorb* form (no all-propagate leg): the
+        # complement-carry recursion is c̄ = A + P·c̄_in, so folding the
+        # all-propagate term into the group rail would assert "no carry"
+        # for carries merely passing through (caught by SVC401).
         k_group = adder16.stage("K0_dom")
-        assert sorted(k_group.leg_sizes) == [1, 2, 3, 4, 4]
+        assert sorted(k_group.leg_sizes) == [1, 2, 3, 4]
 
     def test_level2_is_d2(self, adder16):
         assert not adder16.stage("G0_dom").clocked

@@ -79,3 +79,69 @@ class TestCircuitExport:
         parsed = read_spice(deck)
         (name,) = parsed
         assert len(parsed[name]) == small_mux.transistor_count()
+
+
+class TestFactorRoundTrip:
+    """``factor`` (width = factor * width(label)) must survive the deck.
+
+    One circuit per family, including the corners that actually carry
+    fractional factors: tri-state enable inverters (0.25x), static XOR
+    internals (0.5x), and domino keepers.
+    """
+
+    CASES = [
+        ("mux/strong_mutex_passgate", "mux", 4, ()),
+        ("mux/tristate", "mux", 4, ()),
+        ("mux/unsplit_domino", "mux", 4, ()),
+        ("adder/static_ripple", "adder", 4, ()),
+        ("shifter/passgate_barrel", "shifter", 4, ()),
+        ("comparator/xorsum2", "comparator", 32, ()),
+        ("decoder/flat_static", "decoder", 3, ()),
+        ("register_file/tristate_bitline", "register_file", 2,
+         (("registers", 4),)),
+    ]
+
+    @pytest.mark.parametrize("topology,macro,width,params", CASES)
+    def test_roundtrip_preserves_devices(
+        self, database, tech, topology, macro, width, params
+    ):
+        from repro.macros.base import MacroSpec
+
+        circuit = database.generate(
+            topology, MacroSpec(macro, width, params=params), tech
+        )
+        env = circuit.size_table.default_env()
+        devices = circuit.expand_transistors(env)
+        deck = export_circuit(circuit, env)
+        parsed = read_spice(deck)
+        (name,) = parsed
+        readback = parsed[name]
+        assert len(readback) == len(devices) == circuit.transistor_count()
+
+        by_name = {d.name: d for d in devices}
+        for device in readback:
+            original = by_name[device.name]
+            assert device.polarity is original.polarity
+            assert (device.drain, device.gate, device.source) == (
+                original.drain, original.gate, original.source
+            )
+            assert device.label == original.label
+            assert device.factor == pytest.approx(original.factor)
+            # the writer emits W= at fixed decimal precision
+            assert device.width == pytest.approx(original.width, rel=1e-3)
+
+        for clk in circuit.clock_nets():
+            assert clk in circuit_ports(circuit)
+            assert any(d.gate == clk for d in readback)
+
+    def test_fractional_factors_present_in_deck(self, database, tech):
+        from repro.macros.base import MacroSpec
+
+        circuit = database.generate(
+            "mux/tristate", MacroSpec("mux", 4), tech
+        )
+        env = circuit.size_table.default_env()
+        deck = export_circuit(circuit, env)
+        assert "factor=0.25" in deck
+        devices = read_spice(deck)[circuit.name.replace("/", "_")]
+        assert any(d.factor == pytest.approx(0.25) for d in devices)
