@@ -10,16 +10,25 @@ Subcommands:
 * ``savings`` — run the Section-6.1 original-vs-SMART protocol on a topology;
 * ``curve``   — print a Figure-6 style area-delay sweep for a topology;
 * ``inspect`` — replay a ``--trace`` JSONL file into a timing/convergence
-  report.
+  report;
+* ``perf``    — the performance observatory: ``perf report`` (self-time
+  attribution / ledger summary), ``perf diff`` (noise-aware regression
+  comparison of two ledgers or bench trajectories), ``perf export``
+  (Chrome ``trace_event`` / speedscope flame graphs), ``perf watch``
+  (tail a live ``--stream`` file).
 
 Observability flags (accepted by every run subcommand, or globally before
 the subcommand):
 
-* ``--trace FILE`` — record a hierarchical span trace of the whole run as
+* ``--trace FILE``  — record a hierarchical span trace of the whole run as
   JSONL (replay with ``smart-advisor inspect FILE``);
-* ``--profile``    — print a per-span wall-time summary and the metrics
+* ``--stream FILE`` — stream the same JSONL *live*, one line per completed
+  span/event (tail with ``smart-advisor perf watch FILE --follow``);
+* ``--ledger FILE`` — append one run record per advisor/sizer/sweep/lint
+  invocation to an append-only JSONL run ledger;
+* ``--profile``     — print a per-span wall-time summary and the metrics
   registry after the command;
-* ``-v/--verbose`` — route ``repro.*`` diagnostics to stderr (repeat for
+* ``-v/--verbose``  — route ``repro.*`` diagnostics to stderr (repeat for
   DEBUG).
 """
 
@@ -34,6 +43,7 @@ from .core.constraints import DesignConstraints
 from .macros.base import MacroSpec
 from .netlist.spice import export_circuit
 from .obs import metrics as obs_metrics
+from .obs import perf as obs_perf
 from .obs import trace as obs_trace
 from .obs.inspect import inspect_file
 from .obs.log import configure_logging, emit, get_logger
@@ -65,6 +75,15 @@ def _add_obs_flags(parser: argparse.ArgumentParser, suppress: bool) -> None:
     parser.add_argument(
         "--trace", metavar="FILE", default=default,
         help="write a JSONL span trace of the run to FILE",
+    )
+    parser.add_argument(
+        "--stream", metavar="FILE", default=default,
+        help="stream the span trace to FILE live, line by line "
+             "(tail with: perf watch FILE --follow)",
+    )
+    parser.add_argument(
+        "--ledger", metavar="FILE", default=default,
+        help="append machine-readable run records to this JSONL run ledger",
     )
     parser.add_argument(
         "--profile", action="store_true",
@@ -220,6 +239,72 @@ def build_parser() -> argparse.ArgumentParser:
     )
     inspect.add_argument("trace_file", help="JSONL trace written by --trace")
 
+    perf_p = sub.add_parser(
+        "perf",
+        help="performance observatory: attribution, diff, exports, watch",
+        parents=[obs_parent],
+    )
+    perf_sub = perf_p.add_subparsers(dest="perf_command", required=True)
+
+    perf_report = perf_sub.add_parser(
+        "report",
+        help="self-time attribution for a trace, or a run-ledger summary",
+    )
+    perf_report.add_argument(
+        "target", help="a --trace JSONL file or a --ledger JSONL file"
+    )
+
+    perf_diff = perf_sub.add_parser(
+        "diff",
+        help="noise-aware comparison of two ledgers / bench trajectories",
+        epilog="exit codes: 0 = no regression, 1 = regression "
+               "(unless --warn-only), 2 = unreadable input",
+    )
+    perf_diff.add_argument("base", help="baseline ledger or BENCH_*.json")
+    perf_diff.add_argument("new", help="candidate ledger or BENCH_*.json")
+    perf_diff.add_argument(
+        "--rel-threshold", type=float, default=0.25,
+        help="relative slowdown needed to flag (default 0.25 = +25%%)",
+    )
+    perf_diff.add_argument(
+        "--min-effect-ms", type=float, default=50.0,
+        help="absolute minimum-effect floor in ms (default 50)",
+    )
+    perf_diff.add_argument(
+        "--json", action="store_true", help="machine-readable output"
+    )
+    perf_diff.add_argument(
+        "--warn-only", action="store_true",
+        help="report regressions but exit 0 (CI soft gate)",
+    )
+
+    perf_export = perf_sub.add_parser(
+        "export",
+        help="convert a --trace JSONL file to flame-graph formats",
+    )
+    perf_export.add_argument("trace_file", help="JSONL trace to convert")
+    perf_export.add_argument(
+        "--chrome", metavar="OUT",
+        help="write Chrome trace_event JSON (chrome://tracing, Perfetto)",
+    )
+    perf_export.add_argument(
+        "--speedscope", metavar="OUT",
+        help="write a speedscope evented profile (https://speedscope.app)",
+    )
+
+    perf_watch = perf_sub.add_parser(
+        "watch", help="tail a --stream trace file, rendered one span per line"
+    )
+    perf_watch.add_argument("stream_file", help="JSONL stream to tail")
+    perf_watch.add_argument(
+        "--follow", action="store_true",
+        help="keep polling for new records (like tail -f)",
+    )
+    perf_watch.add_argument(
+        "--timeout", type=float, default=None, metavar="S",
+        help="stop following after S seconds",
+    )
+
     lint = sub.add_parser(
         "lint",
         help="static analysis: ERC, dataflow, coverage, GP pre-solve rules",
@@ -292,6 +377,116 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _sniff_perf_target(path: str) -> str:
+    """Classify a perf-report target: ``"trace"`` or ``"ledger"``."""
+    import json as _json
+
+    with open(path) as fh:
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                obj = _json.loads(line)
+            except _json.JSONDecodeError:
+                break
+            if isinstance(obj, dict):
+                if obj.get("type") == "trace":
+                    return "trace"
+                if obj.get("format") == obs_perf.LEDGER_FORMAT:
+                    return "ledger"
+            break
+    raise ValueError(
+        f"{path}: neither a --trace JSONL file nor a "
+        f"{obs_perf.LEDGER_FORMAT} run ledger"
+    )
+
+
+def _run_perf(args: argparse.Namespace) -> int:
+    import json as _json
+
+    if args.perf_command == "report":
+        try:
+            kind = _sniff_perf_target(args.target)
+            if kind == "trace":
+                dump = obs_trace.load_jsonl(args.target)
+                emit(obs_perf.render_attribution_report(dump.spans))
+            else:
+                ledger = obs_perf.RunLedger.load(args.target)
+                emit(obs_perf.render_ledger_summary(ledger.records))
+        except (OSError, ValueError) as exc:
+            emit(f"error: {exc}")
+            return 2
+        return 0
+
+    if args.perf_command == "diff":
+        try:
+            diff = obs_perf.diff_paths(
+                args.base,
+                args.new,
+                rel_threshold=args.rel_threshold,
+                min_effect_s=args.min_effect_ms / 1e3,
+            )
+        except (OSError, ValueError) as exc:
+            emit(f"error: {exc}")
+            return 2
+        if args.json:
+            emit(_json.dumps(diff.to_json(), indent=2, sort_keys=True))
+        else:
+            emit(diff.render())
+        if diff.ok or args.warn_only:
+            return 0
+        return 1
+
+    if args.perf_command == "export":
+        if not args.chrome and not args.speedscope:
+            emit("error: perf export needs --chrome and/or --speedscope")
+            return 2
+        try:
+            dump = obs_trace.load_jsonl(args.trace_file)
+        except (OSError, ValueError) as exc:
+            emit(f"error: cannot read trace: {exc}")
+            return 2
+        try:
+            if args.chrome:
+                payload = obs_perf.to_chrome_trace(
+                    dump.spans, dump.events, unix_time=dump.unix_time
+                )
+                with open(args.chrome, "w") as fh:
+                    _json.dump(payload, fh, indent=1)
+                    fh.write("\n")
+                emit(f"wrote Chrome trace: {args.chrome}")
+            if args.speedscope:
+                payload = obs_perf.to_speedscope(
+                    dump.spans, name=args.trace_file
+                )
+                with open(args.speedscope, "w") as fh:
+                    _json.dump(payload, fh, indent=1)
+                    fh.write("\n")
+                emit(f"wrote speedscope profile: {args.speedscope}")
+        except OSError as exc:
+            emit(f"error: cannot write export: {exc}")
+            return 2
+        return 0
+
+    # watch
+    from .obs.stream import watch as stream_watch
+
+    try:
+        shown = stream_watch(
+            args.stream_file,
+            emit,
+            follow=args.follow,
+            timeout_s=args.timeout,
+        )
+    except OSError as exc:
+        emit(f"error: cannot read stream: {exc}")
+        return 2
+    except KeyboardInterrupt:
+        return 0
+    return 0 if shown else 1
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     configure_logging(getattr(args, "verbose", 0) or 0)
@@ -304,16 +499,38 @@ def main(argv: Optional[List[str]] = None) -> int:
             return 1
         return 0
 
+    if args.command == "perf":
+        return _run_perf(args)
+
     trace_path = getattr(args, "trace", None)
+    stream_path = getattr(args, "stream", None)
+    ledger_path = getattr(args, "ledger", None)
     profile = getattr(args, "profile", False)
     tracer = None
-    if trace_path or profile:
+    stream_writer = None
+    if trace_path or stream_path or profile:
         tracer = obs_trace.Tracer()
         obs_trace.install(tracer)
+        if stream_path:
+            from .obs.stream import JsonlStreamWriter
+
+            try:
+                stream_writer = JsonlStreamWriter(stream_path).attach(tracer)
+            except OSError as exc:
+                emit(f"error: cannot open stream file: {exc}")
+                obs_trace.install(None)
+                return 2
+    if ledger_path:
+        obs_perf.install_ledger(obs_perf.RunLedger(ledger_path))
     try:
         with obs_trace.span(f"cli:{args.command}"):
             return _run_command(args)
     finally:
+        if ledger_path:
+            obs_perf.install_ledger(None)
+        if stream_writer is not None:
+            stream_writer.close()
+            log.info("streamed trace: %s", stream_path)
         if tracer is not None:
             obs_trace.install(None)
             if trace_path:

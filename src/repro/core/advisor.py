@@ -15,6 +15,8 @@ Given a macro instance (spec) and its local design constraints, the advisor:
 
 from __future__ import annotations
 
+import dataclasses
+import time
 from typing import Iterable, List, Optional
 
 from ..cache.store import SizingCache
@@ -22,7 +24,7 @@ from ..macros.base import MacroDatabase, MacroGenerator, MacroSpec
 from ..macros.registry import default_database
 from ..models.gates import ModelLibrary
 from ..models.technology import Technology
-from ..obs import metrics, trace
+from ..obs import metrics, perf, trace
 from ..obs.log import get_logger
 from ..sim.timing import StaticTimingAnalyzer
 from ..sizing.engine import SizingError, SmartSizer
@@ -92,6 +94,7 @@ class SmartAdvisor:
         report = AdvisorReport(
             macro=f"{spec.macro_type}[{spec.width}]", metric=constraints.cost
         )
+        t_start = time.perf_counter()
         with trace.span(
             "advise",
             macro=report.macro,
@@ -117,6 +120,11 @@ class SmartAdvisor:
                 feasible=len(report.feasible),
                 best=best.topology if best else None,
             )
+        self._record_run(
+            report, spec, constraints, sp,
+            wall_s=time.perf_counter() - t_start,
+            workers=max(1, workers),
+        )
         log.info(
             "advise %s: %d/%d topologies feasible, best=%s",
             report.macro, len(report.feasible), len(report.candidates),
@@ -150,6 +158,55 @@ class SmartAdvisor:
         return circuit, result
 
     # -- internals --------------------------------------------------------------------
+
+    def _record_run(
+        self,
+        report: AdvisorReport,
+        spec: MacroSpec,
+        constraints: DesignConstraints,
+        advise_span,
+        *,
+        wall_s: float,
+        workers: int,
+    ) -> None:
+        """Append one run-ledger record for this advise invocation.
+
+        Everything here (fingerprints, span rollups) is only computed when a
+        ledger is active — the default path pays one ``is None`` check.
+        """
+        if perf.get_ledger() is None:
+            return
+        tracer = trace.get_tracer()
+        subtree = (
+            perf.collect_subtree(tracer.spans, advise_span.span_id)
+            if isinstance(tracer, trace.Tracer)
+            and advise_span is not trace._NULL_SPAN
+            else []
+        )
+        inner = [s for s in subtree if s.span_id != advise_span.span_id]
+        best = report.best
+        perf.record_run(
+            "advise",
+            report.macro,
+            wall_s=wall_s,
+            spans=subtree,
+            spec_fp=perf.payload_digest(dataclasses.asdict(spec)),
+            context_fp=perf.payload_digest(dataclasses.asdict(constraints)),
+            cache=(
+                self.cache.stats.as_dict() if self.cache is not None else None
+            ),
+            parallel=perf.parallel_rollup(
+                [s for s in inner if s.name in ("topology", "advise")],
+                workers,
+                wall_s,
+            ),
+            extra={
+                "metric": constraints.cost,
+                "candidates": len(report.candidates),
+                "feasible": len(report.feasible),
+                "best": best.topology if best else None,
+            },
+        )
 
     def _advise_parallel(
         self,

@@ -2,10 +2,11 @@
 
 from __future__ import annotations
 
+import time
 from typing import Iterable, Mapping, Optional, Sequence
 
 from ..netlist.circuit import Circuit
-from ..obs import metrics
+from ..obs import metrics, perf
 from ..obs.log import get_logger
 from .diagnostics import Diagnostic, LintReport, Location, Severity
 from .registry import Rule, rules_in_groups
@@ -91,6 +92,7 @@ def lint_circuit(
         )
     report = LintReport(subject=circuit.name)
     wanted = set(only) if only is not None else None
+    t_start = time.perf_counter()
     for rule_obj in rules_in_groups(groups):
         if rule_obj.check is None:
             continue
@@ -103,4 +105,18 @@ def lint_circuit(
         metrics.counter("lint.errors").inc(len(report.errors))
     if report.warnings:
         metrics.counter("lint.warnings").inc(len(report.warnings))
+    if perf.get_ledger() is not None:
+        perf.record_run(
+            "lint",
+            circuit.name,
+            wall_s=time.perf_counter() - t_start,
+            circuit_fp=perf.payload_digest(
+                [circuit.name, sorted(groups)]
+            ),
+            extra={
+                "groups": sorted(groups),
+                "errors": len(report.errors),
+                "warnings": len(report.warnings),
+            },
+        )
     return report

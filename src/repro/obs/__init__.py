@@ -12,6 +12,13 @@ Three cooperating pieces:
 * :mod:`repro.obs.log` — ``logging`` under the ``repro`` namespace:
   diagnostics on stderr (``-v`` / ``-vv``), CLI-facing output on stdout via
   :func:`~repro.obs.log.emit`.
+* :mod:`repro.obs.stream` — live trace streaming: the
+  :class:`~repro.obs.stream.TraceSubscriber` callback interface, an
+  incremental JSONL stream writer, and the ``repro perf watch`` tail view.
+* :mod:`repro.obs.perf` — the performance observatory: append-only run
+  ledger, span-tree attribution (self-time rollups, kernel hot-spots,
+  critical path), Chrome/speedscope flame-graph exports, and the
+  noise-aware ``repro perf diff`` regression engine.
 
 Typical instrumented call-site::
 
@@ -29,8 +36,19 @@ and typical test::
         assert [s.name for s in tracer.spans].count("gp_solve") == reg.counter("gp.solves").value
 """
 
-from . import metrics, trace
+from . import metrics, perf, stream, trace
 from .inspect import inspect_file, render_trace_report
+from .perf import (
+    PerfDiff,
+    RunLedger,
+    attribution,
+    diff_samples,
+    get_ledger,
+    install_ledger,
+    ledger_scope,
+    record_run,
+)
+from .stream import CollectingSubscriber, JsonlStreamWriter, TraceSubscriber
 from .log import configure_logging, emit, get_logger, log
 from .metrics import (
     Counter,
@@ -57,6 +75,19 @@ from .trace import (
 __all__ = [
     "trace",
     "metrics",
+    "perf",
+    "stream",
+    "TraceSubscriber",
+    "CollectingSubscriber",
+    "JsonlStreamWriter",
+    "RunLedger",
+    "PerfDiff",
+    "attribution",
+    "diff_samples",
+    "get_ledger",
+    "install_ledger",
+    "ledger_scope",
+    "record_run",
     "Tracer",
     "NullTracer",
     "SpanRecord",

@@ -58,6 +58,10 @@ class _DynamicStreamHandler(logging.Handler):
         try:
             stream = getattr(sys, self._stream_name)
             stream.write(self.format(record) + "\n")
+        except BrokenPipeError:
+            # Reader hung up (e.g. ``smart-advisor perf watch | head``):
+            # drop the line silently — the classic pipe contract.
+            pass
         except Exception:  # pragma: no cover - mirror logging's resilience
             self.handleError(record)
 

@@ -26,8 +26,11 @@ budget on the convergence benchmark.
 
 from __future__ import annotations
 
+import math
 from contextlib import contextmanager
 from typing import Any, Dict, Iterator, List, Optional
+
+from .trace import json_sanitize
 
 
 class Counter:
@@ -45,6 +48,14 @@ class Counter:
     def snapshot(self) -> float:
         return self.value
 
+    def to_dict(self) -> Dict[str, Any]:
+        """Stable JSON-safe serialization (the run-ledger schema)."""
+        return {
+            "kind": "counter",
+            "name": self.name,
+            "value": json_sanitize(self.value),
+        }
+
 
 class Gauge:
     """Last-written value (path counts, areas, residuals-at-exit)."""
@@ -60,6 +71,14 @@ class Gauge:
 
     def snapshot(self) -> Optional[float]:
         return self.value
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Stable JSON-safe serialization (the run-ledger schema)."""
+        return {
+            "kind": "gauge",
+            "name": self.name,
+            "value": json_sanitize(self.value),
+        }
 
 
 class Histogram:
@@ -93,6 +112,35 @@ class Histogram:
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
 
+    def quantile(self, q: float) -> Optional[float]:
+        """Nearest-rank quantile over the *finite* observations.
+
+        Non-finite observations (the engine's ``worst_violation=inf`` before
+        the first measurement, ``nan`` on an infeasible retarget) are
+        excluded — a quantile over a series containing NaN is meaningless
+        and ``sorted()`` silently mis-orders it.  Returns ``None`` when no
+        finite observation exists.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile q must be in [0, 1], got {q}")
+        finite = sorted(v for v in self.values if math.isfinite(v))
+        if not finite:
+            return None
+        rank = max(0, min(len(finite) - 1, math.ceil(q * len(finite)) - 1))
+        return finite[rank]
+
+    @property
+    def p50(self) -> Optional[float]:
+        return self.quantile(0.50)
+
+    @property
+    def p90(self) -> Optional[float]:
+        return self.quantile(0.90)
+
+    @property
+    def p99(self) -> Optional[float]:
+        return self.quantile(0.99)
+
     def snapshot(self) -> Dict[str, Any]:
         return {
             "count": self.count,
@@ -101,6 +149,30 @@ class Histogram:
             "max": self.max,
             "mean": self.mean,
         }
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Stable JSON-safe serialization (the run-ledger schema).
+
+        Unlike :meth:`snapshot` (an in-process view that keeps raw floats),
+        this routes through :func:`repro.obs.trace.json_sanitize`, so a
+        histogram that observed ``inf``/``nan`` serializes to strict JSON
+        sentinels instead of the invalid ``Infinity``/``NaN`` tokens
+        ``json.dumps`` would otherwise emit.
+        """
+        return json_sanitize(
+            {
+                "kind": "histogram",
+                "name": self.name,
+                "count": self.count,
+                "sum": self.total,
+                "min": self.min,
+                "max": self.max,
+                "mean": self.mean,
+                "p50": self.p50,
+                "p90": self.p90,
+                "p99": self.p99,
+            }
+        )
 
 
 class MetricsRegistry:
@@ -136,6 +208,26 @@ class MetricsRegistry:
             "gauges": {n: g.snapshot() for n, g in self.gauges.items()},
             "histograms": {
                 n: h.snapshot() for n, h in self.histograms.items()
+            },
+        }
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Strict-JSON dump of every instrument via its ``to_dict()``.
+
+        This is the serialization the run ledger embeds: stable key order
+        (sorted by instrument name within each kind) and non-finite floats
+        already replaced by sentinels.
+        """
+        return {
+            "counters": {
+                n: self.counters[n].to_dict() for n in sorted(self.counters)
+            },
+            "gauges": {
+                n: self.gauges[n].to_dict() for n in sorted(self.gauges)
+            },
+            "histograms": {
+                n: self.histograms[n].to_dict()
+                for n in sorted(self.histograms)
             },
         }
 

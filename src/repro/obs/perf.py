@@ -1,0 +1,1013 @@
+"""The performance observatory: run ledger, attribution, regression gate.
+
+Whole-benchmark numbers ("per-bit sizing takes 2.6 s") say *that* a kernel
+is hot, not *why*; and without a durable record of what each run cost, no PR
+can prove it didn't regress.  This module closes both gaps with four layers:
+
+1. **Run ledger** (:class:`RunLedger`, :func:`record_run`) — every advisor /
+   sizer / sweep / lint invocation appends one machine-readable record to an
+   append-only JSONL store, keyed the same way as :mod:`repro.cache`
+   (``circuit_fp`` / ``context_fp`` / ``spec_fp``): per-phase wall/self
+   times derived from the span tree, GP iteration counts and residuals,
+   cache hit/near-hit/miss stats, parallel worker utilization.
+
+2. **Attribution** (:func:`attribution`, :func:`kernel_hotspots`,
+   :func:`critical_path`) — span-tree analysis at function granularity:
+   self-time rollups (a span's wall minus its children's), per-kernel
+   hot-spot tables (what dominates *inside* each sizing run), and the
+   critical path through the trace.  Self-times are an exact partition of
+   the tree: for a sequential trace they sum to the root wall-time, which is
+   the reconciliation invariant ``repro perf report`` prints and tests
+   assert to within 1 %.
+
+3. **Flame-graph exports** (:func:`to_chrome_trace`, :func:`to_speedscope`)
+   — the same span tree as Chrome ``trace_event`` JSON (load in
+   ``chrome://tracing`` / Perfetto) and as a speedscope evented profile
+   (https://speedscope.app).
+
+4. **Regression engine** (:func:`diff_sources`, :class:`PerfDiff`) — noise-
+   aware comparison of two ledgers or bench trajectories: median-of-N per
+   key, a minimum-effect floor (absolute seconds) AND a relative threshold
+   both required before anything is called a regression.  Backs the
+   ``repro perf diff`` CLI and the CI perf gate over ``BENCH_*.json``.
+
+The ledger is process-global and opt-in, mirroring the tracer:
+:func:`install_ledger` / :func:`ledger_scope` activate it; instrumented
+entry points call :func:`record_run`, which is a no-op when no ledger is
+active (so un-observed runs pay one ``is None`` check).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import math
+import os
+import time
+from dataclasses import dataclass, field
+from typing import (
+    Any,
+    Dict,
+    Iterable,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
+
+from .log import get_logger
+from .trace import SpanRecord, json_sanitize
+
+log = get_logger(__name__)
+
+LEDGER_FORMAT = "smart-perf-ledger/1"
+TRAJECTORY_FORMAT = "smart-bench-trajectory/1"
+
+#: Minimal shape a ledger line must have to be accepted on load.
+_REQUIRED_FIELDS = ("format", "kind", "name", "wall_s")
+
+
+def payload_digest(payload: Any) -> str:
+    """Canonical sha256 of a JSON-serializable payload (sanitized first)."""
+    blob = json.dumps(
+        json_sanitize(payload),
+        sort_keys=True,
+        separators=(",", ":"),
+        default=str,
+    )
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+# ---------------------------------------------------------------------------
+# Attribution: self-time rollups, kernels, critical path
+# ---------------------------------------------------------------------------
+
+
+def _closed(spans: Sequence[SpanRecord]) -> List[SpanRecord]:
+    return [s for s in spans if s.t_end is not None]
+
+
+def self_times(spans: Sequence[SpanRecord]) -> Dict[int, float]:
+    """Per-span self time: duration minus the duration of direct children.
+
+    The values partition the tree — for a sequential trace they sum exactly
+    to the total root wall-time.  Spans grafted from *concurrent* workers
+    can overlap their anchor, driving the anchor's self time negative; it is
+    floored at zero (and utilization > 1 shows up in the parallel block of
+    the run record instead).
+    """
+    closed = _closed(spans)
+    child_sum: Dict[Optional[int], float] = {}
+    for s in closed:
+        child_sum[s.parent_id] = child_sum.get(s.parent_id, 0.0) + s.duration_s
+    return {
+        s.span_id: max(0.0, s.duration_s - child_sum.get(s.span_id, 0.0))
+        for s in closed
+    }
+
+
+def root_wall(spans: Sequence[SpanRecord]) -> float:
+    """Total wall-time of the trace's root spans (parent outside the set)."""
+    closed = _closed(spans)
+    ids = {s.span_id for s in closed}
+    return sum(s.duration_s for s in closed if s.parent_id not in ids)
+
+
+@dataclass
+class AttributionRow:
+    """One span name's aggregate in the self-time rollup."""
+
+    name: str
+    calls: int
+    total_s: float      # inclusive wall (children included)
+    self_s: float       # exclusive wall (children excluded)
+    share: float        # self_s / root wall
+
+    def to_json(self) -> Dict[str, Any]:
+        return {
+            "name": self.name,
+            "calls": self.calls,
+            "total_s": round(self.total_s, 6),
+            "self_s": round(self.self_s, 6),
+            "share": round(self.share, 6),
+        }
+
+
+def attribution(spans: Sequence[SpanRecord]) -> List[AttributionRow]:
+    """Self-time rollup by span name, heaviest self-time first."""
+    closed = _closed(spans)
+    selfs = self_times(closed)
+    wall = root_wall(closed)
+    totals: Dict[str, List[float]] = {}
+    for s in closed:
+        bucket = totals.setdefault(s.name, [0.0, 0.0, 0.0])
+        bucket[0] += 1
+        bucket[1] += s.duration_s
+        bucket[2] += selfs[s.span_id]
+    rows = [
+        AttributionRow(
+            name=name,
+            calls=int(calls),
+            total_s=total,
+            self_s=self_s,
+            share=(self_s / wall) if wall else 0.0,
+        )
+        for name, (calls, total, self_s) in totals.items()
+    ]
+    rows.sort(key=lambda r: (-r.self_s, r.name))
+    return rows
+
+
+def reconcile(spans: Sequence[SpanRecord]) -> Tuple[float, float]:
+    """``(root_wall, sum_of_self_times)`` — equal for a sequential trace.
+
+    ``repro perf report`` prints the pair; tests assert agreement to within
+    1 %.  Disagreement beyond that means either clock skew in a graft or
+    genuinely concurrent subtrees (utilization > 1).
+    """
+    closed = _closed(spans)
+    return root_wall(closed), sum(self_times(closed).values())
+
+
+def collect_subtree(
+    spans: Sequence[SpanRecord], root_id: int, include_root: bool = True
+) -> List[SpanRecord]:
+    """All spans at/under ``root_id``, in the order they appear in ``spans``."""
+    children: Dict[Optional[int], List[SpanRecord]] = {}
+    for s in spans:
+        children.setdefault(s.parent_id, []).append(s)
+    keep: set = set()
+    stack = [root_id]
+    while stack:
+        node = stack.pop()
+        keep.add(node)
+        stack.extend(c.span_id for c in children.get(node, ()))
+    return [
+        s
+        for s in spans
+        if s.span_id in keep and (include_root or s.span_id != root_id)
+    ]
+
+
+#: The span names that mark a sizing kernel's root in the trace.
+KERNEL_SPAN_NAMES = ("size",)
+
+
+@dataclass
+class KernelRow:
+    """One sizing kernel's aggregate across a trace."""
+
+    kernel: str                      # circuit name (the kernel identity)
+    calls: int
+    wall_s: float
+    hotspots: List[AttributionRow] = field(default_factory=list)
+
+    def to_json(self) -> Dict[str, Any]:
+        return {
+            "kernel": self.kernel,
+            "calls": self.calls,
+            "wall_s": round(self.wall_s, 6),
+            "hotspots": [r.to_json() for r in self.hotspots],
+        }
+
+
+def kernel_hotspots(
+    spans: Sequence[SpanRecord], top: int = 8
+) -> List[KernelRow]:
+    """Per-kernel hot-spot tables: what dominates *inside* each sizing run.
+
+    A kernel is one circuit's ``size`` span; multiple sizings of the same
+    circuit aggregate.  Each row carries the kernel's inner self-time
+    rollup, answering "what dominates per-bit sizing" at function (span
+    name) granularity.
+    """
+    closed = _closed(spans)
+    by_kernel: Dict[str, List[SpanRecord]] = {}
+    calls: Dict[str, int] = {}
+    wall: Dict[str, float] = {}
+    for s in closed:
+        if s.name not in KERNEL_SPAN_NAMES:
+            continue
+        kernel = str(s.attrs.get("circuit", s.name))
+        calls[kernel] = calls.get(kernel, 0) + 1
+        wall[kernel] = wall.get(kernel, 0.0) + s.duration_s
+        by_kernel.setdefault(kernel, []).extend(
+            collect_subtree(closed, s.span_id)
+        )
+    rows = [
+        KernelRow(
+            kernel=kernel,
+            calls=calls[kernel],
+            wall_s=wall[kernel],
+            hotspots=attribution(subtree)[:top],
+        )
+        for kernel, subtree in by_kernel.items()
+    ]
+    rows.sort(key=lambda r: -r.wall_s)
+    return rows
+
+
+def critical_path(spans: Sequence[SpanRecord]) -> List[SpanRecord]:
+    """The heaviest chain root -> leaf: at each level, the child with the
+    largest inclusive duration.  "Where does the time actually go" in one
+    list instead of a tree."""
+    closed = _closed(spans)
+    if not closed:
+        return []
+    ids = {s.span_id for s in closed}
+    children: Dict[Optional[int], List[SpanRecord]] = {}
+    for s in closed:
+        parent = s.parent_id if s.parent_id in ids else None
+        children.setdefault(parent, []).append(s)
+    path: List[SpanRecord] = []
+    node = max(children.get(None, []), key=lambda s: s.duration_s, default=None)
+    while node is not None:
+        path.append(node)
+        node = max(
+            children.get(node.span_id, []),
+            key=lambda s: s.duration_s,
+            default=None,
+        )
+    return path
+
+
+def render_attribution_report(spans: Sequence[SpanRecord]) -> str:
+    """The ``repro perf report`` body for a trace: rollup, kernels, path."""
+    closed = _closed(spans)
+    if not closed:
+        return "perf report: (no completed spans)"
+    lines: List[str] = []
+    wall, self_sum = reconcile(closed)
+    rows = attribution(closed)
+
+    lines.append("self-time attribution (exclusive of children):")
+    lines.append(
+        f"{'span':<28} {'calls':>6} {'total ms':>10} {'self ms':>10} "
+        f"{'share':>7}"
+    )
+    for row in rows:
+        lines.append(
+            f"{row.name:<28} {row.calls:>6d} {row.total_s * 1e3:>10.2f} "
+            f"{row.self_s * 1e3:>10.2f} {row.share:>6.1%}"
+        )
+    reconciled = (self_sum / wall) if wall else 1.0
+    lines.append(
+        f"self-time total {self_sum * 1e3:.2f} ms vs root wall "
+        f"{wall * 1e3:.2f} ms ({reconciled:.1%} reconciled)"
+    )
+
+    kernels = kernel_hotspots(closed)
+    if kernels:
+        lines.append("")
+        lines.append("kernel hot-spots (per sized circuit):")
+        for row in kernels:
+            lines.append(
+                f"  {row.kernel}  x{row.calls}  {row.wall_s * 1e3:.2f} ms"
+            )
+            for hot in row.hotspots[:5]:
+                lines.append(
+                    f"    {hot.name:<26} {hot.self_s * 1e3:>10.2f} ms "
+                    f"{hot.share:>6.1%}"
+                )
+
+    path = critical_path(closed)
+    if path:
+        lines.append("")
+        lines.append("critical path (heaviest chain):")
+        for depth, s in enumerate(path):
+            lines.append(
+                f"  {'  ' * depth}{s.name:<30} {s.duration_s * 1e3:>10.2f} ms"
+            )
+    return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# Flame-graph exports
+# ---------------------------------------------------------------------------
+
+
+def to_chrome_trace(
+    spans: Sequence[SpanRecord],
+    events: Sequence[Any] = (),
+    unix_time: Optional[float] = None,
+) -> Dict[str, Any]:
+    """Chrome ``trace_event`` JSON (``chrome://tracing`` / Perfetto).
+
+    Spans become complete (``ph: "X"``) events with microsecond timestamps;
+    point events become instant (``ph: "i"``) events.
+    """
+    trace_events: List[Dict[str, Any]] = []
+    for s in _closed(spans):
+        trace_events.append(
+            {
+                "ph": "X",
+                "name": s.name,
+                "cat": "span",
+                "ts": round(s.t_start * 1e6, 3),
+                "dur": round(s.duration_s * 1e6, 3),
+                "pid": 1,
+                "tid": 1,
+                "args": json_sanitize(s.attrs),
+            }
+        )
+    for e in events:
+        trace_events.append(
+            {
+                "ph": "i",
+                "name": e.name,
+                "cat": "event",
+                "ts": round(e.t * 1e6, 3),
+                "s": "t",
+                "pid": 1,
+                "tid": 1,
+                "args": json_sanitize(e.attrs),
+            }
+        )
+    trace_events.sort(key=lambda ev: (ev["ts"], -ev.get("dur", 0.0)))
+    payload: Dict[str, Any] = {
+        "traceEvents": trace_events,
+        "displayTimeUnit": "ms",
+    }
+    if unix_time is not None:
+        payload["otherData"] = {"unix_time": unix_time}
+    return payload
+
+
+def to_speedscope(
+    spans: Sequence[SpanRecord], name: str = "repro trace"
+) -> Dict[str, Any]:
+    """Speedscope "evented" profile of the span tree (speedscope.app).
+
+    Open/close events must nest exactly, so children are clamped into their
+    parent's interval (grafted worker spans can overhang by clock skew).
+    """
+    closed = _closed(spans)
+    frames: List[Dict[str, str]] = []
+    frame_index: Dict[str, int] = {}
+
+    def frame(frame_name: str) -> int:
+        if frame_name not in frame_index:
+            frame_index[frame_name] = len(frames)
+            frames.append({"name": frame_name})
+        return frame_index[frame_name]
+
+    ids = {s.span_id for s in closed}
+    children: Dict[Optional[int], List[SpanRecord]] = {}
+    for s in closed:
+        parent = s.parent_id if s.parent_id in ids else None
+        children.setdefault(parent, []).append(s)
+    for siblings in children.values():
+        siblings.sort(key=lambda s: s.t_start)
+
+    profile_events: List[Dict[str, Any]] = []
+    end_value = 0.0
+
+    def walk(span: SpanRecord, lo: float, hi: float) -> None:
+        nonlocal end_value
+        t0 = min(max(span.t_start, lo), hi)
+        t1 = min(max(span.t_end or t0, t0), hi)
+        profile_events.append(
+            {"type": "O", "frame": frame(span.name), "at": t0}
+        )
+        cursor = t0
+        for child in children.get(span.span_id, []):
+            walk(child, cursor, t1)
+            cursor = max(cursor, min(max(child.t_end or cursor, cursor), t1))
+        profile_events.append(
+            {"type": "C", "frame": frame_index[span.name], "at": t1}
+        )
+        end_value = max(end_value, t1)
+
+    for root in children.get(None, []):
+        walk(root, root.t_start, root.t_end or root.t_start)
+
+    return {
+        "$schema": "https://www.speedscope.app/file-format-schema.json",
+        "shared": {"frames": frames},
+        "profiles": [
+            {
+                "type": "evented",
+                "name": name,
+                "unit": "seconds",
+                "startValue": 0.0,
+                "endValue": end_value,
+                "events": profile_events,
+            }
+        ],
+        "name": name,
+        "exporter": "repro.obs.perf",
+    }
+
+
+# ---------------------------------------------------------------------------
+# Run ledger
+# ---------------------------------------------------------------------------
+
+
+class RunLedger:
+    """Append-only JSONL store of run records.
+
+    Mirrors :class:`repro.cache.SizingCache`'s file discipline: one JSON
+    object per line, tolerant loading (corrupt/foreign lines are skipped and
+    counted), append-on-write.  ``path=None`` keeps records in memory only
+    (tests, ephemeral gating).
+    """
+
+    def __init__(self, path: Optional[str] = None, autosync: bool = True):
+        self.path = path
+        self.autosync = autosync
+        self.records: List[dict] = []
+        self.skipped_lines = 0
+        if path and os.path.exists(path):
+            self.records = self._load(path)
+
+    def _load(self, path: str) -> List[dict]:
+        records: List[dict] = []
+        with open(path) as fh:
+            for line_no, line in enumerate(fh, 1):
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = json.loads(line)
+                except json.JSONDecodeError:
+                    self.skipped_lines += 1
+                    log.warning(
+                        "%s:%d: skipping corrupt ledger line", path, line_no
+                    )
+                    continue
+                if not isinstance(record, dict) or any(
+                    f not in record for f in _REQUIRED_FIELDS
+                ):
+                    self.skipped_lines += 1
+                    log.warning(
+                        "%s:%d: skipping foreign ledger line", path, line_no
+                    )
+                    continue
+                records.append(record)
+        return records
+
+    @classmethod
+    def load(cls, path: str) -> "RunLedger":
+        """Open an existing ledger read-only-ish (no autosync surprises)."""
+        return cls(path=path, autosync=False)
+
+    def append(self, record: dict) -> None:
+        if any(f not in record for f in _REQUIRED_FIELDS):
+            raise ValueError(
+                f"ledger record missing required fields {_REQUIRED_FIELDS}"
+            )
+        self.records.append(record)
+        if self.autosync and self.path:
+            directory = os.path.dirname(os.path.abspath(self.path))
+            os.makedirs(directory, exist_ok=True)
+            with open(self.path, "a") as fh:
+                fh.write(
+                    json.dumps(
+                        json_sanitize(record),
+                        sort_keys=True,
+                        separators=(",", ":"),
+                        default=str,
+                    )
+                    + "\n"
+                )
+
+    def digest(self) -> str:
+        """Content digest of every record — ties a ``BENCH_*.json``
+        trajectory stamp to the exact ledger that produced it."""
+        return payload_digest(self.records)
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __repr__(self) -> str:
+        backing = self.path or "<memory>"
+        return f"RunLedger({backing!r}, records={len(self.records)})"
+
+
+_active_ledger: Optional[RunLedger] = None
+
+
+def get_ledger() -> Optional[RunLedger]:
+    """The process-global run ledger, or ``None`` when observation is off."""
+    return _active_ledger
+
+
+def install_ledger(ledger: Optional[RunLedger]) -> Optional[RunLedger]:
+    """Install ``ledger`` as the process-global ledger (``None`` disables)."""
+    global _active_ledger
+    _active_ledger = ledger
+    return _active_ledger
+
+
+class ledger_scope:
+    """Activate a ledger for a ``with`` block (tests, CLI commands)."""
+
+    def __init__(self, ledger: Optional[Union[RunLedger, str]] = None):
+        if isinstance(ledger, str):
+            ledger = RunLedger(ledger)
+        # NOT ``ledger or RunLedger()`` — an empty ledger is falsy via
+        # ``__len__`` and must still be honored.
+        self.ledger = ledger if ledger is not None else RunLedger()
+        self._previous: Optional[RunLedger] = None
+
+    def __enter__(self) -> RunLedger:
+        self._previous = get_ledger()
+        install_ledger(self.ledger)
+        return self.ledger
+
+    def __exit__(self, *exc: Any) -> None:
+        install_ledger(self._previous)
+
+
+def phase_rollup(
+    spans: Sequence[SpanRecord], wall_s: Optional[float] = None
+) -> Dict[str, Dict[str, float]]:
+    """Per-phase (span-name) wall/self aggregates for a run record."""
+    rollup: Dict[str, Dict[str, float]] = {}
+    for row in attribution(spans):
+        rollup[row.name] = {
+            "calls": row.calls,
+            "wall_s": round(row.total_s, 6),
+            "self_s": round(row.self_s, 6),
+        }
+    if wall_s is not None and spans:
+        accounted = sum(v["wall_s"] for v in rollup.values() if True)
+        top_level = root_wall(spans)
+        leftover = max(0.0, wall_s - top_level)
+        if leftover > 0:
+            rollup["(untraced)"] = {
+                "calls": 1,
+                "wall_s": round(leftover, 6),
+                "self_s": round(leftover, 6),
+            }
+        del accounted
+    return rollup
+
+
+def gp_rollup(spans: Sequence[SpanRecord]) -> Dict[str, Any]:
+    """GP work derived from the span tree: solves, iterations, residuals."""
+    solves = 0
+    iterations = 0
+    fallbacks = 0
+    residual: Optional[float] = None
+    for s in _closed(spans):
+        if s.name == "gp_solve":
+            solves += 1
+        elif s.name == "iteration":
+            iterations += 1
+            if s.attrs.get("gp_status") == "infeasible-retarget":
+                fallbacks += 1
+            value = s.attrs.get("residual")
+            if isinstance(value, (int, float)) and math.isfinite(value):
+                residual = float(value)
+    return {
+        "solves": solves,
+        "iterations": iterations,
+        "fallbacks": fallbacks,
+        "final_residual_ps": residual,
+    }
+
+
+def parallel_rollup(
+    spans: Sequence[SpanRecord], workers: int, wall_s: float
+) -> Dict[str, Any]:
+    """Worker utilization: grafted worker busy-time over the worker-slots
+    budget.  ``busy_s`` sums the *root* spans of grafted subtrees (the
+    per-task worker wall), so utilization is busy / (workers x wall)."""
+    busy = root_wall(spans)
+    budget = max(1, workers) * wall_s
+    return {
+        "workers": max(1, workers),
+        "busy_s": round(busy, 6),
+        "utilization": round(busy / budget, 6) if budget > 0 else 0.0,
+    }
+
+
+def build_run_record(
+    kind: str,
+    name: str,
+    *,
+    wall_s: float,
+    spans: Sequence[SpanRecord] = (),
+    circuit_fp: Optional[str] = None,
+    context_fp: Optional[str] = None,
+    spec_fp: Optional[str] = None,
+    gp: Optional[Mapping[str, Any]] = None,
+    cache: Optional[Mapping[str, Any]] = None,
+    parallel: Optional[Mapping[str, Any]] = None,
+    instruments: Optional[Mapping[str, Any]] = None,
+    extra: Optional[Mapping[str, Any]] = None,
+) -> dict:
+    """One ledger record.  ``spans`` (this run's subtree) drives the phase
+    and GP rollups; fingerprints key the record like a cache entry."""
+    spans = _closed(spans)
+    record: Dict[str, Any] = {
+        "format": LEDGER_FORMAT,
+        "kind": kind,
+        "name": name,
+        "unix_time": time.time(),
+        "wall_s": round(float(wall_s), 6),
+        "circuit_fp": circuit_fp,
+        "context_fp": context_fp,
+        "spec_fp": spec_fp,
+        "phases": phase_rollup(spans, wall_s=wall_s),
+        "gp": dict(gp) if gp is not None else gp_rollup(spans),
+    }
+    if cache is not None:
+        record["cache"] = json_sanitize(dict(cache))
+    if parallel is not None:
+        record["parallel"] = json_sanitize(dict(parallel))
+    if instruments is not None:
+        record["instruments"] = json_sanitize(dict(instruments))
+    if extra:
+        for key, value in extra.items():
+            record.setdefault(key, json_sanitize(value))
+    return json_sanitize(record)
+
+
+def record_run(kind: str, name: str, **kwargs: Any) -> Optional[dict]:
+    """Build a run record and append it to the active ledger.
+
+    No-op (returns ``None``) when no ledger is installed — the instrumented
+    entry points call this unconditionally and un-observed runs pay one
+    ``is None`` check.
+    """
+    ledger = get_ledger()
+    if ledger is None:
+        return None
+    record = build_run_record(kind, name, **kwargs)
+    ledger.append(record)
+    return record
+
+
+def render_ledger_summary(records: Sequence[Mapping[str, Any]]) -> str:
+    """The ``repro perf report`` body for a ledger file."""
+    if not records:
+        return "ledger: (no run records)"
+    lines = [
+        f"run ledger: {len(records)} records",
+        f"{'kind':<8} {'name':<34} {'wall s':>9} {'gp it':>6} "
+        f"{'residual':>9} {'cache':<12}",
+    ]
+    for record in records:
+        gp = record.get("gp") or {}
+        residual = gp.get("final_residual_ps")
+        rendered_residual = (
+            f"{residual:9.2f}"
+            if isinstance(residual, (int, float))
+            else f"{'-':>9}"
+        )
+        cache = record.get("cache") or {}
+        hit = cache.get("hit") or cache.get("hit_rate")
+        cache_txt = f"{hit}" if hit not in (None, "") else "-"
+        lines.append(
+            f"{str(record.get('kind', '?')):<8} "
+            f"{str(record.get('name', '?')):<34} "
+            f"{float(record.get('wall_s', 0.0)):>9.3f} "
+            f"{int(gp.get('iterations', 0) or 0):>6d} "
+            f"{rendered_residual} {cache_txt:<12}"
+        )
+    total = sum(float(r.get("wall_s", 0.0)) for r in records)
+    lines.append(f"total recorded wall {total:.3f} s")
+    return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# Regression engine
+# ---------------------------------------------------------------------------
+
+
+def median(samples: Sequence[float]) -> float:
+    ordered = sorted(samples)
+    n = len(ordered)
+    if n == 0:
+        raise ValueError("median of empty series")
+    mid = n // 2
+    if n % 2:
+        return ordered[mid]
+    return 0.5 * (ordered[mid - 1] + ordered[mid])
+
+
+@dataclass
+class DiffRow:
+    """One key's base-vs-new comparison."""
+
+    key: str
+    base_median: Optional[float]
+    new_median: Optional[float]
+    n_base: int
+    n_new: int
+    verdict: str          # "ok" | "regression" | "improvement" | "added" | "removed"
+
+    @property
+    def delta_s(self) -> Optional[float]:
+        if self.base_median is None or self.new_median is None:
+            return None
+        return self.new_median - self.base_median
+
+    @property
+    def ratio(self) -> Optional[float]:
+        if not self.base_median or self.new_median is None:
+            return None
+        return self.new_median / self.base_median
+
+    def to_json(self) -> Dict[str, Any]:
+        return json_sanitize(
+            {
+                "key": self.key,
+                "base_median_s": self.base_median,
+                "new_median_s": self.new_median,
+                "n_base": self.n_base,
+                "n_new": self.n_new,
+                "delta_s": self.delta_s,
+                "ratio": self.ratio,
+                "verdict": self.verdict,
+            }
+        )
+
+
+@dataclass
+class PerfDiff:
+    """Outcome of comparing two perf sources."""
+
+    rows: List[DiffRow]
+    rel_threshold: float
+    min_effect_s: float
+
+    @property
+    def regressions(self) -> List[DiffRow]:
+        return [r for r in self.rows if r.verdict == "regression"]
+
+    @property
+    def ok(self) -> bool:
+        return not self.regressions
+
+    def to_json(self) -> Dict[str, Any]:
+        return {
+            "format": "smart-perf-diff/1",
+            "rel_threshold": self.rel_threshold,
+            "min_effect_s": self.min_effect_s,
+            "ok": self.ok,
+            "rows": [r.to_json() for r in self.rows],
+        }
+
+    def render(self) -> str:
+        lines = [
+            f"perf diff (threshold: +{self.rel_threshold:.0%} and "
+            f">= {self.min_effect_s * 1e3:.0f} ms):",
+            f"{'key':<44} {'base s':>9} {'new s':>9} {'delta':>8} "
+            f"{'ratio':>6}  verdict",
+        ]
+        for row in self.rows:
+            base = (
+                f"{row.base_median:9.3f}"
+                if row.base_median is not None
+                else f"{'-':>9}"
+            )
+            new = (
+                f"{row.new_median:9.3f}"
+                if row.new_median is not None
+                else f"{'-':>9}"
+            )
+            delta = (
+                f"{row.delta_s:+8.3f}" if row.delta_s is not None else f"{'-':>8}"
+            )
+            ratio = (
+                f"{row.ratio:6.2f}" if row.ratio is not None else f"{'-':>6}"
+            )
+            lines.append(
+                f"{row.key:<44} {base} {new} {delta} {ratio}  {row.verdict}"
+            )
+        lines.append(
+            "verdict: "
+            + (
+                "OK (no statistically meaningful regression)"
+                if self.ok
+                else f"REGRESSION in {len(self.regressions)} key(s): "
+                + ", ".join(r.key for r in self.regressions)
+            )
+        )
+        return "\n".join(lines)
+
+
+def diff_samples(
+    base: Mapping[str, Sequence[float]],
+    new: Mapping[str, Sequence[float]],
+    *,
+    rel_threshold: float = 0.25,
+    min_effect_s: float = 0.05,
+) -> PerfDiff:
+    """Noise-aware comparison of per-key wall-time samples.
+
+    Median-of-N per key; a key regresses only when the median grew by more
+    than ``rel_threshold`` relatively AND ``min_effect_s`` absolutely — the
+    minimum-effect floor keeps micro-kernels (where scheduler jitter is a
+    large fraction) from tripping the gate, the relative threshold keeps
+    slow kernels from hiding real slowdowns under a small percentage.
+    """
+    rows: List[DiffRow] = []
+    for key in sorted(set(base) | set(new)):
+        base_samples = [float(v) for v in base.get(key, ())]
+        new_samples = [float(v) for v in new.get(key, ())]
+        if base_samples and new_samples:
+            base_med = median(base_samples)
+            new_med = median(new_samples)
+            delta = new_med - base_med
+            if delta > min_effect_s and (
+                base_med == 0.0 or delta / base_med > rel_threshold
+            ):
+                verdict = "regression"
+            elif -delta > min_effect_s and (
+                base_med > 0.0 and -delta / base_med > rel_threshold
+            ):
+                verdict = "improvement"
+            else:
+                verdict = "ok"
+            rows.append(
+                DiffRow(
+                    key=key,
+                    base_median=base_med,
+                    new_median=new_med,
+                    n_base=len(base_samples),
+                    n_new=len(new_samples),
+                    verdict=verdict,
+                )
+            )
+        elif new_samples:
+            rows.append(
+                DiffRow(
+                    key=key,
+                    base_median=None,
+                    new_median=median(new_samples),
+                    n_base=0,
+                    n_new=len(new_samples),
+                    verdict="added",
+                )
+            )
+        else:
+            rows.append(
+                DiffRow(
+                    key=key,
+                    base_median=median(base_samples),
+                    new_median=None,
+                    n_base=len(base_samples),
+                    n_new=0,
+                    verdict="removed",
+                )
+            )
+    return PerfDiff(
+        rows=rows, rel_threshold=rel_threshold, min_effect_s=min_effect_s
+    )
+
+
+def ledger_samples(
+    records: Iterable[Mapping[str, Any]],
+) -> Dict[str, List[float]]:
+    """``kind:name -> [wall_s, ...]`` samples from ledger records."""
+    samples: Dict[str, List[float]] = {}
+    for record in records:
+        key = f"{record.get('kind', '?')}:{record.get('name', '?')}"
+        try:
+            samples.setdefault(key, []).append(float(record["wall_s"]))
+        except (KeyError, TypeError, ValueError):
+            continue
+    return samples
+
+
+def trajectory_samples(
+    payload: Mapping[str, Any],
+) -> Dict[str, List[float]]:
+    """Per-kernel samples from a ``smart-bench-trajectory/1`` stamp."""
+    samples: Dict[str, List[float]] = {}
+    for kernel, data in (payload.get("kernels") or {}).items():
+        if isinstance(data, Mapping):
+            value = data.get("wall_s")
+        else:
+            value = data
+        values = value if isinstance(value, (list, tuple)) else [value]
+        cleaned = [
+            float(v) for v in values if isinstance(v, (int, float))
+        ]
+        if cleaned:
+            samples[str(kernel)] = cleaned
+    return samples
+
+
+def load_perf_source(path: str) -> Dict[str, List[float]]:
+    """Samples from a perf source file, sniffing the format.
+
+    Accepts a run-ledger JSONL (``smart-perf-ledger/1`` records) or a
+    ``BENCH_*.json`` trajectory stamp (``smart-bench-trajectory/1``).
+    """
+    with open(path) as fh:
+        text = fh.read()
+    stripped = text.lstrip()
+    if not stripped:
+        raise ValueError(f"{path}: empty perf source")
+    first_line = stripped.splitlines()[0]
+    try:
+        first = json.loads(first_line)
+    except json.JSONDecodeError:
+        first = None
+    if isinstance(first, dict) and first.get("format") == LEDGER_FORMAT:
+        ledger = RunLedger.load(path)
+        return ledger_samples(ledger.records)
+    payload = json.loads(text)
+    if (
+        isinstance(payload, dict)
+        and payload.get("format") == TRAJECTORY_FORMAT
+    ):
+        return trajectory_samples(payload)
+    raise ValueError(
+        f"{path}: not a run ledger ({LEDGER_FORMAT}) or bench trajectory "
+        f"({TRAJECTORY_FORMAT})"
+    )
+
+
+def diff_paths(
+    base_path: str,
+    new_path: str,
+    *,
+    rel_threshold: float = 0.25,
+    min_effect_s: float = 0.05,
+) -> PerfDiff:
+    """``repro perf diff`` core: load two sources and compare."""
+    return diff_samples(
+        load_perf_source(base_path),
+        load_perf_source(new_path),
+        rel_threshold=rel_threshold,
+        min_effect_s=min_effect_s,
+    )
+
+
+def make_trajectory(
+    kernels: Mapping[str, Union[float, Sequence[float]]],
+    *,
+    pr: Optional[int] = None,
+    ledger_digest: Optional[str] = None,
+    tracked: Optional[Sequence[str]] = None,
+) -> dict:
+    """A ``smart-bench-trajectory/1`` stamp (what ``BENCH_PR*.json`` holds)."""
+    rendered: Dict[str, Any] = {}
+    for kernel, value in kernels.items():
+        values = value if isinstance(value, (list, tuple)) else [value]
+        cleaned = [round(float(v), 6) for v in values]
+        rendered[str(kernel)] = {
+            "wall_s": cleaned if len(cleaned) > 1 else cleaned[0],
+            "n": len(cleaned),
+        }
+    payload: Dict[str, Any] = {
+        "format": TRAJECTORY_FORMAT,
+        "created_unix": time.time(),
+        "kernels": rendered,
+    }
+    if pr is not None:
+        payload["pr"] = int(pr)
+    if ledger_digest is not None:
+        payload["ledger_digest"] = ledger_digest
+    if tracked is not None:
+        payload["tracked"] = list(tracked)
+    return payload

@@ -1,0 +1,261 @@
+"""Live trace streaming: subscribers, incremental JSONL, and tail views.
+
+Until now a trace only became visible after the run exited
+(:meth:`Tracer.write_jsonl`).  The advisor-as-a-service direction needs the
+opposite: progress observable *while* a run executes.  This module provides
+the three pieces:
+
+* :class:`TraceSubscriber` — the callback interface a :class:`Tracer`
+  notifies synchronously as spans open/close and events fire
+  (``tracer.subscribe(sub)`` / ``tracer.unsubscribe(sub)``);
+* :class:`JsonlStreamWriter` — a subscriber that appends each completed
+  record to a JSONL file the moment it lands.  Because both it and the
+  post-hoc exporter serialize through :func:`repro.obs.trace.record_line`,
+  the streamed file is **byte-identical** to what ``write_jsonl`` would have
+  produced for the same run — a consumer tailing the stream and a consumer
+  replaying the export see the same trace;
+* :func:`tail_records` / :func:`render_tail_line` — the ``repro perf watch``
+  view: follow a (possibly still-growing) stream file and render one line
+  per completed span / event.
+
+Spans stream in *completion* order (children before parents), exactly like
+the export format; ``on_span_open`` exists so interactive consumers can show
+in-flight work, but open records are deliberately not written to the JSONL
+stream (the export schema has no "open" record, and equality with the
+post-hoc export is the contract).
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from typing import IO, Any, Callable, Iterator, List, Optional, Union
+
+from .trace import (
+    EventRecord,
+    SpanRecord,
+    Tracer,
+    header_line,
+    record_line,
+)
+
+
+class TraceSubscriber:
+    """Base class for live trace consumers — every callback is optional.
+
+    Subclass and override what you need; the tracer looks callbacks up by
+    name, so any object with matching methods works too (structural typing).
+    """
+
+    def on_span_open(self, span: SpanRecord) -> None:
+        """A span just opened (it has ``t_start`` but no ``t_end`` yet)."""
+
+    def on_span_close(self, span: SpanRecord) -> None:
+        """A span completed (including spans grafted from workers)."""
+
+    def on_event(self, event: EventRecord) -> None:
+        """A point event fired."""
+
+
+class CollectingSubscriber(TraceSubscriber):
+    """Records every callback in arrival order — test/inspection helper.
+
+    ``calls`` is a list of ``(kind, record)`` pairs with kind one of
+    ``"open"`` / ``"close"`` / ``"event"``.
+    """
+
+    def __init__(self) -> None:
+        self.calls: List[tuple] = []
+
+    def on_span_open(self, span: SpanRecord) -> None:
+        self.calls.append(("open", span))
+
+    def on_span_close(self, span: SpanRecord) -> None:
+        self.calls.append(("close", span))
+
+    def on_event(self, event: EventRecord) -> None:
+        self.calls.append(("event", event))
+
+    def opened(self) -> List[SpanRecord]:
+        return [r for kind, r in self.calls if kind == "open"]
+
+    def closed(self) -> List[SpanRecord]:
+        return [r for kind, r in self.calls if kind == "close"]
+
+    def events(self) -> List[EventRecord]:
+        return [r for kind, r in self.calls if kind == "event"]
+
+
+class JsonlStreamWriter(TraceSubscriber):
+    """Incrementally writes the trace JSONL stream as records complete.
+
+    Usage::
+
+        tracer = Tracer()
+        writer = JsonlStreamWriter(path).attach(tracer)
+        with trace.tracing_scope(tracer):
+            advisor.advise(spec, constraints)
+        writer.close()          # detaches and flushes
+
+    Every line is flushed on write, so a tail consumer (``repro perf
+    watch --follow``) sees each span as it closes.  The resulting file is
+    byte-identical to ``tracer.write_jsonl`` output for the same run.
+    """
+
+    def __init__(self, target: Union[str, IO[str]]):
+        if isinstance(target, str):
+            self._fh: IO[str] = open(target, "w")
+            self._owns_fh = True
+            self.path: Optional[str] = target
+        else:
+            self._fh = target
+            self._owns_fh = False
+            self.path = getattr(target, "name", None)
+        self._tracer: Optional[Tracer] = None
+        self._wrote_header = False
+        self.lines_written = 0
+
+    def attach(self, tracer: Tracer) -> "JsonlStreamWriter":
+        """Subscribe to ``tracer`` and emit the stream header immediately."""
+        self._tracer = tracer
+        self._write_header(tracer.epoch_unix)
+        tracer.subscribe(self)
+        return self
+
+    def _write_header(self, unix_time: float) -> None:
+        if not self._wrote_header:
+            self._write(header_line(unix_time))
+            self._wrote_header = True
+
+    def _write(self, line: str) -> None:
+        self._fh.write(line + "\n")
+        self._fh.flush()
+        self.lines_written += 1
+
+    def on_span_close(self, span: SpanRecord) -> None:
+        self._write(record_line(span))
+
+    def on_event(self, event: EventRecord) -> None:
+        self._write(record_line(event))
+
+    def close(self) -> None:
+        """Detach from the tracer and close the file (if we opened it)."""
+        if self._tracer is not None:
+            self._tracer.unsubscribe(self)
+            self._tracer = None
+        if self._owns_fh and not self._fh.closed:
+            self._fh.close()
+
+    def __enter__(self) -> "JsonlStreamWriter":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.close()
+
+
+# ---------------------------------------------------------------------------
+# Tail view (``repro perf watch``)
+# ---------------------------------------------------------------------------
+
+
+def tail_records(
+    path: str,
+    follow: bool = False,
+    poll_s: float = 0.2,
+    stop: Optional[Callable[[], bool]] = None,
+    timeout_s: Optional[float] = None,
+) -> Iterator[dict]:
+    """Yield parsed records from a trace JSONL stream, oldest first.
+
+    With ``follow=True`` the generator keeps polling the file for new lines
+    (like ``tail -f``) until ``stop()`` returns true or ``timeout_s``
+    elapses; otherwise it yields what is currently in the file and returns.
+    Partial trailing lines (a writer mid-append) are held back until their
+    newline arrives.  Corrupt lines are skipped — a live stream must stay
+    tail-able even across a torn write.
+    """
+    t0 = time.monotonic()
+    buffer = ""
+    with open(path) as fh:
+        while True:
+            chunk = fh.read()
+            if chunk:
+                buffer += chunk
+                while "\n" in buffer:
+                    line, buffer = buffer.split("\n", 1)
+                    line = line.strip()
+                    if not line:
+                        continue
+                    try:
+                        obj = json.loads(line)
+                    except json.JSONDecodeError:
+                        continue
+                    if isinstance(obj, dict):
+                        yield obj
+                continue
+            if not follow:
+                return
+            if stop is not None and stop():
+                return
+            if timeout_s is not None and time.monotonic() - t0 > timeout_s:
+                return
+            time.sleep(poll_s)
+
+
+def render_tail_line(record: dict) -> Optional[str]:
+    """One ``repro perf watch`` line for a parsed stream record.
+
+    Returns ``None`` for records the tail view does not display.
+    """
+    kind = record.get("type")
+    if kind == "trace":
+        recorded = record.get("unix_time")
+        stamp = (
+            time.strftime("%Y-%m-%d %H:%M:%S", time.localtime(recorded))
+            if isinstance(recorded, (int, float))
+            else "?"
+        )
+        return f"-- trace stream (recorded {stamp}) --"
+    if kind == "span":
+        depth = int(record.get("depth", 0) or 0)
+        dur = record.get("dur")
+        dur_ms = (
+            f"{dur * 1e3:9.2f} ms" if isinstance(dur, (int, float)) else "?"
+        )
+        attrs = record.get("attrs") or {}
+        rendered_attrs = " ".join(
+            f"{k}={v}" for k, v in list(attrs.items())[:4]
+        )
+        label = "  " * depth + str(record.get("name", "?"))
+        line = f"[{record.get('t1', 0.0):>9.3f}s] {label:<44} {dur_ms}"
+        return line + (f"  {rendered_attrs}" if rendered_attrs else "")
+    if kind == "event":
+        attrs = record.get("attrs") or {}
+        rendered_attrs = " ".join(
+            f"{k}={v}" for k, v in list(attrs.items())[:4]
+        )
+        return (
+            f"[{record.get('t', 0.0):>9.3f}s] * {record.get('name', '?')}"
+            + (f"  {rendered_attrs}" if rendered_attrs else "")
+        )
+    return None
+
+
+def watch(
+    path: str,
+    emit: Callable[[str], None],
+    follow: bool = False,
+    poll_s: float = 0.2,
+    stop: Optional[Callable[[], bool]] = None,
+    timeout_s: Optional[float] = None,
+) -> int:
+    """Render a stream file through ``emit``; returns records displayed."""
+    shown = 0
+    for record in tail_records(
+        path, follow=follow, poll_s=poll_s, stop=stop, timeout_s=timeout_s
+    ):
+        line = render_tail_line(record)
+        if line is not None:
+            emit(line)
+            shown += 1
+    return shown

@@ -25,6 +25,13 @@ JSONL schema (one object per line)::
 
 Spans are written in *completion* order (children before parents); readers
 reconstruct the hierarchy from ``parent`` ids.
+
+Live observation: a :class:`Tracer` accepts *subscribers* (see
+:mod:`repro.obs.stream`) whose callbacks fire as spans open/close and events
+land — the same records, delivered incrementally instead of after exit.
+The JSONL stream a subscriber writes is byte-identical to the post-hoc
+:meth:`Tracer.write_jsonl` export because both routes serialize through
+:func:`record_line`.
 """
 
 from __future__ import annotations
@@ -83,15 +90,21 @@ class SpanRecord:
         self.attrs.update(attrs)
 
     def to_json(self) -> Dict[str, Any]:
+        # ``dur`` is derived from the *rounded* endpoints (not the raw
+        # duration) so that export -> load -> re-export is byte-identical:
+        # a loaded record carries the rounded times, and rounding is
+        # idempotent.
+        t0 = round(self.t_start, 6)
+        t1 = round(self.t_end, 6) if self.t_end is not None else None
         return {
             "type": "span",
             "id": self.span_id,
             "parent": self.parent_id,
             "name": self.name,
             "depth": self.depth,
-            "t0": round(self.t_start, 6),
-            "t1": round(self.t_end, 6) if self.t_end is not None else None,
-            "dur": round(self.duration_s, 6),
+            "t0": t0,
+            "t1": t1,
+            "dur": round(t1 - t0, 6) if t1 is not None else 0.0,
             "attrs": self.attrs,
         }
 
@@ -113,6 +126,24 @@ class EventRecord:
             "t": round(self.t, 6),
             "attrs": self.attrs,
         }
+
+
+def header_line(unix_time: float) -> str:
+    """The JSONL header record (shared by export and streaming)."""
+    return json.dumps(
+        {"type": "trace", "version": 1, "unix_time": unix_time}
+    )
+
+
+def record_line(record: Union[SpanRecord, EventRecord]) -> str:
+    """One JSONL line for a span/event record.
+
+    Both the post-hoc exporter (:meth:`Tracer.jsonl_lines`) and the live
+    stream writer (:class:`repro.obs.stream.JsonlStreamWriter`) serialize
+    through this function, which is what makes streamed output byte-identical
+    to the after-the-fact export.
+    """
+    return json.dumps(json_sanitize(record.to_json()), default=str)
 
 
 class _NullSpan:
@@ -156,11 +187,18 @@ class NullTracer:
         self,
         spans: Sequence["SpanRecord"],
         events: Sequence["EventRecord"] = (),
+        epoch_unix: Optional[float] = None,
     ) -> None:
         return None
 
     def current(self) -> _NullSpan:
         return _NULL_SPAN
+
+    def subscribe(self, subscriber: Any) -> Any:
+        return subscriber
+
+    def unsubscribe(self, subscriber: Any) -> None:
+        return None
 
 
 class _SpanContext:
@@ -195,6 +233,43 @@ class Tracer:
         self.spans: List[SpanRecord] = []
         self.events: List[EventRecord] = []
         self._order: List[Union[SpanRecord, EventRecord]] = []
+        self._subscribers: List[Any] = []
+
+    # -- subscribers -------------------------------------------------------
+
+    def subscribe(self, subscriber: Any) -> Any:
+        """Attach a live subscriber (see :mod:`repro.obs.stream`).
+
+        The subscriber's ``on_span_open`` / ``on_span_close`` / ``on_event``
+        callbacks fire synchronously as the run executes; any of them may be
+        absent.  A subscriber exception is logged and detaches nothing —
+        observability must never sink the run it observes.  Returns the
+        subscriber (for ``writer = tracer.subscribe(JsonlStreamWriter(p))``
+        one-liners).
+        """
+        self._subscribers.append(subscriber)
+        return subscriber
+
+    def unsubscribe(self, subscriber: Any) -> None:
+        """Detach a subscriber; unknown subscribers are ignored."""
+        try:
+            self._subscribers.remove(subscriber)
+        except ValueError:
+            pass
+
+    def _notify(self, callback: str, record: Any) -> None:
+        for subscriber in self._subscribers:
+            hook = getattr(subscriber, callback, None)
+            if hook is None:
+                continue
+            try:
+                hook(record)
+            except Exception:  # pragma: no cover - defensive
+                import logging
+
+                logging.getLogger("repro.obs.trace").exception(
+                    "trace subscriber %r failed in %s", subscriber, callback
+                )
 
     # -- recording ---------------------------------------------------------
 
@@ -213,6 +288,8 @@ class Tracer:
         )
         self._next_id += 1
         self._stack.append(record)
+        if self._subscribers:
+            self._notify("on_span_open", record)
         return _SpanContext(self, record)
 
     def _close(self, record: SpanRecord) -> None:
@@ -225,6 +302,8 @@ class Tracer:
                 break
         self.spans.append(record)
         self._order.append(record)
+        if self._subscribers:
+            self._notify("on_span_close", record)
 
     def event(self, name: str, **attrs: Any) -> None:
         record = EventRecord(
@@ -235,6 +314,8 @@ class Tracer:
         )
         self.events.append(record)
         self._order.append(record)
+        if self._subscribers:
+            self._notify("on_event", record)
 
     def add_attrs(self, **attrs: Any) -> None:
         """Attach attributes to the innermost open span (no-op at root)."""
@@ -248,16 +329,23 @@ class Tracer:
         self,
         spans: Sequence[SpanRecord],
         events: Sequence[EventRecord] = (),
+        epoch_unix: Optional[float] = None,
     ) -> None:
         """Merge a subtrace recorded by *another* tracer (typically a worker
         process) under the innermost open span.
 
         Span ids are re-numbered into this tracer's id space; subtrace roots
         are re-parented onto the current span; depths are offset to nest
-        correctly.  Times are rebased so the subtrace *ends* at this tracer's
-        current clock — worker wall-time stays truthful, only its placement
-        on the parent's axis is approximate (the fork/join skew is not
-        recoverable from the records alone).
+        correctly.
+
+        Worker spans carry times relative to *their own* perf-counter epoch,
+        so they must be re-based onto the parent's axis.  When the caller
+        supplies the worker tracer's ``epoch_unix``, the shift is the
+        wall-clock skew between the two epochs — fork/join skew is recovered
+        exactly and concurrent workers land at their true positions.  Without
+        it, the legacy approximation applies: the subtrace is placed so it
+        *ends* at this tracer's current clock (worker wall-time stays
+        truthful, placement is approximate).
         """
         spans = list(spans)
         events = list(events)
@@ -268,11 +356,14 @@ class Tracer:
         depth0 = len(self._stack)
         offset = self._next_id
         ids = {s.span_id for s in spans}
-        t_max = max(
-            [s.t_end if s.t_end is not None else s.t_start for s in spans]
-            + [e.t for e in events]
-        )
-        shift = self._now() - t_max
+        if epoch_unix is not None:
+            shift = epoch_unix - self.epoch_unix
+        else:
+            t_max = max(
+                [s.t_end if s.t_end is not None else s.t_start for s in spans]
+                + [e.t for e in events]
+            )
+            shift = self._now() - t_max
         for s in spans:
             record = SpanRecord(
                 span_id=s.span_id + offset,
@@ -287,6 +378,8 @@ class Tracer:
             )
             self.spans.append(record)
             self._order.append(record)
+            if self._subscribers:
+                self._notify("on_span_close", record)
         for e in events:
             record = EventRecord(
                 name=e.name,
@@ -298,20 +391,16 @@ class Tracer:
             )
             self.events.append(record)
             self._order.append(record)
+            if self._subscribers:
+                self._notify("on_event", record)
         self._next_id = offset + (max(ids) + 1 if ids else 0)
 
     # -- export ------------------------------------------------------------
 
     def jsonl_lines(self) -> Iterator[str]:
-        yield json.dumps(
-            {
-                "type": "trace",
-                "version": 1,
-                "unix_time": self.epoch_unix,
-            }
-        )
+        yield header_line(self.epoch_unix)
         for record in self._order:
-            yield json.dumps(json_sanitize(record.to_json()), default=str)
+            yield record_line(record)
 
     def write_jsonl(self, path: str) -> None:
         with open(path, "w") as fh:
@@ -391,9 +480,15 @@ def enabled() -> bool:
 
 
 def load_jsonl(path: str) -> "TraceDump":
-    """Parse a trace JSONL file back into span/event records."""
+    """Parse a trace JSONL file back into span/event records.
+
+    The dump preserves the file's record interleaving (``records``), so a
+    replayed trace re-exports byte-identically via
+    :meth:`TraceDump.jsonl_lines`.
+    """
     spans: List[SpanRecord] = []
     events: List[EventRecord] = []
+    records: List[Union[SpanRecord, EventRecord]] = []
     unix_time: Optional[float] = None
     with open(path) as fh:
         for line_no, line in enumerate(fh, 1):
@@ -408,31 +503,33 @@ def load_jsonl(path: str) -> "TraceDump":
             if kind == "trace":
                 unix_time = obj.get("unix_time")
             elif kind == "span":
-                spans.append(
-                    SpanRecord(
-                        span_id=obj["id"],
-                        parent_id=obj.get("parent"),
-                        name=obj["name"],
-                        depth=obj.get("depth", 0),
-                        t_start=obj["t0"],
-                        t_end=obj.get("t1"),
-                        attrs=obj.get("attrs", {}),
-                    )
+                record = SpanRecord(
+                    span_id=obj["id"],
+                    parent_id=obj.get("parent"),
+                    name=obj["name"],
+                    depth=obj.get("depth", 0),
+                    t_start=obj["t0"],
+                    t_end=obj.get("t1"),
+                    attrs=obj.get("attrs", {}),
                 )
+                spans.append(record)
+                records.append(record)
             elif kind == "event":
-                events.append(
-                    EventRecord(
-                        name=obj["name"],
-                        t=obj["t"],
-                        span_id=obj.get("span"),
-                        attrs=obj.get("attrs", {}),
-                    )
+                record = EventRecord(
+                    name=obj["name"],
+                    t=obj["t"],
+                    span_id=obj.get("span"),
+                    attrs=obj.get("attrs", {}),
                 )
+                events.append(record)
+                records.append(record)
             else:
                 raise ValueError(
                     f"{path}:{line_no}: unknown record type {kind!r}"
                 )
-    return TraceDump(spans=spans, events=events, unix_time=unix_time)
+    return TraceDump(
+        spans=spans, events=events, unix_time=unix_time, records=records
+    )
 
 
 @dataclass
@@ -442,12 +539,34 @@ class TraceDump:
     spans: List[SpanRecord]
     events: List[EventRecord]
     unix_time: Optional[float] = None
+    #: spans + events in original file order (completion/firing order);
+    #: ``None`` for hand-built dumps, in which case re-export emits spans
+    #: then events.
+    records: Optional[List[Union[SpanRecord, EventRecord]]] = None
 
     def render_tree(self) -> str:
         return render_span_tree(self.spans)
 
     def profile_summary(self) -> str:
         return profile_summary(self.spans)
+
+    def jsonl_lines(self) -> Iterator[str]:
+        """Re-export the dump in the exact format :class:`Tracer` writes."""
+        yield header_line(
+            self.unix_time if self.unix_time is not None else 0.0
+        )
+        ordered: Sequence[Union[SpanRecord, EventRecord]] = (
+            self.records
+            if self.records is not None
+            else [*self.spans, *self.events]
+        )
+        for record in ordered:
+            yield record_line(record)
+
+    def write_jsonl(self, path: str) -> None:
+        with open(path, "w") as fh:
+            for line in self.jsonl_lines():
+                fh.write(line + "\n")
 
 
 def _format_attrs(attrs: Dict[str, Any], limit: int = 5) -> str:

@@ -67,6 +67,9 @@ class CandidateOutcome:
     cache_entries: List[dict] = field(default_factory=list)
     cache_stats: Dict[str, float] = field(default_factory=dict)
     error: str = ""
+    # Wall-clock anchor of the worker tracer's perf-counter origin; lets the
+    # parent re-base grafted timestamps onto its own epoch (fork/join skew).
+    epoch_unix: float = 0.0
 
 
 # Worker-process state, populated once by the pool initializer.
@@ -98,6 +101,7 @@ def _run_task(task: CandidateTask) -> CandidateOutcome:
             )
         outcome.spans = list(tracer.spans)
         outcome.events = list(tracer.events)
+        outcome.epoch_unix = tracer.epoch_unix
         if advisor.cache is not None:
             outcome.cache_entries = advisor.cache.drain_new()
             outcome.cache_stats = advisor.cache.stats.as_dict()
@@ -175,7 +179,11 @@ def absorb_outcomes(
     candidates: List[CandidateResult] = []
     for outcome in outcomes:
         if outcome.spans or outcome.events:
-            tracer.graft(outcome.spans, outcome.events)
+            tracer.graft(
+                outcome.spans,
+                outcome.events,
+                epoch_unix=outcome.epoch_unix or None,
+            )
         if cache is not None:
             if outcome.cache_entries:
                 cache.merge_entries(outcome.cache_entries)

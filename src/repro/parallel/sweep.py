@@ -22,7 +22,7 @@ from typing import Dict, List, Optional, Sequence
 from ..cache.store import CacheStats, SizingCache
 from ..core.constraints import DesignConstraints
 from ..macros.base import MacroSpec
-from ..obs import metrics, trace
+from ..obs import metrics, perf, trace
 from ..obs.log import get_logger
 from ..obs.trace import EventRecord, SpanRecord
 from .pool import _WORKER, _init_worker, _mp_context
@@ -114,6 +114,9 @@ class _PointOutcome:
     cache_entries: List[dict] = field(default_factory=list)
     cache_stats: Dict[str, float] = field(default_factory=dict)
     error: str = ""
+    # Wall-clock anchor of the worker tracer's perf-counter origin (see
+    # CandidateOutcome.epoch_unix).
+    epoch_unix: float = 0.0
 
 
 @dataclass
@@ -231,6 +234,7 @@ def _run_point(task: _SweepTask) -> _PointOutcome:
         outcome.result = _summarize(task, report, time.perf_counter() - t0)
         outcome.spans = list(tracer.spans)
         outcome.events = list(tracer.events)
+        outcome.epoch_unix = tracer.epoch_unix
         if advisor.cache is not None:
             outcome.cache_entries = advisor.cache.drain_new()
             outcome.cache_stats = advisor.cache.stats.as_dict()
@@ -301,7 +305,11 @@ def run_sweep(
         tracer = trace.get_tracer()
         for task, outcome in zip(tasks, outcomes):
             if outcome.spans or outcome.events:
-                tracer.graft(outcome.spans, outcome.events)
+                tracer.graft(
+                    outcome.spans,
+                    outcome.events,
+                    epoch_unix=outcome.epoch_unix or None,
+                )
             if cache is not None:
                 if outcome.cache_entries:
                     cache.merge_entries(outcome.cache_entries)
@@ -354,6 +362,29 @@ def run_sweep(
         wall_s=wall_s,
         cache_stats=stats,
     )
+    if perf.get_ledger() is not None:
+        tracer = trace.get_tracer()
+        subtree = (
+            perf.collect_subtree(tracer.spans, sweep_span.span_id)
+            if isinstance(tracer, trace.Tracer)
+            else []
+        )
+        inner = [s for s in subtree if s.span_id != sweep_span.span_id]
+        perf.record_run(
+            "sweep",
+            f"{len(results)}pts-{cost}",
+            wall_s=wall_s,
+            spans=subtree,
+            spec_fp=perf.payload_digest(
+                [[p.macro, p.width, p.delay] for p in points]
+            ),
+            cache=stats or None,
+            parallel=perf.parallel_rollup(inner, max(1, workers), wall_s),
+            extra={
+                "points": len(results),
+                "solved": sum(1 for r in results if r.best_topology),
+            },
+        )
     log.info(
         "sweep done: %d/%d points solved in %.2f s wall (%.2f s solve)",
         sum(1 for r in results if r.best_topology), len(results),

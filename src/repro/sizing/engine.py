@@ -34,7 +34,7 @@ from ..cache.fingerprint import CacheKey, make_entry, sizing_cache_key
 from ..cache.store import SizingCache
 from ..models.gates import ModelLibrary, Transition
 from ..netlist.circuit import Circuit
-from ..obs import metrics, trace
+from ..obs import metrics, perf, trace
 from ..obs.log import get_logger
 from ..posy import Posynomial, posy_sum
 from ..sim.power import PowerEstimator
@@ -368,6 +368,7 @@ class SmartSizer:
                 gp_fallbacks=result.gp_fallback_count,
             )
             metrics.histogram("engine.runtime_s").observe(result.runtime_s)
+            self._record_run(result, spec, tolerance, run_span)
             log.info(
                 "sized %s: converged=%s iterations=%d residual=%.2f ps "
                 "area=%.1f um (%.3f s)",
@@ -375,6 +376,55 @@ class SmartSizer:
                 result.worst_violation, result.area, result.runtime_s,
             )
             return result
+
+    def _record_run(
+        self,
+        result: SizingResult,
+        spec: DelaySpec,
+        tolerance: float,
+        run_span,
+    ) -> None:
+        """Append one run-ledger record for this sizing invocation.
+
+        Fingerprints and span rollups are only computed when a ledger is
+        active, so un-observed runs pay a single ``is None`` check.
+        """
+        if perf.get_ledger() is None:
+            return
+        key = self._cache_key or self.cache_key(spec, tolerance)
+        tracer = trace.get_tracer()
+        subtree = (
+            perf.collect_subtree(tracer.spans, run_span.span_id)
+            if isinstance(tracer, trace.Tracer)
+            else []
+        )
+        perf.record_run(
+            "size",
+            self.circuit.name,
+            wall_s=result.runtime_s,
+            spans=subtree,
+            circuit_fp=key.circuit_fp,
+            context_fp=key.context_fp,
+            spec_fp=key.spec_fp,
+            gp={
+                "solves": sum(
+                    1 for s in subtree if s.name == "gp_solve"
+                ),
+                "iterations": result.iterations,
+                "fallbacks": result.gp_fallback_count,
+                "final_residual_ps": (
+                    result.worst_violation
+                    if math.isfinite(result.worst_violation)
+                    else None
+                ),
+                "converged": result.converged,
+            },
+            cache={"hit": result.cache_hit or "miss"},
+            extra={
+                "objective": self.objective,
+                "area": result.area,
+            },
+        )
 
     def _cache_settle(
         self, result: SizingResult, spec: DelaySpec, tolerance: float

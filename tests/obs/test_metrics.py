@@ -55,6 +55,80 @@ class TestInstruments:
         assert "residual" in text
 
 
+class TestQuantiles:
+    def test_nearest_rank(self):
+        h = MetricsRegistry().histogram("h")
+        for v in range(1, 11):          # 1..10
+            h.observe(float(v))
+        assert h.p50 == 5.0
+        assert h.p90 == 9.0
+        assert h.p99 == 10.0
+        assert h.quantile(0.0) == 1.0
+        assert h.quantile(1.0) == 10.0
+
+    def test_single_observation(self):
+        h = MetricsRegistry().histogram("h")
+        h.observe(7.0)
+        assert h.p50 == h.p90 == h.p99 == 7.0
+
+    def test_non_finite_excluded(self):
+        h = MetricsRegistry().histogram("h")
+        for v in (1.0, float("inf"), 2.0, float("nan"), 3.0):
+            h.observe(v)
+        assert h.p50 == 2.0
+        assert h.p99 == 3.0
+
+    def test_all_non_finite_returns_none(self):
+        h = MetricsRegistry().histogram("h")
+        h.observe(float("inf"))
+        h.observe(float("nan"))
+        assert h.p50 is None
+
+    def test_empty_returns_none(self):
+        assert MetricsRegistry().histogram("h").p50 is None
+
+    def test_q_out_of_range_rejected(self):
+        h = MetricsRegistry().histogram("h")
+        h.observe(1.0)
+        with pytest.raises(ValueError):
+            h.quantile(1.5)
+
+
+class TestToDict:
+    def test_counter_and_gauge(self):
+        reg = MetricsRegistry()
+        reg.counter("c").inc(2)
+        reg.gauge("g").set(float("inf"))
+        assert reg.counter("c").to_dict() == {
+            "kind": "counter", "name": "c", "value": 2.0
+        }
+        assert reg.gauge("g").to_dict() == {
+            "kind": "gauge", "name": "g", "value": "Infinity"
+        }
+
+    def test_histogram_sanitizes_non_finite(self):
+        import json
+
+        h = MetricsRegistry().histogram("h")
+        for v in (1.0, float("inf"), float("nan")):
+            h.observe(v)
+        payload = h.to_dict()
+        assert payload["kind"] == "histogram"
+        assert payload["max"] == "Infinity"
+        assert payload["p50"] == 1.0
+        # strict JSON: would raise on raw inf/nan
+        json.dumps(payload, allow_nan=False)
+
+    def test_registry_to_dict_sorted_and_stable(self):
+        reg = MetricsRegistry()
+        reg.counter("b").inc()
+        reg.counter("a").inc()
+        reg.histogram("h").observe(1.0)
+        payload = reg.to_dict()
+        assert list(payload["counters"]) == ["a", "b"]
+        assert payload["histograms"]["h"]["p99"] == 1.0
+
+
 class TestScopeIsolation:
     def test_scope_swaps_global_registry(self):
         outer_value = metrics.counter("isolation.test").value

@@ -1,0 +1,468 @@
+"""Performance observatory: attribution, ledger, exports, regression diff."""
+
+import json
+import math
+
+import pytest
+
+from repro.obs import perf
+from repro.obs.perf import (
+    RunLedger,
+    attribution,
+    build_run_record,
+    critical_path,
+    diff_samples,
+    kernel_hotspots,
+    ledger_scope,
+    load_perf_source,
+    make_trajectory,
+    median,
+    reconcile,
+    record_run,
+    self_times,
+    to_chrome_trace,
+    to_speedscope,
+)
+from repro.obs.trace import EventRecord, SpanRecord, Tracer
+
+
+def _span(sid, parent, name, t0, t1, depth=0, **attrs):
+    return SpanRecord(
+        span_id=sid, parent_id=parent, name=name, depth=depth,
+        t_start=t0, t_end=t1, attrs=attrs,
+    )
+
+
+def _tree():
+    """root[0,10] > a[1,4] (> leaf[2,3]) + b[5,9]."""
+    return [
+        _span(3, 2, "leaf", 2.0, 3.0, depth=2),
+        _span(2, 1, "a", 1.0, 4.0, depth=1),
+        _span(4, 1, "b", 5.0, 9.0, depth=1),
+        _span(1, None, "root", 0.0, 10.0),
+    ]
+
+
+class TestSelfTimes:
+    def test_partition_of_the_tree(self):
+        selfs = self_times(_tree())
+        assert selfs[1] == pytest.approx(3.0)   # 10 - (3 + 4)
+        assert selfs[2] == pytest.approx(2.0)   # 3 - 1
+        assert selfs[3] == pytest.approx(1.0)
+        assert selfs[4] == pytest.approx(4.0)
+        assert sum(selfs.values()) == pytest.approx(10.0)
+
+    def test_overlapping_children_floor_at_zero(self):
+        spans = [
+            _span(2, 1, "w1", 0.0, 4.0, depth=1),
+            _span(3, 1, "w2", 0.0, 4.0, depth=1),
+            _span(1, None, "pool", 0.0, 5.0),
+        ]
+        assert self_times(spans)[1] == 0.0
+
+    def test_open_spans_excluded(self):
+        spans = [_span(1, None, "open", 0.0, None)]
+        assert self_times(spans) == {}
+
+
+class TestAttribution:
+    def test_rows_sorted_by_self_time(self):
+        rows = attribution(_tree())
+        assert [r.name for r in rows] == ["b", "root", "a", "leaf"]
+        assert rows[0].self_s == pytest.approx(4.0)
+        assert rows[0].share == pytest.approx(0.4)
+
+    def test_same_name_aggregates(self):
+        spans = [
+            _span(2, 1, "gp_solve", 1.0, 2.0, depth=1),
+            _span(3, 1, "gp_solve", 3.0, 5.0, depth=1),
+            _span(1, None, "size", 0.0, 6.0),
+        ]
+        row = next(r for r in attribution(spans) if r.name == "gp_solve")
+        assert row.calls == 2
+        assert row.total_s == pytest.approx(3.0)
+
+    def test_reconcile_sequential_trace_is_exact(self):
+        wall, self_sum = reconcile(_tree())
+        assert wall == pytest.approx(10.0)
+        assert self_sum == pytest.approx(wall)
+
+    def test_reconcile_real_tracer_within_one_percent(self):
+        tracer = Tracer()
+        with tracer.span("root"):
+            with tracer.span("child"):
+                for _ in range(100):
+                    pass
+            with tracer.span("child"):
+                pass
+        wall, self_sum = reconcile(tracer.spans)
+        assert self_sum == pytest.approx(wall, rel=0.01)
+
+    def test_render_report(self):
+        report = perf.render_attribution_report(_tree())
+        assert "self-time attribution" in report
+        assert "root" in report
+        assert "100.0% reconciled" in report
+
+    def test_render_empty(self):
+        assert "no completed spans" in perf.render_attribution_report([])
+
+
+class TestKernelsAndCriticalPath:
+    def test_kernel_hotspots_keyed_by_circuit(self):
+        spans = [
+            _span(2, 1, "gp_solve", 0.5, 2.0, depth=1),
+            _span(1, None, "size", 0.0, 3.0, circuit="mux8"),
+            _span(4, 3, "sta", 0.2, 0.4, depth=1),
+            _span(3, None, "size", 0.0, 1.0, circuit="adder16"),
+        ]
+        rows = kernel_hotspots(spans)
+        assert [r.kernel for r in rows] == ["mux8", "adder16"]
+        assert rows[0].wall_s == pytest.approx(3.0)
+        assert rows[0].hotspots[0].name == "gp_solve"
+
+    def test_kernel_repeat_sizings_aggregate(self):
+        spans = [
+            _span(1, None, "size", 0.0, 1.0, circuit="mux8"),
+            _span(2, None, "size", 2.0, 4.0, circuit="mux8"),
+        ]
+        (row,) = kernel_hotspots(spans)
+        assert row.calls == 2
+        assert row.wall_s == pytest.approx(3.0)
+
+    def test_critical_path_follows_heaviest_child(self):
+        path = [s.name for s in critical_path(_tree())]
+        assert path == ["root", "b"]
+
+    def test_critical_path_empty(self):
+        assert critical_path([]) == []
+
+
+class TestExports:
+    def test_chrome_trace_format(self):
+        events = [EventRecord(name="tick", t=2.5, span_id=1, attrs={"i": 0})]
+        payload = to_chrome_trace(_tree(), events, unix_time=123.0)
+        assert payload["otherData"]["unix_time"] == 123.0
+        complete = [e for e in payload["traceEvents"] if e["ph"] == "X"]
+        instant = [e for e in payload["traceEvents"] if e["ph"] == "i"]
+        assert len(complete) == 4 and len(instant) == 1
+        root = next(e for e in complete if e["name"] == "root")
+        assert root["ts"] == 0.0
+        assert root["dur"] == pytest.approx(10.0 * 1e6)
+        # strict JSON even with non-finite attrs
+        json.loads(json.dumps(payload, allow_nan=False))
+
+    def test_chrome_trace_sanitizes_attrs(self):
+        spans = [_span(1, None, "s", 0.0, 1.0, residual=float("inf"))]
+        payload = to_chrome_trace(spans)
+        assert payload["traceEvents"][0]["args"] == {"residual": "Infinity"}
+
+    def test_speedscope_events_nest(self):
+        payload = to_speedscope(_tree(), name="test")
+        assert payload["$schema"].endswith("file-format-schema.json")
+        profile = payload["profiles"][0]
+        assert profile["endValue"] == pytest.approx(10.0)
+        # O/C events balance and never close a frame not currently open
+        stack = []
+        for ev in profile["events"]:
+            if ev["type"] == "O":
+                stack.append(ev["frame"])
+            else:
+                assert stack.pop() == ev["frame"]
+        assert stack == []
+
+    def test_speedscope_clamps_overhanging_children(self):
+        spans = [
+            _span(2, 1, "child", 0.5, 3.0, depth=1),  # overhangs parent
+            _span(1, None, "parent", 0.0, 2.0),
+        ]
+        events = to_speedscope(spans)["profiles"][0]["events"]
+        times = [ev["at"] for ev in events]
+        assert times == sorted(times)
+        assert max(times) <= 2.0
+
+
+class TestRunLedger:
+    def _record(self, name="mux8", wall=1.0, kind="size"):
+        return build_run_record(kind, name, wall_s=wall)
+
+    def test_append_and_reload(self, tmp_path):
+        path = str(tmp_path / "ledger.jsonl")
+        ledger = RunLedger(path)
+        ledger.append(self._record())
+        ledger.append(self._record(name="adder16", wall=2.0))
+        reloaded = RunLedger.load(path)
+        assert len(reloaded) == 2
+        assert reloaded.records[1]["name"] == "adder16"
+
+    def test_tolerant_loading_skips_corrupt_and_foreign(self, tmp_path):
+        path = tmp_path / "ledger.jsonl"
+        good = json.dumps(self._record())
+        path.write_text(f"{good}\nnot json\n{{\"foreign\": 1}}\n{good}\n")
+        ledger = RunLedger.load(str(path))
+        assert len(ledger) == 2
+        assert ledger.skipped_lines == 2
+
+    def test_append_validates_required_fields(self):
+        with pytest.raises(ValueError):
+            RunLedger().append({"kind": "size"})
+
+    def test_digest_tracks_content(self, tmp_path):
+        a, b = RunLedger(), RunLedger()
+        record = self._record()
+        a.append(dict(record))
+        b.append(dict(record))
+        assert a.digest() == b.digest()
+        b.append(self._record(name="other"))
+        assert a.digest() != b.digest()
+
+    def test_memory_ledger_writes_nothing(self, tmp_path, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        RunLedger().append(self._record())
+        assert list(tmp_path.iterdir()) == []
+
+    def test_record_run_is_noop_without_ledger(self):
+        assert perf.get_ledger() is None
+        assert record_run("size", "mux8", wall_s=1.0) is None
+
+    def test_ledger_scope_activates_and_restores(self):
+        assert perf.get_ledger() is None
+        with ledger_scope() as ledger:
+            assert perf.get_ledger() is ledger
+            record_run("size", "mux8", wall_s=1.0)
+        assert perf.get_ledger() is None
+        assert len(ledger) == 1
+
+    def test_ledger_scope_accepts_path(self, tmp_path):
+        path = str(tmp_path / "l.jsonl")
+        with ledger_scope(path) as ledger:
+            record_run("size", "mux8", wall_s=1.0)
+        assert ledger.path == path
+        assert len(RunLedger.load(path)) == 1
+
+
+class TestBuildRunRecord:
+    def test_phases_from_spans(self):
+        record = build_run_record(
+            "size", "mux8", wall_s=10.0, spans=_tree(),
+            circuit_fp="c", context_fp="x", spec_fp="s",
+        )
+        assert record["format"] == perf.LEDGER_FORMAT
+        assert record["circuit_fp"] == "c"
+        assert record["phases"]["b"]["self_s"] == pytest.approx(4.0)
+        assert record["phases"]["root"]["wall_s"] == pytest.approx(10.0)
+
+    def test_untraced_leftover_bucket(self):
+        spans = [_span(1, None, "a", 0.0, 2.0)]
+        record = build_run_record("size", "m", wall_s=5.0, spans=spans)
+        assert record["phases"]["(untraced)"]["self_s"] == pytest.approx(3.0)
+
+    def test_gp_rollup_from_iteration_spans(self):
+        spans = [
+            _span(2, 1, "gp_solve", 0.0, 1.0, depth=2),
+            _span(1, None, "iteration", 0.0, 2.0,
+                  gp_status="optimal", residual=1.25),
+        ]
+        record = build_run_record("size", "m", wall_s=2.0, spans=spans)
+        assert record["gp"]["solves"] == 1
+        assert record["gp"]["iterations"] == 1
+        assert record["gp"]["final_residual_ps"] == pytest.approx(1.25)
+
+    def test_non_finite_payloads_sanitized(self):
+        record = build_run_record(
+            "size", "m", wall_s=1.0,
+            cache={"saved": float("inf")},
+            extra={"residual": float("nan")},
+        )
+        blob = json.dumps(record, allow_nan=False)
+        assert "Infinity" in blob and "NaN" in blob
+
+    def test_parallel_rollup_utilization(self):
+        workers = [
+            _span(1, None, "topology", 0.0, 3.0),
+            _span(2, None, "topology", 0.0, 3.0),
+        ]
+        rollup = perf.parallel_rollup(workers, workers=2, wall_s=4.0)
+        assert rollup["busy_s"] == pytest.approx(6.0)
+        assert rollup["utilization"] == pytest.approx(0.75)
+
+
+class TestRegressionDiff:
+    def test_median(self):
+        assert median([3.0, 1.0, 2.0]) == 2.0
+        assert median([1.0, 2.0, 3.0, 4.0]) == 2.5
+        with pytest.raises(ValueError):
+            median([])
+
+    def test_same_samples_no_regression(self):
+        base = {"size:mux8": [1.0, 1.01, 0.99]}
+        diff = diff_samples(base, base)
+        assert diff.ok
+        assert diff.rows[0].verdict == "ok"
+
+    def test_two_x_slowdown_flagged(self):
+        diff = diff_samples(
+            {"size:mux8": [1.0, 1.0, 1.0]},
+            {"size:mux8": [2.0, 2.1, 1.9]},
+        )
+        assert not diff.ok
+        (row,) = diff.regressions
+        assert row.key == "size:mux8"
+        assert row.ratio == pytest.approx(2.0)
+        assert "REGRESSION" in diff.render()
+
+    def test_min_effect_floor_absorbs_micro_noise(self):
+        # 2x relative but only 20 ms absolute: under the 50 ms floor
+        diff = diff_samples({"k": [0.01]}, {"k": [0.03]})
+        assert diff.ok
+
+    def test_relative_threshold_protects_slow_kernels(self):
+        # 100 ms absolute but only 1% relative: not a regression
+        diff = diff_samples({"k": [10.0]}, {"k": [10.1]})
+        assert diff.ok
+
+    def test_improvement_detected(self):
+        diff = diff_samples({"k": [2.0]}, {"k": [1.0]})
+        assert diff.ok
+        assert diff.rows[0].verdict == "improvement"
+
+    def test_added_and_removed_keys(self):
+        diff = diff_samples({"gone": [1.0]}, {"new": [1.0]})
+        verdicts = {r.key: r.verdict for r in diff.rows}
+        assert verdicts == {"gone": "removed", "new": "added"}
+        assert diff.ok
+
+    def test_median_of_n_rejects_outlier(self):
+        # one noisy sample does not flip the verdict
+        diff = diff_samples(
+            {"k": [1.0, 1.0, 1.0]},
+            {"k": [1.0, 5.0, 1.0]},
+        )
+        assert diff.ok
+
+    def test_to_json_is_strict(self):
+        diff = diff_samples({"k": [1.0]}, {"k": [2.0]})
+        payload = json.loads(json.dumps(diff.to_json(), allow_nan=False))
+        assert payload["ok"] is False
+
+
+class TestPerfSources:
+    def test_load_ledger_source(self, tmp_path):
+        path = str(tmp_path / "l.jsonl")
+        ledger = RunLedger(path)
+        ledger.append(build_run_record("size", "mux8", wall_s=1.0))
+        ledger.append(build_run_record("size", "mux8", wall_s=1.2))
+        samples = load_perf_source(path)
+        assert samples == {"size:mux8": [1.0, 1.2]}
+
+    def test_load_trajectory_source(self, tmp_path):
+        path = tmp_path / "BENCH_PR6.json"
+        stamp = make_trajectory(
+            {"per_bit_sizing": [2.6, 2.65], "adder_sizing": 1.7},
+            pr=6, ledger_digest="abc",
+        )
+        path.write_text(json.dumps(stamp))
+        samples = load_perf_source(str(path))
+        assert samples["per_bit_sizing"] == [2.6, 2.65]
+        assert samples["adder_sizing"] == [1.7]
+
+    def test_unknown_source_rejected(self, tmp_path):
+        path = tmp_path / "x.json"
+        path.write_text('{"something": "else"}')
+        with pytest.raises(ValueError):
+            load_perf_source(str(path))
+
+    def test_diff_paths_ledger_vs_self_ok(self, tmp_path):
+        path = str(tmp_path / "l.jsonl")
+        ledger = RunLedger(path)
+        ledger.append(build_run_record("size", "mux8", wall_s=1.0))
+        assert perf.diff_paths(path, path).ok
+
+    def test_trajectory_format_fields(self):
+        stamp = make_trajectory(
+            {"k": 1.0}, pr=6, ledger_digest="d", tracked=["k"]
+        )
+        assert stamp["format"] == perf.TRAJECTORY_FORMAT
+        assert stamp["pr"] == 6
+        assert stamp["tracked"] == ["k"]
+        assert stamp["kernels"]["k"] == {"wall_s": 1.0, "n": 1}
+
+
+class TestLedgerIntegration:
+    """Acceptance criteria on a real advisor run: records for every layer,
+    attribution reconciles with the span tree, and two ledgers of the same
+    run diff clean while a synthetic 2x slowdown is flagged."""
+
+    def _advise(self):
+        from repro.core.advisor import SmartAdvisor
+        from repro.core.constraints import DesignConstraints
+        from repro.macros.base import MacroSpec
+        from repro.obs.trace import tracing_scope
+
+        with ledger_scope() as ledger, tracing_scope() as tracer:
+            SmartAdvisor().advise(
+                MacroSpec("incrementor", 2),
+                DesignConstraints(delay=900.0),
+                topologies=["incrementor/ripple"],
+            )
+        return ledger, tracer
+
+    def test_advise_emits_layered_records(self):
+        ledger, tracer = self._advise()
+        kinds = [r["kind"] for r in ledger.records]
+        assert "advise" in kinds and "size" in kinds and "lint" in kinds
+        advise = next(r for r in ledger.records if r["kind"] == "advise")
+        assert advise["spec_fp"] and advise["context_fp"]
+        assert advise["phases"]
+        size = next(r for r in ledger.records if r["kind"] == "size")
+        assert size["circuit_fp"] and size["spec_fp"]
+        assert size["gp"]["iterations"] >= 1
+        assert size["cache"]["hit"] == "miss"
+        # the span-derived per-phase wall reconciles with the recorded wall
+        # (the span additionally covers cache settle + record building, so
+        # allow a few ms of close-out overhead)
+        size_span = next(s for s in tracer.spans if s.name == "size")
+        assert size["wall_s"] == pytest.approx(
+            size_span.duration_s, rel=0.05, abs=5e-3
+        )
+
+    def test_attribution_reconciles_with_span_tree(self):
+        _, tracer = self._advise()
+        wall, self_sum = reconcile(tracer.spans)
+        assert self_sum == pytest.approx(wall, rel=0.01)
+        rows = attribution(tracer.spans)
+        assert sum(r.self_s for r in rows) == pytest.approx(wall, rel=0.01)
+
+    def test_same_run_diffs_clean_and_slowdown_flagged(self):
+        ledger, _ = self._advise()
+        base = perf.ledger_samples(ledger.records)
+        assert perf.diff_samples(base, base).ok
+
+        slowed = {
+            key: [2.0 * max(v, 0.1) for v in values]
+            for key, values in base.items()
+        }
+        diff = perf.diff_samples(base, slowed)
+        assert not diff.ok
+        assert any(
+            r.key.startswith("size:") or r.key.startswith("advise:")
+            for r in diff.regressions
+        )
+
+    def test_ledger_records_are_strict_json(self):
+        ledger, _ = self._advise()
+        for record in ledger.records:
+            json.dumps(record, allow_nan=False)
+
+    def test_histogram_quantile_integration(self):
+        from repro.obs import metrics
+
+        with metrics.metrics_scope() as reg:
+            h = reg.histogram("h")
+            for value in [1.0, 2.0, 3.0, math.inf, math.nan]:
+                h.observe(value)
+            assert h.p50 == 2.0
+            assert h.p99 == 3.0
+            payload = h.to_dict()
+            assert payload["max"] == "Infinity"
+            json.dumps(payload, allow_nan=False)

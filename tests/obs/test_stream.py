@@ -1,0 +1,289 @@
+"""Live streaming: subscribers, incremental JSONL, tail view."""
+
+import io
+import json
+
+from repro.obs import trace
+from repro.obs.stream import (
+    CollectingSubscriber,
+    JsonlStreamWriter,
+    TraceSubscriber,
+    render_tail_line,
+    tail_records,
+    watch,
+)
+from repro.obs.trace import Tracer, load_jsonl, tracing_scope
+
+
+class TestSubscriberCallbacks:
+    def test_open_close_event_sequence(self):
+        tracer = Tracer()
+        sub = tracer.subscribe(CollectingSubscriber())
+        with tracer.span("outer"):
+            tracer.event("tick")
+            with tracer.span("inner"):
+                pass
+        kinds = [(kind, r.name) for kind, r in sub.calls]
+        assert kinds == [
+            ("open", "outer"),
+            ("event", "tick"),
+            ("open", "inner"),
+            ("close", "inner"),
+            ("close", "outer"),
+        ]
+
+    def test_open_spans_have_no_end_yet(self):
+        tracer = Tracer()
+        sub = tracer.subscribe(CollectingSubscriber())
+        ends_at_open = []
+
+        class Probe(TraceSubscriber):
+            def on_span_open(self, span):
+                ends_at_open.append(span.t_end)
+
+        tracer.subscribe(Probe())
+        with tracer.span("s"):
+            pass
+        assert ends_at_open == [None]
+        assert sub.closed()[0].t_end is not None
+
+    def test_completeness_every_span_closes(self):
+        tracer = Tracer()
+        sub = tracer.subscribe(CollectingSubscriber())
+        with tracer.span("a"):
+            with tracer.span("b"):
+                pass
+            with tracer.span("c"):
+                pass
+        assert {s.span_id for s in sub.opened()} == {
+            s.span_id for s in sub.closed()
+        }
+        assert sub.closed() == tracer.spans
+
+    def test_unsubscribe_stops_delivery(self):
+        tracer = Tracer()
+        sub = tracer.subscribe(CollectingSubscriber())
+        with tracer.span("first"):
+            pass
+        tracer.unsubscribe(sub)
+        with tracer.span("second"):
+            pass
+        assert [r.name for _, r in sub.calls] == ["first", "first"]
+
+    def test_unsubscribe_unknown_is_noop(self):
+        Tracer().unsubscribe(object())
+
+    def test_subscriber_exception_does_not_sink_the_run(self):
+        class Broken(TraceSubscriber):
+            def on_span_close(self, span):
+                raise RuntimeError("observer bug")
+
+        tracer = Tracer()
+        tracer.subscribe(Broken())
+        collector = tracer.subscribe(CollectingSubscriber())
+        with tracer.span("survives"):
+            pass
+        assert [s.name for s in collector.closed()] == ["survives"]
+
+    def test_partial_subscriber_missing_callbacks_ok(self):
+        class OnlyEvents:
+            def __init__(self):
+                self.seen = []
+
+            def on_event(self, event):
+                self.seen.append(event.name)
+
+        tracer = Tracer()
+        sub = tracer.subscribe(OnlyEvents())
+        with tracer.span("s"):
+            tracer.event("e")
+        assert sub.seen == ["e"]
+
+    def test_grafted_records_are_delivered(self):
+        worker = Tracer()
+        with worker.span("topology"):
+            worker.event("iteration_record", iteration=0)
+        parent = Tracer()
+        sub = parent.subscribe(CollectingSubscriber())
+        with parent.span("advise"):
+            parent.graft(
+                worker.spans, worker.events, epoch_unix=worker.epoch_unix
+            )
+        names = [(kind, r.name) for kind, r in sub.calls]
+        assert ("close", "topology") in names
+        assert ("event", "iteration_record") in names
+
+    def test_null_tracer_subscribe_is_noop(self):
+        sub = CollectingSubscriber()
+        assert trace.NULL_TRACER.subscribe(sub) is sub
+        trace.NULL_TRACER.unsubscribe(sub)
+
+
+class TestJsonlStreamWriter:
+    def _run(self, tracer):
+        with tracer.span("size", circuit="mux8"):
+            with tracer.span("gp_solve"):
+                pass
+            tracer.event("iteration_record", residual=float("inf"))
+
+    def test_streamed_equals_posthoc_export(self, tmp_path):
+        tracer = Tracer()
+        streamed = str(tmp_path / "streamed.jsonl")
+        writer = JsonlStreamWriter(streamed).attach(tracer)
+        self._run(tracer)
+        writer.close()
+
+        posthoc = str(tmp_path / "posthoc.jsonl")
+        tracer.write_jsonl(posthoc)
+        with open(streamed, "rb") as f1, open(posthoc, "rb") as f2:
+            assert f1.read() == f2.read()
+
+    def test_streamed_file_replays_identically(self, tmp_path):
+        tracer = Tracer()
+        streamed = str(tmp_path / "streamed.jsonl")
+        with JsonlStreamWriter(streamed).attach(tracer):
+            self._run(tracer)
+        reexport = str(tmp_path / "reexport.jsonl")
+        load_jsonl(streamed).write_jsonl(reexport)
+        with open(streamed, "rb") as f1, open(reexport, "rb") as f2:
+            assert f1.read() == f2.read()
+
+    def test_lines_flushed_incrementally(self, tmp_path):
+        tracer = Tracer()
+        path = str(tmp_path / "s.jsonl")
+        writer = JsonlStreamWriter(path).attach(tracer)
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                pass
+            # inner has closed -> already on disk, while outer is open
+            with open(path) as fh:
+                lines = [json.loads(line) for line in fh if line.strip()]
+            assert [obj["type"] for obj in lines] == ["trace", "span"]
+            assert lines[1]["name"] == "inner"
+        writer.close()
+
+    def test_accepts_file_object(self):
+        tracer = Tracer()
+        buf = io.StringIO()
+        writer = JsonlStreamWriter(buf).attach(tracer)
+        with tracer.span("s"):
+            pass
+        writer.close()
+        lines = [line for line in buf.getvalue().splitlines() if line]
+        assert len(lines) == 2  # header + span
+        assert not buf.closed  # caller-owned handle stays open
+
+    def test_lines_written_counter(self, tmp_path):
+        tracer = Tracer()
+        writer = JsonlStreamWriter(str(tmp_path / "s.jsonl")).attach(tracer)
+        self._run(tracer)
+        writer.close()
+        assert writer.lines_written == 4  # header + event + 2 spans
+
+
+class TestTailView:
+    def _write_stream(self, tmp_path):
+        tracer = Tracer()
+        path = str(tmp_path / "s.jsonl")
+        with JsonlStreamWriter(path).attach(tracer):
+            with tracer.span("size", circuit="mux8"):
+                tracer.event("iteration_record", iteration=0)
+        return path
+
+    def test_tail_records_parses_all(self, tmp_path):
+        path = self._write_stream(tmp_path)
+        records = list(tail_records(path))
+        assert [r["type"] for r in records] == ["trace", "event", "span"]
+
+    def test_tail_skips_corrupt_lines(self, tmp_path):
+        path = self._write_stream(tmp_path)
+        with open(path, "a") as fh:
+            fh.write("{torn wri\n")
+        assert len(list(tail_records(path))) == 3
+
+    def test_tail_holds_back_partial_line(self, tmp_path):
+        path = self._write_stream(tmp_path)
+        with open(path, "a") as fh:
+            fh.write('{"type": "event", "name": "partial"')  # no newline
+        names = [r.get("name") for r in tail_records(path)]
+        assert "partial" not in names
+
+    def test_render_tail_lines(self, tmp_path):
+        path = self._write_stream(tmp_path)
+        lines = [render_tail_line(r) for r in tail_records(path)]
+        assert lines[0].startswith("-- trace stream")
+        assert "iteration_record" in lines[1]
+        assert "size" in lines[2] and "circuit=mux8" in lines[2]
+
+    def test_render_ignores_unknown_records(self):
+        assert render_tail_line({"type": "mystery"}) is None
+
+    def test_watch_emits_rendered_lines(self, tmp_path):
+        path = self._write_stream(tmp_path)
+        out = []
+        shown = watch(path, out.append)
+        assert shown == 3
+        assert len(out) == 3
+
+    def test_follow_stops_on_timeout(self, tmp_path):
+        path = self._write_stream(tmp_path)
+        records = list(
+            tail_records(path, follow=True, poll_s=0.01, timeout_s=0.05)
+        )
+        assert len(records) == 3
+
+    def test_follow_stops_on_callback(self, tmp_path):
+        path = self._write_stream(tmp_path)
+        records = list(
+            tail_records(path, follow=True, poll_s=0.01, stop=lambda: True)
+        )
+        assert len(records) == 3
+
+
+class TestLiveAdvisorStreaming:
+    """The acceptance criterion: a subscriber attached to a live
+    ``SmartAdvisor.advise`` run receives span open/close events
+    incrementally, and the streamed JSONL replays identically to the
+    post-hoc export."""
+
+    def _advise(self, tracer):
+        from repro.core.advisor import SmartAdvisor
+        from repro.core.constraints import DesignConstraints
+        from repro.macros.base import MacroSpec
+
+        with tracing_scope(tracer):
+            return SmartAdvisor().advise(
+                MacroSpec("incrementor", 2),
+                DesignConstraints(delay=900.0),
+                topologies=["incrementor/ripple"],
+            )
+
+    def test_subscriber_sees_live_advise_run(self, tmp_path):
+        tracer = Tracer()
+        sub = tracer.subscribe(CollectingSubscriber())
+        streamed = str(tmp_path / "live.jsonl")
+        writer = JsonlStreamWriter(streamed).attach(tracer)
+        report = self._advise(tracer)
+        writer.close()
+        assert report.best is not None
+
+        # completeness: every span the tracer recorded was delivered, in
+        # completion order, and every open got a matching close
+        assert sub.closed() == tracer.spans
+        assert {s.span_id for s in sub.opened()} == {
+            s.span_id for s in sub.closed()
+        }
+        names = [s.name for s in sub.closed()]
+        assert "advise" in names and "size" in names
+
+        # incrementality: opens arrive before the run's own children close
+        kinds = [(kind, r.name) for kind, r in sub.calls]
+        assert kinds.index(("open", "advise")) < kinds.index(
+            ("close", "size")
+        )
+
+        # streamed JSONL == post-hoc export, byte for byte
+        posthoc = str(tmp_path / "posthoc.jsonl")
+        tracer.write_jsonl(posthoc)
+        with open(streamed, "rb") as f1, open(posthoc, "rb") as f2:
+            assert f1.read() == f2.read()

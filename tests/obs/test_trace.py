@@ -287,6 +287,127 @@ class TestGraft:
         NULL_TRACER.graft([], [])
 
 
+class TestGraftEpochRebasing:
+    """Worker spans carry times relative to *their own* perf-counter epoch.
+    Passing the worker's ``epoch_unix`` re-bases them exactly: the shift is
+    the wall-clock skew between the two epochs, so two workers forked at
+    different moments land at their true positions on the parent's axis."""
+
+    @staticmethod
+    def _worker_spans(t0, t1, name="w"):
+        return [
+            trace.SpanRecord(
+                span_id=1, parent_id=None, name=name, depth=0,
+                t_start=t0, t_end=t1,
+            )
+        ]
+
+    def test_two_fake_worker_epochs_align_on_parent_axis(self):
+        parent = Tracer()
+        # Worker A forked 2 s after the parent's epoch, worker B 5 s after.
+        # Both record an identical local interval [0.1, 0.4].
+        epoch_a = parent.epoch_unix + 2.0
+        epoch_b = parent.epoch_unix + 5.0
+        with parent.span("advise"):
+            parent.graft(
+                self._worker_spans(0.1, 0.4, "a"), epoch_unix=epoch_a
+            )
+            parent.graft(
+                self._worker_spans(0.1, 0.4, "b"), epoch_unix=epoch_b
+            )
+        a = next(s for s in parent.spans if s.name == "a")
+        b = next(s for s in parent.spans if s.name == "b")
+        assert a.t_start == pytest.approx(2.1)
+        assert a.t_end == pytest.approx(2.4)
+        assert b.t_start == pytest.approx(5.1)
+        assert b.t_end == pytest.approx(5.4)
+        # the 3 s fork skew between the workers is recovered exactly
+        assert b.t_start - a.t_start == pytest.approx(3.0)
+        # durations are untouched by re-basing
+        assert a.duration_s == pytest.approx(0.3)
+        assert b.duration_s == pytest.approx(0.3)
+
+    def test_events_shift_with_their_epoch(self):
+        parent = Tracer()
+        epoch = parent.epoch_unix + 1.0
+        events = [trace.EventRecord(name="e", t=0.25, span_id=1)]
+        with parent.span("p"):
+            parent.graft(
+                self._worker_spans(0.1, 0.4), events, epoch_unix=epoch
+            )
+        assert parent.events[0].t == pytest.approx(1.25)
+
+    def test_legacy_fallback_ends_at_parent_now(self):
+        """Without an epoch the subtree is placed so it ends at the parent's
+        current clock — wall-times stay truthful, placement approximate."""
+        parent = Tracer()
+        with parent.span("p") as p:
+            parent.graft(self._worker_spans(10.0, 10.3))
+        grafted = next(s for s in parent.spans if s.name == "w")
+        assert grafted.duration_s == pytest.approx(0.3)
+        assert grafted.t_end <= p.t_end
+        assert grafted.t_end >= 0.0
+
+
+class TestByteIdenticalReExport:
+    """export -> load -> re-export must be byte-identical: the regression
+    gate and the streamed-vs-posthoc contract both depend on replay fidelity.
+    """
+
+    def _make_trace(self):
+        tracer = Tracer()
+        with tracer.span("size", circuit="mux8", nested={"a": [1, 2.5]}):
+            with tracer.span("gp_solve", status="optimal"):
+                pass
+            tracer.event(
+                "iteration_record",
+                residual=float("inf"),
+                gp_objective=float("nan"),
+                slack=float("-inf"),
+            )
+        return tracer
+
+    def test_reexport_is_byte_identical(self, tmp_path):
+        tracer = self._make_trace()
+        first = str(tmp_path / "first.jsonl")
+        second = str(tmp_path / "second.jsonl")
+        tracer.write_jsonl(first)
+        load_jsonl(first).write_jsonl(second)
+        with open(first, "rb") as f1, open(second, "rb") as f2:
+            assert f1.read() == f2.read()
+
+    def test_double_round_trip_stable(self, tmp_path):
+        tracer = self._make_trace()
+        p1, p2, p3 = (str(tmp_path / f"{i}.jsonl") for i in (1, 2, 3))
+        tracer.write_jsonl(p1)
+        load_jsonl(p1).write_jsonl(p2)
+        load_jsonl(p2).write_jsonl(p3)
+        with open(p2, "rb") as f2, open(p3, "rb") as f3:
+            assert f2.read() == f3.read()
+
+    def test_interleaving_order_preserved(self, tmp_path):
+        tracer = Tracer()
+        with tracer.span("outer"):
+            tracer.event("before")
+            with tracer.span("inner"):
+                pass
+            tracer.event("after")
+        path = str(tmp_path / "t.jsonl")
+        tracer.write_jsonl(path)
+        kinds = []
+        with open(path) as fh:
+            for line in fh:
+                obj = json.loads(line)
+                kinds.append((obj["type"], obj.get("name")))
+        assert kinds == [
+            ("trace", None),
+            ("event", "before"),
+            ("span", "inner"),
+            ("event", "after"),
+            ("span", "outer"),
+        ]
+
+
 class TestGlobalTracer:
     def test_disabled_by_default(self):
         assert isinstance(trace.get_tracer(), NullTracer)

@@ -205,3 +205,137 @@ class TestLintDataflow:
         out = capsys.readouterr().out
         assert "exit codes" in out
         assert "2 = usage error" in out
+
+
+class TestPerfCommand:
+    """The performance observatory CLI: report, diff, export, watch."""
+
+    def _traced_run(self, tmp_path, extra=()):
+        trace_file = str(tmp_path / "run.jsonl")
+        ledger_file = str(tmp_path / "ledger.jsonl")
+        code = main([
+            "size", "mux", "4", "--delay", "400", "--load", "30",
+            "--topology", "mux/strong_mutex_passgate",
+            "--trace", trace_file, "--ledger", ledger_file, *extra,
+        ])
+        assert code == 0
+        return trace_file, ledger_file
+
+    def test_report_on_trace_reconciles(self, tmp_path, capsys):
+        trace_file, _ = self._traced_run(tmp_path)
+        capsys.readouterr()
+        assert main(["perf", "report", trace_file]) == 0
+        out = capsys.readouterr().out
+        assert "self-time attribution" in out
+        assert "gp_solve" in out
+        assert "reconciled" in out
+        # the acceptance criterion: totals reconcile to within 1%
+        import re
+
+        match = re.search(r"\((\d+\.\d)% reconciled\)", out)
+        assert match, out
+        assert abs(float(match.group(1)) - 100.0) <= 1.0
+
+    def test_report_on_ledger(self, tmp_path, capsys):
+        _, ledger_file = self._traced_run(tmp_path)
+        capsys.readouterr()
+        assert main(["perf", "report", ledger_file]) == 0
+        out = capsys.readouterr().out
+        assert "run ledger" in out
+        assert "size" in out
+
+    def test_report_rejects_garbage(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text("nonsense\n")
+        assert main(["perf", "report", str(bad)]) == 2
+
+    def test_diff_same_ledger_ok(self, tmp_path, capsys):
+        _, ledger_file = self._traced_run(tmp_path)
+        capsys.readouterr()
+        assert main(["perf", "diff", ledger_file, ledger_file]) == 0
+        out = capsys.readouterr().out
+        assert "OK" in out
+
+    def test_diff_flags_synthetic_slowdown(self, tmp_path, capsys):
+        import json
+
+        _, ledger_file = self._traced_run(tmp_path)
+        slowed_file = str(tmp_path / "slow.jsonl")
+        with open(ledger_file) as fh, open(slowed_file, "w") as out_fh:
+            for line in fh:
+                record = json.loads(line)
+                record["wall_s"] = 2.0 * record["wall_s"] + 0.2
+                out_fh.write(json.dumps(record) + "\n")
+        capsys.readouterr()
+        assert main(["perf", "diff", ledger_file, slowed_file]) == 1
+        out = capsys.readouterr().out
+        assert "REGRESSION" in out
+        # --warn-only softens the exit code but still reports
+        assert main([
+            "perf", "diff", ledger_file, slowed_file, "--warn-only",
+        ]) == 0
+
+    def test_diff_json_output(self, tmp_path, capsys):
+        import json
+
+        _, ledger_file = self._traced_run(tmp_path)
+        capsys.readouterr()
+        assert main([
+            "perf", "diff", ledger_file, ledger_file, "--json",
+        ]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["ok"] is True
+        assert payload["rows"]
+
+    def test_export_flame_graphs(self, tmp_path, capsys):
+        import json
+
+        trace_file, _ = self._traced_run(tmp_path)
+        chrome = tmp_path / "chrome.json"
+        speedscope = tmp_path / "speedscope.json"
+        capsys.readouterr()
+        assert main([
+            "perf", "export", trace_file,
+            "--chrome", str(chrome), "--speedscope", str(speedscope),
+        ]) == 0
+        chrome_doc = json.loads(chrome.read_text())
+        assert any(e["ph"] == "X" for e in chrome_doc["traceEvents"])
+        scope_doc = json.loads(speedscope.read_text())
+        assert scope_doc["profiles"][0]["events"]
+
+    def test_export_requires_a_format(self, tmp_path, capsys):
+        trace_file, _ = self._traced_run(tmp_path)
+        capsys.readouterr()
+        assert main(["perf", "export", trace_file]) == 2
+
+    def test_stream_flag_matches_trace(self, tmp_path, capsys):
+        stream_file = str(tmp_path / "stream.jsonl")
+        trace_file, _ = self._traced_run(
+            tmp_path, extra=["--stream", stream_file]
+        )
+        with open(trace_file, "rb") as f1, open(stream_file, "rb") as f2:
+            assert f1.read() == f2.read()
+
+    def test_watch_renders_stream(self, tmp_path, capsys):
+        stream_file = str(tmp_path / "stream.jsonl")
+        self._traced_run(tmp_path, extra=["--stream", stream_file])
+        capsys.readouterr()
+        assert main(["perf", "watch", stream_file]) == 0
+        out = capsys.readouterr().out
+        assert "-- trace stream" in out
+        assert "gp_solve" in out
+
+    def test_ledger_appends_across_runs(self, tmp_path, capsys):
+        import json
+
+        _, ledger_file = self._traced_run(tmp_path)
+        # second run appends to the same file
+        code = main([
+            "size", "mux", "4", "--delay", "400", "--load", "30",
+            "--topology", "mux/strong_mutex_passgate",
+            "--ledger", ledger_file,
+        ])
+        assert code == 0
+        with open(ledger_file) as fh:
+            records = [json.loads(line) for line in fh if line.strip()]
+        assert sum(1 for r in records if r["kind"] == "size") >= 2
