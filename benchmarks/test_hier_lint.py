@@ -1,0 +1,130 @@
+"""Hierarchical contract lint vs flat re-analysis: the incrementality bench.
+
+The acceptance bar for the contract subsystem: on an unchanged multi-macro
+block, a warm ``lint --hier --changed-only`` run must execute at most 10%
+of the rule invocations a cold flat run pays (everything else replayed
+from contracts / the rule cache), while producing byte-identical findings.
+"""
+
+import time
+
+import pytest
+
+from conftest import render_table
+from repro.blocks import demo_block
+from repro.cache.contracts import ContractStore
+from repro.lint import lint_circuit, render_text
+from repro.lint.hier import flatten, hier_from_block, lint_hier
+
+
+@pytest.fixture(scope="module")
+def block(library):
+    return hier_from_block(demo_block(library))
+
+
+@pytest.fixture(scope="module")
+def passes(block, library):
+    """(cold flat per-instance cost, cold hier result, warm hier result)."""
+    # Cold flat comparator: what a non-hierarchical analyzer pays — every
+    # instance fully re-linted, every rule executed.
+    t0 = time.perf_counter()
+    flat_invocations = 0
+    flat_findings = []
+    for inst in block.instances:
+        report = lint_circuit(inst.circuit)
+        flat_invocations += len(report.executed)
+        flat_findings.extend(d.format() for d in report.diagnostics)
+    flat_wall = time.perf_counter() - t0
+
+    store = ContractStore()
+    t0 = time.perf_counter()
+    cold = lint_hier(block, library, store)
+    cold_wall = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    warm = lint_hier(block, library, store, changed_only=True)
+    warm_wall = time.perf_counter() - t0
+    return {
+        "flat_invocations": flat_invocations,
+        "flat_findings": flat_findings,
+        "flat_wall": flat_wall,
+        "cold": cold,
+        "cold_wall": cold_wall,
+        "warm": warm,
+        "warm_wall": warm_wall,
+    }
+
+
+def _findings(result):
+    return [render_text(r) for r in result.reports]
+
+
+def test_warm_run_executes_at_most_10pct_of_cold_flat(passes):
+    warm = passes["warm"]
+    executed = warm.stats.rules_executed
+    ratio = executed / passes["flat_invocations"]
+    assert ratio <= 0.10, (
+        f"warm hier executed {executed} rules vs {passes['flat_invocations']} "
+        f"cold flat invocations ({ratio:.0%} > 10%)"
+    )
+
+
+def test_warm_findings_byte_identical_to_cold(passes):
+    assert _findings(passes["warm"]) == _findings(passes["cold"])
+
+
+def test_warm_hit_rate_above_90pct(passes):
+    assert passes["warm"].stats.hit_rate >= 0.9
+    assert passes["warm"].stats.contracts_derived == 0
+
+
+def test_contract_composition_has_no_false_negatives(passes, block, library):
+    """Flat lint of the flattened block may not find errors the composed
+    analysis missed (over-reporting is allowed, under-reporting is not)."""
+    flat_report = lint_circuit(flatten(block))
+    hier_ok = passes["cold"].ok
+    assert not (flat_report.errors and hier_ok), (
+        "flat analysis found errors the contract composition missed: "
+        + "; ".join(d.format() for d in flat_report.errors)
+    )
+
+
+def test_hier_lint_table(passes, block):
+    cold, warm = passes["cold"], passes["warm"]
+    rows = [
+        ("instances", f"{len(block.instances)}", ""),
+        ("connections", f"{len(block.connections)}", ""),
+        ("cold flat rule invocations", f"{passes['flat_invocations']}", ""),
+        (
+            "warm hier executed",
+            f"{warm.stats.rules_executed}",
+            f"{warm.stats.rules_executed / passes['flat_invocations']:.1%}",
+        ),
+        ("warm hier replayed", f"{warm.stats.rules_replayed}", ""),
+        ("warm hit rate", f"{warm.stats.hit_rate:.1%}", ">=90%"),
+        ("cold hier wall", f"{passes['cold_wall'] * 1e3:.1f} ms", ""),
+        ("warm hier wall", f"{passes['warm_wall'] * 1e3:.1f} ms", ""),
+        ("cold flat wall", f"{passes['flat_wall'] * 1e3:.1f} ms", ""),
+        (
+            "contracts derived/reused",
+            f"{cold.stats.contracts_derived}/{warm.stats.contracts_reused}",
+            "",
+        ),
+    ]
+    render_table(
+        "Hierarchical contract lint: cold flat vs warm composed",
+        ("quantity", "measured", "bar"),
+        rows,
+    )
+
+
+def test_bench_hier_lint_kernel(block, library):
+    """Timed kernel: one warm hier pass over a pre-built contract store."""
+    store = ContractStore()
+    lint_hier(block, library, store)
+    t0 = time.perf_counter()
+    result = lint_hier(block, library, store, changed_only=True)
+    wall = time.perf_counter() - t0
+    assert result.stats.contracts_reused == len(
+        {id(i.circuit) for i in block.instances}
+    )
+    print(f"\nwarm hier lint kernel: {wall * 1e3:.2f} ms")

@@ -36,7 +36,7 @@ from .models import GENERIC_130, GENERIC_180, ModelLibrary, Technology
 from .parallel import SweepPoint, SweepResult, build_grid, run_sweep
 from .sizing import DelaySpec, SizingError, SizingResult, SmartSizer
 
-__version__ = "1.5.0"
+from ._version import __version__  # noqa: E402
 
 __all__ = [
     "obs",

@@ -1,0 +1,9 @@
+"""Single source of truth for the package version.
+
+Lives in its own leaf module so low-level packages (e.g. the lint
+reporters, which stamp ``tool_version`` into JSON/SARIF output) can import
+it without pulling in :mod:`repro`'s top-level re-exports — those reach
+down into ``core``/``lint`` and would form an import cycle.
+"""
+
+__version__ = "1.7.0"

@@ -2,18 +2,22 @@
 block-level experiments."""
 
 from .generator import (
+    BlockConnection,
     BlockDesign,
     MacroInstanceSpec,
     SizedMacro,
     build_block,
+    demo_block,
 )
 from .power_reduction import BlockPowerResult, MacroReduction, reduce_block_power
 
 __all__ = [
+    "BlockConnection",
     "BlockDesign",
     "MacroInstanceSpec",
     "SizedMacro",
     "build_block",
+    "demo_block",
     "reduce_block_power",
     "BlockPowerResult",
     "MacroReduction",

@@ -18,7 +18,7 @@ power come from the same estimators as everything else.
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..baseline.overdesign import BaselineResult, OverdesignSizer
@@ -42,6 +42,22 @@ class MacroInstanceSpec:
     target_delay: Optional[float] = None
 
 
+@dataclass(frozen=True)
+class BlockConnection:
+    """One block-level net wiring macro instances together.
+
+    ``driver`` and each sink are ``(instance_name, port)`` pairs using the
+    names :meth:`SizedMacro.instance_name` produces.  Ports not mentioned
+    in any connection stay block-level I/O.
+    """
+
+    net: str
+    driver: Tuple[str, str]
+    sinks: Tuple[Tuple[str, str], ...]
+    wire_cap: float = 0.0
+    external_load: float = 0.0
+
+
 @dataclass
 class SizedMacro:
     """A macro instance with its baseline ("original") sizing."""
@@ -52,6 +68,14 @@ class SizedMacro:
     circuit: Circuit
     baseline: BaselineResult
     count: int
+
+    def instance_name(self, copy: int = 0) -> str:
+        """The merge prefix / hierarchical instance name of replica
+        ``copy`` — the handle :class:`BlockConnection` endpoints use."""
+        return (
+            f"{self.topology.split('/')[-1]}_"
+            f"{self.name.split('/')[-1]}_{copy}"
+        )
 
     @property
     def width(self) -> float:
@@ -73,6 +97,9 @@ class BlockDesign:
     random_logic: Circuit
     random_widths: Dict[str, float]
     library: ModelLibrary
+    #: Macro-to-macro wiring; consumed by ``merged_circuit`` (flat) and by
+    #: ``repro.lint.hier.hier_from_block`` (contract composition).
+    connections: List[BlockConnection] = field(default_factory=list)
 
     # -- composition stats ----------------------------------------------------
 
@@ -126,18 +153,24 @@ class BlockDesign:
         block I/O and all domino macros share one block clock.  This is the
         literal "13,800-transistor block" netlist of Section 6.4 — it can be
         validated, timed, power-estimated, and exported as a single SPICE
-        deck.
+        deck.  :attr:`connections` are honored: connected ports bind to
+        shared block nets (with the connection's wire cap and load) instead
+        of becoming block I/O.
         """
         from ..netlist.nets import NetKind
 
         block = Circuit(f"{self.name}_flat")
         block.add_net("clk", NetKind.CLOCK)
+        port_maps: Dict[str, Dict[str, str]] = {}
+        for conn in self.connections:
+            net = block.add_net(conn.net)
+            net.wire_cap = conn.wire_cap
+            net.external_load = conn.external_load
+            for inst, port in (conn.driver, *conn.sinks):
+                port_maps.setdefault(inst, {})[port] = conn.net
         for macro in self.macros:
             for copy in range(macro.count):
-                prefix = (
-                    f"{macro.topology.split('/')[-1]}_"
-                    f"{macro.name.split('/')[-1]}_{copy}"
-                )
+                prefix = macro.instance_name(copy)
                 sub = macro.circuit
                 # Clock nets bind to the shared block clock by pre-creating
                 # the name mapping target; everything else gets prefixed.
@@ -145,11 +178,17 @@ class BlockDesign:
                 for clk_name in mapping_clk:
                     if clk_name != "clk":
                         block.add_net(clk_name, NetKind.CLOCK)
-                mapping = block.merge(sub, prefix=prefix)
+                pm = port_maps.get(prefix, {})
+                mapping = block.merge(sub, prefix=prefix, port_map=pm)
                 for net_name in sub.primary_inputs:
-                    block.mark_input(mapping[net_name])
+                    if net_name not in pm:
+                        block.mark_input(mapping[net_name])
                 for net_name in sub.primary_outputs:
-                    block.mark_output(mapping[net_name])
+                    if net_name not in pm:
+                        block.mark_output(mapping[net_name])
+        for conn in self.connections:
+            if conn.external_load > 0:
+                block.mark_output(conn.net, external_load=conn.external_load)
         mapping = block.merge(self.random_logic, prefix="ctrl")
         for net_name in self.random_logic.primary_inputs:
             block.mark_input(mapping[net_name])
@@ -162,10 +201,7 @@ class BlockDesign:
         widths: Dict[str, float] = {}
         for macro in self.macros:
             for copy in range(macro.count):
-                prefix = (
-                    f"{macro.topology.split('/')[-1]}_"
-                    f"{macro.name.split('/')[-1]}_{copy}"
-                )
+                prefix = macro.instance_name(copy)
                 for label, value in macro.baseline.widths.items():
                     widths[f"{prefix}/{label}"] = value
         for label, value in self.random_widths.items():
@@ -245,9 +281,12 @@ def build_block(
     database: Optional[MacroDatabase] = None,
     margin: float = 1.5,
     seed: int = 1,
+    connections: Sequence[BlockConnection] = (),
 ) -> BlockDesign:
     """Compose a block: baseline-size the macros, then add enough random
-    logic that macros are ``macro_width_fraction`` of the total width."""
+    logic that macros are ``macro_width_fraction`` of the total width.
+    ``connections`` wires macro instances to each other (see
+    :class:`BlockConnection`); unconnected macro I/O stays block I/O."""
     if not 0 < macro_width_fraction < 1:
         raise ValueError("macro_width_fraction must be in (0, 1)")
     library = library or ModelLibrary()
@@ -284,4 +323,48 @@ def build_block(
         random_logic=random_logic,
         random_widths=random_widths,
         library=library,
+        connections=list(connections),
     )
+
+
+def demo_block(
+    library: Optional[ModelLibrary] = None,
+    name: str = "demo_dp",
+) -> BlockDesign:
+    """The stock multi-macro connected block behind ``repro lint --hier``.
+
+    Four static macros wired as a small datapath slice: a 4-bit ripple
+    adder whose sum bits fan out to both a zero-detector and a 4:1 mux's
+    data inputs (two sinks per net — the CTR503 load-composition case),
+    with a 2:4 decoder driving the mux's one-hot selects.
+    """
+    library = library or ModelLibrary()
+    menu = [
+        MacroInstanceSpec("adder/static_ripple", MacroSpec("adder", 4)),
+        MacroInstanceSpec("zero_detect/static_tree", MacroSpec("zero_detect", 4)),
+        MacroInstanceSpec("mux/strong_mutex_passgate", MacroSpec("mux", 4)),
+        MacroInstanceSpec("decoder/flat_static", MacroSpec("decoder", 2)),
+    ]
+    design = build_block(
+        name, menu, macro_width_fraction=0.5, library=library, seed=7
+    )
+    adder, zdet, mux, dec = (m.instance_name(0) for m in design.macros)
+    connections = [
+        BlockConnection(
+            net=f"sum{i}",
+            driver=(adder, f"sum{i}"),
+            sinks=((zdet, f"a{i}"), (mux, f"in{i}")),
+            wire_cap=1.5,
+        )
+        for i in range(4)
+    ] + [
+        BlockConnection(
+            net=f"sel{i}",
+            driver=(dec, f"o{i}"),
+            sinks=((mux, f"s{i}"),),
+            wire_cap=1.0,
+        )
+        for i in range(4)
+    ]
+    design.connections = connections
+    return design

@@ -15,12 +15,16 @@ from .fingerprint import (
     sizing_cache_key,
     spec_fingerprint,
 )
-from .store import FORMAT, CacheStats, SizingCache
+from .contracts import CONTRACT_STORE_FORMAT, ContractStore
+from .store import FORMAT, CacheStats, JsonlArtifactStore, SizingCache
 
 __all__ = [
     "CacheKey",
     "CacheStats",
+    "CONTRACT_STORE_FORMAT",
+    "ContractStore",
     "FORMAT",
+    "JsonlArtifactStore",
     "SizingCache",
     "circuit_fingerprint",
     "context_fingerprint",

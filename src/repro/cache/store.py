@@ -244,3 +244,113 @@ class SizingCache:
     def __repr__(self) -> str:
         backing = self.path or "<memory>"
         return f"SizingCache({backing!r}, entries={len(self._entries)})"
+
+
+class JsonlArtifactStore:
+    """Generic content-addressed JSONL artifact store.
+
+    The persistence substrate shared by the interface-contract store
+    (:mod:`repro.cache.contracts`) and the incremental lint result cache
+    (:mod:`repro.lint.incremental`).  Same concurrency model and tolerance
+    properties as :class:`SizingCache`: single writer, corrupt/foreign lines
+    skipped and counted, duplicate keys last-write-wins.  Entries are plain
+    dicts carrying at least ``key`` and ``format``; a line whose ``format``
+    disagrees with this store's is foreign (a different artifact kind, or a
+    prior incompatible schema) and is ignored rather than aliased.
+    """
+
+    #: Minimal shape a line must have to be accepted.
+    REQUIRED_FIELDS = ("key", "format")
+
+    def __init__(
+        self,
+        path: Optional[str] = None,
+        fmt: str = "smart-artifact/1",
+        autosync: bool = True,
+    ):
+        self.path = path
+        self.format = fmt
+        self.autosync = autosync
+        self._entries: Dict[str, dict] = {}
+        self._new: List[dict] = []
+        self.skipped_lines = 0
+        if path and os.path.exists(path):
+            self._load(path)
+
+    def _load(self, path: str) -> None:
+        with open(path) as fh:
+            for line_no, line in enumerate(fh, 1):
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    entry = json.loads(line)
+                except json.JSONDecodeError:
+                    self.skipped_lines += 1
+                    log.warning(
+                        "%s:%d: skipping corrupt artifact line", path, line_no
+                    )
+                    continue
+                if (
+                    not isinstance(entry, dict)
+                    or any(f not in entry for f in self.REQUIRED_FIELDS)
+                    or entry["format"] != self.format
+                ):
+                    self.skipped_lines += 1
+                    log.warning(
+                        "%s:%d: skipping foreign artifact line", path, line_no
+                    )
+                    continue
+                self._entries[entry["key"]] = entry
+
+    def get(self, key: str) -> Optional[dict]:
+        return self._entries.get(key)
+
+    def put(self, key: str, payload: dict) -> dict:
+        """Store ``payload`` under ``key`` (idempotent; persists when
+        autosyncing).  Returns the full entry as indexed."""
+        entry = dict(payload)
+        entry["key"] = key
+        entry["format"] = self.format
+        if self._entries.get(key) == entry:
+            return entry
+        self._entries[key] = entry
+        self._new.append(entry)
+        if self.autosync and self.path:
+            self._append(entry)
+        return entry
+
+    def _append(self, entry: dict) -> None:
+        directory = os.path.dirname(os.path.abspath(self.path))
+        os.makedirs(directory, exist_ok=True)
+        with open(self.path, "a") as fh:
+            fh.write(
+                json.dumps(
+                    entry, sort_keys=True, separators=(",", ":"), default=str
+                )
+                + "\n"
+            )
+
+    def flush(self) -> None:
+        """Append all not-yet-persisted entries (for ``autosync=False``)."""
+        if not self.path:
+            return
+        for entry in self._new:
+            self._append(entry)
+        self._new = []
+
+    def entries(self) -> List[dict]:
+        return list(self._entries.values())
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._entries
+
+    def __repr__(self) -> str:
+        backing = self.path or "<memory>"
+        return (
+            f"JsonlArtifactStore({backing!r}, format={self.format!r}, "
+            f"entries={len(self._entries)})"
+        )

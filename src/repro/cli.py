@@ -364,6 +364,33 @@ def build_parser() -> argparse.ArgumentParser:
         "--sarif", action="store_true",
         help="emit SARIF 2.1.0 instead of text (for CI code-scanning upload)",
     )
+    lint.add_argument(
+        "--hier", action="store_true",
+        help="hierarchical mode: compose per-macro interface contracts "
+             "over the stock multi-macro demo block (CTR5xx rules) "
+             "instead of flattening; MACRO/WIDTH are ignored",
+    )
+    lint.add_argument(
+        "--contracts", metavar="FILE", default=None,
+        help="--hier: persistent contract store (JSONL); built cold, "
+             "reused by --changed-only",
+    )
+    lint.add_argument(
+        "--changed-only", action="store_true",
+        help="incremental mode: replay cached results for anything whose "
+             "content fingerprints are unchanged (--hier: reuse current "
+             "contracts; flat: replay from --rule-cache)",
+    )
+    lint.add_argument(
+        "--rule-cache", metavar="FILE", default=None,
+        help="per-rule incremental result cache (JSONL); always "
+             "refreshed, replayed from under --changed-only",
+    )
+    lint.add_argument(
+        "--verify-contracts", type=int, default=0, metavar="K",
+        help="--hier: re-prove K sampled instances against flat analysis "
+             "(CTR505 soundness audit)",
+    )
     lint.add_argument("--delay", type=float, default=150.0,
                       help="delay budget for --gp/--dataflow, ps")
     lint.add_argument("--load", type=float, default=20.0,
@@ -570,12 +597,17 @@ def _run_lint(args: argparse.Namespace, advisor: SmartAdvisor) -> int:
             if doc_line:
                 emit(f"{'':28s}{doc_line}")
         return 0
+    waivers = load_waivers(args.waivers) if args.waivers else ()
+    if args.hier:
+        return _run_lint_hier(args, advisor, waivers)
     if args.macro is None or args.width is None:
-        emit("error: lint needs MACRO and WIDTH (or --list-rules)")
+        emit("error: lint needs MACRO and WIDTH (or --list-rules/--hier)")
+        return 2
+    if args.changed_only and not args.rule_cache:
+        emit("error: --changed-only without --hier needs --rule-cache FILE")
         return 2
 
     spec = MacroSpec(args.macro, args.width, output_load=args.load)
-    waivers = load_waivers(args.waivers) if args.waivers else ()
     if args.topology:
         generators = [advisor.database.generator(args.topology)]
     else:
@@ -584,6 +616,11 @@ def _run_lint(args: argparse.Namespace, advisor: SmartAdvisor) -> int:
             emit(f"error: no topology implements {args.macro}[{args.width}]")
             return 2
 
+    rule_cache = None
+    if args.rule_cache:
+        from .lint import RuleResultCache
+
+        rule_cache = RuleResultCache(args.rule_cache)
     reports = []
     verdicts = []
     for generator in generators:
@@ -606,9 +643,12 @@ def _run_lint(args: argparse.Namespace, advisor: SmartAdvisor) -> int:
                 options["symbolic_exact_budget"] = args.exact_budget
             if args.samples is not None:
                 options["symbolic_samples"] = args.samples
+        # The cache is always refreshed; --changed-only additionally
+        # replays hits, so cold runs record and warm runs skip.
         reports.append(
             lint_circuit(
-                circuit, groups=groups, waivers=waivers, options=options
+                circuit, groups=groups, waivers=waivers, options=options,
+                cache=rule_cache, replay=args.changed_only,
             )
         )
         if args.dataflow:
@@ -693,7 +733,68 @@ def _run_lint(args: argparse.Namespace, advisor: SmartAdvisor) -> int:
                 f"{screen.circuit_name}: interval STA at {args.delay:.0f} ps "
                 f"-> {screen.verdict}"
             )
+        if rule_cache is not None:
+            stats = rule_cache.stats
+            emit(
+                f"rule cache: {stats.replayed}/{stats.invocations} replayed "
+                f"({stats.hit_rate:.0%}), {stats.wall_saved_s:.3f}s saved"
+            )
+    if rule_cache is not None:
+        rule_cache.flush()
     return 0 if all(r.ok for r in reports) else 1
+
+
+def _run_lint_hier(args: argparse.Namespace, advisor: SmartAdvisor, waivers) -> int:
+    import json as _json
+
+    from .blocks import demo_block
+    from .cache.contracts import ContractStore
+    from .lint import RuleResultCache, hier_from_block, lint_hier, render_text
+    from .lint.contracts import default_contract_options
+    from .lint.reporters import report_dict
+
+    design = demo_block(advisor.library)
+    block = hier_from_block(design)
+    store = ContractStore(args.contracts)
+    rule_cache = (
+        RuleResultCache(args.rule_cache) if args.rule_cache else None
+    )
+    # Same options digest as `python -m repro.lint.contracts`, so a
+    # registry-built store is reused here instead of tripping CTR504.
+    result = lint_hier(
+        block,
+        advisor.library,
+        store,
+        changed_only=args.changed_only,
+        verify=args.verify_contracts,
+        waivers=waivers,
+        rule_cache=rule_cache,
+        options=default_contract_options(),
+    )
+    store.flush()
+    if rule_cache is not None:
+        rule_cache.flush()
+
+    if args.sarif:
+        from .lint import render_sarif
+
+        emit(render_sarif(result.reports))
+    elif args.json:
+        payload = [report_dict(r) for r in result.reports]
+        payload.append({"hier": result.stats.as_dict()})
+        emit(_json.dumps(payload, indent=2))
+    else:
+        for report in result.reports:
+            emit(render_text(report))
+        stats = result.stats
+        emit(
+            f"{block.name}: {len(block.instances)} instance(s), "
+            f"{len(block.connections)} connection(s); contracts "
+            f"{stats.contracts_reused} reused / {stats.contracts_derived} "
+            f"derived; rules {stats.rules_replayed}/{stats.invocations} "
+            f"replayed ({stats.hit_rate:.0%})"
+        )
+    return 0 if result.ok else 1
 
 
 def _run_sweep(args: argparse.Namespace, advisor: SmartAdvisor) -> int:

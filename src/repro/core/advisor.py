@@ -58,6 +58,8 @@ class SmartAdvisor:
         self.library = library or ModelLibrary(tech or Technology())
         self.tech = self.library.tech
         self.cache = cache
+        #: Lazily created per-advisor incremental lint result cache.
+        self._lint_cache = None
 
     # -- design-space pruning ---------------------------------------------------
 
@@ -269,9 +271,19 @@ class SmartAdvisor:
         (fail fast — an electrically broken candidate would only waste GP
         iterations), ``None`` when clean.  Warnings are logged through
         ``repro.obs`` and do not block sizing.
+
+        The gate is incremental: an advisor-lifetime
+        :class:`~repro.lint.incremental.RuleResultCache` replays rule
+        results for candidates whose input facets are unchanged, so
+        re-gating the same topology across widths/targets only pays for
+        the rules an edit actually invalidated.
         """
         from ..lint.runner import ALL_CIRCUIT_GROUPS, CIRCUIT_GROUPS, lint_circuit
 
+        if self._lint_cache is None:
+            from ..lint.incremental import RuleResultCache
+
+            self._lint_cache = RuleResultCache()
         groups = (
             ALL_CIRCUIT_GROUPS
             if getattr(circuit, "functional_spec", None) is not None
@@ -279,7 +291,8 @@ class SmartAdvisor:
         )
         with trace.span("lint_gate", circuit=circuit.name) as sp:
             report = lint_circuit(
-                circuit, groups=groups, options=self._SYMBOLIC_GATE_OPTIONS
+                circuit, groups=groups, options=self._SYMBOLIC_GATE_OPTIONS,
+                cache=self._lint_cache,
             )
             sp.set_attrs(
                 errors=len(report.errors), warnings=len(report.warnings)

@@ -21,7 +21,13 @@ surfaces:
   bit-slice isomorphism certification.  Opt-in (``repro lint --symbolic``
   or ``groups=("symbolic",)``) because it enumerates the input space;
 * **GP pre-solve** (``GP2xx``) — well-formedness and feasibility screening
-  of a :class:`~repro.sizing.gp.GeometricProgram` before the solver runs.
+  of a :class:`~repro.sizing.gp.GeometricProgram` before the solver runs;
+* **interface contracts** (``CTR5xx``) — hierarchical block analysis
+  (:mod:`repro.lint.hier`): per-macro contracts
+  (:mod:`repro.lint.contracts`) composed at block level instead of
+  flattening, with content-addressed incremental re-verification
+  (:mod:`repro.lint.incremental`) and a sampled contract-vs-flat
+  soundness audit.
 
 Every diagnostic carries a stable rule ID, a severity, and a per-net /
 per-stage location; waiver files suppress known-acceptable findings.  The
@@ -35,9 +41,20 @@ imports :mod:`repro.sizing.pruning` and therefore must be imported lazily
 by anything reachable from ``repro.sizing.__init__``.
 """
 
+from .contracts import build_registry_contracts, derive_contract, macro_identity
 from .dataflow import ForwardAnalysis, SolveResult, solve_forward
 from .dataflow.interval import IntervalScreenResult, screen_feasibility
 from .diagnostics import Diagnostic, LintError, LintReport, Location, Severity
+from .hier import (
+    HierBlock,
+    HierConnection,
+    HierInstance,
+    HierLintResult,
+    flatten,
+    hier_from_block,
+    lint_hier,
+)
+from .incremental import RuleCacheStats, RuleResultCache
 from .registry import Rule, all_rules, get_rule, rules_in_groups
 from .reporters import render_json, render_sarif, render_text, sarif_dict
 from .runner import ALL_CIRCUIT_GROUPS, CIRCUIT_GROUPS, lint_circuit
@@ -48,6 +65,12 @@ __all__ = [
     "ALL_CIRCUIT_GROUPS",
     "CIRCUIT_GROUPS",
     "Diagnostic",
+    "HierBlock",
+    "HierConnection",
+    "HierInstance",
+    "HierLintResult",
+    "RuleCacheStats",
+    "RuleResultCache",
     "ForwardAnalysis",
     "IntervalScreenResult",
     "LintError",
@@ -58,10 +81,16 @@ __all__ = [
     "SolveResult",
     "Waiver",
     "all_rules",
+    "build_registry_contracts",
+    "derive_contract",
+    "flatten",
     "get_rule",
+    "hier_from_block",
     "lint_circuit",
     "lint_gp",
+    "lint_hier",
     "load_waivers",
+    "macro_identity",
     "parse_waivers",
     "render_json",
     "render_sarif",

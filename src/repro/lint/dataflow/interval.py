@@ -62,6 +62,7 @@ DFA303 = register(Rule(
         "repro.lint.dataflow.interval.screen_feasibility (the advisor and "
         "engine pre-GP screens, and repro lint --dataflow)."
     ),
+    facets=("topology", "sizing", "phases"),
 ))
 
 #: Relative slack applied before claiming infeasibility, absorbing float

@@ -147,7 +147,8 @@ def solve_monotonicity(circuit: Circuit) -> SolveResult:
     return solve_forward(circuit, MonotonicityAnalysis())
 
 
-@rule("DFA302", "whole-circuit domino monotonicity", "dataflow", Severity.ERROR)
+@rule("DFA302", "whole-circuit domino monotonicity", "dataflow",
+      Severity.ERROR, facets=("topology", "phases"))
 def check_monotone_dataflow(ctx) -> None:
     """Dataflow companion to ERC101: every domino evaluate input (data *and*
     select legs) must carry a monotone-rising or steady signal during

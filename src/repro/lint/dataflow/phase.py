@@ -204,7 +204,8 @@ def _domino_legs(stage: Stage):
     ]
 
 
-@rule("DFA301", "clock-phase discipline", "dataflow", Severity.ERROR)
+@rule("DFA301", "clock-phase discipline", "dataflow", Severity.ERROR,
+      facets=("topology", "phases"))
 def check_phase_dataflow(ctx) -> None:
     """Whole-circuit precharge-phase propagation: footless (D2) domino legs
     must be provably low during precharge (error); derived clocks — signal

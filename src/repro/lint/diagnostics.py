@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import List, Optional, Tuple
 
 
 class Severity(enum.IntEnum):
@@ -95,12 +95,18 @@ class LintReport:
 
     subject: str = ""
     diagnostics: List[Diagnostic] = field(default_factory=list)
+    #: Per-rule execution log: ``(rule_id, wall_s, status)`` where status is
+    #: ``"executed"`` (checker ran) or ``"replayed"`` (served from the
+    #: incremental cache or a contract).  The raw material of the hit-rate
+    #: accounting in CI's cold/warm hier-lint passes.
+    executed: List[Tuple[str, float, str]] = field(default_factory=list)
 
     def add(self, diagnostic: Diagnostic) -> None:
         self.diagnostics.append(diagnostic)
 
     def extend(self, other: "LintReport") -> None:
         self.diagnostics.extend(other.diagnostics)
+        self.executed.extend(other.executed)
 
     # -- views ---------------------------------------------------------------
 

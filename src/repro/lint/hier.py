@@ -1,0 +1,833 @@
+"""Hierarchical interface-contract composition (rules CTR501–505).
+
+``repro lint --hier`` analyzes an N-macro block by composing N interface
+contracts (:mod:`repro.lint.contracts`) instead of flattening: each macro
+instance contributes its contract's boundary facts, the block contributes
+its connection list, and five composition rules check the hand-offs:
+
+* **CTR501 phase compatibility** — the DFA301 phase fact of every driving
+  port must be *at most as unconstrained* as the phase the sink macro was
+  characterized against (its declared input phase, or the conservative
+  static assumption when undeclared).
+* **CTR502 monotonicity hand-off** — same for the DFA302 class: a macro
+  characterized with steady inputs must not receive a rising domino rail.
+* **CTR503 load budget** — the capacitance a connection presents (wire +
+  fixed load + every sink port's worst-case input cap over its sizing
+  box) must fit the drive budget the driver's output was characterized
+  against.
+* **CTR504 stale contract** — the instantiated netlist's fingerprint must
+  resolve to a current contract; an identity match at a *different*
+  fingerprint means the macro was edited after characterization.
+* **CTR505 contract-vs-flat spot check** (``--verify-contracts``) — a
+  sampled subset of instances is re-characterized from scratch and the
+  whole block is flattened and re-solved; contract facts must cover the
+  flat fixpoint values.  The soundness audit for everything above.
+
+**Soundness of composition** (the DESIGN.md §11 argument, abridged): each
+contract's facts are the flat analysis of the macro *under its declared
+input assumptions*.  CTR501/502 enforce that every actual input fact is
+≤ the assumption in the badness order below; the dataflow transfer
+functions are monotone in that order, so the macro's internal fixpoint
+under actual inputs is ≤ the characterized fixpoint, and every finding
+the flat analysis could produce is already present in (or implied by) the
+contract's recorded findings.  Composed verdicts may over-report
+(conservative) but never under-report — zero false negatives vs. flat.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from ..models.gates import ModelLibrary
+from ..netlist.circuit import Circuit
+from ..netlist.fingerprint import circuit_fingerprint
+from ..obs import metrics, perf, trace
+from ..obs.log import get_logger
+from .contracts import (
+    CONTRACT_VERSION,
+    derive_contract,
+    macro_identity,
+)
+from .dataflow.monotone import solve_monotonicity
+from .dataflow.phase import solve_phases
+from .diagnostics import Diagnostic, LintReport, Location, Severity
+from .incremental import (
+    RuleResultCache,
+    options_digest,
+    replay_findings,
+)
+from .registry import Rule, register
+from .waivers import Waiver, apply_waivers
+
+log = get_logger(__name__)
+
+#: Relative tolerance of the CTR503 load-budget comparison.
+_LOAD_TOL = 1e-6
+
+#: Default CTR505 sampling seed (deterministic across runs).
+DEFAULT_VERIFY_SEED = 20260809
+
+
+def _ctr(rule_id: str, title: str, severity: Severity, doc: str) -> Rule:
+    return register(Rule(
+        rule_id, title, "contracts", severity, doc=doc,
+        facets=("topology", "sizing", "phases", "funcspec"),
+    ))
+
+
+CTR501 = _ctr(
+    "CTR501", "cross-macro phase compatibility", Severity.ERROR,
+    "The DFA301 phase fact a driving macro's contract exports for a "
+    "connection must be covered by the phase the sink macro's input was "
+    "characterized against (its declared phase, or the conservative "
+    "static assumption when undeclared).  A clock-valued or mixed rail "
+    "into a data port, or a static rail into a declared monotone-rising "
+    "domino input, fails the block even though both macros lint clean "
+    "in isolation.",
+)
+CTR502 = _ctr(
+    "CTR502", "cross-macro monotonicity hand-off", Severity.ERROR,
+    "The DFA302 monotonicity class of the driving port must be covered "
+    "by the sink's characterization assumption: a macro characterized "
+    "with steady inputs (the undeclared default) must not be fed a "
+    "monotone domino rail that resets every precharge, and a declared "
+    "mono_rise input must not receive a falling or non-monotone signal.",
+)
+CTR503 = _ctr(
+    "CTR503", "connection load exceeds drive budget", Severity.WARNING,
+    "The capacitance a connection presents — wire cap, fixed load, and "
+    "each sink port's worst-case input capacitance over its sizing box "
+    "(contract cap_hi) — must fit the external load the driving output "
+    "was characterized against.  Overload invalidates the driver's "
+    "contracted delay/slope intervals.",
+)
+CTR504 = _ctr(
+    "CTR504", "stale or missing interface contract", Severity.WARNING,
+    "The instantiated netlist's fingerprint must resolve to a current "
+    "contract in the store.  A same-identity contract at a different "
+    "fingerprint means the macro was edited after characterization "
+    "(facts re-derived); a version or options mismatch means the store "
+    "predates the current tool/configuration.",
+)
+CTR505 = _ctr(
+    "CTR505", "contract disagrees with flat analysis", Severity.ERROR,
+    "The --verify-contracts soundness audit: sampled instances are "
+    "re-characterized from scratch and compared field-for-field against "
+    "their stored contracts, and the whole block is flattened and "
+    "re-solved — every flat fixpoint fact at a macro boundary must be "
+    "covered by the composed contract fact.  Any disagreement here is a "
+    "bug in the contract pipeline, never waivable noise.",
+)
+
+
+# -- badness orders (the ⊑ of the soundness argument) -----------------------
+
+#: value -> every value that is at least as "bad" (unconstrained).
+_PHASE_UPPER: Dict[str, Tuple[str, ...]] = {
+    "bottom": ("bottom", "low", "high", "stable", "static", "clock", "mixed"),
+    "low": ("low", "stable", "static", "mixed"),
+    "high": ("high", "stable", "static", "mixed"),
+    "stable": ("stable", "static", "mixed"),
+    "static": ("static", "mixed"),
+    "clock": ("clock", "mixed"),
+    "mixed": ("mixed",),
+}
+
+_MONO_UPPER: Dict[str, Tuple[str, ...]] = {
+    "bottom": ("bottom", "steady", "rising", "falling", "clock", "nonmono"),
+    "steady": ("steady", "rising", "falling", "nonmono"),
+    "rising": ("rising", "nonmono"),
+    "falling": ("falling", "nonmono"),
+    "clock": ("clock", "nonmono"),
+    "nonmono": ("nonmono",),
+}
+
+#: Declared input phase -> the DFA301 source value the macro was
+#: characterized with (mirrors ``PhaseAnalysis.source_value``).
+_ASSUMED_PHASE: Dict[Optional[str], str] = {
+    "mono_rise": "low",
+    "mono_fall": "high",
+    "steady": "stable",
+    "async": "static",
+    None: "static",
+}
+
+#: Declared input phase -> the DFA302 source value (mirrors
+#: ``MonotonicityAnalysis.source_value``).
+_ASSUMED_MONO: Dict[Optional[str], str] = {
+    "mono_rise": "rising",
+    "mono_fall": "falling",
+    "steady": "steady",
+    "async": "nonmono",
+    None: "steady",
+}
+
+
+def phase_le(actual: Optional[str], assumed: Optional[str]) -> bool:
+    """``actual ⊑ assumed`` in the phase badness order (unknowns fail)."""
+    if actual is None or assumed is None:
+        return False
+    return assumed in _PHASE_UPPER.get(actual, ())
+
+
+def mono_le(actual: Optional[str], assumed: Optional[str]) -> bool:
+    if actual is None or assumed is None:
+        return False
+    return assumed in _MONO_UPPER.get(actual, ())
+
+
+def phase_satisfies(actual: Optional[str], declared: Optional[str]) -> bool:
+    """Does a driving port's phase fact satisfy a sink's declared phase?"""
+    return phase_le(actual, _ASSUMED_PHASE.get(declared, "static"))
+
+
+def mono_satisfies(actual: Optional[str], declared: Optional[str]) -> bool:
+    return mono_le(actual, _ASSUMED_MONO.get(declared, "steady"))
+
+
+# -- block model ------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class HierInstance:
+    """One macro instance inside a hierarchical block."""
+
+    name: str
+    circuit: Circuit
+    topology: str = ""
+    #: Contract identity (see :func:`repro.lint.contracts.macro_identity`);
+    #: defaults to the circuit name.
+    identity: str = ""
+
+    @property
+    def contract_identity(self) -> str:
+        return self.identity or self.circuit.name
+
+
+@dataclass(frozen=True)
+class HierConnection:
+    """One block-level net: a driving (instance, port) and its sinks."""
+
+    net: str
+    driver: Tuple[str, str]
+    sinks: Tuple[Tuple[str, str], ...]
+    wire_cap: float = 0.0
+    external_load: float = 0.0
+
+
+@dataclass
+class HierBlock:
+    """A block as the hierarchical analyzer sees it: instances + wiring.
+
+    Ports not mentioned in any connection are block-level I/O.  Instances
+    may share one :class:`Circuit` object (replicas) — they share one
+    contract.
+    """
+
+    name: str
+    instances: List[HierInstance]
+    connections: List[HierConnection] = field(default_factory=list)
+
+    def instance(self, name: str) -> HierInstance:
+        for inst in self.instances:
+            if inst.name == name:
+                return inst
+        raise KeyError(f"no instance {name!r} in block {self.name}")
+
+
+def hier_from_block(design) -> HierBlock:
+    """Adapt a :class:`repro.blocks.generator.BlockDesign` (duck-typed:
+    ``macros`` with ``instance_name``/``circuit``, plus ``connections``)."""
+    instances = []
+    for macro in design.macros:
+        for copy in range(macro.count):
+            instances.append(HierInstance(
+                name=macro.instance_name(copy),
+                circuit=macro.circuit,
+                topology=macro.topology,
+                identity=macro_identity(macro.topology, macro.spec),
+            ))
+    connections = [
+        HierConnection(
+            net=conn.net,
+            driver=tuple(conn.driver),
+            sinks=tuple(tuple(s) for s in conn.sinks),
+            wire_cap=conn.wire_cap,
+            external_load=conn.external_load,
+        )
+        for conn in getattr(design, "connections", ())
+    ]
+    return HierBlock(design.name, instances, connections)
+
+
+def flatten(block: HierBlock) -> Circuit:
+    """The block as one flat :class:`Circuit` (the CTR505 reference).
+
+    Connection nets are pre-created and bound through ``port_map``, so a
+    connected output's characterization load is dropped in favor of the
+    real composed load, and connected inputs lose their macro-level phase
+    declarations — the flat netlist sees actual drivers, exactly what the
+    contract composition must be audited against.
+    """
+    from ..netlist.nets import NetKind
+
+    flat = Circuit(f"{block.name}_flat")
+    flat.add_net("clk", NetKind.CLOCK)
+    flat.clock = "clk"
+    for conn in block.connections:
+        net = flat.add_net(conn.net)
+        net.wire_cap = conn.wire_cap
+        net.external_load = conn.external_load
+    port_maps: Dict[str, Dict[str, str]] = {}
+    for conn in block.connections:
+        inst, port = conn.driver
+        port_maps.setdefault(inst, {})[port] = conn.net
+        for inst, port in conn.sinks:
+            port_maps.setdefault(inst, {})[port] = conn.net
+    for inst in block.instances:
+        sub = inst.circuit
+        for clk_name in sub.clock_nets():
+            if clk_name not in flat.nets:
+                flat.add_net(clk_name, NetKind.CLOCK)
+        pm = port_maps.get(inst.name, {})
+        mapping = flat.merge(sub, prefix=inst.name, port_map=pm)
+        for net_name in sub.primary_inputs:
+            if net_name not in pm:
+                flat.mark_input(mapping[net_name])
+        for net_name in sub.primary_outputs:
+            if net_name not in pm:
+                flat.mark_output(
+                    mapping[net_name],
+                    external_load=sub.net(net_name).external_load,
+                )
+    return flat
+
+
+# -- results ----------------------------------------------------------------
+
+
+@dataclass
+class HierStats:
+    """Composition/incrementality accounting for one hier-lint run."""
+
+    contracts_derived: int = 0
+    contracts_reused: int = 0
+    rules_executed: int = 0
+    rules_replayed: int = 0
+    verified_instances: int = 0
+    wall_s: float = 0.0
+
+    @property
+    def invocations(self) -> int:
+        return self.rules_executed + self.rules_replayed
+
+    @property
+    def hit_rate(self) -> float:
+        return self.rules_replayed / self.invocations if self.invocations else 0.0
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "contracts_derived": self.contracts_derived,
+            "contracts_reused": self.contracts_reused,
+            "rules_executed": self.rules_executed,
+            "rules_replayed": self.rules_replayed,
+            "verified_instances": self.verified_instances,
+            "hit_rate": round(self.hit_rate, 6),
+            "wall_s": round(self.wall_s, 6),
+        }
+
+
+@dataclass
+class HierLintResult:
+    """Everything one ``lint --hier`` run produced."""
+
+    block: str
+    #: Per-instance reports (contract findings, replayed or fresh) followed
+    #: by the block-level composition report (CTR5xx findings).
+    reports: List[LintReport]
+    #: Instance name -> contract fingerprint used.
+    fingerprints: Dict[str, str]
+    stats: HierStats
+
+    @property
+    def ok(self) -> bool:
+        return all(report.ok for report in self.reports)
+
+    @property
+    def block_report(self) -> LintReport:
+        return self.reports[-1]
+
+
+# -- the analyzer -----------------------------------------------------------
+
+
+def _emit(
+    report: LintReport,
+    rule_obj: Rule,
+    message: str,
+    *,
+    net: Optional[str] = None,
+    stage: Optional[str] = None,
+    pin: Optional[str] = None,
+    severity: Optional[Severity] = None,
+) -> None:
+    report.add(Diagnostic(
+        rule_id=rule_obj.id,
+        severity=severity or rule_obj.severity,
+        message=message,
+        location=Location(stage=stage, net=net, pin=pin),
+    ))
+
+
+def _port(contract: dict, port: str) -> Optional[dict]:
+    return (contract.get("ports") or {}).get(port)
+
+
+def lint_hier(
+    block: HierBlock,
+    library: Optional[ModelLibrary] = None,
+    store=None,
+    *,
+    changed_only: bool = False,
+    verify: int = 0,
+    verify_seed: int = DEFAULT_VERIFY_SEED,
+    options: Optional[Mapping[str, object]] = None,
+    waivers: Sequence[Waiver] = (),
+    rule_cache: Optional[RuleResultCache] = None,
+) -> HierLintResult:
+    """Compose interface contracts over ``block`` and run CTR501–505.
+
+    Parameters
+    ----------
+    store:
+        :class:`repro.cache.ContractStore` to resolve contracts from and
+        record fresh derivations into; ``None`` uses a run-local in-memory
+        store (replicas of one macro still share a single derivation).
+    changed_only:
+        Reuse any fingerprint-matching stored contract (the warm,
+        incremental path).  Without it every contract is re-derived and
+        the store refreshed — the cold pass.
+    verify:
+        CTR505 sample size: that many instances (deterministically chosen)
+        are re-characterized and audited against the flattened block.
+    rule_cache:
+        Threaded into contract derivation so a macro edit re-runs only the
+        rules whose declared facets changed.
+    """
+    from ..cache.contracts import ContractStore
+
+    library = library or ModelLibrary()
+    if store is None:
+        store = ContractStore()
+    stats = HierStats()
+    opts_digest = options_digest(options)
+    t_start = time.perf_counter()
+
+    block_report = LintReport(subject=block.name)
+
+    # -- resolve one contract per instance (shared by fingerprint) ---------
+    contracts: Dict[str, dict] = {}       # instance name -> contract
+    fingerprints: Dict[str, str] = {}     # instance name -> fingerprint
+    fp_by_circuit: Dict[int, str] = {}    # id(circuit) -> fingerprint
+    resolved: Dict[str, dict] = {}        # fingerprint -> run-local contract
+    reports: List[LintReport] = []
+    with trace.span("hier_contracts", block=block.name):
+        for inst in block.instances:
+            fp = fp_by_circuit.get(id(inst.circuit))
+            if fp is None:
+                fp = circuit_fingerprint(inst.circuit)
+                fp_by_circuit[id(inst.circuit)] = fp
+            fingerprints[inst.name] = fp
+            contract = resolved.get(fp)
+            if contract is None:
+                contract = _resolve_contract(
+                    inst, fp, store, block_report,
+                    library=library,
+                    changed_only=changed_only,
+                    options=options,
+                    opts_digest=opts_digest,
+                    rule_cache=rule_cache,
+                    stats=stats,
+                )
+                resolved[fp] = contract
+            else:
+                # Replica of an already-resolved circuit this run: its
+                # findings are replays of the shared contract.
+                stats.contracts_reused += 1
+            contracts[inst.name] = contract
+            report = LintReport(subject=f"{block.name}/{inst.name}")
+            for diag in replay_findings(contract.get("findings", ())):
+                report.add(diag)
+            status = contract.pop("_derivation", None)
+            if status is None:
+                report.executed.extend(
+                    (rule_id, 0.0, "replayed")
+                    for rule_id in contract.get("rules", ())
+                )
+            else:
+                report.executed.extend(status)
+            report.diagnostics = apply_waivers(report.diagnostics, waivers)
+            reports.append(report)
+
+    # -- composition rules -------------------------------------------------
+    violated_inputs: set = set()  # (instance, port) hand-offs that failed
+    with trace.span("hier_compose", block=block.name):
+        for rule_obj, checker in (
+            (CTR501, _check_phase_compat),
+            (CTR502, _check_mono_handoff),
+            (CTR503, _check_load_budget),
+        ):
+            t_rule = time.perf_counter()
+            checker(block, contracts, block_report, violated_inputs)
+            wall = time.perf_counter() - t_rule
+            block_report.executed.append((rule_obj.id, wall, "executed"))
+            perf.record_run(
+                "rule", rule_obj.id,
+                wall_s=wall, extra={"circuit": block.name, "status": "executed"},
+            )
+        # CTR504 findings were emitted during contract resolution.
+        block_report.executed.append(("CTR504", 0.0, "executed"))
+        perf.record_run(
+            "rule", "CTR504",
+            wall_s=0.0, extra={"circuit": block.name, "status": "executed"},
+        )
+
+    if verify > 0:
+        t_rule = time.perf_counter()
+        with trace.span("hier_verify", block=block.name):
+            _verify_contracts(
+                block, contracts, block_report,
+                library=library,
+                sample=verify,
+                seed=verify_seed,
+                options=options,
+                skip=violated_inputs,
+                stats=stats,
+            )
+        wall = time.perf_counter() - t_rule
+        block_report.executed.append(("CTR505", wall, "executed"))
+        perf.record_run(
+            "rule", "CTR505",
+            wall_s=wall, extra={"circuit": block.name, "status": "executed"},
+        )
+
+    block_report.diagnostics = apply_waivers(
+        block_report.diagnostics, waivers
+    )
+    reports.append(block_report)
+
+    for report in reports:
+        for _, _, status in report.executed:
+            if status == "replayed":
+                stats.rules_replayed += 1
+            else:
+                stats.rules_executed += 1
+    stats.wall_s = time.perf_counter() - t_start
+
+    metrics.counter("lint.hier_runs").inc()
+    if perf.get_ledger() is not None:
+        perf.record_run(
+            "hier_lint",
+            block.name,
+            wall_s=stats.wall_s,
+            cache=stats.as_dict(),
+            extra={
+                "instances": len(block.instances),
+                "connections": len(block.connections),
+                "errors": sum(len(r.errors) for r in reports),
+                "warnings": sum(len(r.warnings) for r in reports),
+            },
+        )
+    return HierLintResult(
+        block=block.name,
+        reports=reports,
+        fingerprints=fingerprints,
+        stats=stats,
+    )
+
+
+def _resolve_contract(
+    inst: HierInstance,
+    fp: str,
+    store,
+    block_report: LintReport,
+    *,
+    library: ModelLibrary,
+    changed_only: bool,
+    options: Optional[Mapping[str, object]],
+    opts_digest: str,
+    rule_cache: Optional[RuleResultCache],
+    stats: HierStats,
+) -> dict:
+    """Fetch-or-derive ``inst``'s contract; emits CTR504 on staleness."""
+    prior = store.get(fp)
+    current = (
+        prior is not None
+        and prior.get("version") == CONTRACT_VERSION
+        and prior.get("options_digest") == opts_digest
+    )
+    if current and changed_only:
+        stats.contracts_reused += 1
+        return dict(prior)
+    if prior is not None and not current:
+        _emit(
+            block_report, CTR504,
+            f"instance {inst.name}: stored contract for "
+            f"{inst.contract_identity} has version/options "
+            f"{prior.get('version')}/{prior.get('options_digest', '?')[:12]} "
+            f"(current {CONTRACT_VERSION}/{opts_digest[:12]}); re-derived",
+            stage=inst.name,
+        )
+    elif prior is None and changed_only:
+        superseded = [
+            entry for entry in store.for_identity(inst.contract_identity)
+            if entry.get("fingerprint") != fp
+        ]
+        if superseded:
+            _emit(
+                block_report, CTR504,
+                f"instance {inst.name}: macro {inst.contract_identity} was "
+                f"edited after characterization (stored contract fingerprint "
+                f"{superseded[-1].get('fingerprint', '?')[:12]} != netlist "
+                f"{fp[:12]}); contract re-derived",
+                stage=inst.name,
+            )
+        else:
+            _emit(
+                block_report, CTR504,
+                f"instance {inst.name}: no contract for "
+                f"{inst.contract_identity} in store; derived cold",
+                stage=inst.name,
+            )
+    contract = derive_contract(
+        inst.circuit,
+        library,
+        identity=inst.contract_identity,
+        options=options,
+        rule_cache=rule_cache,
+    )
+    store.put(contract)
+    stats.contracts_derived += 1
+    fresh = dict(contract)
+    fresh["_derivation"] = [
+        (rule_id, 0.0, "executed") for rule_id in contract.get("rules", ())
+    ]
+    return fresh
+
+
+def _driver_port(
+    block: HierBlock,
+    contracts: Dict[str, dict],
+    conn: HierConnection,
+    report: LintReport,
+    rule_obj: Rule,
+) -> Optional[dict]:
+    inst, port = conn.driver
+    contract = contracts.get(inst)
+    if contract is None:
+        return None
+    dport = _port(contract, port)
+    if dport is None or dport.get("direction") != "out":
+        _emit(
+            report, rule_obj,
+            f"net {conn.net}: driver {inst}.{port} is not an output port of "
+            f"contract {contract.get('identity', '?')}",
+            net=conn.net, stage=inst, pin=port,
+            severity=Severity.ERROR,
+        )
+        return None
+    return dport
+
+
+def _check_phase_compat(
+    block: HierBlock,
+    contracts: Dict[str, dict],
+    report: LintReport,
+    violated: set,
+) -> None:
+    for conn in block.connections:
+        dport = _driver_port(block, contracts, conn, report, CTR501)
+        if dport is None:
+            continue
+        actual = dport.get("phase")
+        for inst, port in conn.sinks:
+            sport = _port(contracts.get(inst, {}), port)
+            if sport is None or sport.get("direction") != "in":
+                _emit(
+                    report, CTR501,
+                    f"net {conn.net}: sink {inst}.{port} is not an input "
+                    f"port of its contract",
+                    net=conn.net, stage=inst, pin=port,
+                )
+                violated.add((inst, port))
+                continue
+            declared = sport.get("declared_phase")
+            if not phase_satisfies(actual, declared):
+                assumed = _ASSUMED_PHASE.get(declared, "static")
+                _emit(
+                    report, CTR501,
+                    f"net {conn.net}: {conn.driver[0]}.{conn.driver[1]} "
+                    f"drives phase '{actual}' into {inst}.{port}, which was "
+                    f"characterized against "
+                    f"'{declared or 'undeclared (static)'}' "
+                    f"(requires ⊑ '{assumed}')",
+                    net=conn.net, stage=inst, pin=port,
+                )
+                violated.add((inst, port))
+
+
+def _check_mono_handoff(
+    block: HierBlock,
+    contracts: Dict[str, dict],
+    report: LintReport,
+    violated: set,
+) -> None:
+    for conn in block.connections:
+        dport = _driver_port(block, contracts, conn, report, CTR502)
+        if dport is None:
+            continue
+        actual = dport.get("mono")
+        for inst, port in conn.sinks:
+            sport = _port(contracts.get(inst, {}), port)
+            if sport is None or sport.get("direction") != "in":
+                continue  # already reported by CTR501
+            declared = sport.get("declared_phase")
+            if not mono_satisfies(actual, declared):
+                assumed = _ASSUMED_MONO.get(declared, "steady")
+                _emit(
+                    report, CTR502,
+                    f"net {conn.net}: {conn.driver[0]}.{conn.driver[1]} "
+                    f"hands off monotonicity '{actual}' to {inst}.{port}, "
+                    f"characterized as "
+                    f"'{declared or 'undeclared (steady)'}' "
+                    f"(requires ⊑ '{assumed}')",
+                    net=conn.net, stage=inst, pin=port,
+                )
+                violated.add((inst, port))
+
+
+def _check_load_budget(
+    block: HierBlock,
+    contracts: Dict[str, dict],
+    report: LintReport,
+    violated: set,
+) -> None:
+    for conn in block.connections:
+        dport = _driver_port(block, contracts, conn, report, CTR503)
+        if dport is None:
+            continue
+        budget = dport.get("load_budget")
+        if budget is None:
+            continue
+        demand = conn.wire_cap + conn.external_load
+        unknown = []
+        for inst, port in conn.sinks:
+            sport = _port(contracts.get(inst, {}), port)
+            cap_hi = (sport or {}).get("cap_hi")
+            if cap_hi is None:
+                unknown.append(f"{inst}.{port}")
+            else:
+                demand += cap_hi
+        if demand > budget * (1.0 + _LOAD_TOL):
+            suffix = (
+                f" (plus unknown input caps of {', '.join(unknown)})"
+                if unknown else ""
+            )
+            _emit(
+                report, CTR503,
+                f"net {conn.net}: composed load {demand:.2f} fF{suffix} "
+                f"exceeds the {budget:.2f} fF drive budget "
+                f"{conn.driver[0]}.{conn.driver[1]} was characterized "
+                f"against",
+                net=conn.net, stage=conn.driver[0], pin=conn.driver[1],
+            )
+
+
+#: Contract fields compared verbatim by the CTR505 re-derivation check.
+_VERIFY_FIELDS = ("ports", "funcspec", "slice_signature", "findings")
+
+
+def _verify_contracts(
+    block: HierBlock,
+    contracts: Dict[str, dict],
+    report: LintReport,
+    *,
+    library: ModelLibrary,
+    sample: int,
+    seed: int,
+    options: Optional[Mapping[str, object]],
+    skip: set,
+    stats: HierStats,
+) -> None:
+    """CTR505: sampled re-derivation + flat lattice coverage audit."""
+    rng = random.Random(seed)
+    names = sorted(contracts)
+    chosen = sorted(rng.sample(names, min(sample, len(names))))
+
+    for name in chosen:
+        inst = block.instance(name)
+        fresh = derive_contract(
+            inst.circuit, library,
+            identity=inst.contract_identity, options=options,
+        )
+        stats.verified_instances += 1
+        stored = contracts[name]
+        for fld in _VERIFY_FIELDS:
+            if fresh.get(fld) != stored.get(fld):
+                _emit(
+                    report, CTR505,
+                    f"instance {name}: re-derived contract field '{fld}' "
+                    f"disagrees with the stored contract "
+                    f"({stored.get('identity', '?')}) — contract drift",
+                    stage=name,
+                )
+
+    # Flat coverage audit: contract facts must cover the flat fixpoint.
+    flat = flatten(block)
+    phases = solve_phases(flat).values
+    monos = solve_monotonicity(flat).values
+    driven = {
+        (conn.driver[0], conn.driver[1]): conn.net
+        for conn in block.connections
+    }
+    for name in chosen:
+        inst = block.instance(name)
+        # An instance whose inputs violated CTR501/502 runs outside its
+        # characterization envelope — its contract facts are not claimed
+        # to cover flat there, and the hand-off error is already reported.
+        if any(key[0] == name for key in skip):
+            continue
+        contract = contracts[name]
+        for port, facts in (contract.get("ports") or {}).items():
+            if facts.get("direction") != "out":
+                continue
+            flat_net = driven.get((name, port), f"{name}/{port}")
+            if flat_net not in flat.nets:
+                continue
+            pv = phases.get(flat_net)
+            flat_phase = pv.phase.value if pv is not None else None
+            mono = monos.get(flat_net)
+            flat_mono = mono.value if mono is not None else None
+            if flat_phase is not None and not phase_le(
+                flat_phase, facts.get("phase")
+            ):
+                _emit(
+                    report, CTR505,
+                    f"instance {name}: flat phase '{flat_phase}' of output "
+                    f"{port} is not covered by contract fact "
+                    f"'{facts.get('phase')}' — composition unsound",
+                    stage=name, net=flat_net, pin=port,
+                )
+            if flat_mono is not None and not mono_le(
+                flat_mono, facts.get("mono")
+            ):
+                _emit(
+                    report, CTR505,
+                    f"instance {name}: flat monotonicity '{flat_mono}' of "
+                    f"output {port} is not covered by contract fact "
+                    f"'{facts.get('mono')}' — composition unsound",
+                    stage=name, net=flat_net, pin=port,
+                )

@@ -9,7 +9,9 @@ plus a number that never changes meaning once released:
 * ``DFA3xx`` — whole-circuit dataflow analyses (:mod:`repro.lint.dataflow`);
 * ``SVC4xx`` — switch-level symbolic verification (:mod:`repro.lint.symbolic`);
 * ``CST1xx`` — constraint-coverage / pruning-certificate verification;
-* ``GP2xx``  — geometric-program pre-solve checks.
+* ``GP2xx``  — geometric-program pre-solve checks;
+* ``CTR5xx`` — hierarchical interface-contract composition
+  (:mod:`repro.lint.hier`).
 
 Circuit rules (groups ``structural`` and ``family``) are callables of one
 :class:`~repro.lint.runner.LintContext`; coverage and GP rules are driven by
@@ -21,17 +23,29 @@ their dedicated analyzers (:mod:`repro.lint.coverage`,
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, Iterable, List, Optional
+from typing import Callable, Dict, Iterable, List, Optional, Tuple
 
+from ..netlist.fingerprint import FACET_NAMES
 from .diagnostics import Severity
 
 #: Known rule groups, in report order.
-GROUPS = ("structural", "family", "dataflow", "symbolic", "coverage", "gp")
+GROUPS = (
+    "structural", "family", "dataflow", "symbolic", "coverage", "gp",
+    "contracts",
+)
 
 
 @dataclass(frozen=True)
 class Rule:
-    """One registered rule: identity + default severity + checker."""
+    """One registered rule: identity + default severity + checker.
+
+    ``facets`` declares which circuit facets
+    (:data:`repro.netlist.fingerprint.FACET_NAMES`) the checker reads —
+    the invalidation contract of the incremental engine
+    (:mod:`repro.lint.incremental`).  Declarations must be supersets of
+    what the checker actually inspects; the default (all facets) is always
+    sound and merely forgoes incrementality.
+    """
 
     id: str
     title: str
@@ -39,6 +53,7 @@ class Rule:
     severity: Severity
     doc: str = ""
     check: Optional[Callable] = None
+    facets: Tuple[str, ...] = FACET_NAMES
 
 
 _REGISTRY: Dict[str, Rule] = {}
@@ -54,11 +69,17 @@ def register(rule_obj: Rule) -> Rule:
 
 
 def rule(
-    rule_id: str, title: str, group: str, severity: Severity
+    rule_id: str,
+    title: str,
+    group: str,
+    severity: Severity,
+    facets: Tuple[str, ...] = FACET_NAMES,
 ) -> Callable[[Callable], Callable]:
     """Decorator: register ``func`` as the checker for ``rule_id``.
 
     The function's docstring becomes the rule's long description.
+    ``facets`` is the rule's incremental-invalidation contract (default:
+    every facet, i.e. re-run on any circuit change).
     """
 
     def decorate(func: Callable) -> Callable:
@@ -70,6 +91,7 @@ def rule(
                 severity=severity,
                 doc=(func.__doc__ or "").strip(),
                 check=func,
+                facets=facets,
             )
         )
         return func
@@ -107,7 +129,7 @@ def _load_builtin_rules() -> None:
     last and forgivingly at first (the netlist package may still be
     mid-initialization when the structural group is first needed).
     """
-    from . import rules_family, rules_structural  # noqa: F401
+    from . import hier, rules_family, rules_structural  # noqa: F401
     from .dataflow import monotone, phase  # noqa: F401
     from .symbolic import rules  # noqa: F401
 

@@ -1,18 +1,38 @@
-"""Report renderers: human-readable text, JSON, and SARIF 2.1.0."""
+"""Report renderers: human-readable text, JSON, and SARIF 2.1.0.
+
+Every renderer presents findings in a deterministic order — sorted by
+``(rule ID, location, message)`` regardless of emission order — so two
+runs over the same design produce byte-identical output.  That is what
+makes "warm incremental findings are identical to the cold run" checkable
+with a plain string compare in CI.
+"""
 
 from __future__ import annotations
 
 import json
-from typing import Iterable, Union
+from typing import Iterable, List, Union
 
-from .diagnostics import LintReport
+from .._version import __version__
+from .diagnostics import Diagnostic, LintReport
+
+#: Version of the JSON payload shape produced by :func:`report_dict`.
+#: Bumped on breaking changes to the schema, independent of tool releases.
+SCHEMA_VERSION = 1
+
+
+def ordered_diagnostics(report: LintReport) -> List[Diagnostic]:
+    """The report's findings in canonical presentation order."""
+    return sorted(
+        report.diagnostics,
+        key=lambda d: (d.rule_id, str(d.location), d.message),
+    )
 
 
 def render_text(report: LintReport, show_waived: bool = False) -> str:
     """Flake8-style listing plus a summary line."""
     lines = []
     header = report.subject or "design"
-    for diag in report.diagnostics:
+    for diag in ordered_diagnostics(report):
         if diag.waived and not show_waived:
             continue
         lines.append(f"{header}: {diag.format()}")
@@ -29,6 +49,8 @@ def render_text(report: LintReport, show_waived: bool = False) -> str:
 def report_dict(report: LintReport) -> dict:
     """The JSON-serializable payload behind :func:`render_json`."""
     return {
+        "schema_version": SCHEMA_VERSION,
+        "tool_version": __version__,
         "subject": report.subject,
         "ok": report.ok,
         "errors": len(report.errors),
@@ -42,7 +64,7 @@ def report_dict(report: LintReport) -> dict:
                 "message": d.message,
                 "waived": d.waived,
             }
-            for d in report.diagnostics
+            for d in ordered_diagnostics(report)
         ],
     }
 
@@ -95,7 +117,7 @@ def sarif_dict(reports: Union[LintReport, Iterable[LintReport]]) -> dict:
 
     results = []
     for report in reports:
-        for diag in report.diagnostics:
+        for diag in ordered_diagnostics(report):
             loc = str(diag.location)
             fqn = f"{report.subject}: {loc}" if loc else report.subject
             result = {
@@ -124,6 +146,7 @@ def sarif_dict(reports: Union[LintReport, Iterable[LintReport]]) -> dict:
             "tool": {
                 "driver": {
                     "name": "repro-lint",
+                    "version": __version__,
                     "informationUri": "https://example.invalid/repro",
                     "rules": driver_rules,
                 },

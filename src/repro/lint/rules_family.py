@@ -70,7 +70,8 @@ def _domino_cone_roots(
     return roots
 
 
-@rule("ERC101", "domino monotonicity", "family", Severity.ERROR)
+@rule("ERC101", "domino monotonicity", "family", Severity.ERROR,
+      facets=("topology", "phases"))
 def check_domino_monotonicity(ctx) -> None:
     """A domino evaluate network only sees monotone-rising inputs when the
     static chain from the upstream dynamic node carries an *odd* number of
@@ -131,7 +132,8 @@ def check_domino_monotonicity(ctx) -> None:
                     )
 
 
-@rule("ERC102", "D2 precharge discipline", "family", Severity.ERROR)
+@rule("ERC102", "D2 precharge discipline", "family", Severity.ERROR,
+      facets=("topology",))
 def check_d2_ordering(ctx) -> None:
     """A footless (D2) domino has no clocked evaluate transistor, so its
     inputs must be *guaranteed low* while the clock is low — which holds
@@ -155,7 +157,8 @@ def check_d2_ordering(ctx) -> None:
                 )
 
 
-@rule("ERC103", "charge-sharing hazard", "family", Severity.WARNING)
+@rule("ERC103", "charge-sharing hazard", "family", Severity.WARNING,
+      facets=("topology",))
 def check_charge_sharing(ctx) -> None:
     """Deep evaluate stacks without a keeper are charge-sharing hazards:
     internal stack nodes redistribute the dynamic node's charge when lower
@@ -186,7 +189,8 @@ def check_charge_sharing(ctx) -> None:
         )
 
 
-@rule("ERC104", "pass-gate chain depth", "family", Severity.ERROR)
+@rule("ERC104", "pass-gate chain depth", "family", Severity.ERROR,
+      facets=("topology",))
 def check_pass_chain_depth(ctx) -> None:
     """Runs of pass gates longer than ``MAX_PASS_CHAIN`` without a restoring
     stage degrade quadratically (distributed RC) and lose level; the macro
@@ -230,7 +234,8 @@ def check_pass_chain_depth(ctx) -> None:
             )
 
 
-@rule("ERC105", "shared-driver select distinctness", "family", Severity.ERROR)
+@rule("ERC105", "shared-driver select distinctness", "family",
+      Severity.ERROR, facets=("topology",))
 def check_shared_driver_selects(ctx) -> None:
     """Tristate buses and weak/encoded pass-gate merges rely on at most one
     driver being enabled; two drivers steered by the *same* select net are
@@ -272,7 +277,8 @@ def check_shared_driver_selects(ctx) -> None:
         check_group(out, gates, "pass gate")
 
 
-@rule("ERC106", "clock in data cone", "family", Severity.WARNING)
+@rule("ERC106", "clock in data cone", "family", Severity.WARNING,
+      facets=("topology",))
 def check_clock_as_data(ctx) -> None:
     """A clock-kind net feeding a DATA or SELECT pin usually means a hookup
     mistake (the reverse of ERC005); legitimate clock gating is rare enough
@@ -291,7 +297,8 @@ def check_clock_as_data(ctx) -> None:
                 )
 
 
-@rule("ERC107", "encoded pair complement", "family", Severity.WARNING)
+@rule("ERC107", "encoded pair complement", "family", Severity.WARNING,
+      facets=("topology",))
 def check_encoded_complement(ctx) -> None:
     """An encoded-select pass pair (Figure 2c) is mutex only because its two
     selects are complements; the structural witness is an inverter between

@@ -21,7 +21,8 @@ def _signal_nets(circuit):
             yield net
 
 
-@rule("ERC001", "multiply-driven net", "structural", Severity.ERROR)
+@rule("ERC001", "multiply-driven net", "structural", Severity.ERROR,
+      facets=("topology",))
 def check_multiple_drivers(ctx) -> None:
     """A net with several drivers is only legal when all drivers are
     tristates or all are pass gates (shared-bus structures); any other
@@ -41,7 +42,8 @@ def check_multiple_drivers(ctx) -> None:
                 )
 
 
-@rule("ERC002", "undriven loaded net", "structural", Severity.ERROR)
+@rule("ERC002", "undriven loaded net", "structural", Severity.ERROR,
+      facets=("topology", "sizing"))
 def check_undriven(ctx) -> None:
     """A net with fanout but no driver and no primary-input declaration
     floats: downstream logic reads garbage."""
@@ -56,7 +58,8 @@ def check_undriven(ctx) -> None:
             ctx.emit("loaded but undriven", net=net.name)
 
 
-@rule("ERC003", "driven primary input", "structural", Severity.ERROR)
+@rule("ERC003", "driven primary input", "structural", Severity.ERROR,
+      facets=("topology",))
 def check_driven_input(ctx) -> None:
     """Primary inputs and clocks are driven from outside the macro; an
     internal stage driving one fights the external driver."""
@@ -73,7 +76,8 @@ def check_driven_input(ctx) -> None:
             )
 
 
-@rule("ERC004", "dangling net", "structural", Severity.WARNING)
+@rule("ERC004", "dangling net", "structural", Severity.WARNING,
+      facets=("topology", "sizing"))
 def check_dangling(ctx) -> None:
     """A driven net that nothing loads is dead weight — usually a stale
     edit.  Warning, not error: the circuit still functions."""
@@ -92,7 +96,8 @@ def check_dangling(ctx) -> None:
             ctx.emit("driven but unloaded (dangling)", net=net.name)
 
 
-@rule("ERC005", "domino clock hookup", "structural", Severity.ERROR)
+@rule("ERC005", "domino clock hookup", "structural", Severity.ERROR,
+      facets=("topology",))
 def check_domino_clock(ctx) -> None:
     """Every domino stage needs a clock pin, and clock pins must land on
     clock-kind nets — precharge timing is meaningless otherwise."""
@@ -110,7 +115,8 @@ def check_domino_clock(ctx) -> None:
                 )
 
 
-@rule("ERC006", "unknown size label", "structural", Severity.ERROR)
+@rule("ERC006", "unknown size label", "structural", Severity.ERROR,
+      facets=("topology", "sizing"))
 def check_unknown_labels(ctx) -> None:
     """Every size label a stage references must be declared in the size
     table, or the sizer has no variable to optimize."""
@@ -122,7 +128,8 @@ def check_unknown_labels(ctx) -> None:
                 )
 
 
-@rule("ERC007", "unused size label", "structural", Severity.WARNING)
+@rule("ERC007", "unused size label", "structural", Severity.WARNING,
+      facets=("topology", "sizing"))
 def check_unused_labels(ctx) -> None:
     """A declared label no stage references adds a free GP variable with no
     effect on the design — usually a renamed-but-not-removed edit."""
@@ -136,7 +143,8 @@ def check_unused_labels(ctx) -> None:
             ctx.emit(f"size label {size_var.name}: declared but unused")
 
 
-@rule("ERC008", "strong-mutex select discipline", "structural", Severity.ERROR)
+@rule("ERC008", "strong-mutex select discipline", "structural",
+      Severity.ERROR, facets=("topology",))
 def check_strong_mutex(ctx) -> None:
     """Strongly-mutexed pass-gate muxes (Figure 2a) assume one-hot selects;
     the structural proxy is that each gate has a select pin and the select
@@ -165,7 +173,8 @@ def check_strong_mutex(ctx) -> None:
             )
 
 
-@rule("ERC009", "combinational cycle", "structural", Severity.ERROR)
+@rule("ERC009", "combinational cycle", "structural", Severity.ERROR,
+      facets=("topology",))
 def check_acyclic(ctx) -> None:
     """The stage graph must be a DAG; a combinational loop makes both path
     extraction and static timing meaningless."""

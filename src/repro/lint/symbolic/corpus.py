@@ -69,8 +69,15 @@ def run_corpus(
     samples: Optional[int] = None,
     seed: Optional[int] = None,
     emit=print,
+    rule_cache=None,
 ) -> List[LintReport]:
-    """Lint every corpus circuit with the symbolic group; return reports."""
+    """Lint every corpus circuit with the symbolic group; return reports.
+
+    ``rule_cache`` (a :class:`~repro.lint.incremental.RuleResultCache`)
+    makes the sweep incremental: circuits whose relevant facets match a
+    previous run replay their recorded verdicts instead of re-enumerating
+    the input space.
+    """
     options = {}
     if exact_budget is not None:
         options["symbolic_exact_budget"] = exact_budget
@@ -83,15 +90,18 @@ def run_corpus(
     for label, circuit in corpus_circuits(grid):
         start = time.perf_counter()
         report = lint_circuit(
-            circuit, groups=("symbolic",), waivers=waivers, options=options
+            circuit, groups=("symbolic",), waivers=waivers, options=options,
+            cache=rule_cache,
         )
         elapsed = time.perf_counter() - start
         reports.append(report)
         status = "ok" if report.ok else "FAIL"
+        replayed = sum(1 for _, _, s in report.executed if s == "replayed")
+        cached = f" cached={replayed}" if replayed else ""
         emit(
             f"{status:4s} {label:42s} errors={len(report.errors)} "
             f"warnings={len(report.warnings)} waived={len(report.waived)} "
-            f"({elapsed:.2f}s)"
+            f"({elapsed:.2f}s){cached}"
         )
         for diag in report.diagnostics:
             if not diag.waived:
@@ -126,15 +136,35 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser.add_argument(
         "--seed", type=int, default=None, help="sampling seed"
     )
+    parser.add_argument(
+        "--rule-cache", metavar="FILE", default=None,
+        help=(
+            "incremental rule-result cache (JSONL); unchanged circuits "
+            "replay recorded verdicts instead of re-enumerating"
+        ),
+    )
     args = parser.parse_args(argv)
 
+    rule_cache = None
+    if args.rule_cache:
+        from ..incremental import RuleResultCache
+
+        rule_cache = RuleResultCache(args.rule_cache)
     waivers = load_waivers(args.waivers) if args.waivers else ()
     reports = run_corpus(
         waivers=waivers,
         exact_budget=args.exact_budget,
         samples=args.samples,
         seed=args.seed,
+        rule_cache=rule_cache,
     )
+    if rule_cache is not None:
+        rule_cache.flush()
+        stats = rule_cache.stats
+        print(
+            f"rule cache: {stats.replayed}/{stats.invocations} replayed "
+            f"({stats.hit_rate:.0%}), {stats.wall_saved_s:.2f}s saved"
+        )
 
     if args.sarif:
         from ..reporters import render_sarif

@@ -80,6 +80,7 @@ def _env_str(env: Tuple[Tuple[str, bool], ...]) -> str:
     "circuit behavior must match its golden functional spec",
     group="symbolic",
     severity=Severity.ERROR,
+    facets=("topology", "phases", "funcspec"),
 )
 def check_functional_equivalence(ctx) -> None:
     """Switch-level extraction vs. the golden spec.
@@ -123,6 +124,7 @@ def check_functional_equivalence(ctx) -> None:
     "no net may conduct to both rails (drive fight)",
     group="symbolic",
     severity=Severity.ERROR,
+    facets=("topology", "phases", "funcspec"),
 )
 def check_drive_fight(ctx) -> None:
     """Both-rail conduction on an observable net under a valid assignment.
@@ -152,6 +154,7 @@ def check_drive_fight(ctx) -> None:
     "observable nets must not float during evaluate",
     group="symbolic",
     severity=Severity.ERROR,
+    facets=("topology", "phases", "funcspec"),
 )
 def check_floating(ctx) -> None:
     """High-Z on an output or gate net during the evaluate phase.
@@ -181,6 +184,7 @@ def check_floating(ctx) -> None:
     "no sneak paths through bidirectional pass networks",
     group="symbolic",
     severity=Severity.ERROR,
+    facets=("topology", "phases", "funcspec"),
 )
 def check_sneak_path(ctx) -> None:
     """Both-rail conduction threading >= 2 distinct pass-gate stages.
@@ -211,6 +215,7 @@ def check_sneak_path(ctx) -> None:
     "label-sharing bit slices must be isomorphic",
     group="symbolic",
     severity=Severity.WARNING,
+    facets=("topology", "sizing"),
 )
 def check_slice_isomorphism(ctx) -> None:
     """Certify the structural-regularity assumption behind merging.

@@ -269,18 +269,36 @@ class Circuit:
 
     # -- composition ---------------------------------------------------------
 
-    def merge(self, other: "Circuit", prefix: str = "") -> Dict[str, str]:
+    def merge(
+        self,
+        other: "Circuit",
+        prefix: str = "",
+        port_map: Optional[Dict[str, str]] = None,
+    ) -> Dict[str, str]:
         """Instantiate ``other`` inside this circuit.
 
         Stage and internal-net names get ``prefix/`` prepended; nets that
         already exist in ``self`` under the *unprefixed* name are shared
         (that is how callers wire sub-circuits together: create the boundary
-        nets first, then merge).  Returns the net-name mapping used.
+        nets first, then merge).  ``port_map`` explicitly binds nets of
+        ``other`` (by their local names, usually its primary I/O) to nets of
+        ``self`` — the block-composition hook: a mapped port joins the
+        target net *as it exists here* (the target's caps/loads win over the
+        sub-circuit's characterization loads), and the sub-circuit's input
+        phase declaration for a mapped port is dropped: a connected port's
+        behavior is whatever its block-level driver provides, not what the
+        macro was characterized against.  Returns the net-name mapping used.
         """
         sep = f"{prefix}/" if prefix else ""
+        port_map = dict(port_map or {})
         mapping: Dict[str, str] = {}
         for net in other.nets.values():
-            if net.name in (VDD, VSS) or net.name in self.nets:
+            if net.name in port_map:
+                target = port_map[net.name]
+                mapping[net.name] = target
+                if target not in self.nets:
+                    self._add_net_like(net, target)
+            elif net.name in (VDD, VSS) or net.name in self.nets:
                 mapping[net.name] = net.name
                 if net.name not in self.nets:
                     self._add_net_like(net, net.name)
@@ -289,6 +307,8 @@ class Circuit:
                 mapping[net.name] = new_name
                 self._add_net_like(net, new_name)
         for net_name, phase in other.input_phases.items():
+            if net_name in port_map:
+                continue
             self.input_phases.setdefault(mapping[net_name], phase)
         for size_var in other.size_table:
             renamed = self._rename_var(size_var, sep)

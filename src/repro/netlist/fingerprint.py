@@ -29,6 +29,7 @@ from __future__ import annotations
 
 import hashlib
 import json
+import random
 from typing import Any, Dict, List
 
 from .circuit import Circuit
@@ -37,6 +38,31 @@ from .circuit import Circuit
 #: from older builds can never alias a new fingerprint.
 #: 2: internal nets serialized under driver-derived canonical names.
 FINGERPRINT_VERSION = 2
+
+#: The independent *facets* of a circuit that lint rules declare as inputs
+#: (see ``Rule.facets``).  A rule result is invalidated only when one of its
+#: declared facets' fingerprints changed:
+#:
+#: * ``topology`` — stage graph, pin wiring/classification, structural
+#:   params, net kinds, interface (PI/PO/clock).  No widths, no caps.
+#: * ``sizing``  — the size table (bounds, pins, ratio ties), the
+#:   stage-to-size-var binding, and every fixed electrical value on nets
+#:   (wire cap, external load, wire resistance).
+#: * ``phases``  — declared input clock-phase relationships plus the clock
+#:   binding (what DFA301/DFA302 seed their lattices from).
+#: * ``funcspec`` — a semantic digest of the attached golden
+#:   :class:`~repro.netlist.funcspec.FunctionalSpec` (truth-table sample,
+#:   not object identity, so re-constructed but equivalent specs hash equal).
+FACET_NAMES = ("topology", "sizing", "phases", "funcspec")
+
+#: Bump when any facet payload below changes shape.
+FACET_VERSION = 1
+
+#: Exact truth-table enumeration limit for the funcspec digest; above this
+#: many (non-clock) inputs the digest falls back to seeded sampling.
+_FUNCSPEC_EXACT_INPUTS = 10
+_FUNCSPEC_SAMPLES = 64
+_FUNCSPEC_SEED = 20260806
 
 
 def canonical_net_names(circuit: Circuit) -> Dict[str, str]:
@@ -148,3 +174,170 @@ def circuit_fingerprint(circuit: Circuit) -> str:
         allow_nan=False,
     )
     return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+# -- facet fingerprints (incremental lint) ---------------------------------
+
+
+def funcspec_digest(circuit: Circuit) -> str:
+    """Semantic digest of the circuit's golden functional spec.
+
+    Hashes a deterministic truth-table sample (exact below
+    ``_FUNCSPEC_EXACT_INPUTS`` non-clock inputs, seeded random beyond;
+    constrained specs additionally contribute sampler-drawn valid vectors),
+    so two independently constructed but extensionally equal specs digest
+    identically, while any behavioral edit — a changed output function, a
+    widened/narrowed valid space, a renamed port — changes the digest.
+    Returns ``"none"`` when no spec is attached.
+    """
+    spec = getattr(circuit, "functional_spec", None)
+    if spec is None:
+        return "none"
+    outputs = sorted(getattr(spec, "outputs", {}) or {})
+    if not outputs:
+        return "opaque:" + type(spec).__name__
+    clocks = set(circuit.clock_nets())
+    inputs = sorted(n for n in circuit.primary_inputs if n not in clocks)
+    envs: List[Dict[str, bool]] = []
+    if len(inputs) <= _FUNCSPEC_EXACT_INPUTS:
+        for bits in range(1 << len(inputs)):
+            envs.append(
+                {name: bool((bits >> i) & 1) for i, name in enumerate(inputs)}
+            )
+    else:
+        rng = random.Random(_FUNCSPEC_SEED)
+        for _ in range(_FUNCSPEC_SAMPLES):
+            envs.append({name: bool(rng.getrandbits(1)) for name in inputs})
+    sampler = getattr(spec, "sampler", None)
+    if sampler is not None:
+        # Sparse valid spaces (one-hot selects) would otherwise contribute
+        # almost no valid rows; fold in constrained samples too.
+        rng = random.Random(_FUNCSPEC_SEED + 1)
+        for _ in range(_FUNCSPEC_SAMPLES):
+            drawn = dict(sampler(rng))
+            env = {name: bool(drawn.get(name, False)) for name in inputs}
+            envs.append(env)
+    rows: List[List[int]] = []
+    for env in envs:
+        bits = [1 if env[name] else 0 for name in inputs]
+        try:
+            valid = spec.is_valid(env)
+        except Exception:
+            valid = False
+        row = bits + [1 if valid else 0]
+        if valid:
+            for out in outputs:
+                try:
+                    row.append(1 if spec.expected(out, env) else 0)
+                except Exception:
+                    row.append(-1)
+        rows.append(row)
+    payload = {
+        "golden": getattr(spec, "golden", ""),
+        "inputs": inputs,
+        "outputs": outputs,
+        "rows": rows,
+    }
+    return _facet_digest(payload)
+
+
+def facet_payloads(circuit: Circuit) -> Dict[str, Dict[str, Any]]:
+    """The four facet payloads (JSON-ready) behind :func:`facet_fingerprints`.
+
+    Facets partition :func:`circuit_payload` (plus the funcspec, which the
+    sizing fingerprint deliberately ignores) so that an edit invalidates
+    only the facets it actually touches: resizing a transistor changes
+    ``sizing`` but not ``topology``; redeclaring an input phase changes only
+    ``phases``; editing the golden function changes only ``funcspec``.
+    """
+    canon = canonical_net_names(circuit)
+    topo_stages: List[Dict[str, Any]] = []
+    sizing_stages: List[List[Any]] = []
+    for stage in sorted(circuit.stages, key=lambda s: s.name):
+        topo_stages.append(
+            {
+                "name": stage.name,
+                "kind": stage.kind.value,
+                "inputs": [
+                    [
+                        pin.name,
+                        canon[pin.net.name],
+                        pin.pin_class.value,
+                        pin.speed.value if pin.speed is not None else None,
+                        bool(pin.inverted),
+                    ]
+                    for pin in stage.inputs
+                ],
+                "output": canon[stage.output.name],
+                "params": {
+                    key: _canonical_param(stage.params[key])
+                    for key in sorted(stage.params)
+                },
+            }
+        )
+        sizing_stages.append(
+            [
+                stage.name,
+                {role: stage.size_vars[role] for role in sorted(stage.size_vars)},
+            ]
+        )
+    version = [FINGERPRINT_VERSION, FACET_VERSION]
+    return {
+        "topology": {
+            "version": version,
+            "stages": topo_stages,
+            "nets": sorted(
+                [canon[net.name], net.kind.value]
+                for net in circuit.nets.values()
+            ),
+            "primary_inputs": sorted(circuit.primary_inputs),
+            "primary_outputs": sorted(circuit.primary_outputs),
+            "clock": circuit.clock,
+        },
+        "sizing": {
+            "version": version,
+            "stages": sizing_stages,
+            "nets": sorted(
+                [canon[net.name], net.wire_cap, net.external_load, net.wire_res]
+                for net in circuit.nets.values()
+            ),
+            "size_vars": [
+                [
+                    var.name,
+                    var.lower,
+                    var.upper,
+                    var.pinned,
+                    list(var.ratio_of) if var.ratio_of is not None else None,
+                ]
+                for var in sorted(circuit.size_table, key=lambda v: v.name)
+            ],
+        },
+        "phases": {
+            "version": version,
+            "input_phases": {
+                net: circuit.input_phases[net]
+                for net in sorted(circuit.input_phases)
+            },
+            "clock": circuit.clock,
+        },
+        "funcspec": {
+            "version": version,
+            "digest": funcspec_digest(circuit),
+        },
+    }
+
+
+def _facet_digest(payload: Any) -> str:
+    blob = json.dumps(
+        payload, sort_keys=True, separators=(",", ":"), allow_nan=False
+    )
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+def facet_fingerprints(circuit: Circuit) -> Dict[str, str]:
+    """SHA-256 digest per facet — the invalidation keys of the incremental
+    lint engine (:mod:`repro.lint.incremental`)."""
+    return {
+        name: _facet_digest(payload)
+        for name, payload in facet_payloads(circuit).items()
+    }

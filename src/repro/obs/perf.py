@@ -683,16 +683,52 @@ def record_run(kind: str, name: str, **kwargs: Any) -> Optional[dict]:
     return record
 
 
+def rule_rollup(
+    records: Sequence[Mapping[str, Any]], top: int = 10
+) -> List[Dict[str, Any]]:
+    """Aggregate ``kind="rule"`` ledger records into a slowest-rules table.
+
+    One row per rule ID: total/max wall over fresh executions, plus how
+    often the incremental engine replayed it instead.  Sorted by total
+    wall descending — the "which rule is eating lint time" answer.
+    """
+    totals: Dict[str, Dict[str, Any]] = {}
+    for record in records:
+        if record.get("kind") != "rule":
+            continue
+        rule_id = str(record.get("name", "?"))
+        row = totals.setdefault(
+            rule_id,
+            {"rule": rule_id, "wall_s": 0.0, "max_s": 0.0,
+             "executed": 0, "replayed": 0},
+        )
+        wall = float(record.get("wall_s", 0.0))
+        status = (record.get("extra") or {}).get("status", "executed")
+        if status == "replayed":
+            row["replayed"] += 1
+        else:
+            row["executed"] += 1
+            row["wall_s"] += wall
+            row["max_s"] = max(row["max_s"], wall)
+    ranked = sorted(
+        totals.values(), key=lambda r: (-r["wall_s"], r["rule"])
+    )
+    return ranked[:top]
+
+
 def render_ledger_summary(records: Sequence[Mapping[str, Any]]) -> str:
     """The ``repro perf report`` body for a ledger file."""
     if not records:
         return "ledger: (no run records)"
+    rule_records = [r for r in records if r.get("kind") == "rule"]
+    main_records = [r for r in records if r.get("kind") != "rule"]
     lines = [
-        f"run ledger: {len(records)} records",
+        f"run ledger: {len(records)} records"
+        + (f" ({len(rule_records)} per-rule)" if rule_records else ""),
         f"{'kind':<8} {'name':<34} {'wall s':>9} {'gp it':>6} "
         f"{'residual':>9} {'cache':<12}",
     ]
-    for record in records:
+    for record in main_records:
         gp = record.get("gp") or {}
         residual = gp.get("final_residual_ps")
         rendered_residual = (
@@ -710,7 +746,20 @@ def render_ledger_summary(records: Sequence[Mapping[str, Any]]) -> str:
             f"{int(gp.get('iterations', 0) or 0):>6d} "
             f"{rendered_residual} {cache_txt:<12}"
         )
-    total = sum(float(r.get("wall_s", 0.0)) for r in records)
+    if rule_records:
+        lines.append("")
+        lines.append("slowest lint rules (fresh executions):")
+        lines.append(
+            f"{'rule':<8} {'total s':>9} {'max s':>9} "
+            f"{'runs':>6} {'replayed':>9}"
+        )
+        for row in rule_rollup(rule_records):
+            lines.append(
+                f"{row['rule']:<8} {row['wall_s']:>9.4f} "
+                f"{row['max_s']:>9.4f} {row['executed']:>6d} "
+                f"{row['replayed']:>9d}"
+            )
+    total = sum(float(r.get("wall_s", 0.0)) for r in main_records)
     lines.append(f"total recorded wall {total:.3f} s")
     return "\n".join(lines)
 

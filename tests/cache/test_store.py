@@ -142,3 +142,44 @@ class TestWorkerProtocol:
         assert parent.stats.misses == 3
         assert parent.stats.lookups == 6
         assert parent.stats.hit_rate == pytest.approx(0.5)
+
+
+class TestJsonlArtifactStore:
+    def _store(self, path=None):
+        from repro.cache import JsonlArtifactStore
+
+        return JsonlArtifactStore(path, fmt="test-artifact/1")
+
+    def test_put_get_in_memory(self):
+        store = self._store()
+        store.put("k1", {"value": 42})
+        assert store.get("k1")["value"] == 42
+        assert "k1" in store
+        assert store.get("missing") is None
+
+    def test_persistence_and_idempotent_put(self, tmp_path):
+        path = str(tmp_path / "art.jsonl")
+        store = self._store(path)
+        store.put("k1", {"value": 1})
+        store.put("k1", {"value": 1})
+        reloaded = self._store(path)
+        assert len(reloaded) == 1
+        assert reloaded.get("k1")["value"] == 1
+
+    def test_last_write_wins_on_rewrite(self, tmp_path):
+        path = str(tmp_path / "art.jsonl")
+        store = self._store(path)
+        store.put("k1", {"value": 1})
+        store.put("k1", {"value": 2})
+        assert self._store(path).get("k1")["value"] == 2
+
+    def test_foreign_format_and_corrupt_lines_skipped(self, tmp_path):
+        path = tmp_path / "art.jsonl"
+        store = self._store(str(path))
+        store.put("k1", {"value": 1})
+        with open(path, "a") as fh:
+            fh.write('{"key": "k2", "format": "other/9"}\n')
+            fh.write("junk\n")
+        reloaded = self._store(str(path))
+        assert len(reloaded) == 1
+        assert reloaded.skipped_lines == 2

@@ -151,3 +151,154 @@ class TestSarif:
         assert any(
             r["ruleId"] == "DFA301" for r in doc["runs"][0]["results"]
         )
+
+
+class TestContractWaivers:
+    """Waiver files x SARIF suppressions x the CTR5xx contract rules."""
+
+    def _bad_block_result(self, waivers=()):
+        from repro.lint.hier import HierBlock, HierConnection, HierInstance, lint_hier
+        from repro.macros.base import MacroBuilder
+        from repro.models import ModelLibrary
+
+        def static_driver():
+            builder = MacroBuilder("drv", TECH)
+            a = builder.input("a")
+            out = builder.output("out", load=20.0)
+            builder.size("P0"), builder.size("N0")
+            builder.inv("i0", a, out, "P0", "N0")
+            return builder.done()
+
+        def domino_sink():
+            builder = MacroBuilder("dsink", TECH)
+            for label in ("PC", "D", "E"):
+                builder.size(label)
+            clk = builder.clock()
+            a = builder.input("a", phase="mono_rise")
+            builder.domino(
+                "d1", [[(a, PinClass.DATA)]], clk, builder.output("out"),
+                "PC", "D", "E",
+            )
+            return builder.done()
+
+        block = HierBlock(
+            "bad",
+            [
+                HierInstance("u0", static_driver(), identity="drv"),
+                HierInstance("u1", domino_sink(), identity="dsink"),
+            ],
+            [HierConnection("n0", ("u0", "out"), (("u1", "a"),), wire_cap=900.0)],
+        )
+        return lint_hier(block, ModelLibrary(TECH), waivers=waivers)
+
+    def test_unwaived_ctr_findings_fail_the_block(self):
+        result = self._bad_block_result()
+        assert not result.ok
+        rules = {d.rule_id for d in result.block_report.diagnostics}
+        assert "CTR501" in rules
+        assert "CTR503" in rules
+
+    def test_fnmatch_group_pattern_waives_all_ctr_rules(self):
+        result = self._bad_block_result(
+            waivers=parse_waivers("CTR5* *  # accepted boundary debt\n")
+        )
+        assert result.ok
+        assert result.block_report.waived
+        assert not result.block_report.errors
+        assert all(
+            d.rule_id.startswith("CTR5")
+            for d in result.block_report.waived
+        )
+
+    def test_specific_ctr_waiver_leaves_others_unwaived(self):
+        result = self._bad_block_result(
+            waivers=parse_waivers("CTR503 *net n0*\n")
+        )
+        assert not result.ok  # CTR501 error survives
+        waived_rules = {d.rule_id for d in result.block_report.waived}
+        assert waived_rules == {"CTR503"}
+
+    def test_waived_ctr_findings_become_sarif_suppressions(self):
+        result = self._bad_block_result(
+            waivers=parse_waivers("CTR5* *\n")
+        )
+        doc = sarif_dict(result.reports)
+        ctr_results = [
+            r for r in doc["runs"][0]["results"]
+            if r["ruleId"].startswith("CTR5")
+        ]
+        assert ctr_results
+        assert all(
+            r["suppressions"][0]["kind"] == "external" for r in ctr_results
+        )
+        rule_ids = {
+            r["id"] for r in doc["runs"][0]["tool"]["driver"]["rules"]
+        }
+        assert {"CTR501", "CTR503"} <= rule_ids
+
+    def test_ctr_rules_have_sarif_metadata(self):
+        result = self._bad_block_result()
+        doc = sarif_dict(result.reports)
+        driver_rules = {
+            r["id"]: r for r in doc["runs"][0]["tool"]["driver"]["rules"]
+        }
+        ctr = driver_rules["CTR501"]
+        assert ctr["defaultConfiguration"]["level"] == "error"
+        assert "phase" in ctr["name"]
+
+
+class TestDeterministicReporters:
+    """Satellite: output ordering is canonical and version-stamped."""
+
+    def _shuffled_reports(self):
+        diags = [
+            Diagnostic("ERC001", Severity.ERROR, "b-msg",
+                       Location(net="n1")),
+            Diagnostic("ERC001", Severity.ERROR, "a-msg",
+                       Location(net="n1")),
+            Diagnostic("DFA301", Severity.ERROR, "z-msg",
+                       Location(stage="s9")),
+            Diagnostic("CTR503", Severity.WARNING, "load",
+                       Location(net="n0")),
+        ]
+        fwd = LintReport(subject="unit", diagnostics=list(diags))
+        rev = LintReport(subject="unit", diagnostics=list(reversed(diags)))
+        return fwd, rev
+
+    def test_text_is_emission_order_independent(self):
+        from repro.lint import render_text
+
+        fwd, rev = self._shuffled_reports()
+        assert render_text(fwd) == render_text(rev)
+
+    def test_json_is_emission_order_independent_and_sorted(self):
+        from repro.lint.reporters import report_dict
+
+        fwd, rev = self._shuffled_reports()
+        assert report_dict(fwd) == report_dict(rev)
+        keys = [
+            (d["rule"], d["location"], d["message"])
+            for d in report_dict(fwd)["diagnostics"]
+        ]
+        assert keys == sorted(keys)
+
+    def test_sarif_is_emission_order_independent(self):
+        fwd, rev = self._shuffled_reports()
+        assert sarif_dict(fwd) == sarif_dict(rev)
+
+    def test_json_round_trip_with_versions(self):
+        from repro import __version__
+        from repro.lint.reporters import SCHEMA_VERSION, render_json
+
+        fwd, _ = self._shuffled_reports()
+        parsed = json.loads(render_json(fwd))
+        assert parsed["schema_version"] == SCHEMA_VERSION
+        assert parsed["tool_version"] == __version__
+        assert len(parsed["diagnostics"]) == len(fwd.diagnostics)
+
+    def test_sarif_driver_carries_tool_version(self):
+        from repro import __version__
+
+        fwd, _ = self._shuffled_reports()
+        doc = sarif_dict(fwd)
+        assert doc["runs"][0]["tool"]["driver"]["version"] == __version__

@@ -466,3 +466,61 @@ class TestLedgerIntegration:
             payload = h.to_dict()
             assert payload["max"] == "Infinity"
             json.dumps(payload, allow_nan=False)
+
+
+class TestRuleRollup:
+    """Per-rule wall-time attribution (the slowest-rules table)."""
+
+    def _records(self):
+        mk = lambda rule, wall, status: {
+            "kind": "rule", "name": rule, "wall_s": wall,
+            "extra": {"circuit": "c", "status": status},
+        }
+        return [
+            mk("DFA301", 0.5, "executed"),
+            mk("DFA301", 0.3, "executed"),
+            mk("DFA301", 0.0, "replayed"),
+            mk("ERC001", 0.1, "executed"),
+            {"kind": "lint", "name": "c", "wall_s": 1.0},
+        ]
+
+    def test_rollup_totals_and_order(self):
+        from repro.obs.perf import rule_rollup
+
+        rows = rule_rollup(self._records())
+        assert [r["rule"] for r in rows] == ["DFA301", "ERC001"]
+        top = rows[0]
+        assert top["wall_s"] == pytest.approx(0.8)
+        assert top["max_s"] == pytest.approx(0.5)
+        assert top["executed"] == 2
+        assert top["replayed"] == 1
+
+    def test_summary_renders_slowest_rules_section(self):
+        from repro.obs.perf import render_ledger_summary
+
+        text = render_ledger_summary(self._records())
+        assert "slowest lint rules" in text
+        assert "DFA301" in text
+        # per-rule records do not flood the main listing
+        assert text.count("\nrule") <= 1
+
+    def test_summary_without_rule_records_unchanged(self):
+        from repro.obs.perf import render_ledger_summary
+
+        text = render_ledger_summary(
+            [{"kind": "lint", "name": "c", "wall_s": 1.0}]
+        )
+        assert "slowest lint rules" not in text
+
+    def test_end_to_end_lint_ledger_has_rule_attribution(self, tmp_path):
+        from repro.cli import main as cli_main
+        from repro.obs.perf import RunLedger, render_ledger_summary
+
+        ledger = str(tmp_path / "ledger.jsonl")
+        assert cli_main([
+            "--ledger", ledger,
+            "lint", "mux", "4", "--topology", "mux/strong_mutex_passgate",
+        ]) == 0
+        text = render_ledger_summary(RunLedger.load(ledger).records)
+        assert "slowest lint rules" in text
+        assert "ERC" in text or "DFA" in text

@@ -339,3 +339,56 @@ class TestPerfCommand:
         with open(ledger_file) as fh:
             records = [json.loads(line) for line in fh if line.strip()]
         assert sum(1 for r in records if r["kind"] == "size") >= 2
+
+
+class TestLintHierCommand:
+    def test_hier_cold_then_warm(self, tmp_path, capsys):
+        contracts = str(tmp_path / "contracts.jsonl")
+        assert main(["lint", "--hier", "--contracts", contracts]) == 0
+        cold = capsys.readouterr().out
+        assert "derived" in cold
+        assert main([
+            "lint", "--hier", "--contracts", contracts, "--changed-only",
+        ]) == 0
+        warm = capsys.readouterr().out
+        assert "4 reused / 0 derived" in warm
+        # findings identical between passes (stats line differs)
+        strip = lambda text: [
+            line for line in text.splitlines() if "CTR" in line
+        ]
+        assert strip(warm) == strip(cold)
+
+    def test_hier_verify_contracts(self, capsys):
+        assert main(["lint", "--hier", "--verify-contracts", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "CTR505" not in out  # clean audit
+
+    def test_hier_json_carries_stats(self, tmp_path, capsys):
+        import json
+
+        contracts = str(tmp_path / "contracts.jsonl")
+        code = main([
+            "lint", "--hier", "--contracts", contracts, "--json",
+        ])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload[-1]["hier"]["contracts_derived"] == 4
+        assert payload[0]["schema_version"] >= 1
+
+    def test_changed_only_flat_requires_rule_cache(self, capsys):
+        assert main(["lint", "mux", "4", "--changed-only"]) == 2
+
+    def test_flat_rule_cache_cold_then_warm(self, tmp_path, capsys):
+        cache = str(tmp_path / "rules.jsonl")
+        assert main([
+            "lint", "mux", "4", "--topology", "mux/strong_mutex_passgate",
+            "--rule-cache", cache,
+        ]) == 0
+        cold = capsys.readouterr().out
+        assert "0/18 replayed" in cold or "replayed" in cold
+        assert main([
+            "lint", "mux", "4", "--topology", "mux/strong_mutex_passgate",
+            "--rule-cache", cache, "--changed-only",
+        ]) == 0
+        warm = capsys.readouterr().out
+        assert "(100%)" in warm
