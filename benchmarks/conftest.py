@@ -33,7 +33,7 @@ TRACKED_KERNELS = (
 )
 
 #: Wall-time samples per ``test_bench_*`` kernel, filled by the autouse
-#: timer fixture and flushed to ``BENCH_PR6.json`` at session end.
+#: timer fixture and flushed to ``BENCH_PR8.json`` at session end.
 _BENCH_TIMES: dict = {}
 
 #: Digest of the session run ledger, captured when the ledger fixture
@@ -97,22 +97,24 @@ def _bench_kernel_timer(request):
 
 
 def pytest_sessionfinish(session, exitstatus):
-    """Flush the per-kernel wall times as a ``BENCH_PR6.json`` trajectory.
+    """Flush the per-kernel wall times as a ``BENCH_PR8.json`` trajectory.
 
     The committed copy under ``benchmarks/results/`` is the baseline the
     CI ``perf-smoke`` job diffs fresh runs against (``repro perf diff``).
+    The stamp is written unconditionally — a run that collected no
+    ``test_bench_*`` kernels (``-k`` selection, collection error) leaves an
+    honest empty trajectory, which ``perf diff`` treats as "no baseline"
+    (exit 0) rather than a hard usage error.
     """
-    if not _BENCH_TIMES:
-        return
     os.makedirs(RESULTS_DIR, exist_ok=True)
     payload = obs_perf.make_trajectory(
         _BENCH_TIMES,
-        pr=6,
+        pr=8,
         ledger_digest=_BENCH_LEDGER.get("digest"),
         tracked=[k for k in TRACKED_KERNELS if k in _BENCH_TIMES],
     )
     payload["ledger_runs"] = _BENCH_LEDGER.get("runs", 0)
-    with open(os.path.join(RESULTS_DIR, "BENCH_PR6.json"), "w") as fh:
+    with open(os.path.join(RESULTS_DIR, "BENCH_PR8.json"), "w") as fh:
         json.dump(payload, fh, indent=2)
         fh.write("\n")
 

@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import dataclasses
 import time
-from typing import Iterable, List, Optional
+from typing import Dict, Iterable, List, Optional
 
 from ..cache.store import SizingCache
 from ..macros.base import MacroDatabase, MacroGenerator, MacroSpec
@@ -339,6 +339,73 @@ class SmartAdvisor:
         log.debug("screened %s: %s", circuit.name, screen.summary())
         return screen.summary()
 
+    def _electrical_options(
+        self, constraints: DesignConstraints
+    ) -> Dict[str, float]:
+        options: Dict[str, float] = {
+            "electrical_input_slope": constraints.input_slope,
+        }
+        if constraints.charge_sharing_ratio is not None:
+            options["electrical_charge_ratio"] = (
+                constraints.charge_sharing_ratio
+            )
+        return options
+
+    def _electrical_gate(
+        self, circuit, constraints: DesignConstraints
+    ) -> Optional[str]:
+        """NSA6xx box pre-screen: prove the noise budgets unreachable over
+        the whole size box *before* any GP is built.
+
+        Runs only when the designer asked for a charge-sharing limit
+        (``constraints.charge_sharing_ratio``); like :meth:`_screen_gate`
+        it rejects on a box-wide certificate, never on a point estimate,
+        so no topology the sizer could have saved is lost here.
+        """
+        if constraints.charge_sharing_ratio is None:
+            return None
+        from ..lint.electrical import screen_electrical
+
+        with trace.span("electrical_screen_gate", circuit=circuit.name) as sp:
+            screen = screen_electrical(
+                circuit,
+                self.library,
+                options=self._electrical_options(constraints),
+            )
+            sp.set_attrs(verdict=screen.verdict)
+        if not screen.infeasible:
+            return None
+        metrics.counter("advisor.topologies_noise_infeasible").inc()
+        log.debug("noise-screened %s: %s", circuit.name, screen.summary())
+        return screen.summary()
+
+    def _noise_margin(
+        self, circuit, constraints: DesignConstraints, sizing
+    ) -> Optional[float]:
+        """Worst NSA6xx margin at the solved widths (for the report)."""
+        from ..lint.electrical import worst_noise_margin
+
+        t_start = time.perf_counter()
+        try:
+            margin = worst_noise_margin(
+                circuit,
+                self.library,
+                options=self._electrical_options(constraints),
+                env=sizing.resolved,
+            )
+        except Exception as exc:  # never fail a sized candidate on this
+            log.warning(
+                "noise margin for %s skipped (%s)", circuit.name, exc
+            )
+            return None
+        perf.record_run(
+            "electrical",
+            circuit.name,
+            wall_s=time.perf_counter() - t_start,
+            extra={"noise_margin": margin},
+        )
+        return margin
+
     def _apply_pins(self, circuit, constraints: DesignConstraints) -> None:
         for label, width in (constraints.pinned_sizes or {}).items():
             if label in circuit.size_table:
@@ -397,6 +464,16 @@ class SmartAdvisor:
                 screened=True,
             )
 
+        noise_reason = self._electrical_gate(circuit, constraints)
+        if noise_reason:
+            return CandidateResult(
+                topology=generator.name,
+                description=generator.description,
+                feasible=False,
+                reason=noise_reason,
+                screened=True,
+            )
+
         with trace.span("feasibility_screen"):
             estimate = self.quick_delay_estimate(circuit, constraints)
         if estimate > PRUNE_FACTOR * constraints.delay:
@@ -441,4 +518,5 @@ class SmartAdvisor:
             feasible=True,
             sizing=sizing,
             cost=cost,
+            noise_margin=self._noise_margin(circuit, constraints, sizing),
         )

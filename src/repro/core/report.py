@@ -22,6 +22,11 @@ class CandidateResult:
     #: Rejected by the interval-STA screen before any GP solve was attempted
     #: (a provably-infeasible certificate, not a solver failure).
     screened: bool = False
+    #: Worst post-sizing electrical noise margin (NSA6xx, fraction of VDD)
+    #: at the solved widths; ``None`` when the topology has no
+    #: noise-sensitive nodes or sizing failed.  Negative means some node
+    #: dips past its budget at the chosen sizing.
+    noise_margin: Optional[float] = None
 
     @property
     def converged(self) -> bool:
@@ -83,6 +88,16 @@ class AdvisorReport:
                 f"interval-STA screen: {screened} topolog"
                 f"{'y' if screened == 1 else 'ies'} proven infeasible "
                 "before any GP solve"
+            )
+        margins = [
+            c for c in self.candidates if c.noise_margin is not None
+        ]
+        if margins:
+            worst = min(margins, key=lambda c: c.noise_margin)
+            lines.append(
+                f"electrical margins (NSA6xx): worst {worst.noise_margin:+.1%}"
+                f" of VDD on {worst.topology}"
+                + ("" if worst.noise_margin >= 0 else " — budget exceeded")
             )
         best = self.best
         if best is not None:

@@ -27,7 +27,14 @@ surfaces:
   (:mod:`repro.lint.contracts`) composed at block level instead of
   flattening, with content-addressed incremental re-verification
   (:mod:`repro.lint.incremental`) and a sampled contract-vs-flat
-  soundness audit.
+  soundness audit;
+* **electrical safety** (``NSA6xx``) — quantitative post-sizing noise
+  analysis (:mod:`repro.lint.electrical`): charge-sharing certificates
+  over the SVC channel graph, keeper ratioed-fight/restore proofs,
+  pass-chain Elmore budgets, and coupling-interval screens, each
+  evaluated at a point sizing or soundly over the whole sizing box.
+  Opt-in (``repro lint --electrical`` or ``groups=("electrical",)``)
+  because it consumes the sizing output.
 
 Every diagnostic carries a stable rule ID, a severity, and a per-net /
 per-stage location; waiver files suppress known-acceptable findings.  The
@@ -45,6 +52,21 @@ from .contracts import build_registry_contracts, derive_contract, macro_identity
 from .dataflow import ForwardAnalysis, SolveResult, solve_forward
 from .dataflow.interval import IntervalScreenResult, screen_feasibility
 from .diagnostics import Diagnostic, LintError, LintReport, Location, Severity
+from .electrical import (
+    ChargeShareCert,
+    CouplingCert,
+    ElectricalScreen,
+    KeeperCert,
+    PassChainCert,
+    charge_share_certificates,
+    coupling_certificates,
+    keeper_certificates,
+    noise_mutants,
+    pass_chain_certificates,
+    port_noise_margin,
+    screen_electrical,
+    worst_noise_margin,
+)
 from .hier import (
     HierBlock,
     HierConnection,
@@ -64,11 +86,16 @@ from .waivers import Waiver, load_waivers, parse_waivers
 __all__ = [
     "ALL_CIRCUIT_GROUPS",
     "CIRCUIT_GROUPS",
+    "ChargeShareCert",
+    "CouplingCert",
     "Diagnostic",
+    "ElectricalScreen",
     "HierBlock",
     "HierConnection",
     "HierInstance",
     "HierLintResult",
+    "KeeperCert",
+    "PassChainCert",
     "RuleCacheStats",
     "RuleResultCache",
     "ForwardAnalysis",
@@ -82,21 +109,29 @@ __all__ = [
     "Waiver",
     "all_rules",
     "build_registry_contracts",
+    "charge_share_certificates",
+    "coupling_certificates",
     "derive_contract",
     "flatten",
     "get_rule",
     "hier_from_block",
+    "keeper_certificates",
     "lint_circuit",
     "lint_gp",
     "lint_hier",
     "load_waivers",
     "macro_identity",
+    "noise_mutants",
     "parse_waivers",
+    "pass_chain_certificates",
+    "port_noise_margin",
     "render_json",
     "render_sarif",
     "render_text",
     "rules_in_groups",
     "sarif_dict",
+    "screen_electrical",
     "screen_feasibility",
     "solve_forward",
+    "worst_noise_margin",
 ]

@@ -43,6 +43,8 @@ from .dataflow.framework import solve_forward
 from .dataflow.interval import IntervalAnalysis, posy_box_bounds
 from .dataflow.monotone import solve_monotonicity
 from .dataflow.phase import solve_phases
+from .electrical.model import option as electrical_option
+from .electrical.model import port_noise_margin
 from .incremental import (
     RuleResultCache,
     options_digest,
@@ -63,7 +65,9 @@ CONTRACT_FORMAT = "smart-interface-contract/1"
 
 #: Bump when the contract payload below changes shape; CTR504 reports a
 #: version mismatch as a stale contract rather than trusting old facts.
-CONTRACT_VERSION = 1
+#: v2 added the per-port noise facts (``noise_margin`` on inputs,
+#: ``noise_inject`` on outputs) that CTR506 composes at block boundaries.
+CONTRACT_VERSION = 2
 
 #: Designer input slope assumed when characterizing boundary intervals, ps.
 DEFAULT_INPUT_SLOPE = 30.0
@@ -176,6 +180,12 @@ def derive_contract(
                     port["cap_hi"] = round(cap_hi, 9)
                 except Exception:
                     pass
+            try:
+                margin = port_noise_margin(circuit, name, options=options)
+            except Exception:
+                margin = None
+            if margin is not None:
+                port["noise_margin"] = round(margin, 6)
             ports[name] = port
         for name in sorted(circuit.primary_outputs):
             pv = phases.get(name)
@@ -193,6 +203,13 @@ def derive_contract(
                 port["arr_hi"] = round(value.arr_hi, 6)
                 port["slope_lo"] = round(value.slope_lo, 6)
                 port["slope_hi"] = round(value.slope_hi, 6)
+            slope_ref = electrical_option(options, "electrical_slope_ref")
+            slope_lo = port.get("slope_lo")
+            inject = (
+                min(1.0, slope_ref / slope_lo)
+                if slope_lo and slope_lo > 0 else 1.0
+            )
+            port["noise_inject"] = round(inject, 6)
             ports[name] = port
 
         spec = getattr(circuit, "functional_spec", None)

@@ -1,0 +1,196 @@
+"""CI corpus driver: NSA6xx electrical safety over clean + mutant corpora.
+
+``python -m repro.lint.electrical.corpus`` runs the electrical rule group
+over (a) the full clean generator corpus (the same width grid the symbolic
+verifier sweeps) and (b) the seeded noise-mutant corpus from
+:mod:`repro.lint.electrical.mutate`.  The gate is asymmetric:
+
+* the clean corpus must produce **zero NSA errors** (quantitative warnings
+  on idealized keeper-less macros are reported but tolerated);
+* every mutant must be flagged by **exactly its intended NSA rule** — the
+  expected rule fires, and no other NSA rule cross-fires.
+
+``--rule-cache FILE`` threads the PR 7 incremental engine through the
+sweep; a warm rerun on an unchanged tree replays every finding
+byte-identically.  ``--json-out FILE`` dumps the serialized findings and
+cache stats so CI can assert replay fidelity across cold/warm passes.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from typing import List, Optional, Sequence
+
+from ..diagnostics import LintReport, Severity
+from ..incremental import serialize_diagnostic
+from ..runner import lint_circuit
+from ..symbolic.corpus import WIDTH_GRID, corpus_circuits
+from ..waivers import load_waivers
+from .mutate import noise_mutants
+
+#: NSA rule IDs, for cross-fire checks.
+_NSA_PREFIX = "NSA6"
+
+
+def run_clean(
+    grid=WIDTH_GRID, waivers=(), emit=print, rule_cache=None
+) -> List[LintReport]:
+    """Electrical lint over the clean generator corpus; returns reports."""
+    reports: List[LintReport] = []
+    for label, circuit in corpus_circuits(grid):
+        start = time.perf_counter()
+        report = lint_circuit(
+            circuit, groups=("electrical",), waivers=waivers,
+            cache=rule_cache,
+        )
+        elapsed = time.perf_counter() - start
+        reports.append(report)
+        status = "ok" if not report.errors else "FAIL"
+        replayed = sum(1 for _, _, s in report.executed if s == "replayed")
+        cached = f" cached={replayed}" if replayed else ""
+        emit(
+            f"{status:4s} clean  {label:42s} errors={len(report.errors)} "
+            f"warnings={len(report.warnings)} ({elapsed:.2f}s){cached}"
+        )
+    return reports
+
+
+def run_mutants(
+    waivers=(), emit=print, rule_cache=None
+) -> List[dict]:
+    """Electrical lint over the seeded noise mutants.
+
+    Returns one verdict dict per mutant:
+    ``{"label", "expected", "fired", "flagged", "cross_fired", "report"}``.
+    """
+    verdicts: List[dict] = []
+    for label, circuit, expected in noise_mutants():
+        report = lint_circuit(
+            circuit, groups=("electrical",), waivers=waivers,
+            cache=rule_cache,
+        )
+        fired = sorted({
+            d.rule_id for d in report.diagnostics
+            if d.rule_id.startswith(_NSA_PREFIX) and not d.waived
+        })
+        flagged = expected in fired
+        cross = [r for r in fired if r != expected]
+        status = "ok" if flagged and not cross else "FAIL"
+        emit(
+            f"{status:4s} mutant {label:42s} expected={expected} "
+            f"fired={','.join(fired) or '-'}"
+        )
+        for diag in report.diagnostics:
+            if not diag.waived:
+                emit(f"     {diag.format()}")
+        verdicts.append({
+            "label": label,
+            "expected": expected,
+            "fired": fired,
+            "flagged": flagged,
+            "cross_fired": cross,
+            "report": report,
+        })
+    return verdicts
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.lint.electrical.corpus",
+        description=(
+            "run the NSA6xx electrical-safety rules over the clean macro "
+            "corpus and the seeded noise-mutant corpus"
+        ),
+        epilog=(
+            "exit codes: 0 = clean corpus error-free and every mutant "
+            "flagged by exactly its intended rule, 1 = gate failed"
+        ),
+    )
+    parser.add_argument(
+        "--sarif", metavar="FILE",
+        help="write combined SARIF 2.1.0 log to FILE",
+    )
+    parser.add_argument(
+        "--waivers", metavar="FILE", help="waiver/suppression file"
+    )
+    parser.add_argument(
+        "--rule-cache", metavar="FILE", default=None,
+        help=(
+            "incremental rule-result cache (JSONL); unchanged circuits "
+            "replay recorded findings byte-identically"
+        ),
+    )
+    parser.add_argument(
+        "--json-out", metavar="FILE", default=None,
+        help=(
+            "dump serialized findings + cache stats as JSON (CI uses this "
+            "to assert cold/warm replay fidelity)"
+        ),
+    )
+    args = parser.parse_args(argv)
+
+    rule_cache = None
+    if args.rule_cache:
+        from ..incremental import RuleResultCache
+
+        rule_cache = RuleResultCache(args.rule_cache)
+    waivers = load_waivers(args.waivers) if args.waivers else ()
+
+    clean_reports = run_clean(waivers=waivers, rule_cache=rule_cache)
+    mutant_verdicts = run_mutants(waivers=waivers, rule_cache=rule_cache)
+
+    if rule_cache is not None:
+        rule_cache.flush()
+        stats = rule_cache.stats
+        print(
+            f"rule cache: {stats.replayed}/{stats.invocations} replayed "
+            f"({stats.hit_rate:.0%}), {stats.wall_saved_s:.2f}s saved"
+        )
+
+    all_reports = clean_reports + [v.pop("report") for v in mutant_verdicts]
+    if args.sarif:
+        from ..reporters import render_sarif
+
+        with open(args.sarif, "w", encoding="utf-8") as handle:
+            handle.write(render_sarif(all_reports))
+        print(f"wrote SARIF log: {args.sarif}")
+
+    if args.json_out:
+        payload = {
+            "findings": [
+                serialize_diagnostic(d)
+                for r in all_reports for d in r.diagnostics
+            ],
+            "clean_errors": sum(len(r.errors) for r in clean_reports),
+            "clean_warnings": sum(len(r.warnings) for r in clean_reports),
+            "mutants": mutant_verdicts,
+            "rule_cache": (
+                rule_cache.stats.as_dict() if rule_cache is not None else None
+            ),
+        }
+        with open(args.json_out, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+        print(f"wrote JSON summary: {args.json_out}")
+
+    clean_errors = [
+        d for r in clean_reports for d in r.diagnostics
+        if d.severity is Severity.ERROR and not d.waived
+    ]
+    bad_mutants = [
+        v for v in mutant_verdicts if not v["flagged"] or v["cross_fired"]
+    ]
+    n_warn = sum(len(r.warnings) for r in clean_reports)
+    print(
+        f"corpus: {len(clean_reports)} clean circuits "
+        f"({len(clean_errors)} error(s), {n_warn} warning(s)), "
+        f"{len(mutant_verdicts)} mutants "
+        f"({len(mutant_verdicts) - len(bad_mutants)} correctly flagged)"
+    )
+    return 0 if not clean_errors and not bad_mutants else 1
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via CI
+    sys.exit(main())

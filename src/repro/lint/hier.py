@@ -54,6 +54,7 @@ from .contracts import (
 from .dataflow.monotone import solve_monotonicity
 from .dataflow.phase import solve_phases
 from .diagnostics import Diagnostic, LintReport, Location, Severity
+from .electrical.model import option as electrical_option
 from .incremental import (
     RuleResultCache,
     options_digest,
@@ -120,6 +121,16 @@ CTR505 = _ctr(
     "re-solved — every flat fixpoint fact at a macro boundary must be "
     "covered by the composed contract fact.  Any disagreement here is a "
     "bug in the contract pipeline, never waivable noise.",
+)
+CTR506 = _ctr(
+    "CTR506", "boundary noise exceeds receiver margin", Severity.WARNING,
+    "Driver noise injection vs. receiver margin at a block boundary: the "
+    "coupling-exposed fraction of the connection's routed wire cap, scaled "
+    "by the driver's contracted attack factor (noise_inject, from its "
+    "slope interval), must dip the boundary net by less than the smallest "
+    "noise_margin any noise-sensitive sink port exports.  Static sinks "
+    "export no margin and are immune; a domino or pass-gate input behind "
+    "the boundary is only as safe as this composed budget.",
 )
 
 
@@ -475,10 +486,14 @@ def lint_hier(
     # -- composition rules -------------------------------------------------
     violated_inputs: set = set()  # (instance, port) hand-offs that failed
     with trace.span("hier_compose", block=block.name):
+        def _noise_checker(b, c, r, v):
+            _check_noise_budget(b, c, r, v, options=options)
+
         for rule_obj, checker in (
             (CTR501, _check_phase_compat),
             (CTR502, _check_mono_handoff),
             (CTR503, _check_load_budget),
+            (CTR506, _noise_checker),
         ):
             t_rule = time.perf_counter()
             checker(block, contracts, block_report, violated_inputs)
@@ -744,6 +759,56 @@ def _check_load_budget(
                 f"against",
                 net=conn.net, stage=conn.driver[0], pin=conn.driver[1],
             )
+
+
+def _check_noise_budget(
+    block: HierBlock,
+    contracts: Dict[str, dict],
+    report: LintReport,
+    violated: set,
+    options: Optional[Mapping[str, object]] = None,
+) -> None:
+    """CTR506: compose driver noise injection against receiver margins.
+
+    The boundary-net dip model mirrors NSA604: a fixed fraction of the
+    connection's routed wire capacitance couples to aggressors, the
+    driver's contracted ``noise_inject`` attack factor scales it, and the
+    total net capacitance (wire + fixed load + sink input caps at their
+    box minimum, the conservative choice for a dip) divides it.
+    """
+    frac = electrical_option(options, "electrical_coupling_fraction")
+    for conn in block.connections:
+        if conn.wire_cap <= 0:
+            continue
+        dport = _driver_port(block, contracts, conn, report, CTR506)
+        if dport is None:
+            continue
+        inject = float(dport.get("noise_inject", 1.0))
+        total = conn.wire_cap + conn.external_load
+        margins = []
+        for inst, port in conn.sinks:
+            sport = _port(contracts.get(inst, {}), port)
+            if sport is None or sport.get("direction") != "in":
+                continue  # already reported by CTR501
+            total += sport.get("cap_lo", 0.0)
+            margin = sport.get("noise_margin")
+            if margin is not None:
+                margins.append((margin, inst, port))
+        if not margins or total <= 0:
+            continue
+        dip = inject * frac * conn.wire_cap / total
+        margin, inst, port = min(margins)
+        if dip > margin * (1.0 + _LOAD_TOL):
+            _emit(
+                report, CTR506,
+                f"net {conn.net}: boundary coupling dip {dip:.1%} of VDD "
+                f"(attack {inject:.2f} from "
+                f"{conn.driver[0]}.{conn.driver[1]}, "
+                f"{frac:.0%} of {conn.wire_cap:g} fF route) exceeds the "
+                f"{margin:.1%} noise margin {inst}.{port} exports",
+                net=conn.net, stage=inst, pin=port,
+            )
+            violated.add((inst, port))
 
 
 #: Contract fields compared verbatim by the CTR505 re-derivation check.

@@ -31,7 +31,7 @@ from .diagnostics import Severity
 #: Known rule groups, in report order.
 GROUPS = (
     "structural", "family", "dataflow", "symbolic", "coverage", "gp",
-    "contracts",
+    "contracts", "electrical",
 )
 
 
@@ -136,5 +136,6 @@ def _load_builtin_rules() -> None:
     try:
         from . import coverage, rules_gp  # noqa: F401
         from .dataflow import interval  # noqa: F401
+        from .electrical import rules as electrical_rules  # noqa: F401
     except ImportError:  # pragma: no cover - partial-init during bootstrap
         pass

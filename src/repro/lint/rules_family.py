@@ -158,13 +158,15 @@ def check_d2_ordering(ctx) -> None:
 
 
 @rule("ERC103", "charge-sharing hazard", "family", Severity.WARNING,
-      facets=("topology",))
+      facets=("topology", "sizing"))
 def check_charge_sharing(ctx) -> None:
     """Deep evaluate stacks without a keeper are charge-sharing hazards:
     internal stack nodes redistribute the dynamic node's charge when lower
-    transistors turn on first.  Heuristic (hence a warning) — the macros'
-    dual-rail structures tolerate it by construction, but a designer edit
-    that deepens a leg deserves a flag.  Findings aggregate per regularity
+    transistors turn on first.  The depth/keeper trigger is unchanged from
+    the original heuristic (so existing waivers keep matching), but the
+    message now carries the quantitative worst-case dip computed by the
+    NSA601 certificate engine (:mod:`repro.lint.electrical`) — this rule is
+    a thin facade over that analysis.  Findings aggregate per regularity
     group so a 64-bit datapath reports each shape once."""
     groups: Dict[Tuple, List[Stage]] = {}
     for stage in ctx.circuit.stages:
@@ -175,6 +177,20 @@ def check_charge_sharing(ctx) -> None:
             continue
         key = (stage.kind.value, depth, tuple(sorted(stage.labels())))
         groups.setdefault(key, []).append(stage)
+    if not groups:
+        return
+    certs: Dict[str, object] = {}
+    try:
+        from .electrical.model import charge_share_certificates
+
+        certs = {
+            cert.stage: cert
+            for cert in charge_share_certificates(
+                ctx.circuit, options=ctx.options
+            )
+        }
+    except Exception:  # pragma: no cover - stay a pure topology heuristic
+        pass
     for (_, depth, _), members in sorted(groups.items()):
         example = min(members, key=lambda s: s.name)
         count = (
@@ -182,9 +198,16 @@ def check_charge_sharing(ctx) -> None:
             if len(members) > 1
             else example.name
         )
+        quantified = ""
+        cert = certs.get(example.name)
+        if cert is not None:
+            quantified = (
+                f" — worst-case dip {cert.dip:.1%} of VDD vs budget "
+                f"{cert.allowed:.1%} (margin {cert.margin:+.1%})"
+            )
         ctx.emit(
             f"evaluate stack depth {depth} with no keeper "
-            f"(charge-sharing hazard): {count}",
+            f"(charge-sharing hazard): {count}{quantified}",
             stage=example.name,
         )
 

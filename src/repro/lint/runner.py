@@ -30,11 +30,12 @@ log = get_logger(__name__)
 CIRCUIT_GROUPS = ("structural", "family", "dataflow")
 
 #: All circuit-level groups.  ``symbolic`` (the SVC4xx switch-level
-#: verifier) is opt-in: it enumerates the input space, which is orders of
-#: magnitude heavier than the structural passes.  The ``contracts`` group
-#: (CTR5xx) is block-level and driven by :mod:`repro.lint.hier`, never by
-#: this per-circuit driver.
-ALL_CIRCUIT_GROUPS = CIRCUIT_GROUPS + ("symbolic",)
+#: verifier) and ``electrical`` (the NSA6xx noise-safety certificates) are
+#: opt-in: the former enumerates the input space, the latter consumes the
+#: sizing output and is only meaningful post-sizing.  The ``contracts``
+#: group (CTR5xx) is block-level and driven by :mod:`repro.lint.hier`,
+#: never by this per-circuit driver.
+ALL_CIRCUIT_GROUPS = CIRCUIT_GROUPS + ("symbolic", "electrical")
 
 
 class LintContext:

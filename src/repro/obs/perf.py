@@ -721,7 +721,10 @@ def render_ledger_summary(records: Sequence[Mapping[str, Any]]) -> str:
     if not records:
         return "ledger: (no run records)"
     rule_records = [r for r in records if r.get("kind") == "rule"]
-    main_records = [r for r in records if r.get("kind") != "rule"]
+    elec_records = [r for r in records if r.get("kind") == "electrical"]
+    main_records = [
+        r for r in records if r.get("kind") not in ("rule", "electrical")
+    ]
     lines = [
         f"run ledger: {len(records)} records"
         + (f" ({len(rule_records)} per-rule)" if rule_records else ""),
@@ -758,6 +761,21 @@ def render_ledger_summary(records: Sequence[Mapping[str, Any]]) -> str:
                 f"{row['rule']:<8} {row['wall_s']:>9.4f} "
                 f"{row['max_s']:>9.4f} {row['executed']:>6d} "
                 f"{row['replayed']:>9d}"
+            )
+    if elec_records:
+        lines.append("")
+        lines.append("electrical noise margins (NSA6xx, post-sizing):")
+        lines.append(f"{'circuit':<34} {'margin':>9} {'wall s':>9}")
+        for record in elec_records:
+            margin = record.get("noise_margin")
+            rendered = (
+                f"{margin:+9.1%}"
+                if isinstance(margin, (int, float))
+                else f"{'-':>9}"
+            )
+            lines.append(
+                f"{str(record.get('name', '?')):<34} {rendered} "
+                f"{float(record.get('wall_s', 0.0)):>9.3f}"
             )
     total = sum(float(r.get("wall_s", 0.0)) for r in main_records)
     lines.append(f"total recorded wall {total:.3f} s")
@@ -1014,6 +1032,27 @@ def load_perf_source(path: str) -> Dict[str, List[float]]:
         f"{path}: not a run ledger ({LEDGER_FORMAT}) or bench trajectory "
         f"({TRAJECTORY_FORMAT})"
     )
+
+
+def try_load_perf_source(path: str) -> Optional[Dict[str, List[float]]]:
+    """Like :func:`load_perf_source`, but ``None`` when there is no baseline.
+
+    "No baseline" covers the honest empty cases a fresh checkout or a
+    first-ever benchmark run produces: a missing file, an empty file, a
+    bare ``[]``/``{}`` stamp, or a well-formed source with zero samples.
+    Anything else (a present-but-malformed source) still raises, so typos
+    fail loudly instead of silently passing a perf gate.
+    """
+    try:
+        with open(path) as fh:
+            text = fh.read()
+    except OSError:
+        return None
+    stripped = text.strip()
+    if not stripped or stripped in ("[]", "{}"):
+        return None
+    samples = load_perf_source(path)
+    return samples or None
 
 
 def diff_paths(

@@ -212,6 +212,59 @@ class TestRuleResultCache:
             raise AssertionError("missing declared facet must raise")
 
 
+class TestElectricalFacets:
+    """NSA6xx rules declare (topology, sizing[, phases]) facets, so the
+    cache re-runs them on width edits but replays them under edits that
+    only move facets they do not read."""
+
+    ELECTRICAL = ("structural", "family", "dataflow", "electrical")
+
+    def _domino(self, load=4.0, phase="mono_rise"):
+        builder = MacroBuilder("dom_nsa", TECH)
+        clk = builder.clock()
+        nets = [builder.input(f"a{i}", phase=phase) for i in range(4)]
+        for label in ("PC", "D", "E"):
+            builder.size(label)
+        builder.domino(
+            "d0", [[(net, PinClass.DATA) for net in nets]], clk,
+            builder.output("out", load=load), "PC", "D", "E",
+        )
+        return builder.done()
+
+    def test_width_edit_reruns_nsa_replays_topology_rules(self):
+        cache = RuleResultCache()
+        lint_circuit(self._domino(load=4.0), groups=self.ELECTRICAL,
+                     cache=cache)
+        warm = lint_circuit(self._domino(load=44.0), groups=self.ELECTRICAL,
+                            cache=cache)
+        status = {rule_id: s for rule_id, _, s in warm.executed}
+        for rule_id in ("NSA601", "NSA602", "NSA603", "NSA604"):
+            assert status[rule_id] == "executed", (rule_id, status)
+        # Topology-only rules replay across a pure sizing edit.
+        assert status["ERC001"] == "replayed"
+        assert status["ERC104"] == "replayed"
+
+    def test_phase_edit_reruns_nsa604_replays_sizing_only_nsa(self):
+        cache = RuleResultCache()
+        lint_circuit(self._domino(phase="mono_rise"),
+                     groups=self.ELECTRICAL, cache=cache)
+        warm = lint_circuit(self._domino(phase="steady"),
+                            groups=self.ELECTRICAL, cache=cache)
+        status = {rule_id: s for rule_id, _, s in warm.executed}
+        # NSA604 reads slope intervals, which depend on phase declarations.
+        assert status["NSA604"] == "executed"
+        for rule_id in ("NSA601", "NSA602", "NSA603"):
+            assert status[rule_id] == "replayed", (rule_id, status)
+
+    def test_declared_facets_match_registry(self):
+        for rule_id in ("NSA601", "NSA602", "NSA603"):
+            assert get_rule(rule_id).facets == ("topology", "sizing")
+        assert get_rule("NSA604").facets == (
+            "topology", "sizing", "phases"
+        )
+        assert get_rule("ERC103").facets == ("topology", "sizing")
+
+
 class TestAdvisorGate:
     def test_gate_reuses_cache_across_calls(self):
         from repro.core.advisor import SmartAdvisor

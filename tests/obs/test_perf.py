@@ -22,6 +22,7 @@ from repro.obs.perf import (
     self_times,
     to_chrome_trace,
     to_speedscope,
+    try_load_perf_source,
 )
 from repro.obs.trace import EventRecord, SpanRecord, Tracer
 
@@ -388,6 +389,40 @@ class TestPerfSources:
         assert stamp["kernels"]["k"] == {"wall_s": 1.0, "n": 1}
 
 
+class TestTryLoadPerfSource:
+    """None for honest no-baseline cases; loud for genuine corruption."""
+
+    def test_missing_file_is_none(self, tmp_path):
+        assert try_load_perf_source(str(tmp_path / "nope.json")) is None
+
+    def test_empty_file_is_none(self, tmp_path):
+        path = tmp_path / "empty.json"
+        path.write_text("")
+        assert try_load_perf_source(str(path)) is None
+
+    def test_bare_list_and_dict_are_none(self, tmp_path):
+        for text in ("[]", "{}", "  []\n"):
+            path = tmp_path / "stamp.json"
+            path.write_text(text)
+            assert try_load_perf_source(str(path)) is None
+
+    def test_sampleless_trajectory_is_none(self, tmp_path):
+        path = tmp_path / "BENCH.json"
+        path.write_text(json.dumps(make_trajectory({}, pr=8)))
+        assert try_load_perf_source(str(path)) is None
+
+    def test_real_trajectory_loads(self, tmp_path):
+        path = tmp_path / "BENCH.json"
+        path.write_text(json.dumps(make_trajectory({"k": 1.0}, pr=8)))
+        assert try_load_perf_source(str(path)) == {"k": [1.0]}
+
+    def test_malformed_source_still_raises(self, tmp_path):
+        path = tmp_path / "x.json"
+        path.write_text('{"something": "else"}')
+        with pytest.raises(ValueError):
+            try_load_perf_source(str(path))
+
+
 class TestLedgerIntegration:
     """Acceptance criteria on a real advisor run: records for every layer,
     attribution reconciles with the span tree, and two ledgers of the same
@@ -511,6 +546,22 @@ class TestRuleRollup:
             [{"kind": "lint", "name": "c", "wall_s": 1.0}]
         )
         assert "slowest lint rules" not in text
+
+    def test_summary_renders_electrical_margins_section(self):
+        from repro.obs.perf import build_run_record, render_ledger_summary
+
+        # build_run_record flattens extra kwargs onto the record, so the
+        # renderer must read noise_margin at the top level.
+        record = build_run_record(
+            "electrical", "mux4_unsplit_domino", wall_s=0.004,
+            extra={"noise_margin": -0.154},
+        )
+        text = render_ledger_summary([record])
+        assert "electrical noise margins (NSA6xx, post-sizing)" in text
+        assert "mux4_unsplit_domino" in text
+        assert "-15.4%" in text
+        # electrical records stay out of the main per-run table
+        assert text.count("mux4_unsplit_domino") == 1
 
     def test_end_to_end_lint_ledger_has_rule_attribution(self, tmp_path):
         from repro.cli import main as cli_main

@@ -392,3 +392,74 @@ class TestLintHierCommand:
         ]) == 0
         warm = capsys.readouterr().out
         assert "(100%)" in warm
+
+
+class TestListRulesGrouping:
+    """--list-rules groups the catalogue by rule family."""
+
+    def test_family_headers_present_in_order(self, capsys):
+        assert main(["lint", "--list-rules"]) == 0
+        out = capsys.readouterr().out
+        headers = [
+            line for line in out.splitlines() if line.startswith("-- ")
+        ]
+        prefixes = [h.split(":")[0].removeprefix("-- ") for h in headers]
+        assert prefixes == ["ERC", "CST", "GP", "DFA", "SVC", "CTR", "NSA"]
+
+    def test_rules_listed_under_their_family(self, capsys):
+        assert main(["lint", "--list-rules"]) == 0
+        lines = capsys.readouterr().out.splitlines()
+        family = None
+        placed = {}
+        for line in lines:
+            if line.startswith("-- "):
+                family = line.split(":")[0].removeprefix("-- ")
+            elif line[:3].isalpha() and family:
+                placed[line.split()[0]] = family
+        for rule_id in ("ERC001", "NSA601", "CTR506", "SVC401"):
+            assert placed[rule_id] == rule_id.rstrip("0123456789")
+
+    def test_per_rule_line_format_is_preserved(self, capsys):
+        assert main(["lint", "--list-rules"]) == 0
+        out = capsys.readouterr().out
+        [line] = [
+            ln for ln in out.splitlines() if ln.startswith("NSA601")
+        ]
+        assert line.split()[:3] == ["NSA601", "warning", "electrical"]
+
+
+class TestLintElectrical:
+    def test_flag_runs_nsa_group(self, capsys):
+        assert main([
+            "lint", "mux", "4", "--electrical",
+            "--topology", "mux/unsplit_domino",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "NSA601" in out
+        assert "charge-sharing dip" in out
+
+    def test_without_flag_nsa_stays_quiet(self, capsys):
+        assert main([
+            "lint", "mux", "4", "--topology", "mux/unsplit_domino",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "NSA6" not in out
+
+
+class TestPerfDiffNoBaseline:
+    def test_missing_baseline_exits_zero(self, tmp_path, capsys):
+        missing = str(tmp_path / "nope.json")
+        new = str(tmp_path / "new.json")
+        with open(new, "w") as fh:
+            fh.write("[]")
+        assert main(["perf", "diff", missing, new]) == 0
+        out = capsys.readouterr().out
+        assert "no baseline" in out
+
+    def test_empty_trajectory_baseline_exits_zero(self, tmp_path, capsys):
+        base = str(tmp_path / "base.json")
+        with open(base, "w") as fh:
+            fh.write("[]")
+        assert main(["perf", "diff", base, base]) == 0
+        out = capsys.readouterr().out
+        assert "no baseline" in out
