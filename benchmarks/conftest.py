@@ -25,16 +25,22 @@ RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
 #: Session epoch for the wall-time stamp each result file carries.
 _SESSION_T0 = time.perf_counter()
 
-#: The three hot kernels the CI perf gate tracks across PRs.
+#: The hot kernels the CI perf gate tracks across PRs.
 TRACKED_KERNELS = (
     "test_bench_sizing_kernel",
     "test_bench_adder_sizing",
     "test_bench_per_bit_sizing",
+    "test_bench_collapsed_sizing",
 )
 
 #: Wall-time samples per ``test_bench_*`` kernel, filled by the autouse
-#: timer fixture and flushed to ``BENCH_PR8.json`` at session end.
+#: timer fixture and flushed to ``BENCH_PR10.json`` at session end.
 _BENCH_TIMES: dict = {}
+
+#: Free-form headline numbers benchmark modules contribute to the
+#: trajectory stamp via the ``bench_extra`` fixture (e.g. the
+#: collapsed-vs-full speedup and certificate-check wall time).
+_BENCH_EXTRA: dict = {}
 
 #: Digest of the session run ledger, captured when the ledger fixture
 #: tears down (before ``pytest_sessionfinish`` runs).
@@ -96,8 +102,19 @@ def _bench_kernel_timer(request):
     _BENCH_TIMES.setdefault(name, []).append(time.perf_counter() - t0)
 
 
+@pytest.fixture(scope="session")
+def bench_extra():
+    """Mutable mapping for headline numbers stamped into the trajectory.
+
+    Benchmark modules write named scalars here (collapsed-vs-full
+    speedup, certificate-check wall time, ...); they land under the
+    ``extra`` key of ``BENCH_PR10.json`` at session end.
+    """
+    return _BENCH_EXTRA
+
+
 def pytest_sessionfinish(session, exitstatus):
-    """Flush the per-kernel wall times as a ``BENCH_PR8.json`` trajectory.
+    """Flush the per-kernel wall times as a ``BENCH_PR10.json`` trajectory.
 
     The committed copy under ``benchmarks/results/`` is the baseline the
     CI ``perf-smoke`` job diffs fresh runs against (``repro perf diff``).
@@ -109,12 +126,14 @@ def pytest_sessionfinish(session, exitstatus):
     os.makedirs(RESULTS_DIR, exist_ok=True)
     payload = obs_perf.make_trajectory(
         _BENCH_TIMES,
-        pr=8,
+        pr=10,
         ledger_digest=_BENCH_LEDGER.get("digest"),
         tracked=[k for k in TRACKED_KERNELS if k in _BENCH_TIMES],
     )
     payload["ledger_runs"] = _BENCH_LEDGER.get("runs", 0)
-    with open(os.path.join(RESULTS_DIR, "BENCH_PR8.json"), "w") as fh:
+    if _BENCH_EXTRA:
+        payload["extra"] = dict(_BENCH_EXTRA)
+    with open(os.path.join(RESULTS_DIR, "BENCH_PR10.json"), "w") as fh:
         json.dump(payload, fh, indent=2)
         fh.write("\n")
 

@@ -6,4 +6,4 @@ it without pulling in :mod:`repro`'s top-level re-exports — those reach
 down into ``core``/``lint`` and would form an import cycle.
 """
 
-__version__ = "1.8.0"
+__version__ = "1.9.0"

@@ -14,7 +14,9 @@ memory; the parent collects them over the pool boundary and appends
 foreign lines are skipped and counted, and duplicate keys resolve
 last-write-wins, so a torn append can never poison the store.
 
-The cache is an *accelerator*, never an oracle: every exact hit is
+The cache is an *accelerator*, never an oracle: every exact hit is either
+admitted on a verified solution certificate whose bindings are re-checked
+at lookup time (``SmartSizer._admit_certified``, DESIGN §13) or
 re-verified by the engine's own STA check loop before it is returned (see
 ``SmartSizer._verify_cached`` and DESIGN.md's soundness argument).
 """
@@ -39,9 +41,16 @@ _REQUIRED_FIELDS = ("key", "circuit_fp", "context_fp", "spec_fp", "env")
 
 @dataclass
 class CacheStats:
-    """Hit/miss accounting for one cache session."""
+    """Hit/miss accounting for one cache session.
+
+    ``cert_hits`` counts the exact hits admitted on a verified solution
+    certificate instead of a full STA re-run (it is a subset of
+    ``exact_hits``: STA-verified admissions are ``exact_hits -
+    cert_hits``), so the stats always record which verification path ran.
+    """
 
     exact_hits: int = 0
+    cert_hits: int = 0
     warm_hits: int = 0
     misses: int = 0
     stores: int = 0
@@ -60,6 +69,7 @@ class CacheStats:
     def as_dict(self) -> Dict[str, float]:
         return {
             "exact_hits": self.exact_hits,
+            "cert_hits": self.cert_hits,
             "warm_hits": self.warm_hits,
             "misses": self.misses,
             "stores": self.stores,
@@ -71,6 +81,7 @@ class CacheStats:
     def absorb(self, other: Dict[str, float]) -> None:
         """Fold a worker's stats dict into this one (hit_rate recomputed)."""
         self.exact_hits += int(other.get("exact_hits", 0))
+        self.cert_hits += int(other.get("cert_hits", 0))
         self.warm_hits += int(other.get("warm_hits", 0))
         self.misses += int(other.get("misses", 0))
         self.stores += int(other.get("stores", 0))
@@ -91,11 +102,25 @@ class SizingCache:
         When True (the default) every :meth:`put` appends to ``path``
         immediately.  Workers use ``autosync=False`` so only the parent
         process ever writes the file.
+    certificates:
+        Optional solution-certificate store (duck-typed to
+        :class:`repro.lint.solution.SolutionCertificateStore`; held as a
+        plain attribute so this module never imports the lint package).
+        When attached, the engine admits exact hits on a verified
+        ``smart-solution-certificate/1`` record instead of a full STA
+        re-run, and falls back to the STA check when the certificate is
+        absent, stale, or fails any binding.
     """
 
-    def __init__(self, path: Optional[str] = None, autosync: bool = True):
+    def __init__(
+        self,
+        path: Optional[str] = None,
+        autosync: bool = True,
+        certificates: Optional[object] = None,
+    ):
         self.path = path
         self.autosync = autosync
+        self.certificates = certificates
         self.stats = CacheStats()
         self._entries: Dict[str, dict] = {}
         self._by_context: Dict[Tuple[str, str], List[str]] = {}

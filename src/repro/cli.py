@@ -52,7 +52,13 @@ log = get_logger(__name__)
 
 
 def _spec_from_args(args: argparse.Namespace) -> MacroSpec:
-    return MacroSpec(args.macro, args.width, output_load=args.load)
+    params = ()
+    group = getattr(args, "label_group", None)
+    if group is not None:
+        params = (("label_group", group),)
+    return MacroSpec(
+        args.macro, args.width, output_load=args.load, params=params
+    )
 
 
 def _constraints_from_args(args: argparse.Namespace) -> DesignConstraints:
@@ -106,6 +112,14 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
         "--cost", default="area", choices=["area", "power", "clock", "area+clock"]
     )
     parser.add_argument("--input-slope", type=float, default=30.0)
+    parser.add_argument(
+        "--label-group", type=int, default=None, metavar="N",
+        help=(
+            "size-label granularity for macros that honor it (bits per "
+            "label group; 1 = per-bit labels, generator default "
+            "otherwise)"
+        ),
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -130,6 +144,12 @@ def build_parser() -> argparse.ArgumentParser:
     advise.add_argument(
         "--cache", metavar="FILE",
         help="persistent JSONL sizing cache (created if missing)",
+    )
+    advise.add_argument(
+        "--certify", action="store_true",
+        help="post-solve gate: audit every sized candidate with the "
+             "OPT70x solution-certificate machinery and reject candidates "
+             "whose solved point provably fails a constraint",
     )
 
     sweep = sub.add_parser(
@@ -310,8 +330,9 @@ def build_parser() -> argparse.ArgumentParser:
         help="static analysis: ERC, dataflow, coverage, GP pre-solve rules",
         parents=[obs_parent],
         epilog=(
-            "exit codes: 0 = clean (no unwaived errors), "
-            "1 = findings, 2 = usage error (bad macro/width/topology)"
+            "exit codes: 0 = clean (no unwaived findings at or above "
+            "--fail-on), 1 = findings, 2 = usage error (bad "
+            "macro/width/topology, or --solution failed to size)"
         ),
     )
     lint.add_argument("macro", nargs="?", help="macro type (mux, adder, ...)")
@@ -367,6 +388,19 @@ def build_parser() -> argparse.ArgumentParser:
              "proofs, pass-chain Elmore budgets, coupling screens",
     )
     lint.add_argument(
+        "--solution", action="store_true",
+        help="also run the post-solve OPT7xx group: size each circuit "
+             "with the slice-collapsed sizer against --delay, then audit "
+             "the solved point (primal feasibility, KKT optimality-gap "
+             "bound, replication soundness, certificate freshness)",
+    )
+    lint.add_argument(
+        "--fail-on", choices=["warning", "error"], default="error",
+        help="severity threshold for exit code 1 (default: error; "
+             "'warning' also fails on unwaived warnings) — applied "
+             "uniformly across every rule family, including --hier",
+    )
+    lint.add_argument(
         "--sarif", action="store_true",
         help="emit SARIF 2.1.0 instead of text (for CI code-scanning upload)",
     )
@@ -402,6 +436,14 @@ def build_parser() -> argparse.ArgumentParser:
     lint.add_argument("--load", type=float, default=20.0,
                       help="output load, fF")
     lint.add_argument("--input-slope", type=float, default=30.0)
+    lint.add_argument(
+        "--label-group", type=int, default=None, metavar="N",
+        help=(
+            "size-label granularity for macros that honor it (bits per "
+            "label group; 1 = per-bit labels — the granularity "
+            "--solution's slice collapse thrives on)"
+        ),
+    )
     lint.add_argument(
         "--max-paths", type=int, default=200_000,
         help="skip --coverage for circuits with more extracted paths",
@@ -588,6 +630,20 @@ def main(argv: Optional[List[str]] = None) -> int:
                 emit(obs_metrics.registry().render())
 
 
+def _lint_exit(reports, fail_on: str) -> int:
+    """Uniform severity-threshold exit code for every lint mode.
+
+    0 = clean at the threshold, 1 = findings: unwaived errors always
+    fail; ``fail_on == "warning"`` additionally fails on unwaived
+    warnings.
+    """
+    if not all(r.ok for r in reports):
+        return 1
+    if fail_on == "warning" and any(r.warnings for r in reports):
+        return 1
+    return 0
+
+
 def _run_lint(args: argparse.Namespace, advisor: SmartAdvisor) -> int:
     import json as _json
 
@@ -609,6 +665,7 @@ def _run_lint(args: argparse.Namespace, advisor: SmartAdvisor) -> int:
             ("SVC", "switch-level symbolic verification"),
             ("CTR", "hierarchical interface contracts"),
             ("NSA", "quantitative electrical noise safety"),
+            ("OPT", "post-solve solution-certificate audits"),
         )
         by_family: dict = {}
         for rule_obj in all_rules():
@@ -643,7 +700,7 @@ def _run_lint(args: argparse.Namespace, advisor: SmartAdvisor) -> int:
         emit("error: --changed-only without --hier needs --rule-cache FILE")
         return 2
 
-    spec = MacroSpec(args.macro, args.width, output_load=args.load)
+    spec = _spec_from_args(args)
     if args.topology:
         generators = [advisor.database.generator(args.topology)]
     else:
@@ -681,6 +738,54 @@ def _run_lint(args: argparse.Namespace, advisor: SmartAdvisor) -> int:
                 options["symbolic_samples"] = args.samples
         if args.electrical:
             groups.append("electrical")
+        if args.solution:
+            from .core.constraints import DesignConstraints
+            from .lint.solution.rules import build_solution_options
+            from .sizing import RegularityCollapsedSizer, SizingError
+
+            delay_spec = DesignConstraints(
+                delay=args.delay, input_slope=args.input_slope
+            ).to_delay_spec()
+            try:
+                collapsed = RegularityCollapsedSizer(
+                    circuit, advisor.library
+                ).size(delay_spec)
+            except SizingError as exc:
+                emit(
+                    f"error: --solution could not size {circuit.name} at "
+                    f"{args.delay:.0f} ps: {exc}"
+                )
+                return 2
+            groups.append("solution")
+            options["solution"] = build_solution_options(
+                collapsed.result.widths,
+                delay_spec,
+                classes=(
+                    collapsed.classes if not collapsed.fallback else None
+                ),
+                certificate=(
+                    collapsed.certificate.to_payload()
+                    if collapsed.certificate is not None else None
+                ),
+            )
+            mode = (
+                f"fallback ({collapsed.fallback_reason})"
+                if collapsed.fallback
+                else f"collapsed {collapsed.full_free}->"
+                     f"{collapsed.collapsed_free} labels"
+            )
+            # Status line, not a finding: keep stdout machine-readable
+            # under --json/--sarif by routing it through the logger.
+            if args.json or args.sarif:
+                log.info(
+                    "%s: --solution sized at %.0f ps (%s)",
+                    circuit.name, args.delay, mode,
+                )
+            else:
+                emit(
+                    f"{circuit.name}: --solution sized at "
+                    f"{args.delay:.0f} ps ({mode})"
+                )
         # The cache is always refreshed; --changed-only additionally
         # replays hits, so cold runs record and warm runs skip.
         reports.append(
@@ -779,7 +884,7 @@ def _run_lint(args: argparse.Namespace, advisor: SmartAdvisor) -> int:
             )
     if rule_cache is not None:
         rule_cache.flush()
-    return 0 if all(r.ok for r in reports) else 1
+    return _lint_exit(reports, args.fail_on)
 
 
 def _run_lint_hier(args: argparse.Namespace, advisor: SmartAdvisor, waivers) -> int:
@@ -832,7 +937,9 @@ def _run_lint_hier(args: argparse.Namespace, advisor: SmartAdvisor, waivers) -> 
             f"derived; rules {stats.rules_replayed}/{stats.invocations} "
             f"replayed ({stats.hit_rate:.0%})"
         )
-    return 0 if result.ok else 1
+    if not result.ok:
+        return 1
+    return _lint_exit(result.reports, args.fail_on)
 
 
 def _run_sweep(args: argparse.Namespace, advisor: SmartAdvisor) -> int:
@@ -882,11 +989,15 @@ def _run_command(args: argparse.Namespace) -> int:
     cache = None
     if getattr(args, "cache", None):
         from .cache import SizingCache
+        from .lint.solution import SolutionCertificateStore
 
-        cache = SizingCache(args.cache)
+        certificates = SolutionCertificateStore(f"{args.cache}.certs")
+        cache = SizingCache(args.cache, certificates=certificates)
         if len(cache):
             log.info("loaded %d cached sizings from %s", len(cache), args.cache)
-    advisor = SmartAdvisor(cache=cache)
+    advisor = SmartAdvisor(
+        cache=cache, certify=bool(getattr(args, "certify", False))
+    )
 
     if args.command == "lint":
         return _run_lint(args, advisor)

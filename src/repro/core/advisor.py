@@ -44,7 +44,11 @@ class SmartAdvisor:
 
     ``cache`` (a :class:`repro.cache.SizingCache`) is threaded into every
     sizer the advisor creates: exact hits skip the GP loop after an STA
-    re-verification, near hits warm-start it.
+    re-verification (or a verified solution certificate), near hits
+    warm-start it.  ``certify=True`` adds a post-solve gate: every sized
+    candidate is audited by the OPT70x solution-certificate machinery
+    and marked infeasible when the certificate is rejected — the solved
+    point provably fails a constraint the solver claimed satisfied.
     """
 
     def __init__(
@@ -53,11 +57,13 @@ class SmartAdvisor:
         tech: Optional[Technology] = None,
         library: Optional[ModelLibrary] = None,
         cache: Optional[SizingCache] = None,
+        certify: bool = False,
     ):
         self.database = database or default_database()
         self.library = library or ModelLibrary(tech or Technology())
         self.tech = self.library.tech
         self.cache = cache
+        self.certify = certify
         #: Lazily created per-advisor incremental lint result cache.
         self._lint_cache = None
 
@@ -406,6 +412,61 @@ class SmartAdvisor:
         )
         return margin
 
+    def _certificate_gate(
+        self, circuit, sizer, constraints: DesignConstraints, sizing,
+        tolerance: float,
+    ):
+        """Post-solve OPT70x audit of a sized candidate (``certify=True``).
+
+        Returns ``(certificate payload or None, rejection reason or "")``.
+        Audit *infrastructure* failures never fail a sized candidate
+        (same never-fail pattern as :meth:`_noise_margin`); a certificate
+        that runs and comes back not-ok does — the point provably fails a
+        constraint.
+        """
+        from ..lint.solution.audit import SolutionAudit
+
+        t_start = time.perf_counter()
+        try:
+            audit = SolutionAudit(
+                circuit,
+                self.library,
+                constraints.to_delay_spec(),
+                tolerance=tolerance,
+                otb_borrow=constraints.otb_borrow,
+                objective=constraints.cost,
+            )
+            cert = audit.certify(
+                sizing.widths,
+                cache_key=sizer.cache_key(
+                    constraints.to_delay_spec(), tolerance
+                ).key,
+                with_kkt=False,
+            )
+        except Exception as exc:  # never fail a sized candidate on this
+            log.warning(
+                "solution certificate for %s skipped (%s)",
+                circuit.name, exc,
+            )
+            return None, ""
+        perf.record_run(
+            "certificate",
+            circuit.name,
+            wall_s=time.perf_counter() - t_start,
+            extra={"ok": cert.ok, "gate": "advisor"},
+        )
+        if not cert.ok:
+            failed = sorted(
+                check for check, verdict in cert.checks.items()
+                if not verdict.get("ok", True)
+            )
+            return cert.to_payload(), (
+                f"solution certificate rejected ({', '.join(failed)}): "
+                f"worst residual {cert.worst_residual_ps:.2f} ps vs "
+                f"tolerance {cert.tolerance:.2f} ps"
+            )
+        return cert.to_payload(), ""
+
     def _apply_pins(self, circuit, constraints: DesignConstraints) -> None:
         for label, width in (constraints.pinned_sizes or {}).items():
             if label in circuit.size_table:
@@ -511,6 +572,21 @@ class SmartAdvisor:
                 reason=str(exc),
             )
         metrics.counter("advisor.topologies_sized").inc()
+        certificate = None
+        if self.certify:
+            certificate, reject_reason = self._certificate_gate(
+                circuit, sizer, constraints, sizing, tolerance
+            )
+            if reject_reason:
+                metrics.counter("advisor.certificates_rejected").inc()
+                return CandidateResult(
+                    topology=generator.name,
+                    description=generator.description,
+                    feasible=False,
+                    sizing=sizing,
+                    reason=reject_reason,
+                    certificate=certificate,
+                )
         cost = evaluate_cost(circuit, self.library, sizing.resolved, constraints.cost)
         return CandidateResult(
             topology=generator.name,
@@ -519,4 +595,5 @@ class SmartAdvisor:
             sizing=sizing,
             cost=cost,
             noise_margin=self._noise_margin(circuit, constraints, sizing),
+            certificate=certificate,
         )

@@ -11,7 +11,9 @@ plus a number that never changes meaning once released:
 * ``CST1xx`` — constraint-coverage / pruning-certificate verification;
 * ``GP2xx``  — geometric-program pre-solve checks;
 * ``CTR5xx`` — hierarchical interface-contract composition
-  (:mod:`repro.lint.hier`).
+  (:mod:`repro.lint.hier`);
+* ``OPT7xx`` — post-solve solution-certificate analysis
+  (:mod:`repro.lint.solution`).
 
 Circuit rules (groups ``structural`` and ``family``) are callables of one
 :class:`~repro.lint.runner.LintContext`; coverage and GP rules are driven by
@@ -31,7 +33,7 @@ from .diagnostics import Severity
 #: Known rule groups, in report order.
 GROUPS = (
     "structural", "family", "dataflow", "symbolic", "coverage", "gp",
-    "contracts", "electrical",
+    "contracts", "electrical", "solution",
 )
 
 
@@ -137,5 +139,6 @@ def _load_builtin_rules() -> None:
         from . import coverage, rules_gp  # noqa: F401
         from .dataflow import interval  # noqa: F401
         from .electrical import rules as electrical_rules  # noqa: F401
+        from .solution import rules as solution_rules  # noqa: F401
     except ImportError:  # pragma: no cover - partial-init during bootstrap
         pass

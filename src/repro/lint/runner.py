@@ -30,12 +30,13 @@ log = get_logger(__name__)
 CIRCUIT_GROUPS = ("structural", "family", "dataflow")
 
 #: All circuit-level groups.  ``symbolic`` (the SVC4xx switch-level
-#: verifier) and ``electrical`` (the NSA6xx noise-safety certificates) are
-#: opt-in: the former enumerates the input space, the latter consumes the
-#: sizing output and is only meaningful post-sizing.  The ``contracts``
+#: verifier), ``electrical`` (the NSA6xx noise-safety certificates) and
+#: ``solution`` (the OPT7xx post-solve certificate audits) are opt-in:
+#: the first enumerates the input space, the latter two consume the
+#: sizing output and are only meaningful post-sizing.  The ``contracts``
 #: group (CTR5xx) is block-level and driven by :mod:`repro.lint.hier`,
 #: never by this per-circuit driver.
-ALL_CIRCUIT_GROUPS = CIRCUIT_GROUPS + ("symbolic", "electrical")
+ALL_CIRCUIT_GROUPS = CIRCUIT_GROUPS + ("symbolic", "electrical", "solution")
 
 
 class LintContext:

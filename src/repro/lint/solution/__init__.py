@@ -1,0 +1,25 @@
+"""Post-solve solution-certificate analysis (the OPT7xx rule family).
+
+Every prior rule family audits the *input* netlist; this package audits the
+*solver's output*: a sized netlist plus the width assignment a
+:class:`~repro.sizing.engine.SizingResult` (or a cache entry, or a
+replicated slice solve) claims for it.  The analyses are deliberately
+independent of the solver's own residual bookkeeping — they re-derive
+feasibility (OPT701), first-order optimality (OPT702) and replication
+soundness (OPT703) from the circuit and the claimed point alone, and
+package the outcome as a checkable ``smart-solution-certificate/1`` record
+(OPT704 staleness, OPT705 cache-admission audits).
+
+Import note: :mod:`repro.lint.solution.audit` imports the sizing engine,
+so — like :mod:`repro.lint.coverage` — the rule module is loaded through
+the forgiving branch of ``repro.lint.registry._load_builtin_rules`` and
+this package is *not* re-exported from ``repro.lint``'s top level.
+"""
+
+from .certificate import (  # noqa: F401
+    CERTIFICATE_FORMAT,
+    SolutionCertificate,
+    SolutionCertificateStore,
+    check_certificate,
+    widths_digest,
+)

@@ -1,0 +1,609 @@
+"""Independent post-solve audits behind the OPT70x rules.
+
+:class:`SolutionAudit` re-derives everything about a claimed width
+assignment from first principles — same engine-parity front end the sizer
+uses (representative path extraction, constraint generation, true-slope
+STA), but none of the solver's own residual bookkeeping:
+
+* :meth:`feasibility` (OPT701) — primal feasibility of every GP constraint
+  at the point.  Timing constraints are re-measured with the full STA (the
+  engine's own convergence criterion, recomputed from scratch) *and*
+  re-evaluated as slope-refreshed posynomials with outward-rounded
+  interval arithmetic, so a violation verdict survives floating-point
+  doubt; slope/noise constraints and device bounds are interval-checked
+  directly.
+* :meth:`kkt` (OPT702) — first-order stationarity of the log-space convex
+  transform via a nonnegative least-squares fit of the active-constraint
+  gradients, turned into a quantitative optimality-gap bound (see the
+  method docstring for the convexity argument).
+* :meth:`replication` (OPT703) — soundness of a slice-collapse claim:
+  replicate the representative widths across each equivalence class and
+  prove every cross-slice coupling constraint still holds at the
+  replicated point, or name the violated constraint as a witness.
+
+:meth:`certify` composes the three into one issued
+``smart-solution-certificate/1`` record and logs a ``kind="certificate"``
+run-ledger record with the audit wall time.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ...models.gates import ModelLibrary
+from ...netlist.circuit import Circuit
+from ...netlist.fingerprint import facet_fingerprints
+from ...obs import perf, trace
+from ...obs.log import get_logger
+from ...sizing.constraints import ConstraintGenerator, ConstraintSet, DelaySpec
+from ...sizing.engine import SmartSizer
+from ...sizing.gp import _LogSumExp
+from .certificate import SolutionCertificate, widths_digest
+
+log = get_logger(__name__)
+
+#: One-ulp relative error per float operation, for outward rounding.
+_EPS = 2.0 ** -52
+
+#: Log-space margin under which an inequality counts as active for the
+#: KKT fit (≈1% multiplicative slack).
+_ACTIVE_TOL = 1e-2
+
+#: Relative slack granted on hard GP constraints (slope, noise): the
+#: solver only enforces them to its own constraint tolerance (SLSQP
+#: ftol ~1e-6 in log space), so an honest optimum rides an active limit
+#: with up to ~1e-8 relative excess.  Kept far below any physically
+#: meaningful violation — the seeded mutants perturb by >=1e-3.
+_SOLVER_REL_TOL = 1e-6
+
+
+def posynomial_interval(
+    posy, env: Mapping[str, float]
+) -> Tuple[float, float]:
+    """Outward-rounded enclosure of ``posy`` at ``env``.
+
+    Every monomial is a product of a positive coefficient and positive
+    powers-of-widths, so each float operation incurs at most one ulp of
+    relative error; the enclosure widens each term by its operation count
+    ulps and the running sums by the term count.  Conservative (never
+    narrower than the true rounding envelope) and cheap — no directed
+    rounding modes needed.
+    """
+    lo = hi = 0.0
+    n_terms = 0
+    for mono in posy.terms:
+        value = mono.coefficient
+        ops = 1
+        for name, exp in mono.signature:
+            value *= env[name] ** exp
+            ops += 2  # one pow + one mul
+        delta = abs(value) * ops * _EPS
+        lo += value - delta
+        hi += value + delta
+        n_terms += 1
+    pad = (abs(lo) + abs(hi)) * max(1, n_terms) * _EPS
+    return lo - pad, hi + pad
+
+
+class SolutionAudit:
+    """Re-derive the OPT70x verdicts for one circuit + spec (see module
+    docstring).  Path extraction and per-point measurements are memoized,
+    so composing checks over the same point (as :meth:`certify` does) pays
+    for one STA pass, not three."""
+
+    def __init__(
+        self,
+        circuit: Circuit,
+        library: ModelLibrary,
+        spec: DelaySpec,
+        tolerance: float = 2.0,
+        otb_borrow: float = 0.0,
+        objective: str = "area",
+        analysis_library: Optional[ModelLibrary] = None,
+        gp_method: str = "slsqp",
+    ):
+        self.circuit = circuit
+        self.library = library
+        self.spec = spec
+        self.tolerance = tolerance
+        # Engine-parity front end: same extraction mode, same constraint
+        # generator, same analyzer the sizer itself would use.
+        self._sizer = SmartSizer(
+            circuit,
+            library,
+            objective=objective,
+            otb_borrow=otb_borrow,
+            analysis_library=analysis_library,
+            gp_method=gp_method,
+            pre_screen=False,
+        )
+        self._paths: Optional[list] = None
+        self._frozen_constraints: Optional[ConstraintSet] = None
+        self._measure_memo: Dict[str, tuple] = {}
+        self._slope_memo: Dict[str, Dict[str, float]] = {}
+        self._gen: Optional[ConstraintGenerator] = None
+
+    # -- shared front end --------------------------------------------------
+
+    def _extract_paths(self) -> list:
+        if self._paths is None:
+            self._paths = self._sizer._extract(prune=True).paths
+        return self._paths
+
+    def _generator(self) -> ConstraintGenerator:
+        # One shared instance: the generator is stateless across generate()
+        # calls except for its load-posynomial cache, which is worth keeping.
+        if self._gen is None:
+            self._gen = ConstraintGenerator(
+                self.circuit, self.library, self.spec,
+                otb_borrow=self._sizer.otb_borrow,
+            )
+        return self._gen
+
+    def frozen_constraints(self) -> ConstraintSet:
+        """The constraint set at frozen default slopes — exactly the GP the
+        engine solves (its ``generate(paths, {})`` call)."""
+        if self._frozen_constraints is None:
+            self._frozen_constraints = self._generator().generate(
+                self._extract_paths(), {}
+            )
+        return self._frozen_constraints
+
+    def _refreshed_constraints(
+        self, slope_map: Mapping[str, float]
+    ) -> ConstraintSet:
+        """Slope-refreshed constraint set without rebuilding the timing
+        posynomials.  Timing structure (names, hops, specs) is slope-
+        independent — measured slopes only shift the first-hop start
+        constant — so the frozen set's timing entries are reused (realized
+        delays come from the numeric STA anyway, and a violation's
+        refreshed posynomial is rebuilt lazily for its interval proof).
+        Slope constraints embed measured input slopes in their
+        coefficients and are regenerated; noise constraints never depend
+        on slopes."""
+        frozen = self.frozen_constraints()
+        refreshed = ConstraintSet()
+        refreshed.timing = frozen.timing
+        refreshed.noise = frozen.noise
+        self._generator()._add_slope_constraints(refreshed, dict(slope_map))
+        return refreshed
+
+    def measured_slopes(
+        self, env: Mapping[str, float]
+    ) -> Dict[str, float]:
+        """The STA slope map at ``env`` (memoized alongside measure)."""
+        digest = widths_digest(env)
+        if digest not in self._slope_memo:
+            self.measure(env)
+        return self._slope_memo[digest]
+
+    def measure(
+        self, env: Mapping[str, float]
+    ) -> Tuple[ConstraintSet, Dict[str, float], float, str]:
+        """STA measurement of every timing constraint at ``env``.
+
+        Returns ``(slope-refreshed constraints, realized delays, worst
+        residual, worst constraint name)`` — the engine's convergence
+        criterion recomputed from scratch at the audited point.
+        """
+        digest = widths_digest(env)
+        memo = self._measure_memo.get(digest)
+        if memo is not None:
+            return memo
+        analyzer = self._sizer.analyzer
+        report = analyzer.analyze(env, input_slope=self.spec.input_slope)
+        slope_map = {key: ev.slope for key, ev in report.arrivals.items()}
+        self._slope_memo[digest] = slope_map
+        constraints = self._refreshed_constraints(slope_map)
+        realized: Dict[str, float] = {}
+        worst = -math.inf
+        worst_name = ""
+        for constraint in constraints.timing:
+            measured = analyzer.path_delay(
+                constraint.hops, env,
+                input_slope=self.spec.input_slope, net_slopes=slope_map,
+            )
+            realized[constraint.name] = measured
+            violation = measured - constraint.spec
+            if violation > worst:
+                worst, worst_name = violation, constraint.name
+        memo = (constraints, realized, worst, worst_name)
+        self._measure_memo[digest] = memo
+        return memo
+
+    def _normalize_env(
+        self, widths: Mapping[str, object]
+    ) -> Tuple[Optional[Dict[str, float]], List[dict]]:
+        """Validate a claimed env: finite positive floats covering every
+        free label.  Returns ``(env, violations)``; env is None when the
+        point is unusable."""
+        violations: List[dict] = []
+        env: Dict[str, float] = {}
+        for name, value in dict(widths).items():
+            try:
+                width = float(value)  # type: ignore[arg-type]
+            except (TypeError, ValueError):
+                violations.append({
+                    "name": str(name),
+                    "message": f"width of {name} is not a number: {value!r}",
+                })
+                continue
+            if not math.isfinite(width) or width <= 0.0:
+                violations.append({
+                    "name": str(name),
+                    "message": f"width of {name} is not positive finite: {width!r}",
+                })
+                continue
+            env[str(name)] = width
+        free = set(self.circuit.size_table.free_names())
+        missing = sorted(free - set(env))
+        if missing:
+            violations.append({
+                "name": missing[0],
+                "message": (
+                    f"assignment misses {len(missing)} free label(s): "
+                    f"{', '.join(missing[:5])}"
+                ),
+            })
+            return None, violations
+        if violations:
+            return None, violations
+        return {name: env[name] for name in sorted(free)}, violations
+
+    # -- OPT701: primal feasibility ---------------------------------------
+
+    def feasibility(self, widths: Mapping[str, object]) -> dict:
+        """Solver-independent primal-feasibility verdict at ``widths``."""
+        env, violations = self._normalize_env(widths)
+        if env is None:
+            return {
+                "ok": False, "violations": violations,
+                "worst_residual_ps": math.inf, "worst_constraint": "",
+            }
+        table = self.circuit.size_table
+        for name in sorted(env):
+            var = table[name]
+            if not (var.lower - 1e-9 <= env[name] <= var.upper + 1e-9):
+                violations.append({
+                    "name": name,
+                    "message": (
+                        f"width {env[name]:.4f} um of {name} outside bounds "
+                        f"[{var.lower}, {var.upper}]"
+                    ),
+                })
+        constraints, realized, worst, worst_name = self.measure(env)
+        slope_map = self.measured_slopes(env)
+        for constraint in constraints.timing:
+            measured = realized[constraint.name]
+            residual = measured - constraint.spec
+            if residual > self.tolerance:
+                # Rebuild just this constraint's posynomial at the measured
+                # slopes for the interval proof (the shared timing set keeps
+                # frozen-slope posynomials; see _refreshed_constraints).
+                delay = self._generator().path_delay_posynomial(
+                    constraint.hops, slope_map
+                )
+                lo, _hi = posynomial_interval(delay, env)
+                proof = (
+                    "interval-confirmed"
+                    if lo > constraint.spec + self.tolerance
+                    else "STA-measured"
+                )
+                violations.append({
+                    "name": constraint.name,
+                    "message": (
+                        f"{constraint.name}: realized {measured:.2f} ps "
+                        f"exceeds spec {constraint.spec:.2f} ps by "
+                        f"{residual:.2f} ps (> tolerance "
+                        f"{self.tolerance:.2f} ps, {proof})"
+                    ),
+                })
+        for slope in constraints.slopes:
+            lo, _hi = posynomial_interval(slope.slope, env)
+            if lo > slope.limit * (1.0 + _SOLVER_REL_TOL):
+                violations.append({
+                    "name": slope.name,
+                    "net": slope.net,
+                    "message": (
+                        f"{slope.name}: slope >= {lo:.2f} ps exceeds limit "
+                        f"{slope.limit:.2f} ps on net {slope.net}"
+                    ),
+                })
+        for noise in constraints.noise:
+            lo, _hi = posynomial_interval(noise.expr, env)
+            if lo > 1.0 + _SOLVER_REL_TOL:
+                violations.append({
+                    "name": noise.name,
+                    "stage": noise.stage,
+                    "message": (
+                        f"{noise.name}: charge-sharing expression >= "
+                        f"{lo:.4f} > 1 at stage {noise.stage}"
+                    ),
+                })
+        return {
+            "ok": not violations,
+            "violations": violations,
+            "worst_residual_ps": round(worst, 6),
+            "worst_constraint": worst_name,
+            "timing_constraints": len(constraints.timing),
+        }
+
+    # -- OPT702: KKT / duality gap ----------------------------------------
+
+    def kkt(self, widths: Mapping[str, object]) -> dict:
+        """First-order optimality of the log-space transform at ``widths``.
+
+        At ``y = log x``, a GP minimizes convex ``F0(y)`` over convex
+        ``Fi(y) <= 0`` plus box bounds.  We fit nonnegative multipliers
+        over the gradients of the constraints active at ``y`` (NNLS on
+        ``F0' + sum(lam_i Fi') + sum(mu_k (+/- e_k)) ~ 0``).  With
+        ``r = grad of the fitted Lagrangian`` and any feasible ``y*``,
+        convexity of ``L`` gives ``F0(y*) >= L(y*) >= L(y) + r.(y* - y)``,
+        hence
+
+            F0(y) - F0(y*) <= ||r|| * diam + sum_i lam_i * |Fi(y)|
+
+        with ``diam`` the log-box diameter — a certified bound on the
+        optimality gap in log units (``expm1`` of it bounds the relative
+        objective gap).  No solver internals are consulted.
+        """
+        env, violations = self._normalize_env(widths)
+        if env is None:
+            return {"ok": False, "violations": violations, "gap_rel": None}
+        gp = self._sizer._build_gp(self.frozen_constraints(), {})
+        names = sorted(env)
+        index = {name: i for i, name in enumerate(names)}
+        y = np.array([math.log(env[name]) for name in names])
+        objective = _LogSumExp.from_posynomial(gp.objective, index)
+        g0 = objective.grad(y)
+
+        columns: List[np.ndarray] = []
+        active_names: List[str] = []
+        slacks: List[float] = []
+        for constraint in gp.inequalities:
+            if not set(constraint.expr.variables()) <= set(index):
+                continue
+            lse = _LogSumExp.from_posynomial(constraint.expr, index)
+            value = lse.value(y)  # <= 0 when satisfied
+            if value >= -_ACTIVE_TOL:
+                columns.append(lse.grad(y))
+                active_names.append(constraint.name)
+                slacks.append(abs(value))
+        diam_sq = 0.0
+        for name in names:
+            lower, upper = gp.bounds(name)
+            span = math.log(upper) - math.log(lower)
+            diam_sq += span * span
+            unit = np.zeros(len(names))
+            unit[index[name]] = 1.0
+            if y[index[name]] - math.log(lower) <= _ACTIVE_TOL:
+                columns.append(-unit)     # lower bound active: l - y <= 0
+                active_names.append(f"lb:{name}")
+                slacks.append(abs(y[index[name]] - math.log(lower)))
+            if math.log(upper) - y[index[name]] <= _ACTIVE_TOL:
+                columns.append(unit)      # upper bound active: y - u <= 0
+                active_names.append(f"ub:{name}")
+                slacks.append(abs(math.log(upper) - y[index[name]]))
+        diameter = math.sqrt(diam_sq)
+
+        if columns:
+            from scipy.optimize import nnls
+
+            matrix = np.column_stack(columns)
+            lambdas, residual = nnls(matrix, -g0)
+            slack_term = float(
+                sum(l * s for l, s in zip(lambdas, slacks))
+            )
+        else:
+            lambdas = np.zeros(0)
+            residual = float(np.linalg.norm(g0))
+            slack_term = 0.0
+        gap_log = float(residual) * diameter + slack_term
+        gap_rel = math.expm1(gap_log) if gap_log < 700 else math.inf
+        return {
+            "ok": True,
+            "violations": [],
+            "stationarity_residual": round(float(residual), 9),
+            "active_constraints": len(active_names),
+            "gap_log": round(gap_log, 9),
+            "gap_rel": round(gap_rel, 9) if math.isfinite(gap_rel) else None,
+            "lambda_max": (
+                round(float(lambdas.max()), 6) if len(lambdas) else 0.0
+            ),
+        }
+
+    # -- OPT703: replication soundness ------------------------------------
+
+    def replication(
+        self,
+        widths: Mapping[str, object],
+        classes: Sequence[Sequence[str]],
+        representative_env: Optional[Mapping[str, object]] = None,
+    ) -> dict:
+        """Soundness of the claim "one slice's widths replicate across its
+        equivalence class".
+
+        Two obligations: (a) the claimed assignment is actually replicated
+        — every member of a class carries its representative's width; and
+        (b) the replicated point satisfies every cross-slice coupling
+        constraint, proved by re-measuring the *full original* circuit at
+        the replicated point (interval-STA style: true slope propagation
+        plus outward-rounded posynomial enclosures for the reliability
+        constraints).  The first violated constraint is named as the
+        witness boundary.
+        """
+        env, violations = self._normalize_env(widths)
+        if env is None:
+            return {"ok": False, "violations": violations, "witness": ""}
+        free = set(env)
+        # (a) intra-class replication of the claimed assignment.
+        for members in classes:
+            members = [m for m in members if m in free]
+            if len(members) < 2:
+                continue
+            rep = members[0]
+            for member in members[1:]:
+                if not math.isclose(
+                    env[member], env[rep], rel_tol=1e-6, abs_tol=1e-9
+                ):
+                    violations.append({
+                        "name": member,
+                        "message": (
+                            f"label {member} ({env[member]:.4f} um) is not "
+                            f"replicated from its class representative "
+                            f"{rep} ({env[rep]:.4f} um)"
+                        ),
+                    })
+        # (b) the replicated point: representative widths copied across
+        # each class (defaults to the claimed env's own representatives).
+        replicated = dict(env)
+        if representative_env is not None:
+            for name, value in dict(representative_env).items():
+                if name in free:
+                    try:
+                        replicated[name] = float(value)  # type: ignore[arg-type]
+                    except (TypeError, ValueError):
+                        pass
+        for members in classes:
+            members = [m for m in members if m in free]
+            if len(members) < 2:
+                continue
+            for member in members[1:]:
+                replicated[member] = replicated[members[0]]
+        constraints, realized, worst, worst_name = self.measure(replicated)
+        witness = ""
+        if worst > self.tolerance:
+            witness = worst_name
+            violations.append({
+                "name": worst_name,
+                "message": (
+                    f"replicated point violates coupling constraint "
+                    f"{worst_name}: realized "
+                    f"{realized[worst_name]:.2f} ps exceeds its spec by "
+                    f"{worst:.2f} ps (> tolerance {self.tolerance:.2f} ps)"
+                ),
+            })
+        for slope in constraints.slopes:
+            lo, _hi = posynomial_interval(slope.slope, replicated)
+            if lo > slope.limit * (1.0 + _SOLVER_REL_TOL):
+                witness = witness or slope.name
+                violations.append({
+                    "name": slope.name,
+                    "net": slope.net,
+                    "message": (
+                        f"replicated point violates slope constraint "
+                        f"{slope.name} on net {slope.net}: "
+                        f">= {lo:.2f} ps vs limit {slope.limit:.2f} ps"
+                    ),
+                })
+        return {
+            "ok": not violations,
+            "violations": violations,
+            "witness": witness,
+            "worst_residual_ps": round(worst, 6),
+            "classes": len(
+                [c for c in classes if len([m for m in c if m in free]) > 1]
+            ),
+            "merged_labels": sum(
+                max(0, len([m for m in c if m in free]) - 1) for c in classes
+            ),
+        }
+
+    # -- certificate issue -------------------------------------------------
+
+    def certify(
+        self,
+        widths: Mapping[str, object],
+        cache_key: str,
+        classes: Sequence[Sequence[str]] = (),
+        representative_env: Optional[Mapping[str, object]] = None,
+        with_kkt: bool = True,
+    ) -> SolutionCertificate:
+        """Run the full audit at ``widths`` and issue the certificate.
+
+        ``ok`` requires primal feasibility and (when ``classes`` are
+        claimed) replication soundness; the KKT gap is recorded as a
+        quantitative annotation, never a veto — a feasible point with a
+        poor gap bound is safe to use, just not provably optimal.
+        """
+        t_start = time.perf_counter()
+        with trace.span(
+            "solution_certify", circuit=self.circuit.name
+        ) as span:
+            feas = self.feasibility(widths)
+            checks: Dict[str, dict] = {
+                "OPT701": {
+                    "ok": feas["ok"],
+                    "worst_residual_ps": feas.get("worst_residual_ps"),
+                    "violations": len(feas["violations"]),
+                },
+            }
+            kkt_gap_rel = None
+            if with_kkt:
+                kkt = self.kkt(widths)
+                kkt_gap_rel = kkt.get("gap_rel")
+                checks["OPT702"] = {
+                    "ok": kkt["ok"],
+                    "gap_rel": kkt.get("gap_rel"),
+                    "stationarity_residual": kkt.get(
+                        "stationarity_residual"
+                    ),
+                }
+            ok = feas["ok"]
+            if classes:
+                rep = self.replication(
+                    widths, classes, representative_env=representative_env
+                )
+                checks["OPT703"] = {
+                    "ok": rep["ok"],
+                    "witness": rep.get("witness", ""),
+                    "merged_labels": rep.get("merged_labels", 0),
+                }
+                ok = ok and rep["ok"]
+            realized: Dict[str, float] = {}
+            specs: Dict[str, float] = {}
+            worst = feas.get("worst_residual_ps", math.inf)
+            env, _ = self._normalize_env(widths)
+            if env is not None:
+                constraints, realized, worst, _name = self.measure(env)
+                specs = {c.name: c.spec for c in constraints.timing}
+            certificate = SolutionCertificate(
+                circuit=self.circuit.name,
+                key=cache_key,
+                widths_digest=widths_digest(widths),
+                facets=dict(facet_fingerprints(self.circuit)),
+                ok=bool(ok),
+                worst_residual_ps=(
+                    worst if math.isfinite(worst) else 1e18
+                ),
+                tolerance=self.tolerance,
+                spec_data=self.spec.data,
+                kkt_gap_rel=kkt_gap_rel,
+                checks=checks,
+                classes=[list(c) for c in classes],
+                realized=realized,
+                specs=specs,
+            )
+            wall = time.perf_counter() - t_start
+            span.set_attrs(ok=certificate.ok, wall_s=round(wall, 6))
+        perf.record_run(
+            "certificate",
+            self.circuit.name,
+            wall_s=wall,
+            extra={
+                "ok": certificate.ok,
+                "worst_residual_ps": certificate.worst_residual_ps,
+                "kkt_gap_rel": certificate.kkt_gap_rel,
+                "classes": len(certificate.classes),
+            },
+        )
+        log.info(
+            "certified %s: ok=%s residual=%.2f ps (%.3f s)",
+            self.circuit.name, certificate.ok,
+            certificate.worst_residual_ps, wall,
+        )
+        return certificate

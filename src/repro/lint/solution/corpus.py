@@ -1,0 +1,290 @@
+"""CI corpus driver: OPT7xx solution certificates over clean + mutant corpora.
+
+``python -m repro.lint.solution.corpus`` runs the solution rule group over
+(a) a clean corpus of honestly collapsed-and-certified sizing runs (real
+:class:`~repro.sizing.collapse.RegularityCollapsedSizer` output, with the
+issued certificate and an honest cache entry riding in the payload so all
+five OPT rules exercise their accept paths) and (b) the seeded
+solution-mutant corpus from :mod:`repro.lint.solution.mutate`.  The gate
+is asymmetric, mirroring the electrical driver:
+
+* the clean corpus must produce **zero OPT errors** (quantitative OPT702
+  optimality-gap warnings are reported but tolerated);
+* every mutant must be flagged by **exactly its intended OPT rule** — the
+  expected rule fires, and no other OPT rule cross-fires.
+
+``--rule-cache FILE`` threads the incremental engine through the sweep —
+the solved point rides in the options mapping, which is part of the rule
+cache key, so a warm rerun over the same tree and the same points replays
+every finding byte-identically.  ``--certs FILE`` persists the clean
+corpus's issued certificates as a ``smart-solution-certificate/1`` JSONL
+artifact for CI upload.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from typing import Iterator, List, Optional, Sequence, Tuple
+
+from ..diagnostics import LintReport, Severity
+from ..incremental import serialize_diagnostic
+from ..runner import lint_circuit
+from ..waivers import load_waivers
+from .certificate import SolutionCertificate
+from .mutate import SolutionMutant, solution_mutants, solved_base
+from .rules import build_solution_options
+
+#: OPT rule IDs, for cross-fire checks.
+_OPT_PREFIX = "OPT7"
+
+
+def clean_cases(
+    tech=None,
+) -> Iterator[Tuple[str, object, dict, dict]]:
+    """Honest collapsed-sizing runs: ``(label, circuit, options, cert)``.
+
+    Each case is a real collapse-solve-replicate-certify pass whose full
+    payload — widths, classes, issued certificate, and an honest cache
+    entry bound to that certificate — exercises the accept path of every
+    OPT rule at once.
+    """
+    from ...cache.fingerprint import make_entry
+    from ...macros.base import MacroSpec
+    from ...macros.incrementor import RippleIncrementor
+    from ...models.gates import ModelLibrary
+    from ...models.technology import Technology
+    from ...sizing.collapse import RegularityCollapsedSizer
+    from ...sizing.constraints import DelaySpec
+    from ...sizing.engine import SmartSizer, nominal_delay
+
+    tech = tech or Technology()
+
+    # Case 1: the mutants' own base (memoized — one solve serves both).
+    base = solved_base(tech)
+    full = SmartSizer(base.circuit, base.library)
+    entry = make_entry(
+        full.cache_key(base.spec),
+        circuit_name=base.circuit.name,
+        objective="area",
+        spec_data=base.spec.data,
+        tolerance=2.0,
+        env=base.widths,
+        iterations=1,
+        area=0.0,
+        runtime_s=0.0,
+        created_unix=0.0,  # pinned: the options digest must be stable
+    )
+    options = build_solution_options(
+        base.widths, base.spec,
+        classes=base.classes,
+        certificate=base.certificate,
+        cache_entries=[entry],
+        certificates={base.cache_key: base.certificate},
+    )
+    yield base.circuit.name, base.circuit, {"solution": options}, \
+        base.certificate
+
+    # Case 2: a per-bit ripple incrementor, collapsed and certified here.
+    library = ModelLibrary(tech)
+    circuit = RippleIncrementor().build(
+        MacroSpec("incrementor", 8, params=(("label_group", 1),)), tech
+    )
+    spec = DelaySpec(data=nominal_delay(circuit, library))
+    collapsed = RegularityCollapsedSizer(circuit, library).size(spec)
+    cert = (
+        collapsed.certificate.to_payload()
+        if isinstance(collapsed.certificate, SolutionCertificate)
+        else None
+    )
+    options = build_solution_options(
+        collapsed.result.widths, spec,
+        classes=collapsed.classes if not collapsed.fallback else None,
+        certificate=cert,
+    )
+    yield circuit.name, circuit, {"solution": options}, cert
+
+
+def run_clean(
+    tech=None, waivers=(), emit=print, rule_cache=None
+) -> Tuple[List[LintReport], List[dict]]:
+    """Solution lint over the clean corpus; returns (reports, certs)."""
+    reports: List[LintReport] = []
+    certs: List[dict] = []
+    for label, circuit, options, cert in clean_cases(tech):
+        start = time.perf_counter()
+        report = lint_circuit(
+            circuit, groups=("solution",), waivers=waivers,
+            options=options, cache=rule_cache,
+        )
+        elapsed = time.perf_counter() - start
+        reports.append(report)
+        if cert is not None:
+            certs.append(cert)
+        status = "ok" if not report.errors else "FAIL"
+        replayed = sum(1 for _, _, s in report.executed if s == "replayed")
+        cached = f" cached={replayed}" if replayed else ""
+        emit(
+            f"{status:4s} clean  {label:42s} errors={len(report.errors)} "
+            f"warnings={len(report.warnings)} ({elapsed:.2f}s){cached}"
+        )
+    return reports, certs
+
+
+def run_mutants(
+    tech=None, waivers=(), emit=print, rule_cache=None
+) -> List[dict]:
+    """Solution lint over the seeded solution mutants.
+
+    Returns one verdict dict per mutant:
+    ``{"label", "expected", "fired", "flagged", "cross_fired", "report"}``.
+    """
+    verdicts: List[dict] = []
+    for mutant in solution_mutants(tech):
+        assert isinstance(mutant, SolutionMutant)
+        report = lint_circuit(
+            mutant.circuit, groups=("solution",), waivers=waivers,
+            options=mutant.options, cache=rule_cache,
+        )
+        fired = sorted({
+            d.rule_id for d in report.diagnostics
+            if d.rule_id.startswith(_OPT_PREFIX) and not d.waived
+        })
+        flagged = mutant.expected_rule in fired
+        cross = [r for r in fired if r != mutant.expected_rule]
+        status = "ok" if flagged and not cross else "FAIL"
+        emit(
+            f"{status:4s} mutant {mutant.label:42s} "
+            f"expected={mutant.expected_rule} fired={','.join(fired) or '-'}"
+        )
+        for diag in report.diagnostics:
+            if not diag.waived:
+                emit(f"     {diag.format()}")
+        verdicts.append({
+            "label": mutant.label,
+            "expected": mutant.expected_rule,
+            "fired": fired,
+            "flagged": flagged,
+            "cross_fired": cross,
+            "report": report,
+        })
+    return verdicts
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.lint.solution.corpus",
+        description=(
+            "run the OPT7xx solution-certificate rules over honest "
+            "collapsed-sizing runs and the seeded solution-mutant corpus"
+        ),
+        epilog=(
+            "exit codes: 0 = clean corpus error-free and every mutant "
+            "flagged by exactly its intended rule, 1 = gate failed"
+        ),
+    )
+    parser.add_argument(
+        "--sarif", metavar="FILE",
+        help="write combined SARIF 2.1.0 log to FILE",
+    )
+    parser.add_argument(
+        "--waivers", metavar="FILE", help="waiver/suppression file"
+    )
+    parser.add_argument(
+        "--rule-cache", metavar="FILE", default=None,
+        help=(
+            "incremental rule-result cache (JSONL); unchanged circuits "
+            "and solved points replay recorded findings byte-identically"
+        ),
+    )
+    parser.add_argument(
+        "--certs", metavar="FILE", default=None,
+        help=(
+            "persist the clean corpus's issued solution certificates as "
+            "a smart-solution-certificate/1 JSONL artifact"
+        ),
+    )
+    parser.add_argument(
+        "--json-out", metavar="FILE", default=None,
+        help=(
+            "dump serialized findings + cache stats as JSON (CI uses this "
+            "to assert cold/warm replay fidelity)"
+        ),
+    )
+    args = parser.parse_args(argv)
+
+    rule_cache = None
+    if args.rule_cache:
+        from ..incremental import RuleResultCache
+
+        rule_cache = RuleResultCache(args.rule_cache)
+    waivers = load_waivers(args.waivers) if args.waivers else ()
+
+    clean_reports, clean_certs = run_clean(
+        waivers=waivers, rule_cache=rule_cache
+    )
+    mutant_verdicts = run_mutants(waivers=waivers, rule_cache=rule_cache)
+
+    if rule_cache is not None:
+        rule_cache.flush()
+        stats = rule_cache.stats
+        print(
+            f"rule cache: {stats.replayed}/{stats.invocations} replayed "
+            f"({stats.hit_rate:.0%}), {stats.wall_saved_s:.2f}s saved"
+        )
+
+    if args.certs:
+        from .certificate import SolutionCertificateStore
+
+        store = SolutionCertificateStore(args.certs)
+        for cert in clean_certs:
+            store.put_payload(cert)
+        store.flush()
+        print(f"wrote {len(clean_certs)} certificate(s): {args.certs}")
+
+    all_reports = clean_reports + [v.pop("report") for v in mutant_verdicts]
+    if args.sarif:
+        from ..reporters import render_sarif
+
+        with open(args.sarif, "w", encoding="utf-8") as handle:
+            handle.write(render_sarif(all_reports))
+        print(f"wrote SARIF log: {args.sarif}")
+
+    if args.json_out:
+        payload = {
+            "findings": [
+                serialize_diagnostic(d)
+                for r in all_reports for d in r.diagnostics
+            ],
+            "clean_errors": sum(len(r.errors) for r in clean_reports),
+            "clean_warnings": sum(len(r.warnings) for r in clean_reports),
+            "mutants": mutant_verdicts,
+            "rule_cache": (
+                rule_cache.stats.as_dict() if rule_cache is not None else None
+            ),
+        }
+        with open(args.json_out, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+        print(f"wrote JSON summary: {args.json_out}")
+
+    clean_errors = [
+        d for r in clean_reports for d in r.diagnostics
+        if d.severity is Severity.ERROR and not d.waived
+    ]
+    bad_mutants = [
+        v for v in mutant_verdicts if not v["flagged"] or v["cross_fired"]
+    ]
+    n_warn = sum(len(r.warnings) for r in clean_reports)
+    print(
+        f"corpus: {len(clean_reports)} clean runs "
+        f"({len(clean_errors)} error(s), {n_warn} warning(s)), "
+        f"{len(mutant_verdicts)} mutants "
+        f"({len(mutant_verdicts) - len(bad_mutants)} correctly flagged)"
+    )
+    return 0 if not clean_errors and not bad_mutants else 1
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via CI
+    sys.exit(main())

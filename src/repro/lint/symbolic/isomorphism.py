@@ -168,6 +168,116 @@ class SliceCertificate:
         return len(hashes) <= 1
 
 
+def _var_shape(circuit: Circuit, name: str) -> Tuple:
+    """Bounds/pin/ratio shape of a size label — everything about the label
+    that changes the GP except its identity."""
+    v = circuit.size_table[name]
+    return (
+        round(v.lower, 9),
+        round(v.upper, 9),
+        v.pinned,
+        v.ratio_of[1] if v.ratio_of else None,
+    )
+
+
+def label_equivalence_classes(
+    circuit: Circuit, radius: int = 3
+) -> List[List[str]]:
+    """Equivalence classes of *free* size labels under bounded-radius
+    structural symmetry — the license for regularity-collapsed sizing.
+
+    Two labels land in one class when every stage using them is
+    indistinguishable by a name- and *label*-blind bidirectional
+    Weisfeiler-Leman refinement of radius ``radius``: the initial stage
+    color is (kind, structural params, per-role label shapes), and each
+    round absorbs the sorted fan-in multiset (pin class, inversion, driver
+    color or leaf tag), the sorted fan-out multiset (pin class, inversion,
+    sink color), and the output net's load tags (external load, wire
+    parasitics).  Unlike :func:`canonical_cone_hash` this never looks at
+    label *names*, so slices that share a topology but carry per-slice
+    labels (the collapse candidates) still collide.
+
+    The result is a heuristic proposal, not a proof: delay is a
+    radius-unbounded function of the whole circuit, so a collapse built on
+    these classes must be certified post-hoc (rule OPT703) at the
+    replicated point.  Classes are sorted lists of member labels (first
+    member = canonical representative); singleton classes are omitted.
+    """
+    table = circuit.size_table
+    clock_nets = set(circuit.clock_nets())
+    inputs = set(circuit.primary_inputs)
+    outputs = set(circuit.primary_outputs)
+
+    def _h(blob: str) -> str:
+        return hashlib.sha256(blob.encode("utf-8")).hexdigest()[:16]
+
+    colors: Dict[str, str] = {}
+    for st in circuit.stages:
+        params = tuple(sorted((k, repr(st.params[k])) for k in st.params))
+        roles = tuple(
+            (role, _var_shape(circuit, st.size_vars[role]))
+            for role in sorted(st.size_vars)
+        )
+        colors[st.name] = _h(f"{st.kind.value}|{params}|{roles}")
+
+    for _ in range(max(0, radius)):
+        new_colors: Dict[str, str] = {}
+        for st in circuit.stages:
+            fanin: List[str] = []
+            for pin in st.inputs:
+                net = pin.net.name
+                drivers = sorted(
+                    colors[d.name] for d in circuit.drivers_of(net)
+                )
+                if drivers:
+                    source = "+".join(drivers)
+                elif net in clock_nets:
+                    source = "leaf:clock"
+                elif net in inputs:
+                    source = "leaf:input"
+                else:
+                    source = "leaf:undriven"
+                fanin.append(
+                    f"{pin.pin_class.value}:{int(bool(pin.inverted))}:{source}"
+                )
+            onet = st.output.name
+            fanout = [
+                f"{pin.pin_class.value}:{int(bool(pin.inverted))}:{colors[sink.name]}"
+                for sink, pin in circuit.fanout_of(onet)
+            ]
+            net_obj = circuit.net(onet)
+            tag = f"out:{net_obj.external_load}" if onet in outputs else ""
+            tag += f"|wc:{net_obj.wire_cap}|wr:{net_obj.wire_res}"
+            new_colors[st.name] = _h(
+                colors[st.name]
+                + "||" + "|".join(sorted(fanin))
+                + "##" + "|".join(sorted(fanout))
+                + "@@" + tag
+            )
+        colors = new_colors
+
+    label_sig: Dict[str, List[Tuple[str, str]]] = {}
+    for st in circuit.stages:
+        for role in sorted(st.size_vars):
+            label_sig.setdefault(st.size_vars[role], []).append(
+                (colors[st.name], role)
+            )
+    classes: Dict[Tuple, List[str]] = {}
+    for name in table.names():
+        if not table[name].free:
+            continue
+        sig = (
+            tuple(sorted(label_sig.get(name, []))),
+            _var_shape(circuit, name),
+        )
+        classes.setdefault(sig, []).append(name)
+    return [
+        sorted(members)
+        for _, members in sorted(classes.items())
+        if len(members) > 1
+    ]
+
+
 def slice_certificate(circuit: Circuit) -> SliceCertificate:
     """Compute the isomorphism certificate for every primary output."""
     cone_hash = {

@@ -9,6 +9,7 @@ from .constraints import (
     SlopeConstraint,
     TimingConstraint,
 )
+from .collapse import CollapsedSizingResult, RegularityCollapsedSizer
 from .engine import IterationRecord, SizingError, SizingResult, SmartSizer
 from .gp import (
     GeometricProgram,
@@ -69,6 +70,8 @@ __all__ = [
     "SmartSizer",
     "SizingResult",
     "SizingError",
+    "RegularityCollapsedSizer",
+    "CollapsedSizingResult",
     "IterationRecord",
     "analyze_borrowing",
     "OTBReport",

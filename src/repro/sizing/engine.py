@@ -98,7 +98,7 @@ class SizingResult:
     prune_stats: Optional[object] = None
     runtime_s: float = 0.0            # wall-time of the whole Figure-4 loop
     gp_fallback_count: int = 0        # infeasible-retarget GP recoveries
-    cache_hit: str = ""               # "" | "exact" | "warm"
+    cache_hit: str = ""               # "" | "exact" | "exact-cert" | "warm"
 
     @property
     def worst_slack(self) -> float:
@@ -430,11 +430,13 @@ class SmartSizer:
         self, result: SizingResult, spec: DelaySpec, tolerance: float
     ) -> None:
         """Post-run cache bookkeeping: credit the wall-time an exact hit
-        saved (cached solve time minus the re-verification STA pass), or
-        store a freshly converged result."""
+        saved (cached solve time minus the re-verification pass — near-zero
+        for certificate-admitted hits), or store a freshly converged result
+        (issuing a solution certificate alongside when a certificate store
+        is attached to the cache)."""
         if self.cache is None:
             return
-        if result.cache_hit == "exact":
+        if result.cache_hit in ("exact", "exact-cert"):
             saved = max(0.0, self._cache_hit_runtime - result.runtime_s)
             self.cache.stats.wall_saved_s += saved
             metrics.histogram("cache.wall_saved_s").observe(saved)
@@ -454,6 +456,42 @@ class SmartSizer:
                 )
             )
             metrics.counter("cache.stores").inc()
+            self._issue_certificate(result, spec, tolerance)
+
+    def _issue_certificate(
+        self, result: SizingResult, spec: DelaySpec, tolerance: float
+    ) -> None:
+        """Certify a freshly converged result into the cache's attached
+        certificate store (if any) so later exact hits can be admitted
+        without an STA re-run.  Never-fail: certification problems degrade
+        to the STA fallback path, not to a sizing error."""
+        cert_store = getattr(self.cache, "certificates", None)
+        if cert_store is None or self._cache_key is None:
+            return
+        if self._cache_key.key in cert_store:
+            return
+        try:
+            from ..lint.solution.audit import SolutionAudit
+
+            audit = SolutionAudit(
+                self.circuit,
+                self.library,
+                spec,
+                tolerance=tolerance,
+                otb_borrow=self.otb_borrow,
+                objective=self.objective,
+                analysis_library=self._analysis_library,
+                gp_method=self.gp_method,
+            )
+            cert = audit.certify(
+                result.widths, cache_key=self._cache_key.key, with_kkt=False
+            )
+            cert_store.put(cert)
+        except Exception as exc:  # pragma: no cover - defensive
+            log.warning(
+                "%s: solution-certificate issuance failed (%s); exact hits "
+                "will re-verify via STA", self.circuit.name, exc,
+            )
 
     def _extract(self, prune: bool) -> PruneResult:
         """Path extraction + Section-5.2 reduction (one Figure-4 front end).
@@ -590,6 +628,38 @@ class SmartSizer:
             self._cache_key = key = self.cache_key(spec, tolerance)
             entry = self.cache.get(key.key)
             if entry is not None:
+                admitted = self._admit_certified(entry, key, tolerance)
+                if admitted is not None:
+                    cert_env, cert_realized, cert_worst = admitted
+                    self.cache.stats.exact_hits += 1
+                    self.cache.stats.cert_hits += 1
+                    metrics.counter("cache.cert_hits").inc()
+                    self._cache_hit_runtime = float(
+                        entry.get("runtime_s", 0.0)
+                    )
+                    trace.add_attrs(cache_hit="exact-cert")
+                    log.info(
+                        "%s: cache hit admitted on solution certificate "
+                        "(residual %.2f ps), skipping GP loop and STA "
+                        "re-verify",
+                        self.circuit.name, cert_worst,
+                    )
+                    resolved = self.circuit.size_table.resolve(cert_env)
+                    return SizingResult(
+                        circuit_name=self.circuit.name,
+                        widths=dict(cert_env),
+                        resolved=resolved,
+                        converged=True,
+                        iterations=0,
+                        area=self.circuit.total_width(resolved),
+                        clock_load=self.circuit.clock_load_width(resolved),
+                        worst_violation=max(0.0, cert_worst),
+                        realized=cert_realized,
+                        specs={c.name: c.spec for c in constraints.timing},
+                        history=[],
+                        prune_stats=prune_result.stats,
+                        cache_hit="exact-cert",
+                    )
                 with trace.span("cache_verify", key=key.key[:12]):
                     verified = self._verify_cached(
                         entry, spec, tolerance, constraints
@@ -884,6 +954,74 @@ class SmartSizer:
         if worst_violation > tolerance:
             return None
         return env, realized, worst_violation, worst_name
+
+    def _admit_certified(
+        self,
+        entry: Mapping[str, object],
+        key: CacheKey,
+        tolerance: float,
+    ) -> Optional[Tuple[Dict[str, float], Dict[str, float], float]]:
+        """Try to admit an exact cache hit on a verified solution certificate
+        instead of the full STA re-run (:meth:`_verify_cached`).
+
+        Looks up the ``smart-solution-certificate/1`` record stored under the
+        same content address as the cache entry and re-checks its bindings at
+        lookup time via :func:`repro.lint.solution.check_certificate`: key,
+        widths digest against the entry's env, ``ok`` flag, residual within
+        tolerance, and freshness against this circuit's live facet
+        fingerprints.  Returns ``(env, realized, worst residual)`` on an
+        admissible certificate, ``None`` otherwise — absent store, absent or
+        stale certificate, or any failed binding — in which case the caller
+        falls back to the STA path.  Certificate admission is strictly an
+        accelerator: it can only skip work the certificate already proved.
+        """
+        cert_store = getattr(self.cache, "certificates", None)
+        if cert_store is None:
+            return None
+        try:
+            from ..lint.solution.certificate import check_certificate
+            from ..netlist.fingerprint import facet_fingerprints
+        except ImportError:  # pragma: no cover - partial-init bootstrap
+            return None
+        cert = cert_store.get(key.key)
+        if cert is None:
+            return None
+        raw_env = entry.get("env")
+        if not isinstance(raw_env, Mapping):
+            return None
+        ok, reason = check_certificate(
+            cert,
+            key=key.key,
+            env=raw_env,
+            tolerance=tolerance,
+            facets=facet_fingerprints(self.circuit),
+        )
+        if not ok:
+            log.info(
+                "%s: solution certificate rejected (%s); falling back to "
+                "STA re-verify", self.circuit.name, reason,
+            )
+            metrics.counter("cache.cert_rejects").inc()
+            return None
+        free = set(self.circuit.size_table.free_names())
+        env: Dict[str, float] = {}
+        for name, value in raw_env.items():
+            try:
+                width = float(value)  # type: ignore[arg-type]
+            except (TypeError, ValueError):
+                return None
+            if not math.isfinite(width) or width <= 0.0:
+                return None
+            env[str(name)] = width
+        if not free.issubset(env):
+            return None
+        env = {name: env[name] for name in sorted(free)}
+        realized = {
+            str(name): float(value)
+            for name, value in dict(cert.get("realized", {})).items()
+        }
+        worst = float(cert.get("worst_residual_ps", 0.0))
+        return env, realized, worst
 
     def _build_gp(
         self, constraints: ConstraintSet, multipliers: Mapping[str, float]

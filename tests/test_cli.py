@@ -404,7 +404,9 @@ class TestListRulesGrouping:
             line for line in out.splitlines() if line.startswith("-- ")
         ]
         prefixes = [h.split(":")[0].removeprefix("-- ") for h in headers]
-        assert prefixes == ["ERC", "CST", "GP", "DFA", "SVC", "CTR", "NSA"]
+        assert prefixes == [
+            "ERC", "CST", "GP", "DFA", "SVC", "CTR", "NSA", "OPT"
+        ]
 
     def test_rules_listed_under_their_family(self, capsys):
         assert main(["lint", "--list-rules"]) == 0
